@@ -1,0 +1,61 @@
+// Ablation — number of Bloom hash functions k.
+//
+// The paper sets k "simply by default" (§VII-B). This sweep shows why the
+// choice matters: small k inflates per-block false positives (more SMT
+// absence work); large k saturates the merged upper-level filters faster
+// (more endpoints, bigger BMT branches). Fixed BF size 30 KB, M = chain
+// length, full LVQ.
+#include <bit>
+
+#include "core/segments.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Ablation — Bloom hash count k (result size / endpoints)",
+              "design choice from §VII-B ('hash functions set by default')");
+
+  const std::uint32_t bf_kb =
+      static_cast<std::uint32_t>(env.flags.get_u64("bf-kb", 30));
+  const std::uint32_t m = static_cast<std::uint32_t>(env.flags.get_u64(
+      "segment-length", env.workload_config.num_blocks));
+
+  std::printf("%-6s", "k");
+  for (const AddressProfile& p : env.setup.workload->profiles) {
+    std::printf(" %20s", p.label.c_str());
+  }
+  std::printf("\n");
+
+  for (std::uint32_t k : {2u, 4u, 6u, 10u, 16u, 24u}) {
+    ProtocolConfig config{Design::kLvq, BloomGeometry{bf_kb * 1024, k}, m};
+    QuerySession session(env.setup, config);
+    const ChainContext& ctx = session.full_node().context();
+    std::printf("%-6u", k);
+    for (const AddressProfile& p : env.setup.workload->profiles) {
+      LightNode::QueryResult result = session.query(p.address);
+      EndpointStats stats;
+      BloomKey key = BloomKey::from_bytes(p.address.span());
+      auto cbp = config.bloom.positions(key);
+      for (const SubSegment& range :
+           query_forest(ctx.tip_height(), config.segment_length)) {
+        const SegmentBmt& bmt = ctx.bmt_for_height(range.first);
+        BmtCheckMasks masks = bmt.check_masks(cbp);
+        std::uint32_t level =
+            static_cast<std::uint32_t>(std::countr_zero(range.length()));
+        std::uint64_t j = (range.first - bmt.first_height()) >> level;
+        stats += endpoint_stats(masks, level, j);
+      }
+      std::printf(" %12s /%6llu",
+                  human_bytes(result.response_bytes).c_str(),
+                  static_cast<unsigned long long>(stats.total()));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# each cell: query result size / endpoint-node count\n");
+  return 0;
+}

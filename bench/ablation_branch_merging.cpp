@@ -1,0 +1,91 @@
+// Ablation — merged vs. unmerged BMT branches (paper §V-A2, Fig. 11).
+//
+// The paper argues that the per-endpoint BMT branches "share a lot of
+// common data, whose merge can reduce the size of IEP largely" (in its
+// 8-block example, 4 BFs instead of 8). This bench quantifies that claim
+// at full scale: for each address we price
+//   * the merged proof (what LVQ ships — one recursive structure per
+//     query tree, interior data reconstructed by the verifier), vs.
+//   * unmerged per-endpoint branches, each shaped per Fig. 4: hashes on
+//     the root path, (hash, BF) for every node alongside the path, the
+//     endpoint's (hash, BF), plus child hashes for non-leaf endpoints.
+#include <bit>
+
+#include "core/segments.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+namespace {
+
+struct Sizes {
+  std::uint64_t merged = 0;
+  std::uint64_t unmerged = 0;
+};
+
+/// Walks the query tree, accumulating both prices.
+void walk(const BmtCheckMasks& masks, std::uint32_t bf_size,
+          std::uint32_t level, std::uint64_t j, std::uint32_t depth_from_root,
+          Sizes& out) {
+  if (!masks.fails(level, j)) {
+    // Merged: endpoint record = tag + BF + flag + child hashes.
+    out.merged += 1 + bf_size + 1 + (level > 0 ? 64 : 0);
+    // Unmerged branch (Fig. 4): path hashes + sibling (hash, BF) per
+    // level above the endpoint + endpoint (hash, BF) + child hashes.
+    out.unmerged += std::uint64_t{depth_from_root} * (32 + 32 + bf_size) +
+                    (32 + bf_size) + (level > 0 ? 64 : 0);
+    return;
+  }
+  if (level == 0) {
+    out.merged += 1 + bf_size;
+    out.unmerged += std::uint64_t{depth_from_root} * (32 + 32 + bf_size) +
+                    (32 + bf_size);
+    return;
+  }
+  out.merged += 1;  // interior tag; contents reconstructed by verifier
+  walk(masks, bf_size, level - 1, 2 * j, depth_from_root + 1, out);
+  walk(masks, bf_size, level - 1, 2 * j + 1, depth_from_root + 1, out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Ablation — merged vs unmerged BMT branches (Fig. 11 claim)",
+              "Dai et al., ICDCS'20, §V-A2");
+
+  const std::uint32_t bf_kb =
+      static_cast<std::uint32_t>(env.flags.get_u64("bf-kb", 30));
+  const std::uint32_t m = static_cast<std::uint32_t>(env.flags.get_u64(
+      "segment-length", env.workload_config.num_blocks));
+  ProtocolConfig config{Design::kLvq, BloomGeometry{bf_kb * 1024, 10}, m};
+  ChainContext ctx(env.setup.workload, env.setup.derived, config);
+
+  std::printf("%-8s %14s %14s %9s\n", "address", "merged", "unmerged",
+              "saving");
+  for (const AddressProfile& p : env.setup.workload->profiles) {
+    BloomKey key = BloomKey::from_bytes(p.address.span());
+    auto cbp = config.bloom.positions(key);
+    Sizes sizes;
+    for (const SubSegment& range :
+         query_forest(ctx.tip_height(), config.segment_length)) {
+      const SegmentBmt& bmt = ctx.bmt_for_height(range.first);
+      BmtCheckMasks masks = bmt.check_masks(cbp);
+      std::uint32_t level =
+          static_cast<std::uint32_t>(std::countr_zero(range.length()));
+      std::uint64_t j = (range.first - bmt.first_height()) >> level;
+      walk(masks, config.bloom.size_bytes, level, j, 0, sizes);
+    }
+    std::printf("%-8s %14s %14s %8.1f%%\n", p.label.c_str(),
+                human_bytes(sizes.merged).c_str(),
+                human_bytes(sizes.unmerged).c_str(),
+                100.0 * (1.0 - static_cast<double>(sizes.merged) /
+                                   static_cast<double>(sizes.unmerged)));
+    std::fflush(stdout);
+  }
+  std::printf("\n# paper's toy example (Fig. 11): 4 BFs shipped instead of "
+              "8 — merging wins whenever endpoints share path prefixes\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "bench_common.hpp"
+
+namespace lvq::bench {
+
+std::vector<ProfileSpec> Env::scaled_profiles(std::uint32_t blocks) {
+  std::vector<ProfileSpec> profiles = table3_profiles();
+  if (blocks >= 4096) return profiles;
+  double scale = static_cast<double>(blocks) / 4096.0;
+  for (ProfileSpec& p : profiles) {
+    bool had_history = p.target_txs > 0;
+    p.target_blocks = static_cast<std::uint32_t>(p.target_blocks * scale);
+    p.target_txs = static_cast<std::uint32_t>(p.target_txs * scale);
+    if (had_history && p.target_txs == 0) p.target_txs = 1;
+    if (p.target_txs > 0 && p.target_blocks == 0) p.target_blocks = 1;
+    if (p.target_txs < p.target_blocks) p.target_txs = p.target_blocks;
+  }
+  return profiles;
+}
+
+Env::Env(int argc, char** argv) : flags(argc, argv) {
+  workload_config.seed = flags.get_u64("seed", 20200704);
+  workload_config.num_blocks =
+      static_cast<std::uint32_t>(flags.get_u64("blocks", 4096));
+  workload_config.background_txs_per_block =
+      static_cast<std::uint32_t>(flags.get_u64("txs-per-block", 110));
+  workload_config.profiles = scaled_profiles(workload_config.num_blocks);
+  bf_hashes = static_cast<std::uint32_t>(flags.get_u64("bf-hashes", 10));
+  verify = flags.get_bool("verify", true);
+
+  Timer t;
+  setup = make_setup(workload_config);
+  std::printf("# workload: %u blocks, %u background txs/block, seed %llu "
+              "(generated in %.1fs)\n",
+              workload_config.num_blocks,
+              workload_config.background_txs_per_block,
+              static_cast<unsigned long long>(workload_config.seed),
+              t.seconds());
+  std::fflush(stdout);
+}
+
+void print_title(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("# reproduces: %s\n", paper_ref.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace lvq::bench

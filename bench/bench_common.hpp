@@ -1,0 +1,54 @@
+// Shared harness for the figure/table benchmarks.
+//
+// Every bench binary accepts the same knobs (command line --flag=value or
+// environment LVQ_FLAG=value):
+//   --blocks            chain length                  (default 4096, paper)
+//   --txs-per-block     background txs per block      (default 110)
+//   --seed              workload seed                 (default 20200704)
+//   --bf-hashes         Bloom hash count k            (default 10)
+//   --verify            also run light-node verification (default 1)
+//
+// The six query addresses are the Table III profiles (Addr1..Addr6).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "node/session.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq::bench {
+
+struct Env {
+  Flags flags;
+  WorkloadConfig workload_config;
+  ExperimentSetup setup;
+  std::uint32_t bf_hashes;
+  bool verify;
+
+  Env(int argc, char** argv);
+
+  /// Scales a Table III profile to the configured chain length so scaled-
+  /// down runs (LVQ_BLOCKS=512) keep the same density per block.
+  static std::vector<ProfileSpec> scaled_profiles(std::uint32_t blocks);
+};
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+void print_title(const std::string& title, const std::string& paper_ref);
+
+}  // namespace lvq::bench

@@ -1,0 +1,54 @@
+// Fig. 13 — "Impact of BF size".
+//
+// Full LVQ, Bloom filter size swept from 10 KB to 500 KB, M = chain
+// length; report the total query-result size per Table III address.
+// Paper reference points: Addr1 fluctuates in a narrow range; Addr2 grows
+// modestly; Addr6 grows ~40x from 21.86 MB (10 KB) to 843.22 MB (500 KB).
+#include "bench_common.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Fig. 13 — LVQ query result size vs BF size",
+              "Dai et al., ICDCS'20, Fig. 13");
+
+  const std::uint32_t m = static_cast<std::uint32_t>(env.flags.get_u64(
+      "segment-length", env.workload_config.num_blocks));
+  const std::uint64_t max_kb = env.flags.get_u64("bf-max-kb", 500);
+
+  std::vector<std::uint32_t> sizes_kb;
+  for (std::uint32_t kb : {10, 30, 50, 100, 200, 500}) {
+    if (kb <= max_kb) sizes_kb.push_back(kb);
+  }
+
+  std::printf("%-10s", "bf-size");
+  for (const AddressProfile& p : env.setup.workload->profiles) {
+    std::printf(" %14s", p.label.c_str());
+  }
+  std::printf(" %10s\n", "elapsed");
+
+  for (std::uint32_t kb : sizes_kb) {
+    ProtocolConfig config{Design::kLvq, BloomGeometry{kb * 1024, env.bf_hashes},
+                          m};
+    Timer t;
+    QuerySession session(env.setup, config);
+    std::printf("%7u KB", kb);
+    for (const AddressProfile& p : env.setup.workload->profiles) {
+      LightNode::QueryResult result = session.query(p.address);
+      if (env.verify && !result.outcome.ok) {
+        std::printf("  VERIFY-FAIL(%s)",
+                    verify_error_name(result.outcome.error));
+        continue;
+      }
+      std::printf(" %14s", human_bytes(result.response_bytes).c_str());
+      std::fflush(stdout);
+    }
+    std::printf(" %9.1fs\n", t.seconds());
+    std::fflush(stdout);
+  }
+  std::printf("\n# expectation: sparse addresses ~flat; dense addresses grow "
+              "~linearly with BF size (paper: ~40x for Addr6, 10->500 KB)\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 14 — "Size ratio of the BMT branches to the total result".
+//
+// Same sweep as Fig. 13; for each (BF size, address) report the fraction
+// of response bytes spent on BMT branch data. Paper reference point: the
+// ratio always exceeds 80% (minimum at 10 KB for Addr6).
+#include "bench_common.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Fig. 14 — BMT branch share of the query result",
+              "Dai et al., ICDCS'20, Fig. 14");
+
+  const std::uint32_t m = static_cast<std::uint32_t>(env.flags.get_u64(
+      "segment-length", env.workload_config.num_blocks));
+  const std::uint64_t max_kb = env.flags.get_u64("bf-max-kb", 500);
+
+  std::vector<std::uint32_t> sizes_kb;
+  for (std::uint32_t kb : {10, 30, 50, 100, 200, 500}) {
+    if (kb <= max_kb) sizes_kb.push_back(kb);
+  }
+
+  std::printf("%-10s", "bf-size");
+  for (const AddressProfile& p : env.setup.workload->profiles) {
+    std::printf(" %9s", p.label.c_str());
+  }
+  std::printf("\n");
+
+  double min_ratio = 1.0;
+  for (std::uint32_t kb : sizes_kb) {
+    ProtocolConfig config{Design::kLvq, BloomGeometry{kb * 1024, env.bf_hashes},
+                          m};
+    FullNode full(env.setup.workload, env.setup.derived, config);
+    std::printf("%7u KB", kb);
+    for (const AddressProfile& p : env.setup.workload->profiles) {
+      QueryResponse resp = full.query(p.address);
+      SizeBreakdown b = resp.breakdown();
+      double ratio = static_cast<double>(b.bmt_bytes) /
+                     static_cast<double>(b.total());
+      min_ratio = std::min(min_ratio, ratio);
+      std::printf(" %8.1f%%", 100.0 * ratio);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# minimum ratio observed: %.1f%% (paper: minimum >80%%, at "
+              "10 KB/Addr6)\n",
+              100.0 * min_ratio);
+  return 0;
+}

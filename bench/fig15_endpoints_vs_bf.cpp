@@ -1,0 +1,65 @@
+// Fig. 15 — "Number of endpoint nodes for different size of BFs".
+//
+// Endpoint nodes (inexistent endpoints + failed leaves) counted straight
+// from the check masks — no proof materialization, so this sweep is cheap
+// even at 500 KB. Paper reference point: per address, the endpoint count
+// stays roughly stable as the BF grows, which is why total result size is
+// dominated by (endpoint count) x (BF size) — the Fig. 13 linearity.
+#include <algorithm>
+#include <bit>
+
+#include "core/segments.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Fig. 15 — endpoint nodes vs BF size",
+              "Dai et al., ICDCS'20, Fig. 15");
+
+  const std::uint32_t m = static_cast<std::uint32_t>(env.flags.get_u64(
+      "segment-length", env.workload_config.num_blocks));
+  const std::uint64_t max_kb = env.flags.get_u64("bf-max-kb", 500);
+
+  std::vector<std::uint32_t> sizes_kb;
+  for (std::uint32_t kb : {10, 30, 50, 100, 200, 500}) {
+    if (kb <= max_kb) sizes_kb.push_back(kb);
+  }
+
+  std::printf("%-10s", "bf-size");
+  for (const AddressProfile& p : env.setup.workload->profiles) {
+    std::printf(" %9s", p.label.c_str());
+  }
+  std::printf("\n");
+
+  for (std::uint32_t kb : sizes_kb) {
+    ProtocolConfig config{Design::kLvq, BloomGeometry{kb * 1024, env.bf_hashes},
+                          m};
+    ChainContext ctx(env.setup.workload, env.setup.derived, config);
+    std::printf("%7u KB", kb);
+    for (const AddressProfile& p : env.setup.workload->profiles) {
+      BloomKey key = BloomKey::from_bytes(p.address.span());
+      auto cbp = config.bloom.positions(key);
+      EndpointStats total;
+      for (const SubSegment& range :
+           query_forest(ctx.tip_height(), config.segment_length)) {
+        const SegmentBmt& bmt = ctx.bmt_for_height(range.first);
+        BmtCheckMasks masks = bmt.check_masks(cbp);
+        std::uint32_t level =
+            static_cast<std::uint32_t>(std::countr_zero(range.length()));
+        std::uint64_t j = (range.first - bmt.first_height()) >> level;
+        total += endpoint_stats(masks, level, j);
+      }
+      std::printf(" %9llu",
+                  static_cast<unsigned long long>(total.total()));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# expectation: per address, counts stay roughly stable "
+              "across BF sizes (paper Fig. 15)\n");
+  return 0;
+}

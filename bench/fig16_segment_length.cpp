@@ -1,0 +1,70 @@
+// Fig. 16 — "Change in the number of endpoint nodes when the length of
+// segment varies".
+//
+// BF fixed at 30 KB; segment length M swept 1 .. chain length. Paper
+// reference point: U-shape — both very small and very large segments
+// inflate the endpoint count; 1024/2048 are the sweet spot for 4096
+// blocks.
+#include <algorithm>
+#include <bit>
+
+#include "core/segments.hpp"
+
+#include "bench_common.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Fig. 16 — endpoint nodes vs segment length M",
+              "Dai et al., ICDCS'20, Fig. 16");
+
+  const std::uint32_t bf_kb =
+      static_cast<std::uint32_t>(env.flags.get_u64("bf-kb", 30));
+
+  std::vector<std::uint32_t> lengths;
+  for (std::uint32_t m = 1; m <= env.workload_config.num_blocks; m *= 4) {
+    lengths.push_back(m);
+  }
+  // The paper highlights 1024/2048 for a 4096-block range; include the
+  // intermediate powers of two near the top.
+  if (env.workload_config.num_blocks >= 4096) {
+    lengths.push_back(1024 * 2);
+  }
+  std::sort(lengths.begin(), lengths.end());
+
+  std::printf("%-10s", "M");
+  for (const AddressProfile& p : env.setup.workload->profiles) {
+    std::printf(" %9s", p.label.c_str());
+  }
+  std::printf("\n");
+
+  for (std::uint32_t m : lengths) {
+    ProtocolConfig config{Design::kLvq,
+                          BloomGeometry{bf_kb * 1024, env.bf_hashes}, m};
+    ChainContext ctx(env.setup.workload, env.setup.derived, config);
+    std::printf("%-10u", m);
+    for (const AddressProfile& p : env.setup.workload->profiles) {
+      BloomKey key = BloomKey::from_bytes(p.address.span());
+      auto cbp = config.bloom.positions(key);
+      EndpointStats total;
+      for (const SubSegment& range :
+           query_forest(ctx.tip_height(), config.segment_length)) {
+        const SegmentBmt& bmt = ctx.bmt_for_height(range.first);
+        BmtCheckMasks masks = bmt.check_masks(cbp);
+        std::uint32_t level =
+            static_cast<std::uint32_t>(std::countr_zero(range.length()));
+        std::uint64_t j = (range.first - bmt.first_height()) >> level;
+        total += endpoint_stats(masks, level, j);
+      }
+      std::printf(" %9llu",
+                  static_cast<unsigned long long>(total.total()));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# expectation: U-shape — too-small and too-large M inflate "
+              "endpoints; paper prefers 1024/2048 for 4096 blocks\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Query latency breakdown per design (beyond the paper, which measures
+// only communication cost): proof generation on the full node, wire
+// encode/decode, and light-node verification, per Table III address.
+#include "bench_common.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Latency breakdown — generate / encode / decode / verify",
+              "supplementary to §VII (paper reports sizes only)");
+
+  const std::uint32_t k = env.bf_hashes;
+  const std::uint32_t m = static_cast<std::uint32_t>(env.flags.get_u64(
+      "segment-length", env.workload_config.num_blocks));
+  const ProtocolConfig configs[] = {
+      {Design::kStrawmanVariant, BloomGeometry{10 * 1024, k}, m},
+      {Design::kLvqNoBmt, BloomGeometry{10 * 1024, k}, m},
+      {Design::kLvqNoSmt, BloomGeometry{30 * 1024, k}, m},
+      {Design::kLvq, BloomGeometry{30 * 1024, k}, m},
+  };
+
+  std::printf("%-18s %-8s %10s %10s %10s %10s %12s\n", "design", "addr",
+              "gen-ms", "enc-ms", "dec-ms", "verify-ms", "size");
+  for (const ProtocolConfig& config : configs) {
+    Timer build_timer;
+    FullNode full(env.setup.workload, env.setup.derived, config);
+    LightNode light(config);
+    light.set_headers(full.headers());
+    double build_s = build_timer.seconds();
+
+    for (const AddressProfile& p : env.setup.workload->profiles) {
+      if (p.label != "Addr1" && p.label != "Addr4" && p.label != "Addr6")
+        continue;
+      Timer gen;
+      QueryResponse resp = full.query(p.address);
+      double gen_s = gen.seconds();
+
+      Timer enc;
+      Writer w;
+      resp.serialize(w);
+      double enc_s = enc.seconds();
+
+      Timer dec;
+      Reader r(ByteSpan{w.data().data(), w.data().size()});
+      QueryResponse decoded = QueryResponse::deserialize(r, config);
+      double dec_s = dec.seconds();
+
+      Timer ver;
+      VerifyOutcome out = light.verify(p.address, decoded);
+      double ver_s = ver.seconds();
+
+      std::printf("%-18s %-8s %10.1f %10.1f %10.1f %10.1f %12s%s\n",
+                  design_name(config.design), p.label.c_str(), gen_s * 1e3,
+                  enc_s * 1e3, dec_s * 1e3, ver_s * 1e3,
+                  human_bytes(w.size()).c_str(), out.ok ? "" : "  !REJECTED");
+      std::fflush(stdout);
+    }
+    std::printf("%-18s (chain assembly: %.1fs)\n", design_name(config.design),
+                build_s);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Micro-benchmarks for the crypto substrate: SHA-256 throughput (the BMT
+// construction bottleneck), RIPEMD-160, hash160, and Bloom operations.
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace lvq {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Bytes out(n);
+  Rng rng(seed);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(ByteSpan{data.data(), data.size()}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.SetLabel(Sha256::backend());
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(30 * 1024)->Arg(1 << 20);
+
+void BM_Sha256d(benchmark::State& state) {
+  Bytes data = random_bytes(256, 2);  // typical transaction size
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256d(ByteSpan{data.data(), data.size()}));
+  }
+}
+BENCHMARK(BM_Sha256d);
+
+void BM_Ripemd160(benchmark::State& state) {
+  Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ripemd160(ByteSpan{data.data(), data.size()}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Ripemd160)->Arg(64)->Arg(1024);
+
+void BM_Hash160(benchmark::State& state) {
+  Bytes data = random_bytes(33, 4);  // compressed-pubkey sized
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash160(ByteSpan{data.data(), data.size()}));
+  }
+}
+BENCHMARK(BM_Hash160);
+
+void BM_BloomInsert(benchmark::State& state) {
+  BloomGeometry geom{30 * 1024, 10};
+  BloomFilter bf(geom);
+  Rng rng(5);
+  BloomKey key{rng.next_u64(), rng.next_u64() | 1};
+  for (auto _ : state) {
+    bf.insert(key);
+    benchmark::DoNotOptimize(bf);
+    key.h1 += 0x9e3779b97f4a7c15ULL;
+  }
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomCheck(benchmark::State& state) {
+  BloomGeometry geom{30 * 1024, 10};
+  BloomFilter bf(geom);
+  Rng rng(6);
+  for (int i = 0; i < 400; ++i) bf.insert(BloomKey{rng.next_u64(), rng.next_u64() | 1});
+  BloomKey probe{rng.next_u64(), rng.next_u64() | 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.possibly_contains(probe));
+    probe.h1 += 1;
+  }
+}
+BENCHMARK(BM_BloomCheck);
+
+void BM_BloomMerge(benchmark::State& state) {
+  BloomGeometry geom{static_cast<std::uint32_t>(state.range(0)), 10};
+  BloomFilter a(geom), b(geom);
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    a.insert(BloomKey{rng.next_u64(), rng.next_u64() | 1});
+    b.insert(BloomKey{rng.next_u64(), rng.next_u64() | 1});
+  }
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BloomMerge)->Arg(10 * 1024)->Arg(30 * 1024)->Arg(500 * 1024);
+
+}  // namespace
+}  // namespace lvq

@@ -1,0 +1,51 @@
+// Table II — "Examples for segment division" (Eq. 5/6, §V-B).
+#include <cstdio>
+
+#include "core/segments.hpp"
+
+using namespace lvq;
+
+namespace {
+
+void print_division(std::uint64_t tip, std::uint32_t m) {
+  std::uint64_t rest_start = (tip / m) * m + 1;
+  if (rest_start > tip) {
+    std::printf("%6llu   (tip is a segment boundary; no partial segment)\n",
+                static_cast<unsigned long long>(tip));
+    return;
+  }
+  auto subs = split_last_segment(rest_start, tip);
+  std::printf("%6llu   ", static_cast<unsigned long long>(tip));
+  // Power-series rendering of the last-segment length.
+  std::uint64_t len = tip - rest_start + 1;
+  bool first = true;
+  for (int bit = 63; bit >= 0; --bit) {
+    if (len & (std::uint64_t{1} << bit)) {
+      std::printf("%s2^%d", first ? "" : " + ", bit);
+      first = false;
+    }
+  }
+  std::printf("   ");
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    std::printf("%s[%llu,%llu]", i ? ", " : "",
+                static_cast<unsigned long long>(subs[i].first),
+                static_cast<unsigned long long>(subs[i].last));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table II — sub-segment division of the last segment ==\n");
+  std::printf("# reproduces: Dai et al., ICDCS'20, Table II (M = 256, blocks "
+              "indexed from 1)\n\n");
+  std::printf("%6s   %s   %s\n", "h_t", "power series", "sub-segments");
+  for (std::uint64_t tip : {464, 465, 466}) print_division(tip, 256);
+
+  std::printf("\n# extended examples\n");
+  for (std::uint64_t tip : {256, 257, 300, 511, 512, 700}) {
+    print_division(tip, 256);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// The paper's motivating scenario (§I): a coffee shop owner runs a light
+// node on a phone. A customer pays from some address; before accepting,
+// the owner asks a full node for the address's history, verifies it, and
+// computes the balance (Eq. 1).
+//
+// Act II replays the query against a MALICIOUS full node that tries to
+// inflate the customer's balance by hiding a spend — and is caught.
+#include <cstdio>
+
+#include "node/attack.hpp"
+#include "node/session.hpp"
+#include "util/format.hpp"
+#include "workload/workload.hpp"
+
+using namespace lvq;
+
+namespace {
+
+/// A full node that hides one transaction from every answer it serves.
+class CheatingFullNode {
+ public:
+  explicit CheatingFullNode(const FullNode& honest) : honest_(honest) {}
+
+  Bytes handle_message(ByteSpan request) const {
+    auto [type, payload] = decode_envelope(request);
+    if (type != MsgType::kQueryRequest) return honest_.handle_message(request);
+    Reader r(payload);
+    QueryRequest req = QueryRequest::deserialize(r);
+    QueryResponse resp = honest_.query(req.address);
+    // Drop a transaction from an existence proof if the shape allows.
+    attacks::omit_tx_from_existence(resp);
+    Writer w;
+    resp.serialize(w);
+    return encode_envelope(MsgType::kQueryResponse,
+                           ByteSpan{w.data().data(), w.data().size()});
+  }
+
+ private:
+  const FullNode& honest_;
+};
+
+}  // namespace
+
+int main() {
+  // The customer has a busy address: 25 transactions across 14 blocks.
+  WorkloadConfig workload_config;
+  workload_config.seed = 1668;
+  workload_config.num_blocks = 512;
+  workload_config.background_txs_per_block = 40;
+  workload_config.profiles = {{"customer", 25, 14}};
+  ExperimentSetup setup = make_setup(workload_config);
+  const Address& customer = setup.workload->profiles[0].address;
+
+  ProtocolConfig config{Design::kLvq, BloomGeometry{8 * 1024, 10}, 128};
+  FullNode honest(setup.workload, setup.derived, config);
+
+  LightNode shop(config);
+  LoopbackTransport to_honest(
+      [&](ByteSpan req) { return honest.handle_message(req); });
+  shop.sync_headers(to_honest);
+
+  std::printf("--- Act I: honest full node ---\n");
+  std::printf("customer address: %s\n", customer.to_string().c_str());
+  LightNode::QueryResult result = shop.query(to_honest, customer);
+  if (!result.outcome.ok) {
+    std::printf("unexpected verification failure\n");
+    return 1;
+  }
+  std::printf("verified history: %llu txs in %zu blocks (complete: %s)\n",
+              static_cast<unsigned long long>(result.outcome.history.total_txs()),
+              result.outcome.history.blocks.size(),
+              result.outcome.history.fully_complete() ? "yes" : "no");
+  Amount balance = result.outcome.history.balance();
+  std::printf("verified balance: %s\n", format_amount(balance).c_str());
+  Amount coffee_price = 42 * kCoin / 10;  // a very fancy coffee
+  std::printf("coffee costs %s -> %s\n", format_amount(coffee_price).c_str(),
+              balance >= coffee_price ? "ACCEPT payment" : "DECLINE payment");
+
+  std::printf("\n--- Act II: malicious full node hides a spend ---\n");
+  CheatingFullNode cheat(honest);
+  LoopbackTransport to_cheat(
+      [&](ByteSpan req) { return cheat.handle_message(req); });
+  LightNode shop2(config);
+  shop2.sync_headers(to_cheat);  // headers are consensus data — unchanged
+  LightNode::QueryResult bad = shop2.query(to_cheat, customer);
+  if (bad.outcome.ok) {
+    std::printf("!!! attack went undetected — this must not happen\n");
+    return 1;
+  }
+  std::printf("light node REJECTED the response: %s (%s)\n",
+              verify_error_name(bad.outcome.error),
+              bad.outcome.detail.c_str());
+  std::printf("the shop owner keeps the old balance and asks another peer.\n");
+  return 0;
+}

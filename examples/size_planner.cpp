@@ -1,0 +1,86 @@
+// Watchlist planner: how expensive will verified queries for a set of
+// addresses be, under which protocol parameters?
+//
+// Uses the size-only pipeline (core/size_estimator) to price every
+// (address, BF-size, M) combination WITHOUT building any proofs — then
+// fetches the chosen configuration for real with one batched round trip
+// and shows the estimates were exact.
+#include <cstdio>
+
+#include "core/size_estimator.hpp"
+#include "node/session.hpp"
+#include "util/format.hpp"
+#include "workload/workload.hpp"
+
+using namespace lvq;
+
+int main() {
+  WorkloadConfig workload_config;
+  workload_config.seed = 606;
+  workload_config.num_blocks = 512;
+  workload_config.background_txs_per_block = 40;
+  workload_config.profiles = {
+      {"dormant", 0, 0}, {"light", 4, 3}, {"heavy", 60, 38}};
+  ExperimentSetup setup = make_setup(workload_config);
+
+  std::printf("pricing verified-query costs for a %u-block chain, "
+              "3-address watchlist\n\n",
+              workload_config.num_blocks);
+  std::printf("%-8s %-6s", "bf-size", "M");
+  for (const AddressProfile& p : setup.workload->profiles) {
+    std::printf(" %12s", p.label.c_str());
+  }
+  std::printf(" %12s\n", "watchlist");
+
+  struct Plan {
+    std::uint32_t bf_kb;
+    std::uint32_t m;
+  };
+  Plan best{0, 0};
+  std::uint64_t best_total = ~0ull;
+  for (Plan plan : {Plan{4, 512}, Plan{8, 512}, Plan{16, 512}, Plan{8, 64},
+                    Plan{8, 128}, Plan{4, 128}}) {
+    ProtocolConfig config{Design::kLvq,
+                          BloomGeometry{plan.bf_kb * 1024, 10}, plan.m};
+    ChainContext ctx(setup.workload, setup.derived, config);
+    std::printf("%5u KB %-6u", plan.bf_kb, plan.m);
+    std::uint64_t total = 0;
+    for (const AddressProfile& p : setup.workload->profiles) {
+      SizeBreakdown b = estimate_response_size(ctx, p.address);
+      total += b.total();
+      std::printf(" %12s", human_bytes(b.total()).c_str());
+    }
+    std::printf(" %12s\n", human_bytes(total).c_str());
+    if (total < best_total) {
+      best_total = total;
+      best = plan;
+    }
+  }
+
+  std::printf("\ncheapest plan: %u KB filters, M=%u — fetching for real...\n",
+              best.bf_kb, best.m);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{best.bf_kb * 1024, 10},
+                        best.m};
+  QuerySession session(setup, config);
+  std::vector<Address> watchlist;
+  for (const AddressProfile& p : setup.workload->profiles) {
+    watchlist.push_back(p.address);
+  }
+  auto results = session.light_node().query_batch(session.transport(), watchlist);
+  std::uint64_t measured = 0;
+  bool all_ok = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    all_ok &= results[i].outcome.ok;
+    measured += results[i].breakdown.total();
+    std::printf("  %-8s verified %llu txs, balance %s\n",
+                setup.workload->profiles[i].label.c_str(),
+                static_cast<unsigned long long>(
+                    results[i].outcome.history.total_txs()),
+                format_amount(results[i].outcome.history.balance()).c_str());
+  }
+  std::printf("estimated %s, measured %s over one batched round trip — %s\n",
+              human_bytes(best_total).c_str(), human_bytes(measured).c_str(),
+              (all_ok && measured == best_total) ? "estimates exact"
+                                                 : "MISMATCH");
+  return (all_ok && measured == best_total) ? 0 : 1;
+}

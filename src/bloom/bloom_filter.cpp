@@ -1,0 +1,85 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace lvq {
+
+BloomKey BloomKey::from_bytes(ByteSpan element) {
+  Sha256Digest d = Sha256::hash(element);
+  auto load64 = [&](int off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{d[off + i]} << (8 * i);
+    return v;
+  };
+  BloomKey key{load64(0), load64(8)};
+  // h2 must be odd-ish/nonzero so probe positions do not collapse onto h1.
+  if (key.h2 == 0) key.h2 = 0x9e3779b97f4a7c15ULL;
+  return key;
+}
+
+void BloomFilter::insert(const BloomKey& key) {
+  LVQ_CHECK(!empty_geometry());
+  std::uint64_t pos[64];
+  geom_.positions(key, pos);
+  for (std::uint32_t i = 0; i < geom_.hash_count; ++i) set_bit(pos[i]);
+}
+
+bool BloomFilter::possibly_contains(const BloomKey& key) const {
+  LVQ_CHECK(!empty_geometry());
+  std::uint64_t pos[64];
+  geom_.positions(key, pos);
+  for (std::uint32_t i = 0; i < geom_.hash_count; ++i) {
+    if (!bit(pos[i])) return false;
+  }
+  return true;
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+  LVQ_CHECK_MSG(geom_ == other.geom_,
+                "cannot OR-merge Bloom filters with different geometry");
+  const std::uint8_t* src = other.bits_.data();
+  std::uint8_t* dst = bits_.data();
+  for (std::size_t i = 0; i < bits_.size(); ++i) dst[i] |= src[i];
+}
+
+double BloomFilter::fill_ratio() const {
+  if (bits_.empty()) return 0.0;
+  std::uint64_t ones = 0;
+  for (std::uint8_t b : bits_) ones += std::popcount(b);
+  return static_cast<double>(ones) / static_cast<double>(geom_.size_bits());
+}
+
+Hash256 BloomFilter::content_hash() const {
+  return TaggedHasher("LVQ/BF")
+      .add_u32(geom_.size_bytes)
+      .add_u32(geom_.hash_count)
+      .add(ByteSpan{bits_.data(), bits_.size()})
+      .finalize();
+}
+
+void BloomFilter::serialize(Writer& w) const {
+  w.u32(geom_.size_bytes);
+  w.u32(geom_.hash_count);
+  w.raw(ByteSpan{bits_.data(), bits_.size()});
+}
+
+BloomFilter BloomFilter::deserialize(Reader& r) {
+  BloomGeometry geom;
+  geom.size_bytes = r.u32();
+  geom.hash_count = r.u32();
+  if (geom.size_bytes == 0 || geom.size_bytes > (64u << 20) ||
+      geom.hash_count == 0 || geom.hash_count > 64) {
+    throw SerializeError("implausible Bloom filter geometry");
+  }
+  BloomFilter bf(geom);
+  ByteSpan raw = r.raw(geom.size_bytes);
+  std::copy(raw.begin(), raw.end(), bf.bits_.begin());
+  return bf;
+}
+
+std::size_t BloomFilter::serialized_size() const {
+  return 8 + bits_.size();
+}
+
+}  // namespace lvq

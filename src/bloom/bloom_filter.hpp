@@ -1,0 +1,133 @@
+// Bloom filter (Bloom 1970), the probabilistic membership structure at the
+// heart of both the strawman design and LVQ's BMT (paper §III-B1).
+//
+// Elements are inserted via a precomputed `BloomKey` — the pair of 64-bit
+// lanes of SHA256(element) — and the k probe positions are derived by
+// double hashing (Kirsch–Mitzenmacher): pos_i = (h1 + i*h2) mod m. Keys are
+// independent of the filter geometry, so one key set supports every
+// (size, k) configuration swept by the benchmarks without re-hashing.
+//
+// The "checked bit positions" (CBP) of an address — the paper's term — are
+// exactly `positions(key, geometry)`.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+/// Element pre-hash; geometry-independent.
+struct BloomKey {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+
+  auto operator<=>(const BloomKey&) const = default;
+
+  static BloomKey from_bytes(ByteSpan element);
+};
+
+/// Filter geometry: size in bytes and number of probe functions.
+struct BloomGeometry {
+  std::uint32_t size_bytes = 0;
+  std::uint32_t hash_count = 0;
+
+  auto operator<=>(const BloomGeometry&) const = default;
+
+  std::uint64_t size_bits() const { return std::uint64_t{size_bytes} * 8; }
+
+  /// The k checked bit positions of a key under this geometry.
+  /// Output buffer must hold hash_count entries.
+  void positions(const BloomKey& key, std::uint64_t* out) const {
+    std::uint64_t bits = size_bits();
+    std::uint64_t h = key.h1;
+    for (std::uint32_t i = 0; i < hash_count; ++i) {
+      out[i] = h % bits;
+      h += key.h2;
+    }
+  }
+
+  std::vector<std::uint64_t> positions(const BloomKey& key) const {
+    std::vector<std::uint64_t> out(hash_count);
+    positions(key, out.data());
+    return out;
+  }
+};
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+  explicit BloomFilter(BloomGeometry geom)
+      : geom_(geom), bits_(geom.size_bytes, 0) {
+    LVQ_CHECK(geom.size_bytes > 0);
+    LVQ_CHECK(geom.hash_count > 0 && geom.hash_count <= 64);
+  }
+
+  const BloomGeometry& geometry() const { return geom_; }
+  bool empty_geometry() const { return geom_.size_bytes == 0; }
+
+  void insert(const BloomKey& key);
+
+  /// True iff every checked bit position is 1 — i.e. the paper's
+  /// "failed check" (element possibly present). False means definitely
+  /// absent (the "successful check" / inexistent case).
+  bool possibly_contains(const BloomKey& key) const;
+
+  bool bit(std::uint64_t pos) const {
+    return (bits_[pos >> 3] >> (pos & 7)) & 1;
+  }
+  void set_bit(std::uint64_t pos) {
+    bits_[pos >> 3] |= static_cast<std::uint8_t>(1u << (pos & 7));
+  }
+
+  /// Bitwise OR with another filter of identical geometry (BMT Eq. 3).
+  void merge(const BloomFilter& other);
+
+  /// Fraction of bits set — diagnostic for saturation analyses.
+  double fill_ratio() const;
+
+  const Bytes& data() const { return bits_; }
+  Bytes& mutable_data() { return bits_; }
+
+  /// Hash over the raw bit vector (tagged); used for H(BF) header
+  /// commitments in the strawman variant and for BMT leaf hashes.
+  Hash256 content_hash() const;
+
+  bool operator==(const BloomFilter& other) const = default;
+
+  /// Feeds geometry + bit vector into a hasher (used by BMT node hashing,
+  /// Eq. 2 — hashing the BF is what makes BMT branches unforgeable, §VI).
+  void hash_into(TaggedHasher& h) const {
+    h.add_u32(geom_.size_bytes)
+        .add_u32(geom_.hash_count)
+        .add(ByteSpan{bits_.data(), bits_.size()});
+  }
+
+  /// Wire encoding: geometry + bit vector.
+  void serialize(Writer& w) const;
+  static BloomFilter deserialize(Reader& r);
+  std::size_t serialized_size() const;
+
+  /// Bit-vector-only encoding, for proofs where the geometry is fixed by
+  /// the protocol config — matches the paper's accounting where "a BF"
+  /// costs exactly its configured byte size.
+  void serialize_bits(Writer& w) const { w.raw(ByteSpan{bits_.data(), bits_.size()}); }
+  static BloomFilter deserialize_bits(Reader& r, BloomGeometry geom) {
+    BloomFilter bf(geom);
+    ByteSpan raw = r.raw(geom.size_bytes);
+    std::copy(raw.begin(), raw.end(), bf.bits_.begin());
+    return bf;
+  }
+  std::size_t serialized_bits_size() const { return bits_.size(); }
+
+ private:
+  BloomGeometry geom_;
+  Bytes bits_;
+};
+
+}  // namespace lvq

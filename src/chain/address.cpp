@@ -1,0 +1,32 @@
+#include "chain/address.hpp"
+
+#include "crypto/base58.hpp"
+
+namespace lvq {
+
+namespace {
+constexpr std::uint8_t kVersionP2PKH = 0x00;
+}
+
+std::string Address::to_string() const {
+  return base58check_encode(kVersionP2PKH, id.span());
+}
+
+std::optional<Address> Address::from_string(const std::string& text) {
+  auto decoded = base58check_decode(text);
+  if (!decoded || decoded->first != kVersionP2PKH ||
+      decoded->second.size() != Hash160::kSize) {
+    return std::nullopt;
+  }
+  Address a;
+  std::copy(decoded->second.begin(), decoded->second.end(), a.id.bytes.begin());
+  return a;
+}
+
+Address Address::derive(ByteSpan seed) {
+  Address a;
+  a.id = hash160(seed);
+  return a;
+}
+
+}  // namespace lvq

@@ -1,0 +1,44 @@
+// Bitcoin-like addresses.
+//
+// An address is a 20-byte hash160 payload, displayed as Base58Check with
+// version byte 0x00 (P2PKH mainnet), e.g. "1GuLyHTpL6U121Ewe…". The SMT
+// sorts addresses lexicographically on the raw 20 bytes, which is a total
+// order — all the sorted-tree machinery needs.
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+
+#include "crypto/hash.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+struct Address {
+  Hash160 id;
+
+  auto operator<=>(const Address&) const = default;
+
+  /// Base58Check rendering ("1..." like mainnet P2PKH).
+  std::string to_string() const;
+
+  /// Parse a Base58Check address; nullopt on bad checksum/length.
+  static std::optional<Address> from_string(const std::string& text);
+
+  /// Deterministically derive an address from an arbitrary seed blob
+  /// (workload generation, tests).
+  static Address derive(ByteSpan seed);
+
+  ByteSpan span() const { return id.span(); }
+
+  void serialize(Writer& w) const { w.raw(id.bytes); }
+  static Address deserialize(Reader& r) {
+    Address a;
+    a.id.bytes = r.arr<20>();
+    return a;
+  }
+  static constexpr std::size_t kSerializedSize = 20;
+};
+
+}  // namespace lvq

@@ -1,0 +1,20 @@
+#include "chain/amount.hpp"
+
+#include <cstdio>
+
+namespace lvq {
+
+std::string format_amount(Amount a) {
+  bool neg = a < 0;
+  std::uint64_t abs = neg ? static_cast<std::uint64_t>(-(a + 1)) + 1
+                          : static_cast<std::uint64_t>(a);
+  std::uint64_t whole = abs / kCoin;
+  std::uint64_t frac = abs % kCoin;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%llu.%08llu BTC", neg ? "-" : "",
+                static_cast<unsigned long long>(whole),
+                static_cast<unsigned long long>(frac));
+  return buf;
+}
+
+}  // namespace lvq

@@ -1,0 +1,19 @@
+// Monetary amounts in satoshis (1 BTC = 100,000,000 sat), like Bitcoin Core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lvq {
+
+using Amount = std::int64_t;
+
+constexpr Amount kCoin = 100'000'000;
+constexpr Amount kMaxMoney = 21'000'000 * kCoin;
+
+inline bool money_range(Amount a) { return a >= 0 && a <= kMaxMoney; }
+
+/// "1.68 BTC"-style rendering for examples and logs.
+std::string format_amount(Amount a);
+
+}  // namespace lvq

@@ -1,0 +1,146 @@
+#include "chain/block.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "merkle/merkle_tree.hpp"
+#include "util/check.hpp"
+
+namespace lvq {
+
+const char* header_scheme_name(HeaderScheme scheme) {
+  switch (scheme) {
+    case HeaderScheme::kVanilla: return "vanilla";
+    case HeaderScheme::kStrawman: return "strawman";
+    case HeaderScheme::kStrawmanVariant: return "strawman-variant";
+    case HeaderScheme::kLvqNoBmt: return "lvq-no-bmt";
+    case HeaderScheme::kLvqNoSmt: return "lvq-no-smt";
+    case HeaderScheme::kLvq: return "lvq";
+  }
+  return "?";
+}
+
+Hash256 BlockHeader::hash() const {
+  Writer w;
+  serialize(w);
+  return hash256d(ByteSpan{w.data().data(), w.data().size()});
+}
+
+void BlockHeader::serialize(Writer& w) const {
+  LVQ_CHECK_MSG(embedded_bf.has_value() == scheme_has_embedded_bf(scheme),
+                "embedded BF presence must match scheme");
+  LVQ_CHECK_MSG(bf_hash.has_value() == scheme_has_bf_hash(scheme),
+                "bf_hash presence must match scheme");
+  LVQ_CHECK_MSG(bmt_root.has_value() == scheme_has_bmt(scheme),
+                "bmt_root presence must match scheme");
+  LVQ_CHECK_MSG(smt_commitment.has_value() == scheme_has_smt(scheme),
+                "smt_commitment presence must match scheme");
+
+  w.u32(version);
+  w.raw(prev_hash.bytes);
+  w.raw(merkle_root.bytes);
+  w.u32(time);
+  w.u32(bits);
+  w.u32(nonce);
+  w.u8(static_cast<std::uint8_t>(scheme));
+  if (embedded_bf) embedded_bf->serialize(w);
+  if (bf_hash) w.raw(bf_hash->bytes);
+  if (bmt_root) w.raw(bmt_root->bytes);
+  if (smt_commitment) w.raw(smt_commitment->bytes);
+}
+
+BlockHeader BlockHeader::deserialize(Reader& r) {
+  BlockHeader h;
+  h.version = r.u32();
+  h.prev_hash.bytes = r.arr<32>();
+  h.merkle_root.bytes = r.arr<32>();
+  h.time = r.u32();
+  h.bits = r.u32();
+  h.nonce = r.u32();
+  std::uint8_t scheme = r.u8();
+  if (scheme > static_cast<std::uint8_t>(HeaderScheme::kLvq))
+    throw SerializeError("bad header scheme");
+  h.scheme = static_cast<HeaderScheme>(scheme);
+  if (scheme_has_embedded_bf(h.scheme)) h.embedded_bf = BloomFilter::deserialize(r);
+  if (scheme_has_bf_hash(h.scheme)) {
+    Hash256 v;
+    v.bytes = r.arr<32>();
+    h.bf_hash = v;
+  }
+  if (scheme_has_bmt(h.scheme)) {
+    Hash256 v;
+    v.bytes = r.arr<32>();
+    h.bmt_root = v;
+  }
+  if (scheme_has_smt(h.scheme)) {
+    Hash256 v;
+    v.bytes = r.arr<32>();
+    h.smt_commitment = v;
+  }
+  return h;
+}
+
+std::size_t BlockHeader::serialized_size() const {
+  std::size_t n = 80 + 1;
+  if (embedded_bf) n += embedded_bf->serialized_size();
+  if (bf_hash) n += 32;
+  if (bmt_root) n += 32;
+  if (smt_commitment) n += 32;
+  return n;
+}
+
+std::vector<Hash256> Block::txids() const {
+  std::vector<Hash256> out;
+  out.reserve(txs.size());
+  for (const Transaction& tx : txs) out.push_back(tx.txid());
+  return out;
+}
+
+Hash256 Block::compute_merkle_root() const {
+  return MerkleTree::compute_root(txids());
+}
+
+std::vector<SmtLeaf> Block::address_counts() const {
+  std::map<Address, std::uint32_t> counts;
+  for (const Transaction& tx : txs) {
+    // Count each address once per transaction regardless of how many
+    // inputs/outputs mention it — "appearance count" must equal the number
+    // of Merkle branches an existence proof carries.
+    std::vector<Address> seen;
+    auto note = [&](const Address& a) {
+      if (std::find(seen.begin(), seen.end(), a) == seen.end())
+        seen.push_back(a);
+    };
+    for (const TxInput& in : tx.inputs) note(in.address);
+    for (const TxOutput& out : tx.outputs) note(out.address);
+    for (const Address& a : seen) counts[a]++;
+  }
+  std::vector<SmtLeaf> leaves;
+  leaves.reserve(counts.size());
+  for (const auto& [addr, count] : counts) leaves.push_back(SmtLeaf{addr, count});
+  return leaves;  // std::map iterates in sorted order
+}
+
+void Block::serialize(Writer& w) const {
+  header.serialize(w);
+  w.varint(txs.size());
+  for (const Transaction& tx : txs) tx.serialize(w);
+}
+
+Block Block::deserialize(Reader& r) {
+  Block b;
+  b.header = BlockHeader::deserialize(r);
+  std::uint64_t n = r.varint();
+  if (n > 1'000'000) throw SerializeError("too many transactions in block");
+  reserve_clamped(b.txs, n);
+  for (std::uint64_t i = 0; i < n; ++i) b.txs.push_back(Transaction::deserialize(r));
+  return b;
+}
+
+std::size_t Block::serialized_size() const {
+  std::size_t n = header.serialized_size() + varint_size(txs.size());
+  for (const Transaction& tx : txs) n += tx.serialized_size();
+  return n;
+}
+
+}  // namespace lvq

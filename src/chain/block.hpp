@@ -1,0 +1,102 @@
+// Blocks and the header layouts of every design evaluated in the paper.
+//
+// The paper compares light-node storage and query-result size across four
+// protocol designs; each design puts different commitments into the block
+// header:
+//
+//   kVanilla          — plain Bitcoin 80-byte header (no verifiable query)
+//   kStrawman         — 80 B + the whole Bloom filter (paper §IV-A)
+//   kStrawmanVariant  — 80 B + H(BF)               (paper §VII-B baseline)
+//   kLvqNoBmt         — 80 B + H(BF) + SMT commitment    (ablation)
+//   kLvqNoSmt         — 80 B + BMT root                  (ablation)
+//   kLvq              — 80 B + BMT root + SMT commitment (full LVQ, Fig. 7)
+//
+// The block id (header hash) covers every commitment present, so a light
+// node that has synced headers holds authenticated roots for everything a
+// full node later proves against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "chain/address.hpp"
+#include "chain/transaction.hpp"
+#include "crypto/hash.hpp"
+#include "merkle/sorted_merkle_tree.hpp"
+
+namespace lvq {
+
+enum class HeaderScheme : std::uint8_t {
+  kVanilla = 0,
+  kStrawman = 1,
+  kStrawmanVariant = 2,
+  kLvqNoBmt = 3,
+  kLvqNoSmt = 4,
+  kLvq = 5,
+};
+
+const char* header_scheme_name(HeaderScheme scheme);
+
+inline bool scheme_has_bmt(HeaderScheme s) {
+  return s == HeaderScheme::kLvqNoSmt || s == HeaderScheme::kLvq;
+}
+inline bool scheme_has_smt(HeaderScheme s) {
+  return s == HeaderScheme::kLvqNoBmt || s == HeaderScheme::kLvq;
+}
+inline bool scheme_has_bf_hash(HeaderScheme s) {
+  return s == HeaderScheme::kStrawmanVariant || s == HeaderScheme::kLvqNoBmt;
+}
+inline bool scheme_has_embedded_bf(HeaderScheme s) {
+  return s == HeaderScheme::kStrawman;
+}
+
+struct BlockHeader {
+  // Standard Bitcoin fields (80 bytes on the wire).
+  std::uint32_t version = 2;
+  Hash256 prev_hash;
+  Hash256 merkle_root;
+  std::uint32_t time = 0;
+  std::uint32_t bits = 0x1d00ffff;
+  std::uint32_t nonce = 0;
+
+  HeaderScheme scheme = HeaderScheme::kVanilla;
+
+  // Scheme-dependent commitments. Presence must match the scheme; the
+  // serializer enforces it.
+  std::optional<BloomFilter> embedded_bf;  // kStrawman
+  std::optional<Hash256> bf_hash;          // kStrawmanVariant, kLvqNoBmt
+  std::optional<Hash256> bmt_root;         // kLvqNoSmt, kLvq
+  std::optional<Hash256> smt_commitment;   // kLvqNoBmt, kLvq
+
+  /// Block id: sha256d over the full serialization (including commitments).
+  Hash256 hash() const;
+
+  void serialize(Writer& w) const;
+  static BlockHeader deserialize(Reader& r);
+  std::size_t serialized_size() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> txs;
+
+  /// txids of every transaction, in block order.
+  std::vector<Hash256> txids() const;
+
+  /// Merkle root over txids (Bitcoin-style tree).
+  Hash256 compute_merkle_root() const;
+
+  /// Unique addresses with their appearance counts (count = number of
+  /// transactions the address occurs in), sorted by address — exactly the
+  /// SMT leaf list (paper Fig. 7).
+  std::vector<SmtLeaf> address_counts() const;
+
+  void serialize(Writer& w) const;
+  static Block deserialize(Reader& r);
+  std::size_t serialized_size() const;
+};
+
+}  // namespace lvq

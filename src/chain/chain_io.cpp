@@ -1,0 +1,87 @@
+#include "chain/chain_io.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'V', 'Q', 'C', 'H', 'A', 'I', 'N'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+void save_chain(const ChainStore& chain, const std::string& path) {
+  Writer w;
+  w.raw(as_bytes(kMagic, sizeof(kMagic)));
+  w.u32(kFormatVersion);
+  w.varint(chain.tip_height());
+  for (const Block& b : chain.blocks()) b.serialize(w);
+
+  // Write to a temp file and rename, so a crash never leaves a torn file.
+  std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) throw SerializeError("cannot open " + tmp + " for writing");
+    if (std::fwrite(w.data().data(), 1, w.size(), f.get()) != w.size()) {
+      throw SerializeError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw SerializeError("cannot rename " + tmp + " to " + path);
+  }
+}
+
+ChainStore load_chain(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw SerializeError("cannot open " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  long size = std::ftell(f.get());
+  if (size < 0) throw SerializeError("cannot stat " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  Bytes data(static_cast<std::size_t>(size));
+  if (!data.empty() &&
+      std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
+    throw SerializeError("short read from " + path);
+  }
+
+  Reader r(ByteSpan{data.data(), data.size()});
+  ByteSpan magic = r.raw(sizeof(kMagic));
+  if (!span_equal(magic, as_bytes(kMagic, sizeof(kMagic)))) {
+    throw SerializeError("bad chain file magic");
+  }
+  std::uint32_t version = r.u32();
+  if (version != kFormatVersion) {
+    throw SerializeError("unsupported chain file version " +
+                         std::to_string(version));
+  }
+  std::uint64_t count = r.varint();
+  if (count > 100'000'000) throw SerializeError("implausible block count");
+  ChainStore chain;
+  try {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Block block = Block::deserialize(r);
+      if (block.txs.empty() ||
+          block.compute_merkle_root() != block.header.merkle_root) {
+        throw SerializeError("block body does not match header Merkle root");
+      }
+      chain.append(std::move(block));  // append() re-validates linkage
+    }
+  } catch (const std::logic_error& e) {
+    throw SerializeError(std::string("chain file linkage broken: ") + e.what());
+  }
+  r.expect_done();
+  return chain;
+}
+
+}  // namespace lvq

@@ -1,0 +1,20 @@
+// On-disk persistence for the ledger.
+//
+// A full node's chain survives restarts as a single append-friendly file:
+//   magic "LVQCHAIN" | u32 format version | varint block count | blocks...
+// Loading validates the magic, version, prev-hash linkage, and that the
+// file has no trailing garbage; any corruption throws SerializeError.
+#pragma once
+
+#include <string>
+
+#include "chain/chain_store.hpp"
+
+namespace lvq {
+
+void save_chain(const ChainStore& chain, const std::string& path);
+
+/// Loads and fully validates a chain file (linkage included).
+ChainStore load_chain(const std::string& path);
+
+}  // namespace lvq

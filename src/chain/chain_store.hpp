@@ -1,0 +1,42 @@
+// Simple in-memory chain container.
+//
+// Heights are 1-based, matching the paper's block indexing ("blocks are
+// indexed from 1", Table II). Block 1's prev_hash is all-zeroes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "util/check.hpp"
+
+namespace lvq {
+
+class ChainStore {
+ public:
+  ChainStore() = default;
+
+  /// Appends the next block; validates the prev_hash link.
+  void append(Block block) {
+    if (!blocks_.empty()) {
+      LVQ_CHECK_MSG(block.header.prev_hash == blocks_.back().header.hash(),
+                    "appended block must link to current tip");
+    }
+    blocks_.push_back(std::move(block));
+  }
+
+  std::uint64_t tip_height() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+
+  const Block& at_height(std::uint64_t h) const {
+    LVQ_CHECK_MSG(h >= 1 && h <= blocks_.size(), "height out of range");
+    return blocks_[h - 1];
+  }
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace lvq

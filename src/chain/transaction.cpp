@@ -1,0 +1,78 @@
+#include "chain/transaction.hpp"
+
+namespace lvq {
+
+Hash256 Transaction::txid() const {
+  Writer w;
+  serialize(w);
+  return hash256d(ByteSpan{w.data().data(), w.data().size()});
+}
+
+bool Transaction::involves(const Address& addr) const {
+  for (const TxInput& in : inputs) {
+    if (in.address == addr) return true;
+  }
+  for (const TxOutput& out : outputs) {
+    if (out.address == addr) return true;
+  }
+  return false;
+}
+
+void Transaction::serialize(Writer& w) const {
+  w.u32(version);
+  w.varint(inputs.size());
+  for (const TxInput& in : inputs) {
+    w.raw(in.prev.txid.bytes);
+    w.u32(in.prev.vout);
+    in.address.serialize(w);
+    w.i64(in.value);
+  }
+  w.varint(outputs.size());
+  for (const TxOutput& out : outputs) {
+    out.address.serialize(w);
+    w.i64(out.value);
+  }
+  w.u32(lock_time);
+  w.bytes(ByteSpan{padding.data(), padding.size()});
+}
+
+Transaction Transaction::deserialize(Reader& r) {
+  Transaction tx;
+  tx.version = r.u32();
+  std::uint64_t nin = r.varint();
+  if (nin > 100'000) throw SerializeError("too many tx inputs");
+  reserve_clamped(tx.inputs, nin);
+  for (std::uint64_t i = 0; i < nin; ++i) {
+    TxInput in;
+    in.prev.txid.bytes = r.arr<32>();
+    in.prev.vout = r.u32();
+    in.address = Address::deserialize(r);
+    in.value = r.i64();
+    tx.inputs.push_back(in);
+  }
+  std::uint64_t nout = r.varint();
+  if (nout > 100'000) throw SerializeError("too many tx outputs");
+  reserve_clamped(tx.outputs, nout);
+  for (std::uint64_t i = 0; i < nout; ++i) {
+    TxOutput out;
+    out.address = Address::deserialize(r);
+    out.value = r.i64();
+    tx.outputs.push_back(out);
+  }
+  tx.lock_time = r.u32();
+  tx.padding = r.bytes();
+  if (tx.padding.size() > 1'000'000) throw SerializeError("padding too large");
+  return tx;
+}
+
+std::size_t Transaction::serialized_size() const {
+  std::size_t n = 4 + 4;  // version + lock_time
+  n += varint_size(inputs.size());
+  n += inputs.size() * (32 + 4 + Address::kSerializedSize + 8);
+  n += varint_size(outputs.size());
+  n += outputs.size() * (Address::kSerializedSize + 8);
+  n += varint_size(padding.size()) + padding.size();
+  return n;
+}
+
+}  // namespace lvq

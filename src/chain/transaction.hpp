@@ -1,0 +1,64 @@
+// Transactions.
+//
+// A deliberately simplified UTXO transaction: inputs reference a previous
+// outpoint and carry the spending address and the value of the consumed
+// output; outputs pay a value to an address. Scripts and signatures are
+// omitted (see DESIGN.md substitutions) — LVQ's proofs operate purely on
+// txids and the address sets of blocks, and the paper's balance equation
+// (Eq. 1) needs exactly the (address, value) pairs kept here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/address.hpp"
+#include "chain/amount.hpp"
+#include "crypto/hash.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+struct TxOutPoint {
+  Hash256 txid;
+  std::uint32_t vout = 0;
+
+  auto operator<=>(const TxOutPoint&) const = default;
+};
+
+struct TxInput {
+  TxOutPoint prev;
+  Address address;  // owner of the consumed output
+  Amount value = 0; // value of the consumed output (the paper's w_i)
+};
+
+struct TxOutput {
+  Address address;
+  Amount value = 0; // the paper's v_j
+};
+
+struct Transaction {
+  std::uint32_t version = 1;
+  std::vector<TxInput> inputs;   // empty == coinbase
+  std::vector<TxOutput> outputs;
+  std::uint32_t lock_time = 0;
+  /// Opaque bytes standing in for the signature/script payload a real
+  /// Bitcoin transaction carries (~107 B per input, ~25 B per output).
+  /// Hashed into the txid like everything else; keeps transaction and
+  /// block sizes era-realistic so integral-block fallbacks cost what the
+  /// paper says they cost.
+  Bytes padding;
+
+  bool is_coinbase() const { return inputs.empty(); }
+
+  /// sha256d over the serialization, like Bitcoin.
+  Hash256 txid() const;
+
+  /// True iff the address appears on either side.
+  bool involves(const Address& addr) const;
+
+  void serialize(Writer& w) const;
+  static Transaction deserialize(Reader& r);
+  std::size_t serialized_size() const;
+};
+
+}  // namespace lvq

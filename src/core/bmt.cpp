@@ -1,0 +1,157 @@
+#include "core/bmt.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace lvq {
+
+namespace {
+constexpr const char* kLeafTag = "LVQ/BMTLeaf";
+constexpr const char* kNodeTag = "LVQ/BMTNode";
+}  // namespace
+
+Hash256 bmt_leaf_hash(const BloomFilter& bf) {
+  TaggedHasher h(kLeafTag);
+  bf.hash_into(h);
+  return h.finalize();
+}
+
+Hash256 bmt_node_hash(const Hash256& left, const Hash256& right,
+                      const BloomFilter& bf) {
+  TaggedHasher h(kNodeTag);
+  h.add(left).add(right);
+  bf.hash_into(h);
+  return h.finalize();
+}
+
+SegmentBmt::SegmentBmt(std::uint64_t first_height, std::uint32_t segment_length,
+                       std::uint64_t available, BloomGeometry geom,
+                       LeafPositionsFn leaf_positions)
+    : first_height_(first_height),
+      segment_length_(segment_length),
+      available_(available),
+      geom_(geom),
+      leaf_positions_(std::move(leaf_positions)) {
+  LVQ_CHECK(is_power_of_two(segment_length));
+  LVQ_CHECK(available >= 1 && available <= segment_length);
+  depth_ = static_cast<std::uint32_t>(std::countr_zero(std::uint64_t{segment_length}));
+  hashes_.resize(depth_ + 1);
+  for (std::uint32_t l = 0; l <= depth_; ++l) {
+    hashes_[l].resize(segment_length_ >> l);
+  }
+  // Build every maximal complete aligned subtree. For a complete segment
+  // this is one call (the root); for a partial segment it follows the
+  // binary expansion of `available` — the same decomposition §V-B uses for
+  // sub-segment proofs, which is no coincidence: those are exactly the
+  // subtrees whose roots land in headers.
+  std::uint64_t cursor = 0;
+  for (int bit = static_cast<int>(depth_); bit >= 0; --bit) {
+    std::uint64_t piece = std::uint64_t{1} << bit;
+    if (available_ & piece) {
+      build_subtree(static_cast<std::uint32_t>(bit), cursor >> bit);
+      cursor += piece;
+    }
+  }
+}
+
+BloomFilter SegmentBmt::build_subtree(std::uint32_t level, std::uint64_t j) {
+  if (level == 0) {
+    BloomFilter bf(geom_);
+    const std::vector<std::uint32_t>& positions =
+        leaf_positions_(first_height_ + j);
+    for (std::uint32_t p : positions) bf.set_bit(p);
+    hashes_[0][j] = bmt_leaf_hash(bf);
+    return bf;
+  }
+  BloomFilter bf = build_subtree(level - 1, 2 * j);
+  BloomFilter right = build_subtree(level - 1, 2 * j + 1);
+  bf.merge(right);
+  hashes_[level][j] =
+      bmt_node_hash(hashes_[level - 1][2 * j], hashes_[level - 1][2 * j + 1], bf);
+  return bf;
+}
+
+const Hash256& SegmentBmt::node_hash(std::uint32_t level, std::uint64_t j) const {
+  LVQ_CHECK(level <= depth_ && j < (segment_length_ >> level));
+  LVQ_CHECK_MSG(node_complete(level, j), "node hash requested for incomplete node");
+  return hashes_[level][j];
+}
+
+std::uint32_t SegmentBmt::level_for_block(std::uint64_t height,
+                                          std::uint32_t segment_length) {
+  std::uint32_t mc = merge_count(height, segment_length);
+  return static_cast<std::uint32_t>(std::countr_zero(std::uint64_t{mc}));
+}
+
+Hash256 SegmentBmt::root_for_block(std::uint64_t height) const {
+  LVQ_CHECK(height >= first_height_);
+  std::uint64_t local = height - first_height_;  // 0-based leaf index
+  LVQ_CHECK(local < available_);
+  std::uint32_t mc = merge_count(height, segment_length_);
+  std::uint32_t level = static_cast<std::uint32_t>(std::countr_zero(std::uint64_t{mc}));
+  std::uint64_t j = (local + 1 - mc) >> level;
+  return node_hash(level, j);
+}
+
+BloomFilter SegmentBmt::node_bf(std::uint32_t level, std::uint64_t j) const {
+  LVQ_CHECK_MSG(node_complete(level, j), "node BF requested for incomplete node");
+  BloomFilter bf(geom_);
+  std::uint64_t lo = j << level;
+  std::uint64_t hi = lo + (std::uint64_t{1} << level);
+  for (std::uint64_t leaf = lo; leaf < hi; ++leaf) {
+    const std::vector<std::uint32_t>& positions =
+        leaf_positions_(first_height_ + leaf);
+    for (std::uint32_t p : positions) bf.set_bit(p);
+  }
+  return bf;
+}
+
+BmtCheckMasks SegmentBmt::check_masks(const std::vector<std::uint64_t>& cbp) const {
+  LVQ_CHECK(cbp.size() >= 1 && cbp.size() <= 64);
+  BmtCheckMasks out;
+  out.full_mask = (cbp.size() == 64) ? ~std::uint64_t{0}
+                                     : ((std::uint64_t{1} << cbp.size()) - 1);
+  out.masks.resize(depth_ + 1);
+  for (std::uint32_t l = 0; l <= depth_; ++l) out.masks[l].assign(segment_length_ >> l, 0);
+
+  // Leaf masks via binary search in the sorted position lists.
+  for (std::uint64_t leaf = 0; leaf < available_; ++leaf) {
+    const std::vector<std::uint32_t>& positions =
+        leaf_positions_(first_height_ + leaf);
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < cbp.size(); ++i) {
+      std::uint32_t p = static_cast<std::uint32_t>(cbp[i]);
+      if (std::binary_search(positions.begin(), positions.end(), p))
+        mask |= std::uint64_t{1} << i;
+    }
+    out.masks[0][leaf] = mask;
+  }
+  // Propagate upward (parent BF = OR of children ⇒ parent mask likewise).
+  for (std::uint32_t l = 1; l <= depth_; ++l) {
+    for (std::uint64_t j = 0; j < (segment_length_ >> l); ++j) {
+      if (!node_complete(l, j)) continue;
+      out.masks[l][j] = out.masks[l - 1][2 * j] | out.masks[l - 1][2 * j + 1];
+    }
+  }
+  return out;
+}
+
+EndpointStats endpoint_stats(const BmtCheckMasks& masks,
+                             std::uint32_t root_level, std::uint64_t root_j) {
+  EndpointStats stats;
+  if (!masks.fails(root_level, root_j)) {
+    stats.inexistent_endpoints = 1;
+    return stats;
+  }
+  if (root_level == 0) {
+    stats.failed_leaves = 1;
+    return stats;
+  }
+  stats += endpoint_stats(masks, root_level - 1, 2 * root_j);
+  stats += endpoint_stats(masks, root_level - 1, 2 * root_j + 1);
+  return stats;
+}
+
+}  // namespace lvq

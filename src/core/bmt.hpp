@@ -1,0 +1,121 @@
+// Bloom-filter-integrated Merkle Tree (paper §III-B2, Fig. 3).
+//
+// Each node carries (hash, BF): the parent BF is the bitwise OR of its
+// children's (Eq. 3), and the parent hash commits to both child hashes AND
+// the parent BF (Eq. 2) — hashing the BF is what stops a malicious full
+// node from tampering with the filters inside a proof (§VI).
+//
+// A full node maintains one `SegmentBmt` per segment of M blocks. Per-block
+// header roots fall out for free: block h merges the merge_count(h, M) most
+// recent blocks, which is an aligned subtree of the segment's perfect tree,
+// so `root_for_block(h)` is just a node-hash lookup.
+//
+// Storage strategy (see DESIGN.md §3): node *hashes* for all complete
+// nodes are retained (32 B each); node *BFs* are never stored. A node BF is
+// re-materialized on demand from the per-block sorted bit-position lists,
+// and per-query endpoint search propagates only the k checked bit positions
+// (CBP) bottom-up — O(n) 64-bit ORs instead of O(n) full-filter ORs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "core/merge_schedule.hpp"
+#include "core/segments.hpp"
+#include "crypto/hash.hpp"
+
+namespace lvq {
+
+/// Eq. 2, leaf case: hash over the BF alone (tagged).
+Hash256 bmt_leaf_hash(const BloomFilter& bf);
+
+/// Eq. 2, interior case: hash over child hashes and the node's BF.
+Hash256 bmt_node_hash(const Hash256& left, const Hash256& right,
+                      const BloomFilter& bf);
+
+/// Per-query check results for every complete node of one segment tree.
+/// masks[level][j] has bit i set iff bf-position cbp[i] is 1 in node
+/// (level, j)'s BF. A node's check FAILS (element possibly present) iff its
+/// mask equals the all-ones mask for k bits.
+struct BmtCheckMasks {
+  std::vector<std::vector<std::uint64_t>> masks;
+  std::uint64_t full_mask = 0;
+
+  bool fails(std::uint32_t level, std::uint64_t j) const {
+    return masks[level][j] == full_mask;
+  }
+};
+
+class SegmentBmt {
+ public:
+  /// Supplies the sorted unique BF bit positions of a block's address set.
+  using LeafPositionsFn =
+      std::function<const std::vector<std::uint32_t>&(std::uint64_t height)>;
+
+  /// Builds node hashes for the segment starting at `first_height` with
+  /// `available` leaves present (available == segment_length for complete
+  /// segments; < for the chain's last segment). The supplier is retained
+  /// (by value) for on-demand BF materialization; it must stay valid for
+  /// the lifetime of this object.
+  SegmentBmt(std::uint64_t first_height, std::uint32_t segment_length,
+             std::uint64_t available, BloomGeometry geom,
+             LeafPositionsFn leaf_positions);
+
+  std::uint64_t first_height() const { return first_height_; }
+  std::uint32_t segment_length() const { return segment_length_; }
+  std::uint64_t available() const { return available_; }
+  const BloomGeometry& geometry() const { return geom_; }
+
+  /// Node (level, j) covers local leaves [j * 2^level, (j+1) * 2^level).
+  bool node_complete(std::uint32_t level, std::uint64_t j) const {
+    return ((j + 1) << level) <= available_;
+  }
+  const Hash256& node_hash(std::uint32_t level, std::uint64_t j) const;
+
+  /// The BMT root committed in block `height`'s header (Algorithm 1).
+  Hash256 root_for_block(std::uint64_t height) const;
+
+  /// Materializes a node's BF from the leaf position lists.
+  BloomFilter node_bf(std::uint32_t level, std::uint64_t j) const;
+
+  /// Computes check masks for a query's CBPs over every complete node.
+  BmtCheckMasks check_masks(const std::vector<std::uint64_t>& cbp) const;
+
+  /// Level of the node whose range is [height - merge_count + 1, height].
+  static std::uint32_t level_for_block(std::uint64_t height,
+                                       std::uint32_t segment_length);
+
+ private:
+  BloomFilter build_subtree(std::uint32_t level, std::uint64_t j);
+
+  std::uint64_t first_height_;
+  std::uint32_t segment_length_;
+  std::uint64_t available_;
+  std::uint32_t depth_;  // log2(segment_length)
+  BloomGeometry geom_;
+  LeafPositionsFn leaf_positions_;
+  std::vector<std::vector<Hash256>> hashes_;  // hashes_[level][j]
+};
+
+/// Endpoint statistics for one query tree — the quantity plotted in the
+/// paper's Figs. 15 and 16. Computed from check masks alone (no BFs).
+struct EndpointStats {
+  std::uint64_t inexistent_endpoints = 0;  // check succeeded (maximal nodes)
+  std::uint64_t failed_leaves = 0;         // leaf-level failed checks
+
+  std::uint64_t total() const { return inexistent_endpoints + failed_leaves; }
+
+  EndpointStats& operator+=(const EndpointStats& o) {
+    inexistent_endpoints += o.inexistent_endpoints;
+    failed_leaves += o.failed_leaves;
+    return *this;
+  }
+};
+
+/// Counts endpoints in the query tree rooted at (root_level, root_j).
+EndpointStats endpoint_stats(const BmtCheckMasks& masks,
+                             std::uint32_t root_level, std::uint64_t root_j);
+
+}  // namespace lvq

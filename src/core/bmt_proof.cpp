@@ -1,0 +1,285 @@
+#include "core/bmt_proof.hpp"
+
+#include "util/check.hpp"
+
+namespace lvq {
+
+namespace {
+
+bool bf_check_fails(const BloomFilter& bf, const std::vector<std::uint64_t>& cbp) {
+  for (std::uint64_t p : cbp) {
+    if (!bf.bit(p)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BmtNodeProof::BmtNodeProof(const BmtNodeProof& other)
+    : kind(other.kind), bf(other.bf), child_hashes(other.child_hashes) {
+  if (other.left) left = std::make_unique<BmtNodeProof>(*other.left);
+  if (other.right) right = std::make_unique<BmtNodeProof>(*other.right);
+}
+
+BmtNodeProof& BmtNodeProof::operator=(const BmtNodeProof& other) {
+  if (this == &other) return *this;
+  kind = other.kind;
+  bf = other.bf;
+  child_hashes = other.child_hashes;
+  left = other.left ? std::make_unique<BmtNodeProof>(*other.left) : nullptr;
+  right = other.right ? std::make_unique<BmtNodeProof>(*other.right) : nullptr;
+  return *this;
+}
+
+EndpointStats BmtNodeProof::endpoints() const {
+  EndpointStats stats;
+  switch (kind) {
+    case Kind::kInexistentEndpoint:
+      stats.inexistent_endpoints = 1;
+      break;
+    case Kind::kFailedLeaf:
+      stats.failed_leaves = 1;
+      break;
+    case Kind::kInterior:
+      if (left) stats += left->endpoints();
+      if (right) stats += right->endpoints();
+      break;
+  }
+  return stats;
+}
+
+std::uint64_t BmtNodeProof::bf_payload_bytes() const {
+  switch (kind) {
+    case Kind::kInexistentEndpoint:
+    case Kind::kFailedLeaf:
+      return bf.serialized_bits_size();
+    case Kind::kInterior: {
+      std::uint64_t n = 0;
+      if (left) n += left->bf_payload_bytes();
+      if (right) n += right->bf_payload_bytes();
+      return n;
+    }
+  }
+  return 0;
+}
+
+void BmtNodeProof::serialize(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case Kind::kInexistentEndpoint:
+      bf.serialize_bits(w);
+      w.u8(child_hashes ? 1 : 0);
+      if (child_hashes) {
+        w.raw(child_hashes->first.bytes);
+        w.raw(child_hashes->second.bytes);
+      }
+      break;
+    case Kind::kFailedLeaf:
+      bf.serialize_bits(w);
+      break;
+    case Kind::kInterior:
+      LVQ_CHECK(left && right);
+      left->serialize(w);
+      right->serialize(w);
+      break;
+  }
+}
+
+BmtNodeProof BmtNodeProof::deserialize(Reader& r, BloomGeometry geom,
+                                       std::uint32_t max_depth) {
+  BmtNodeProof p;
+  std::uint8_t kind = r.u8();
+  if (kind > 2) throw SerializeError("bad BMT proof node kind");
+  p.kind = static_cast<Kind>(kind);
+  switch (p.kind) {
+    case Kind::kInexistentEndpoint: {
+      p.bf = BloomFilter::deserialize_bits(r, geom);
+      std::uint8_t has_children = r.u8();
+      if (has_children > 1) throw SerializeError("bad child-hash flag");
+      if (has_children) {
+        Hash256 h0, h1;
+        h0.bytes = r.arr<32>();
+        h1.bytes = r.arr<32>();
+        p.child_hashes = std::make_pair(h0, h1);
+      }
+      break;
+    }
+    case Kind::kFailedLeaf:
+      p.bf = BloomFilter::deserialize_bits(r, geom);
+      break;
+    case Kind::kInterior:
+      if (max_depth == 0) throw SerializeError("BMT proof too deep");
+      p.left = std::make_unique<BmtNodeProof>(
+          deserialize(r, geom, max_depth - 1));
+      p.right = std::make_unique<BmtNodeProof>(
+          deserialize(r, geom, max_depth - 1));
+      break;
+  }
+  return p;
+}
+
+std::size_t BmtNodeProof::serialized_size() const {
+  switch (kind) {
+    case Kind::kInexistentEndpoint:
+      return 1 + bf.serialized_bits_size() + 1 + (child_hashes ? 64 : 0);
+    case Kind::kFailedLeaf:
+      return 1 + bf.serialized_bits_size();
+    case Kind::kInterior:
+      return 1 + (left ? left->serialized_size() : 0) +
+             (right ? right->serialized_size() : 0);
+  }
+  return 0;
+}
+
+BmtNodeProof build_bmt_proof(const SegmentBmt& bmt, const BmtCheckMasks& masks,
+                             std::uint32_t root_level, std::uint64_t root_j) {
+  BmtNodeProof p;
+  if (!masks.fails(root_level, root_j)) {
+    p.kind = BmtNodeProof::Kind::kInexistentEndpoint;
+    p.bf = bmt.node_bf(root_level, root_j);
+    if (root_level > 0) {
+      p.child_hashes = std::make_pair(bmt.node_hash(root_level - 1, 2 * root_j),
+                                      bmt.node_hash(root_level - 1, 2 * root_j + 1));
+    }
+    return p;
+  }
+  if (root_level == 0) {
+    p.kind = BmtNodeProof::Kind::kFailedLeaf;
+    p.bf = bmt.node_bf(0, root_j);
+    return p;
+  }
+  p.kind = BmtNodeProof::Kind::kInterior;
+  p.left = std::make_unique<BmtNodeProof>(
+      build_bmt_proof(bmt, masks, root_level - 1, 2 * root_j));
+  p.right = std::make_unique<BmtNodeProof>(
+      build_bmt_proof(bmt, masks, root_level - 1, 2 * root_j + 1));
+  return p;
+}
+
+namespace {
+
+struct WalkCtx {
+  const BloomGeometry* geom;
+  const std::vector<std::uint64_t>* cbp;
+  std::vector<std::uint64_t>* failed;
+  std::string error;
+};
+
+/// Returns (hash, bf) of the node, or nullopt with ctx.error set.
+std::optional<std::pair<Hash256, BloomFilter>> walk(const BmtNodeProof& p,
+                                                    std::uint32_t level,
+                                                    std::uint64_t local_base,
+                                                    WalkCtx& ctx) {
+  switch (p.kind) {
+    case BmtNodeProof::Kind::kInexistentEndpoint: {
+      if (p.bf.geometry() != *ctx.geom) {
+        ctx.error = "endpoint BF has wrong geometry";
+        return std::nullopt;
+      }
+      if (bf_check_fails(p.bf, *ctx.cbp)) {
+        // All checked bit positions are 1: this BF does NOT prove
+        // inexistence, so accepting it would let a malicious full node
+        // hide transactions.
+        ctx.error = "inexistent-endpoint BF does not clear any checked bit";
+        return std::nullopt;
+      }
+      if (level == 0) {
+        if (p.child_hashes) {
+          ctx.error = "leaf endpoint must not carry child hashes";
+          return std::nullopt;
+        }
+        return std::make_pair(bmt_leaf_hash(p.bf), p.bf);
+      }
+      if (!p.child_hashes) {
+        ctx.error = "non-leaf endpoint missing child hashes";
+        return std::nullopt;
+      }
+      return std::make_pair(
+          bmt_node_hash(p.child_hashes->first, p.child_hashes->second, p.bf),
+          p.bf);
+    }
+    case BmtNodeProof::Kind::kFailedLeaf: {
+      if (level != 0) {
+        ctx.error = "failed-leaf node at interior level";
+        return std::nullopt;
+      }
+      if (p.bf.geometry() != *ctx.geom) {
+        ctx.error = "failed-leaf BF has wrong geometry";
+        return std::nullopt;
+      }
+      if (!bf_check_fails(p.bf, *ctx.cbp)) {
+        // A clear bit means the block provably lacks the address; the
+        // prover should have used an inexistent endpoint. Tolerating the
+        // mislabel would be sound (a block proof still follows) but we
+        // reject for strictness and canonical proofs.
+        ctx.error = "failed-leaf BF actually clears a checked bit";
+        return std::nullopt;
+      }
+      ctx.failed->push_back(local_base);
+      return std::make_pair(bmt_leaf_hash(p.bf), p.bf);
+    }
+    case BmtNodeProof::Kind::kInterior: {
+      if (level == 0) {
+        ctx.error = "interior node at leaf level";
+        return std::nullopt;
+      }
+      if (!p.left || !p.right) {
+        ctx.error = "interior node missing children";
+        return std::nullopt;
+      }
+      std::uint64_t half = std::uint64_t{1} << (level - 1);
+      auto l = walk(*p.left, level - 1, local_base, ctx);
+      if (!l) return std::nullopt;
+      auto r = walk(*p.right, level - 1, local_base + half, ctx);
+      if (!r) return std::nullopt;
+      BloomFilter bf = std::move(l->second);
+      bf.merge(r->second);
+      Hash256 h = bmt_node_hash(l->first, r->first, bf);
+      return std::make_pair(h, std::move(bf));
+    }
+  }
+  ctx.error = "corrupt BMT proof node";
+  return std::nullopt;
+}
+
+}  // namespace
+
+BmtOpenOutcome open_bmt_proof(const BmtNodeProof& proof,
+                              const BloomGeometry& geom,
+                              const std::vector<std::uint64_t>& cbp,
+                              std::uint32_t root_level) {
+  BmtOpenOutcome out;
+  WalkCtx ctx{&geom, &cbp, &out.failed_leaf_locals, {}};
+  auto result = walk(proof, root_level, 0, ctx);
+  if (!result) {
+    out.error = ctx.error;
+    out.failed_leaf_locals.clear();
+    return out;
+  }
+  out.hash = result->first;
+  out.bf = std::move(result->second);
+  out.ok = true;
+  return out;
+}
+
+BmtProofOutcome verify_bmt_proof(const BmtNodeProof& proof,
+                                 const Hash256& expected_root,
+                                 const BloomGeometry& geom,
+                                 const std::vector<std::uint64_t>& cbp,
+                                 std::uint32_t root_level) {
+  BmtProofOutcome out;
+  BmtOpenOutcome open = open_bmt_proof(proof, geom, cbp, root_level);
+  if (!open.ok) {
+    out.error = std::move(open.error);
+    return out;
+  }
+  if (open.hash != expected_root) {
+    out.error = "BMT proof root hash does not match header commitment";
+    return out;
+  }
+  out.failed_leaf_locals = std::move(open.failed_leaf_locals);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace lvq

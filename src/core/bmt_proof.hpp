@@ -1,0 +1,107 @@
+// Merged BMT inexistence proofs (paper §V-A2, Figs. 4/5/11).
+//
+// A proof for one query tree (a complete segment or one sub-segment of the
+// last segment) is a recursive structure that mirrors the endpoint search:
+//
+//   InexistentEndpoint — the check succeeded here: the node's BF has a 0
+//                        at some checked bit position, proving the address
+//                        absent from every block under this node. Non-leaf
+//                        endpoints also carry their two child hashes so the
+//                        verifier can recompute Eq. 2.
+//   Interior           — the check failed here; the proof descends into
+//                        both children. No hash or BF is shipped: the
+//                        verifier reconstructs the BF as the OR of the
+//                        children's BFs (Eq. 3) and the hash from Eq. 2.
+//                        This reconstruction is what "merging the BMT
+//                        branches" (Fig. 11) buys: shared path data is
+//                        never repeated.
+//   FailedLeaf         — a leaf whose check failed: existent or FPM case.
+//                        The leaf BF is shipped (its CBPs must all be 1);
+//                        the block itself is then covered by a per-block
+//                        existence/absence proof outside this structure.
+//
+// The verifier folds the structure bottom-up to a root hash and compares
+// it with the BMT root stored in the header of the range's last block.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "core/bmt.hpp"
+#include "crypto/hash.hpp"
+
+namespace lvq {
+
+struct BmtNodeProof {
+  enum class Kind : std::uint8_t {
+    kInexistentEndpoint = 0,
+    kInterior = 1,
+    kFailedLeaf = 2,
+  };
+
+  Kind kind = Kind::kInexistentEndpoint;
+  BloomFilter bf;  // endpoint kinds only
+  std::optional<std::pair<Hash256, Hash256>> child_hashes;  // non-leaf endpoint
+  std::unique_ptr<BmtNodeProof> left, right;                // interior only
+
+  BmtNodeProof() = default;
+  BmtNodeProof(BmtNodeProof&&) = default;
+  BmtNodeProof& operator=(BmtNodeProof&&) = default;
+  // Deep copies (children are owned through unique_ptr).
+  BmtNodeProof(const BmtNodeProof& other);
+  BmtNodeProof& operator=(const BmtNodeProof& other);
+
+  EndpointStats endpoints() const;
+
+  /// Total bytes of Bloom-filter payload in this subtree (Fig. 14 numerator
+  /// together with the structural bytes; see SizeBreakdown).
+  std::uint64_t bf_payload_bytes() const;
+
+  void serialize(Writer& w) const;
+  static BmtNodeProof deserialize(Reader& r, BloomGeometry geom,
+                                  std::uint32_t max_depth);
+  std::size_t serialized_size() const;
+};
+
+/// Builds the proof for the query tree rooted at (root_level, root_j) of
+/// `bmt`, using precomputed per-node check masks.
+BmtNodeProof build_bmt_proof(const SegmentBmt& bmt, const BmtCheckMasks& masks,
+                             std::uint32_t root_level, std::uint64_t root_j);
+
+struct BmtProofOutcome {
+  bool ok = false;
+  std::string error;
+  /// Local leaf indices (0-based within the query tree) whose checks
+  /// failed; each needs an accompanying per-block proof.
+  std::vector<std::uint64_t> failed_leaf_locals;
+};
+
+/// Verifies one query-tree proof against the BMT root from a header.
+/// `cbp` are the queried address's checked bit positions under `geom`;
+/// `root_level` is log2 of the tree's leaf count.
+BmtProofOutcome verify_bmt_proof(const BmtNodeProof& proof,
+                                 const Hash256& expected_root,
+                                 const BloomGeometry& geom,
+                                 const std::vector<std::uint64_t>& cbp,
+                                 std::uint32_t root_level);
+
+/// Like verify_bmt_proof but without a root expectation: folds the proof
+/// and returns the computed (hash, BF) of its root node, so callers can
+/// continue hashing upward (anchored range proofs do this).
+struct BmtOpenOutcome {
+  bool ok = false;
+  std::string error;
+  Hash256 hash;
+  BloomFilter bf;
+  std::vector<std::uint64_t> failed_leaf_locals;
+};
+BmtOpenOutcome open_bmt_proof(const BmtNodeProof& proof,
+                              const BloomGeometry& geom,
+                              const std::vector<std::uint64_t>& cbp,
+                              std::uint32_t root_level);
+
+}  // namespace lvq

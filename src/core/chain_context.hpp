@@ -1,0 +1,101 @@
+// Full-node-side chain assembly and caches.
+//
+// Layering (cheap to expensive, shared as widely as possible):
+//   Workload         — transaction bodies; shared across every experiment.
+//   WorkloadDerived  — txids, Merkle roots, SMT leaf lists/commitments,
+//                      Bloom keys; geometry-independent, shared across
+//                      every protocol config.
+//   BloomPositionTable — per-block sorted BF bit positions for ONE Bloom
+//                      geometry; lets node BFs of any BMT subtree be
+//                      materialized on demand without storing any filter.
+//   ChainContext     — headers for one ProtocolConfig (scheme commitments
+//                      wired in) plus the segment BMT forest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chain/chain_store.hpp"
+#include "core/bmt.hpp"
+#include "core/protocol_config.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+
+struct BlockDerived {
+  std::vector<Hash256> txids;
+  Hash256 merkle_root;
+  std::vector<SmtLeaf> smt_leaves;  // sorted by address
+  Hash256 smt_commitment;
+  std::vector<BloomKey> bloom_keys;  // one per unique address
+};
+
+class WorkloadDerived {
+ public:
+  explicit WorkloadDerived(const Workload& workload);
+
+  std::uint64_t tip_height() const { return per_block_.size(); }
+  const BlockDerived& at(std::uint64_t height) const {
+    LVQ_CHECK(height >= 1 && height <= per_block_.size());
+    return per_block_[height - 1];
+  }
+
+ private:
+  std::vector<BlockDerived> per_block_;
+};
+
+class BloomPositionTable {
+ public:
+  BloomPositionTable(const WorkloadDerived& derived, BloomGeometry geom);
+
+  const BloomGeometry& geometry() const { return geom_; }
+
+  /// Sorted unique BF bit positions of the block's address set.
+  const std::vector<std::uint32_t>& positions(std::uint64_t height) const {
+    LVQ_CHECK(height >= 1 && height <= per_block_.size());
+    return per_block_[height - 1];
+  }
+
+  /// True iff every position in `cbp` is set in the block's BF — the
+  /// paper's "failed check" for a single block.
+  bool check_fails(std::uint64_t height,
+                   const std::vector<std::uint64_t>& cbp) const;
+
+  BloomFilter block_bf(std::uint64_t height) const;
+
+ private:
+  BloomGeometry geom_;
+  std::vector<std::vector<std::uint32_t>> per_block_;
+};
+
+class ChainContext {
+ public:
+  ChainContext(std::shared_ptr<const Workload> workload,
+               std::shared_ptr<const WorkloadDerived> derived,
+               const ProtocolConfig& config);
+
+  const ProtocolConfig& config() const { return config_; }
+  const Workload& workload() const { return *workload_; }
+  const WorkloadDerived& derived() const { return *derived_; }
+  const BloomPositionTable& positions() const { return *positions_; }
+  const ChainStore& chain() const { return chain_; }
+  std::uint64_t tip_height() const { return chain_.tip_height(); }
+
+  /// Headers only — what a light node syncs.
+  std::vector<BlockHeader> headers() const;
+
+  /// Segment BMT containing `height` (designs with BMT only).
+  const SegmentBmt& bmt_for_height(std::uint64_t height) const;
+  const std::vector<SegmentBmt>& bmts() const { return bmts_; }
+
+ private:
+  std::shared_ptr<const Workload> workload_;
+  std::shared_ptr<const WorkloadDerived> derived_;
+  ProtocolConfig config_;
+  std::unique_ptr<BloomPositionTable> positions_;
+  std::vector<SegmentBmt> bmts_;
+  ChainStore chain_;
+};
+
+}  // namespace lvq

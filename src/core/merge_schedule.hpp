@@ -1,0 +1,44 @@
+// BMT merge schedule — the paper's Algorithm 1 and Table I.
+//
+// Block h's BMT merges the Bloom filters of the `merge_count(h, M)` most
+// recent blocks (itself included). The count is the largest power of two
+// that divides h's position within its segment, so within a segment of
+// length M the per-block BMTs are exactly the aligned subtrees of one
+// perfect binary tree over the segment — which is what lets a full node
+// maintain a single tree per segment and read every header's BMT root out
+// of it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lvq {
+
+inline bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Number of blocks merged into block h's BMT (paper Algorithm 1).
+/// Heights are 1-based; M must be a power of two.
+inline std::uint32_t merge_count(std::uint64_t height, std::uint32_t segment_length) {
+  LVQ_CHECK(height >= 1);
+  LVQ_CHECK(is_power_of_two(segment_length));
+  std::uint64_t l = height % segment_length;
+  if (l == 0) return segment_length;  // last block of a segment merges it all
+  return static_cast<std::uint32_t>(l & (~l + 1));  // largest 2^i dividing l
+}
+
+/// The heights merged into block h's BMT: [h - merge_count + 1, h].
+/// Matches the paper's Table I row for each height.
+inline std::vector<std::uint64_t> blocks_to_merge(std::uint64_t height,
+                                                  std::uint32_t segment_length) {
+  std::uint32_t mc = merge_count(height, segment_length);
+  std::vector<std::uint64_t> out;
+  out.reserve(mc);
+  for (std::uint64_t h = height - mc + 1; h <= height; ++h) out.push_back(h);
+  return out;
+}
+
+}  // namespace lvq

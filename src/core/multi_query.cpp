@@ -1,0 +1,551 @@
+#include "core/multi_query.hpp"
+
+#include <bit>
+
+#include "core/prover.hpp"
+#include "core/segments.hpp"
+#include "core/verifier.hpp"
+#include "util/check.hpp"
+
+namespace lvq {
+
+namespace {
+
+bool any_fails(const std::vector<BmtCheckMasks>& masks, std::uint32_t level,
+               std::uint64_t j) {
+  for (const BmtCheckMasks& m : masks) {
+    if (m.fails(level, j)) return true;
+  }
+  return false;
+}
+
+SharedBmtNodeProof build_shared(const SegmentBmt& bmt,
+                                const std::vector<BmtCheckMasks>& masks,
+                                std::uint32_t level, std::uint64_t j) {
+  SharedBmtNodeProof node;
+  if (level > 0 && any_fails(masks, level, j)) {
+    node.kind = SharedBmtNodeProof::Kind::kExpanded;
+    node.left = std::make_unique<SharedBmtNodeProof>(
+        build_shared(bmt, masks, level - 1, 2 * j));
+    node.right = std::make_unique<SharedBmtNodeProof>(
+        build_shared(bmt, masks, level - 1, 2 * j + 1));
+    return node;
+  }
+  node.kind = SharedBmtNodeProof::Kind::kTerminal;
+  node.bf = bmt.node_bf(level, j);
+  if (level > 0) {
+    node.child_hashes = std::make_pair(bmt.node_hash(level - 1, 2 * j),
+                                       bmt.node_hash(level - 1, 2 * j + 1));
+  }
+  return node;
+}
+
+}  // namespace
+
+void SharedBmtNodeProof::serialize(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  if (kind == Kind::kTerminal) {
+    bf.serialize_bits(w);
+    w.u8(child_hashes ? 1 : 0);
+    if (child_hashes) {
+      w.raw(child_hashes->first.bytes);
+      w.raw(child_hashes->second.bytes);
+    }
+  } else {
+    LVQ_CHECK(left && right);
+    left->serialize(w);
+    right->serialize(w);
+  }
+}
+
+SharedBmtNodeProof SharedBmtNodeProof::deserialize(Reader& r,
+                                                   BloomGeometry geom,
+                                                   std::uint32_t max_depth) {
+  SharedBmtNodeProof node;
+  std::uint8_t kind = r.u8();
+  if (kind > 1) throw SerializeError("bad shared proof node kind");
+  node.kind = static_cast<Kind>(kind);
+  if (node.kind == Kind::kTerminal) {
+    node.bf = BloomFilter::deserialize_bits(r, geom);
+    std::uint8_t has_children = r.u8();
+    if (has_children > 1) throw SerializeError("bad child-hash flag");
+    if (has_children) {
+      Hash256 h0, h1;
+      h0.bytes = r.arr<32>();
+      h1.bytes = r.arr<32>();
+      node.child_hashes = std::make_pair(h0, h1);
+    }
+  } else {
+    if (max_depth == 0) throw SerializeError("shared proof too deep");
+    node.left = std::make_unique<SharedBmtNodeProof>(
+        deserialize(r, geom, max_depth - 1));
+    node.right = std::make_unique<SharedBmtNodeProof>(
+        deserialize(r, geom, max_depth - 1));
+  }
+  return node;
+}
+
+std::size_t SharedBmtNodeProof::serialized_size() const {
+  if (kind == Kind::kTerminal) {
+    return 1 + bf.serialized_bits_size() + 1 + (child_hashes ? 64 : 0);
+  }
+  return 1 + (left ? left->serialized_size() : 0) +
+         (right ? right->serialized_size() : 0);
+}
+
+void MultiSegmentProof::serialize(Writer& w) const {
+  tree.serialize(w);
+  for (const auto& blocks : per_address_blocks) {
+    w.varint(blocks.size());
+    for (const auto& [height, proof] : blocks) {
+      w.varint(height);
+      proof.serialize(w);
+    }
+  }
+}
+
+MultiSegmentProof MultiSegmentProof::deserialize(Reader& r, BloomGeometry geom,
+                                                 std::size_t n_addresses) {
+  MultiSegmentProof seg;
+  seg.tree = SharedBmtNodeProof::deserialize(r, geom, 64);
+  seg.per_address_blocks.resize(n_addresses);
+  for (auto& blocks : seg.per_address_blocks) {
+    std::uint64_t n = r.varint();
+    if (n > 10'000'000) throw SerializeError("too many block proofs");
+    reserve_clamped(blocks, n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t height = r.varint();
+      blocks.emplace_back(height, BlockProof::deserialize(r));
+    }
+  }
+  return seg;
+}
+
+std::size_t MultiSegmentProof::serialized_size() const {
+  std::size_t n = tree.serialized_size();
+  for (const auto& blocks : per_address_blocks) {
+    n += varint_size(blocks.size());
+    for (const auto& [height, proof] : blocks) {
+      n += varint_size(height) + proof.serialized_size();
+    }
+  }
+  return n;
+}
+
+void MultiQueryResponse::serialize(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(design));
+  w.varint(tip_height);
+  w.varint(n_addresses);
+  if (design_has_bmt(design)) {
+    w.varint(segments.size());
+    for (const MultiSegmentProof& seg : segments) seg.serialize(w);
+  } else {
+    if (design_ships_block_bfs(design)) {
+      LVQ_CHECK(block_bfs.size() == tip_height);
+      for (const BloomFilter& bf : block_bfs) bf.serialize_bits(w);
+    }
+    LVQ_CHECK(per_address_fragments.size() == n_addresses);
+    for (const auto& fragments : per_address_fragments) {
+      LVQ_CHECK(fragments.size() == tip_height);
+      for (const BlockProof& f : fragments) f.serialize(w);
+    }
+  }
+}
+
+MultiQueryResponse MultiQueryResponse::deserialize(
+    Reader& r, const ProtocolConfig& config) {
+  MultiQueryResponse resp;
+  std::uint8_t design = r.u8();
+  if (design > static_cast<std::uint8_t>(Design::kLvq))
+    throw SerializeError("bad design tag");
+  resp.design = static_cast<Design>(design);
+  if (resp.design != config.design)
+    throw SerializeError("response design does not match local config");
+  resp.tip_height = r.varint();
+  resp.n_addresses = r.varint();
+  if (resp.tip_height > 100'000'000 || resp.n_addresses > 1000)
+    throw SerializeError("implausible multi-query response header");
+  if (design_has_bmt(resp.design)) {
+    std::uint64_t n = r.varint();
+    if (n > resp.tip_height) throw SerializeError("too many segment proofs");
+    reserve_clamped(resp.segments, n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      resp.segments.push_back(MultiSegmentProof::deserialize(
+          r, config.bloom, static_cast<std::size_t>(resp.n_addresses)));
+    }
+  } else {
+    if (design_ships_block_bfs(resp.design)) {
+      reserve_clamped(resp.block_bfs, resp.tip_height);
+      for (std::uint64_t h = 0; h < resp.tip_height; ++h) {
+        resp.block_bfs.push_back(
+            BloomFilter::deserialize_bits(r, config.bloom));
+      }
+    }
+    resp.per_address_fragments.resize(
+        static_cast<std::size_t>(resp.n_addresses));
+    for (auto& fragments : resp.per_address_fragments) {
+      reserve_clamped(fragments, resp.tip_height);
+      for (std::uint64_t h = 0; h < resp.tip_height; ++h) {
+        fragments.push_back(BlockProof::deserialize(r));
+      }
+    }
+  }
+  r.expect_done();
+  return resp;
+}
+
+std::size_t MultiQueryResponse::serialized_size() const {
+  std::size_t n = 1 + varint_size(tip_height) + varint_size(n_addresses);
+  if (design_has_bmt(design)) {
+    n += varint_size(segments.size());
+    for (const MultiSegmentProof& seg : segments) n += seg.serialized_size();
+  } else {
+    for (const BloomFilter& bf : block_bfs) n += bf.serialized_bits_size();
+    for (const auto& fragments : per_address_fragments) {
+      for (const BlockProof& f : fragments) n += f.serialized_size();
+    }
+  }
+  return n;
+}
+
+MultiQueryResponse build_multi_response(
+    const ChainContext& ctx, const std::vector<Address>& addresses) {
+  const ProtocolConfig& config = ctx.config();
+  LVQ_CHECK(!addresses.empty() && addresses.size() <= 1000);
+  MultiQueryResponse resp;
+  resp.design = config.design;
+  resp.tip_height = ctx.tip_height();
+  resp.n_addresses = addresses.size();
+
+  std::vector<std::vector<std::uint64_t>> cbps;
+  cbps.reserve(addresses.size());
+  for (const Address& a : addresses) {
+    cbps.push_back(config.bloom.positions(BloomKey::from_bytes(a.span())));
+  }
+
+  if (config.has_bmt()) {
+    for (const SubSegment& range :
+         query_forest(resp.tip_height, config.segment_length)) {
+      const SegmentBmt& bmt = ctx.bmt_for_height(range.first);
+      std::vector<BmtCheckMasks> masks;
+      masks.reserve(addresses.size());
+      for (const auto& cbp : cbps) masks.push_back(bmt.check_masks(cbp));
+
+      std::uint32_t level =
+          static_cast<std::uint32_t>(std::countr_zero(range.length()));
+      std::uint64_t root_j = (range.first - bmt.first_height()) >> level;
+
+      MultiSegmentProof seg;
+      seg.tree = build_shared(bmt, masks, level, root_j);
+      seg.per_address_blocks.resize(addresses.size());
+      std::uint64_t first_local = root_j << level;
+      std::uint64_t leaves = std::uint64_t{1} << level;
+      for (std::size_t a = 0; a < addresses.size(); ++a) {
+        for (std::uint64_t off = 0; off < leaves; ++off) {
+          std::uint64_t local = first_local + off;
+          if (!masks[a].fails(0, local)) continue;
+          std::uint64_t height = bmt.first_height() + local;
+          seg.per_address_blocks[a].emplace_back(
+              height, build_block_proof(ctx, height, addresses[a]));
+        }
+      }
+      resp.segments.push_back(std::move(seg));
+    }
+    return resp;
+  }
+
+  const bool ships_bfs = design_ships_block_bfs(config.design);
+  if (ships_bfs) {
+    for (std::uint64_t h = 1; h <= resp.tip_height; ++h) {
+      resp.block_bfs.push_back(ctx.positions().block_bf(h));
+    }
+  }
+  resp.per_address_fragments.resize(addresses.size());
+  for (std::size_t a = 0; a < addresses.size(); ++a) {
+    for (std::uint64_t h = 1; h <= resp.tip_height; ++h) {
+      BlockProof frag;
+      if (ctx.positions().check_fails(h, cbps[a])) {
+        frag = build_block_proof(ctx, h, addresses[a]);
+      } else {
+        frag.kind = BlockProof::Kind::kEmpty;
+      }
+      resp.per_address_fragments[a].push_back(std::move(frag));
+    }
+  }
+  return resp;
+}
+
+namespace {
+
+struct MultiFoldCtx {
+  const BloomGeometry* geom;
+  const std::vector<std::vector<std::uint64_t>>* cbps;  // per address
+  std::vector<std::vector<std::uint64_t>>* failed;      // per address, locals
+  std::string error;
+  std::uint64_t full_masks_bits;  // n addresses
+
+  std::uint64_t mask_of(const BloomFilter& bf, std::size_t a) const {
+    const auto& cbp = (*cbps)[a];
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < cbp.size(); ++i) {
+      if (bf.bit(cbp[i])) mask |= std::uint64_t{1} << i;
+    }
+    return mask;
+  }
+  bool mask_fails(std::uint64_t mask, std::size_t a) const {
+    std::size_t k = (*cbps)[a].size();
+    std::uint64_t full =
+        (k == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << k) - 1);
+    return mask == full;
+  }
+};
+
+struct MultiFoldResult {
+  Hash256 hash;
+  BloomFilter bf;
+  std::vector<std::uint64_t> masks;  // per address
+};
+
+std::optional<MultiFoldResult> fold_shared(const SharedBmtNodeProof& node,
+                                           std::uint32_t level,
+                                           std::uint64_t local_base,
+                                           MultiFoldCtx& ctx) {
+  const std::size_t n_addr = ctx.cbps->size();
+  if (node.kind == SharedBmtNodeProof::Kind::kTerminal) {
+    if (node.bf.geometry() != *ctx.geom) {
+      ctx.error = "terminal node BF has wrong geometry";
+      return std::nullopt;
+    }
+    MultiFoldResult out;
+    out.masks.resize(n_addr);
+    for (std::size_t a = 0; a < n_addr; ++a) {
+      out.masks[a] = ctx.mask_of(node.bf, a);
+    }
+    if (level == 0) {
+      if (node.child_hashes) {
+        ctx.error = "leaf terminal must not carry child hashes";
+        return std::nullopt;
+      }
+      // A failing leaf is fine — it just needs a per-block proof.
+      for (std::size_t a = 0; a < n_addr; ++a) {
+        if (ctx.mask_fails(out.masks[a], a)) {
+          (*ctx.failed)[a].push_back(local_base);
+        }
+      }
+      out.hash = bmt_leaf_hash(node.bf);
+    } else {
+      if (!node.child_hashes) {
+        ctx.error = "non-leaf terminal missing child hashes";
+        return std::nullopt;
+      }
+      // Soundness: a non-leaf terminal must clear a checked bit for EVERY
+      // address, otherwise some address's possible presence below is left
+      // unproven — the multi-address analogue of the single-proof
+      // inexistent-endpoint rule.
+      for (std::size_t a = 0; a < n_addr; ++a) {
+        if (ctx.mask_fails(out.masks[a], a)) {
+          ctx.error = "terminal node does not clear an address's check";
+          return std::nullopt;
+        }
+      }
+      out.hash = bmt_node_hash(node.child_hashes->first,
+                               node.child_hashes->second, node.bf);
+    }
+    out.bf = node.bf;
+    return out;
+  }
+
+  // Expanded node.
+  if (level == 0) {
+    ctx.error = "expanded node at leaf level";
+    return std::nullopt;
+  }
+  if (!node.left || !node.right) {
+    ctx.error = "expanded node missing children";
+    return std::nullopt;
+  }
+  std::uint64_t half = std::uint64_t{1} << (level - 1);
+  auto l = fold_shared(*node.left, level - 1, local_base, ctx);
+  if (!l) return std::nullopt;
+  auto r = fold_shared(*node.right, level - 1, local_base + half, ctx);
+  if (!r) return std::nullopt;
+  MultiFoldResult out;
+  out.bf = std::move(l->bf);
+  out.bf.merge(r->bf);
+  out.hash = bmt_node_hash(l->hash, r->hash, out.bf);
+  out.masks.resize(n_addr);
+  for (std::size_t a = 0; a < n_addr; ++a) {
+    out.masks[a] = l->masks[a] | r->masks[a];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<VerifyOutcome> verify_multi_response(
+    const std::vector<BlockHeader>& headers, const ProtocolConfig& config,
+    const std::vector<Address>& addresses,
+    const MultiQueryResponse& response) {
+  const std::size_t n_addr = addresses.size();
+  std::vector<VerifyOutcome> outcomes(n_addr);
+  for (std::size_t a = 0; a < n_addr; ++a) {
+    outcomes[a].history.address = addresses[a];
+  }
+  auto fail_all = [&](VerifyError e, const std::string& why) {
+    for (std::size_t a = 0; a < n_addr; ++a) {
+      outcomes[a] = VerifyOutcome::failure(e, why);
+    }
+    return outcomes;
+  };
+
+  const std::uint64_t tip = headers.size();
+  if (tip == 0 || response.tip_height != tip ||
+      response.design != config.design || response.n_addresses != n_addr ||
+      n_addr == 0) {
+    return fail_all(VerifyError::kShapeMismatch,
+                    "multi response does not fit local chain");
+  }
+  if (headers.front().scheme != config.scheme()) {
+    return fail_all(VerifyError::kShapeMismatch,
+                    "header scheme does not match config");
+  }
+
+  std::vector<std::vector<std::uint64_t>> cbps;
+  cbps.reserve(n_addr);
+  for (const Address& a : addresses) {
+    cbps.push_back(config.bloom.positions(BloomKey::from_bytes(a.span())));
+  }
+
+  if (config.has_bmt()) {
+    std::vector<SubSegment> forest = query_forest(tip, config.segment_length);
+    if (response.segments.size() != forest.size()) {
+      return fail_all(VerifyError::kShapeMismatch,
+                      "wrong number of segment proofs");
+    }
+    for (std::size_t i = 0; i < forest.size(); ++i) {
+      const SubSegment& range = forest[i];
+      const MultiSegmentProof& seg = response.segments[i];
+      if (seg.per_address_blocks.size() != n_addr) {
+        return fail_all(VerifyError::kShapeMismatch,
+                        "per-address proof lists missing");
+      }
+      const BlockHeader& last_hd = headers[range.last - 1];
+      if (!last_hd.bmt_root) {
+        return fail_all(VerifyError::kShapeMismatch, "header lacks BMT root");
+      }
+      std::uint32_t level =
+          static_cast<std::uint32_t>(std::countr_zero(range.length()));
+
+      std::vector<std::vector<std::uint64_t>> failed(n_addr);
+      MultiFoldCtx ctx{&config.bloom, &cbps, &failed, {}, n_addr};
+      auto folded = fold_shared(seg.tree, level, 0, ctx);
+      if (!folded) {
+        return fail_all(VerifyError::kBmtProofInvalid, ctx.error);
+      }
+      if (folded->hash != *last_hd.bmt_root) {
+        return fail_all(VerifyError::kBmtProofInvalid,
+                        "shared proof does not match header commitment");
+      }
+      // Per-address block proofs; a failure poisons only that address.
+      for (std::size_t a = 0; a < n_addr; ++a) {
+        if (outcomes[a].error != VerifyError::kNone) continue;  // failed earlier
+        const auto& blocks = seg.per_address_blocks[a];
+        if (blocks.size() != failed[a].size()) {
+          outcomes[a] = VerifyOutcome::failure(
+              blocks.size() < failed[a].size()
+                  ? VerifyError::kBlockProofMissing
+                  : VerifyError::kBlockProofUnexpected,
+              "failed-leaf set and block-proof set differ");
+          continue;
+        }
+        for (std::size_t k = 0; k < blocks.size(); ++k) {
+          std::uint64_t expect_height = range.first + failed[a][k];
+          if (blocks[k].first != expect_height) {
+            outcomes[a] = VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                                 "block proof at wrong height");
+            break;
+          }
+          if (auto fail = verify_failed_block_proof(
+                  headers, config, addresses[a], expect_height,
+                  blocks[k].second, outcomes[a].history)) {
+            outcomes[a] = *fail;
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t a = 0; a < n_addr; ++a) {
+      if (outcomes[a].error == VerifyError::kNone) outcomes[a].ok = true;
+    }
+    return outcomes;
+  }
+
+  // Non-BMT designs: shared BFs, per-address fragments.
+  const bool ships_bfs = design_ships_block_bfs(config.design);
+  if (response.per_address_fragments.size() != n_addr ||
+      (ships_bfs && response.block_bfs.size() != tip)) {
+    return fail_all(VerifyError::kShapeMismatch,
+                    "fragment lists do not cover the chain");
+  }
+  // Validate the shared BFs once.
+  for (std::uint64_t h = 1; ships_bfs && h <= tip; ++h) {
+    const BloomFilter& shipped = response.block_bfs[h - 1];
+    const BlockHeader& hd = headers[h - 1];
+    if (shipped.geometry() != config.bloom || !hd.bf_hash ||
+        shipped.content_hash() != *hd.bf_hash) {
+      return fail_all(VerifyError::kBfHashMismatch,
+                      "shipped BF does not match header H(BF)");
+    }
+  }
+  for (std::size_t a = 0; a < n_addr; ++a) {
+    const auto& fragments = response.per_address_fragments[a];
+    if (fragments.size() != tip) {
+      outcomes[a] = VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                           "fragment list wrong length");
+      continue;
+    }
+    bool failed_addr = false;
+    for (std::uint64_t h = 1; h <= tip && !failed_addr; ++h) {
+      const BlockHeader& hd = headers[h - 1];
+      const BloomFilter* bf = nullptr;
+      if (config.design == Design::kStrawman) {
+        if (!hd.embedded_bf) {
+          outcomes[a] = VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                               "header lacks embedded BF");
+          failed_addr = true;
+          break;
+        }
+        bf = &*hd.embedded_bf;
+      } else {
+        bf = &response.block_bfs[h - 1];
+      }
+      bool fails = true;
+      for (std::uint64_t p : cbps[a]) {
+        if (!bf->bit(p)) {
+          fails = false;
+          break;
+        }
+      }
+      const BlockProof& frag = fragments[h - 1];
+      if (!fails) {
+        if (frag.kind != BlockProof::Kind::kEmpty) {
+          outcomes[a] = VerifyOutcome::failure(
+              VerifyError::kFragmentKindInvalid,
+              "BF proves absence but fragment is not empty");
+          failed_addr = true;
+        }
+        continue;
+      }
+      if (auto fail = verify_failed_block_proof(headers, config, addresses[a],
+                                                h, frag,
+                                                outcomes[a].history)) {
+        outcomes[a] = *fail;
+        failed_addr = true;
+      }
+    }
+    if (!failed_addr) outcomes[a].ok = true;
+  }
+  return outcomes;
+}
+
+}  // namespace lvq

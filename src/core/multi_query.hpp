@@ -1,0 +1,93 @@
+// Shared watchlist proofs (extension).
+//
+// The paper merges the BMT branches of one address's endpoints (Fig. 11).
+// The same idea extends ACROSS addresses: for a watchlist, build one
+// shared structure per query tree in which a node is
+//
+//   * expanded  — some watched address's check fails here (non-leaf):
+//                 recurse; the node's (hash, BF) are reconstructed, so it
+//                 costs 1 byte;
+//   * terminal  — no address fails here, or it is a leaf: ship the BF
+//                 (plus child hashes when non-leaf), ONCE, no matter how
+//                 many addresses use it as their endpoint.
+//
+// Each address then derives its own endpoints from the reconstructed
+// filters (its per-node check masks fall out of the fold), so a batch of
+// sparse addresses — whose endpoint sets largely coincide at the
+// saturation levels — pays for the union of filters instead of the sum.
+// `bench/batch_sharing` quantifies the saving; per-block proofs (SMT
+// branches, transactions) remain per-address.
+//
+// Supported for the BMT designs; for non-BMT designs the shared win is
+// simpler (ship each block BF once instead of once per address) and is
+// also implemented here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chain/address.hpp"
+#include "core/chain_context.hpp"
+#include "core/query.hpp"
+#include "core/verify_result.hpp"
+
+namespace lvq {
+
+struct SharedBmtNodeProof {
+  enum class Kind : std::uint8_t { kTerminal = 0, kExpanded = 1 };
+
+  Kind kind = Kind::kTerminal;
+  BloomFilter bf;                                           // terminal
+  std::optional<std::pair<Hash256, Hash256>> child_hashes;  // terminal non-leaf
+  std::unique_ptr<SharedBmtNodeProof> left, right;          // expanded
+
+  void serialize(Writer& w) const;
+  static SharedBmtNodeProof deserialize(Reader& r, BloomGeometry geom,
+                                        std::uint32_t max_depth);
+  std::size_t serialized_size() const;
+};
+
+struct MultiSegmentProof {
+  SharedBmtNodeProof tree;
+  /// per_address_blocks[a] = (height, proof) pairs for address a's failed
+  /// leaves, ascending; indexes match the request's address order.
+  std::vector<std::vector<std::pair<std::uint64_t, BlockProof>>>
+      per_address_blocks;
+
+  void serialize(Writer& w) const;
+  static MultiSegmentProof deserialize(Reader& r, BloomGeometry geom,
+                                       std::size_t n_addresses);
+  std::size_t serialized_size() const;
+};
+
+struct MultiQueryResponse {
+  Design design = Design::kLvq;
+  std::uint64_t tip_height = 0;
+  std::uint64_t n_addresses = 0;
+
+  std::vector<MultiSegmentProof> segments;  // BMT designs
+
+  // Non-BMT designs: BFs shipped ONCE; fragments per address, dense.
+  std::vector<BloomFilter> block_bfs;
+  std::vector<std::vector<BlockProof>> per_address_fragments;
+
+  void serialize(Writer& w) const;
+  static MultiQueryResponse deserialize(Reader& r,
+                                        const ProtocolConfig& config);
+  std::size_t serialized_size() const;
+};
+
+/// Full-node side.
+MultiQueryResponse build_multi_response(const ChainContext& ctx,
+                                        const std::vector<Address>& addresses);
+
+/// Light-node side: one outcome per address, same order. All share the
+/// structural verification; a failure in the shared structure fails every
+/// address, a failure in one address's per-block proofs fails only it.
+std::vector<VerifyOutcome> verify_multi_response(
+    const std::vector<BlockHeader>& headers, const ProtocolConfig& config,
+    const std::vector<Address>& addresses, const MultiQueryResponse& response);
+
+}  // namespace lvq

@@ -1,0 +1,27 @@
+#include "core/protocol_config.hpp"
+
+namespace lvq {
+
+const char* design_name(Design design) {
+  switch (design) {
+    case Design::kStrawman: return "strawman";
+    case Design::kStrawmanVariant: return "strawman-variant";
+    case Design::kLvqNoBmt: return "lvq-no-bmt";
+    case Design::kLvqNoSmt: return "lvq-no-smt";
+    case Design::kLvq: return "lvq";
+  }
+  return "?";
+}
+
+HeaderScheme scheme_for_design(Design design) {
+  switch (design) {
+    case Design::kStrawman: return HeaderScheme::kStrawman;
+    case Design::kStrawmanVariant: return HeaderScheme::kStrawmanVariant;
+    case Design::kLvqNoBmt: return HeaderScheme::kLvqNoBmt;
+    case Design::kLvqNoSmt: return HeaderScheme::kLvqNoSmt;
+    case Design::kLvq: return HeaderScheme::kLvq;
+  }
+  return HeaderScheme::kVanilla;
+}
+
+}  // namespace lvq

@@ -1,0 +1,61 @@
+// Protocol designs evaluated in the paper (§VII-B).
+//
+//   kStrawman         — full BF embedded in each header (§IV-A). Light
+//                       nodes store megabytes of filters; query results
+//                       need no BFs. Only used in storage comparisons.
+//   kStrawmanVariant  — the paper's evaluation baseline ("strawman" in
+//                       Fig. 12): headers store H(BF); the full node ships
+//                       every block's BF alongside the fragments.
+//   kLvqNoBmt         — LVQ ablation without BMT: per-block BFs are still
+//                       shipped, but FPMs resolve via SMT instead of
+//                       integral blocks, and counts are provable.
+//   kLvqNoSmt         — LVQ ablation without SMT: merged BMT proofs, but
+//                       every failed leaf check (existent or FPM) falls
+//                       back to an integral block — the only complete
+//                       disclosure that exists without count proofs.
+//   kLvq              — full LVQ (BMT + SMT).
+#pragma once
+
+#include <cstdint>
+
+#include "bloom/bloom_filter.hpp"
+#include "chain/block.hpp"
+
+namespace lvq {
+
+enum class Design : std::uint8_t {
+  kStrawman = 0,
+  kStrawmanVariant = 1,
+  kLvqNoBmt = 2,
+  kLvqNoSmt = 3,
+  kLvq = 4,
+};
+
+const char* design_name(Design design);
+HeaderScheme scheme_for_design(Design design);
+
+inline bool design_has_bmt(Design d) {
+  return d == Design::kLvqNoSmt || d == Design::kLvq;
+}
+inline bool design_has_smt(Design d) {
+  return d == Design::kLvqNoBmt || d == Design::kLvq;
+}
+/// Designs whose query responses carry one standalone BF per block.
+inline bool design_ships_block_bfs(Design d) {
+  return d == Design::kStrawmanVariant || d == Design::kLvqNoBmt;
+}
+
+struct ProtocolConfig {
+  Design design = Design::kLvq;
+  /// Per-block Bloom filter geometry. The paper's defaults: 10 KB for the
+  /// non-BMT systems, 30 KB for the BMT systems (§VII-B).
+  BloomGeometry bloom{30 * 1024, 10};
+  /// Segment length M (power of two); only meaningful with a BMT.
+  std::uint32_t segment_length = 4096;
+
+  bool has_bmt() const { return design_has_bmt(design); }
+  bool has_smt() const { return design_has_smt(design); }
+  HeaderScheme scheme() const { return scheme_for_design(design); }
+};
+
+}  // namespace lvq

@@ -1,0 +1,22 @@
+// Full-node-side proof generation (paper §V, "generate the proof in the
+// full node").
+#pragma once
+
+#include "chain/address.hpp"
+#include "core/chain_context.hpp"
+#include "core/query.hpp"
+
+namespace lvq {
+
+/// Builds the complete query response for `address` under the context's
+/// protocol design. The response is self-contained: a light node holding
+/// only headers can verify it with `verify_response`.
+QueryResponse build_query_response(const ChainContext& ctx,
+                                   const Address& address);
+
+/// The per-block proof a design produces when the block's BF check failed
+/// (exposed separately for tests and the malicious-node harness).
+BlockProof build_block_proof(const ChainContext& ctx, std::uint64_t height,
+                             const Address& address);
+
+}  // namespace lvq

@@ -1,0 +1,272 @@
+#include "core/query.hpp"
+
+#include "util/check.hpp"
+
+namespace lvq {
+
+void TxWithBranch::serialize(Writer& w) const {
+  tx.serialize(w);
+  branch.serialize(w);
+}
+
+TxWithBranch TxWithBranch::deserialize(Reader& r) {
+  TxWithBranch t;
+  t.tx = Transaction::deserialize(r);
+  t.branch = MerkleBranch::deserialize(r);
+  return t;
+}
+
+std::size_t TxWithBranch::serialized_size() const {
+  return tx.serialized_size() + branch.serialized_size();
+}
+
+void BlockExistenceProof::serialize(Writer& w) const {
+  count_branch.serialize(w);
+  w.varint(txs.size());
+  for (const TxWithBranch& t : txs) t.serialize(w);
+}
+
+BlockExistenceProof BlockExistenceProof::deserialize(Reader& r) {
+  BlockExistenceProof p;
+  p.count_branch = SmtBranch::deserialize(r);
+  std::uint64_t n = r.varint();
+  if (n > 1'000'000) throw SerializeError("too many txs in existence proof");
+  reserve_clamped(p.txs, n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    p.txs.push_back(TxWithBranch::deserialize(r));
+  return p;
+}
+
+std::size_t BlockExistenceProof::serialized_size() const {
+  std::size_t n = count_branch.serialized_size() + varint_size(txs.size());
+  for (const TxWithBranch& t : txs) n += t.serialized_size();
+  return n;
+}
+
+void BlockProof::serialize(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind));
+  switch (kind) {
+    case Kind::kEmpty:
+      break;
+    case Kind::kExistent:
+      LVQ_CHECK(existence.has_value());
+      existence->serialize(w);
+      break;
+    case Kind::kAbsent:
+      LVQ_CHECK(absence.has_value());
+      absence->serialize(w);
+      break;
+    case Kind::kExistentNoCount:
+      w.varint(plain_txs.size());
+      for (const TxWithBranch& t : plain_txs) t.serialize(w);
+      break;
+    case Kind::kIntegralBlock:
+      LVQ_CHECK(block.has_value());
+      block->serialize(w);
+      break;
+  }
+}
+
+BlockProof BlockProof::deserialize(Reader& r) {
+  BlockProof p;
+  std::uint8_t kind = r.u8();
+  if (kind > 4) throw SerializeError("bad block proof kind");
+  p.kind = static_cast<Kind>(kind);
+  switch (p.kind) {
+    case Kind::kEmpty:
+      break;
+    case Kind::kExistent:
+      p.existence = BlockExistenceProof::deserialize(r);
+      break;
+    case Kind::kAbsent:
+      p.absence = SmtAbsenceProof::deserialize(r);
+      break;
+    case Kind::kExistentNoCount: {
+      std::uint64_t n = r.varint();
+      if (n > 1'000'000) throw SerializeError("too many plain txs");
+      reserve_clamped(p.plain_txs, n);
+      for (std::uint64_t i = 0; i < n; ++i)
+        p.plain_txs.push_back(TxWithBranch::deserialize(r));
+      break;
+    }
+    case Kind::kIntegralBlock:
+      p.block = Block::deserialize(r);
+      break;
+  }
+  return p;
+}
+
+std::size_t BlockProof::serialized_size() const {
+  std::size_t n = 1;
+  switch (kind) {
+    case Kind::kEmpty:
+      break;
+    case Kind::kExistent:
+      n += existence->serialized_size();
+      break;
+    case Kind::kAbsent:
+      n += absence->serialized_size();
+      break;
+    case Kind::kExistentNoCount:
+      n += varint_size(plain_txs.size());
+      for (const TxWithBranch& t : plain_txs) n += t.serialized_size();
+      break;
+    case Kind::kIntegralBlock:
+      n += block->serialized_size();
+      break;
+  }
+  return n;
+}
+
+void SegmentQueryProof::serialize(Writer& w) const {
+  tree.serialize(w);
+  w.varint(block_proofs.size());
+  for (const auto& [height, proof] : block_proofs) {
+    w.varint(height);
+    proof.serialize(w);
+  }
+}
+
+SegmentQueryProof SegmentQueryProof::deserialize(Reader& r, BloomGeometry geom) {
+  SegmentQueryProof p;
+  p.tree = BmtNodeProof::deserialize(r, geom, /*max_depth=*/64);
+  std::uint64_t n = r.varint();
+  if (n > 10'000'000) throw SerializeError("too many block proofs");
+  reserve_clamped(p.block_proofs, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t height = r.varint();
+    p.block_proofs.emplace_back(height, BlockProof::deserialize(r));
+  }
+  return p;
+}
+
+std::size_t SegmentQueryProof::serialized_size() const {
+  std::size_t n = tree.serialized_size() + varint_size(block_proofs.size());
+  for (const auto& [height, proof] : block_proofs) {
+    n += varint_size(height) + proof.serialized_size();
+  }
+  return n;
+}
+
+void QueryResponse::serialize(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(design));
+  w.varint(tip_height);
+  if (design_has_bmt(design)) {
+    w.varint(segments.size());
+    for (const SegmentQueryProof& s : segments) s.serialize(w);
+  } else {
+    if (design_ships_block_bfs(design)) {
+      LVQ_CHECK(block_bfs.size() == tip_height);
+      for (const BloomFilter& bf : block_bfs) bf.serialize_bits(w);
+    }
+    LVQ_CHECK(fragments.size() == tip_height);
+    for (const BlockProof& f : fragments) f.serialize(w);
+  }
+}
+
+QueryResponse QueryResponse::deserialize(Reader& r,
+                                         const ProtocolConfig& config,
+                                         bool expect_end) {
+  QueryResponse resp;
+  std::uint8_t design = r.u8();
+  if (design > static_cast<std::uint8_t>(Design::kLvq))
+    throw SerializeError("bad design tag");
+  resp.design = static_cast<Design>(design);
+  if (resp.design != config.design)
+    throw SerializeError("response design does not match local config");
+  resp.tip_height = r.varint();
+  if (resp.tip_height > 100'000'000)
+    throw SerializeError("implausible tip height");
+  if (design_has_bmt(resp.design)) {
+    std::uint64_t n = r.varint();
+    if (n > resp.tip_height) throw SerializeError("too many segment proofs");
+    reserve_clamped(resp.segments, n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      resp.segments.push_back(
+          SegmentQueryProof::deserialize(r, config.bloom));
+    }
+  } else {
+    if (design_ships_block_bfs(resp.design)) {
+      reserve_clamped(resp.block_bfs, resp.tip_height);
+      for (std::uint64_t h = 0; h < resp.tip_height; ++h) {
+        resp.block_bfs.push_back(BloomFilter::deserialize_bits(r, config.bloom));
+      }
+    }
+    reserve_clamped(resp.fragments, resp.tip_height);
+    for (std::uint64_t h = 0; h < resp.tip_height; ++h) {
+      resp.fragments.push_back(BlockProof::deserialize(r));
+    }
+  }
+  if (expect_end) r.expect_done();
+  return resp;
+}
+
+std::size_t QueryResponse::serialized_size() const {
+  std::size_t n = 1 + varint_size(tip_height);
+  if (design_has_bmt(design)) {
+    n += varint_size(segments.size());
+    for (const SegmentQueryProof& s : segments) n += s.serialized_size();
+  } else {
+    for (const BloomFilter& bf : block_bfs) n += bf.serialized_bits_size();
+    for (const BlockProof& f : fragments) n += f.serialized_size();
+  }
+  return n;
+}
+
+namespace {
+
+void account_block_proof(const BlockProof& p, SizeBreakdown& b) {
+  b.other_bytes += 1;  // kind tag
+  switch (p.kind) {
+    case BlockProof::Kind::kEmpty:
+      break;
+    case BlockProof::Kind::kExistent: {
+      const BlockExistenceProof& e = *p.existence;
+      b.smt_bytes += e.count_branch.serialized_size();
+      b.other_bytes += varint_size(e.txs.size());
+      for (const TxWithBranch& t : e.txs) {
+        b.tx_bytes += t.tx.serialized_size();
+        b.mt_bytes += t.branch.serialized_size();
+      }
+      break;
+    }
+    case BlockProof::Kind::kAbsent:
+      b.smt_bytes += p.absence->serialized_size();
+      break;
+    case BlockProof::Kind::kExistentNoCount:
+      b.other_bytes += varint_size(p.plain_txs.size());
+      for (const TxWithBranch& t : p.plain_txs) {
+        b.tx_bytes += t.tx.serialized_size();
+        b.mt_bytes += t.branch.serialized_size();
+      }
+      break;
+    case BlockProof::Kind::kIntegralBlock:
+      b.block_bytes += p.block->serialized_size();
+      break;
+  }
+}
+
+}  // namespace
+
+SizeBreakdown QueryResponse::breakdown() const {
+  SizeBreakdown b;
+  b.other_bytes += 1 + varint_size(tip_height);
+  if (design_has_bmt(design)) {
+    b.other_bytes += varint_size(segments.size());
+    for (const SegmentQueryProof& s : segments) {
+      b.bmt_bytes += s.tree.serialized_size();
+      b.other_bytes += varint_size(s.block_proofs.size());
+      for (const auto& [height, proof] : s.block_proofs) {
+        b.other_bytes += varint_size(height);
+        account_block_proof(proof, b);
+        b.other_bytes -= 0;
+      }
+    }
+  } else {
+    for (const BloomFilter& bf : block_bfs) b.bf_bytes += bf.serialized_bits_size();
+    for (const BlockProof& f : fragments) account_block_proof(f, b);
+  }
+  return b;
+}
+
+}  // namespace lvq

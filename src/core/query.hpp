@@ -1,0 +1,123 @@
+// Query request/response containers for every protocol design (paper §V).
+//
+// The response is the object whose serialized size the paper's entire
+// evaluation measures ("communication cost in the query can be mainly
+// reflected by the size of query results", §VII). `SizeBreakdown`
+// categorizes those bytes (BMT branches vs. BFs vs. SMT branches vs. MT
+// branches vs. transactions vs. integral blocks), which is exactly the
+// decomposition Fig. 14 plots.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "core/bmt_proof.hpp"
+#include "core/protocol_config.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "merkle/sorted_merkle_tree.hpp"
+
+namespace lvq {
+
+struct QueryRequest {
+  Address address;
+
+  void serialize(Writer& w) const { address.serialize(w); }
+  static QueryRequest deserialize(Reader& r) {
+    return QueryRequest{Address::deserialize(r)};
+  }
+};
+
+/// A transaction together with its Merkle branch (the paper's MBr).
+struct TxWithBranch {
+  Transaction tx;
+  MerkleBranch branch;
+
+  void serialize(Writer& w) const;
+  static TxWithBranch deserialize(Reader& r);
+  std::size_t serialized_size() const;
+};
+
+/// Existence proof for one block (paper Fig. 10): the SMT branch fixes the
+/// appearance count; exactly `count` transactions with MT branches follow.
+struct BlockExistenceProof {
+  SmtBranch count_branch;
+  std::vector<TxWithBranch> txs;
+
+  void serialize(Writer& w) const;
+  static BlockExistenceProof deserialize(Reader& r);
+  std::size_t serialized_size() const;
+};
+
+/// Per-block proof payload; which kinds are legal depends on the design.
+struct BlockProof {
+  enum class Kind : std::uint8_t {
+    kEmpty = 0,            // BF check succeeded: fragment Ø (non-BMT designs)
+    kExistent = 1,         // SMT count + txs (designs with SMT)
+    kAbsent = 2,           // SMT absence proof for an FPM (designs with SMT)
+    kExistentNoCount = 3,  // bare MBrs (designs without SMT; Challenge 3)
+    kIntegralBlock = 4,    // whole block (designs without SMT, FPM case)
+  };
+
+  Kind kind = Kind::kEmpty;
+  std::optional<BlockExistenceProof> existence;      // kExistent
+  std::optional<SmtAbsenceProof> absence;            // kAbsent
+  std::vector<TxWithBranch> plain_txs;               // kExistentNoCount
+  std::optional<Block> block;                        // kIntegralBlock
+
+  void serialize(Writer& w) const;
+  static BlockProof deserialize(Reader& r);
+  std::size_t serialized_size() const;
+};
+
+/// Proof for one query-forest tree plus the per-block proofs its failed
+/// leaves require, keyed by absolute height (ascending).
+struct SegmentQueryProof {
+  BmtNodeProof tree;
+  std::vector<std::pair<std::uint64_t, BlockProof>> block_proofs;
+
+  void serialize(Writer& w) const;
+  static SegmentQueryProof deserialize(Reader& r, BloomGeometry geom);
+  std::size_t serialized_size() const;
+};
+
+/// Byte accounting over a serialized response (Fig. 14's categories).
+struct SizeBreakdown {
+  std::uint64_t bmt_bytes = 0;    // serialized BMT proof trees
+  std::uint64_t bf_bytes = 0;     // standalone per-block BFs
+  std::uint64_t smt_bytes = 0;    // SMT count branches + absence proofs
+  std::uint64_t mt_bytes = 0;     // MT branches
+  std::uint64_t tx_bytes = 0;     // transaction payloads
+  std::uint64_t block_bytes = 0;  // integral blocks
+  std::uint64_t other_bytes = 0;  // tags, counts, heights
+
+  std::uint64_t total() const {
+    return bmt_bytes + bf_bytes + smt_bytes + mt_bytes + tx_bytes +
+           block_bytes + other_bytes;
+  }
+};
+
+struct QueryResponse {
+  Design design = Design::kLvq;
+  std::uint64_t tip_height = 0;
+
+  /// BMT designs: one entry per query_forest(tip, M) element, in order.
+  std::vector<SegmentQueryProof> segments;
+
+  /// Non-BMT designs: dense per-height data (index h-1).
+  std::vector<BloomFilter> block_bfs;  // kStrawmanVariant / kLvqNoBmt only
+  std::vector<BlockProof> fragments;
+
+  void serialize(Writer& w) const;
+  /// `expect_end` demands the reader be fully consumed afterwards (single
+  /// responses); batch decoding passes false and reads responses back to
+  /// back.
+  static QueryResponse deserialize(Reader& r, const ProtocolConfig& config,
+                                   bool expect_end = true);
+  std::size_t serialized_size() const;
+
+  SizeBreakdown breakdown() const;
+};
+
+}  // namespace lvq

@@ -1,0 +1,401 @@
+#include "core/range_query.hpp"
+
+#include <algorithm>
+
+#include "core/merge_schedule.hpp"
+#include "core/prover.hpp"
+#include "core/verifier.hpp"
+#include "util/check.hpp"
+
+namespace lvq {
+
+std::vector<RangePiece> range_cover(std::uint64_t from, std::uint64_t to,
+                                    std::uint64_t tip,
+                                    std::uint32_t segment_length) {
+  LVQ_CHECK(from >= 1 && from <= to && to <= tip);
+  LVQ_CHECK(is_power_of_two(segment_length));
+  std::vector<RangePiece> out;
+  std::uint64_t h = from;
+  while (h <= to) {
+    std::uint64_t seg_first = ((h - 1) / segment_length) * segment_length + 1;
+    std::uint64_t seg_available =
+        std::min<std::uint64_t>(segment_length, tip - seg_first + 1);
+    std::uint64_t local = h - seg_first;  // 0-based
+    std::uint64_t local_hi =
+        std::min(to, seg_first + seg_available - 1) - seg_first;
+
+    // Greedy maximal aligned piece starting at `local`.
+    std::uint32_t level = 0;
+    while (true) {
+      std::uint64_t size = std::uint64_t{1} << (level + 1);
+      if (local % size != 0) break;
+      if (local + size - 1 > local_hi) break;
+      level++;
+    }
+
+    RangePiece piece;
+    piece.seg_first_height = seg_first;
+    piece.level = level;
+    piece.j = local >> level;
+
+    // Walk up to the nearest header-committed ancestor: node (L, J) is
+    // committed iff the block at its last leaf merges exactly 2^L blocks
+    // (Algorithm 1). Guaranteed to terminate inside the complete part of
+    // the segment (every complete node lives inside a maximal complete
+    // aligned subtree, whose root is committed).
+    std::uint32_t aL = level;
+    std::uint64_t aj = piece.j;
+    while (true) {
+      std::uint64_t end_local = (aj + 1) << aL;  // 1-based local position
+      LVQ_CHECK_MSG(end_local <= seg_available,
+                    "anchor walk left the complete part of the segment");
+      std::uint64_t end_height = seg_first + end_local - 1;
+      if (merge_count(end_height, segment_length) == (std::uint32_t{1} << aL)) {
+        piece.anchor_level = aL;
+        piece.anchor_j = aj;
+        piece.anchor_height = end_height;
+        break;
+      }
+      aj >>= 1;
+      aL++;
+      LVQ_CHECK(aL <= 63);
+    }
+    h = piece.last_height() + 1;
+    out.push_back(piece);
+  }
+  return out;
+}
+
+void AnchoredTreeProof::serialize(Writer& w) const {
+  tree.serialize(w);
+  for (const BmtPathStep& step : path) {
+    w.raw(step.sibling_hash.bytes);
+    step.sibling_bf.serialize_bits(w);
+  }
+  w.varint(block_proofs.size());
+  for (const auto& [height, proof] : block_proofs) {
+    w.varint(height);
+    proof.serialize(w);
+  }
+}
+
+AnchoredTreeProof AnchoredTreeProof::deserialize(Reader& r, BloomGeometry geom,
+                                                 std::uint32_t path_length) {
+  AnchoredTreeProof p;
+  p.tree = BmtNodeProof::deserialize(r, geom, /*max_depth=*/64);
+  reserve_clamped(p.path, path_length);
+  for (std::uint32_t i = 0; i < path_length; ++i) {
+    BmtPathStep step;
+    step.sibling_hash.bytes = r.arr<32>();
+    step.sibling_bf = BloomFilter::deserialize_bits(r, geom);
+    p.path.push_back(std::move(step));
+  }
+  std::uint64_t n = r.varint();
+  if (n > 10'000'000) throw SerializeError("too many block proofs");
+  reserve_clamped(p.block_proofs, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t height = r.varint();
+    p.block_proofs.emplace_back(height, BlockProof::deserialize(r));
+  }
+  return p;
+}
+
+std::size_t AnchoredTreeProof::serialized_size() const {
+  std::size_t n = tree.serialized_size();
+  for (const BmtPathStep& step : path) {
+    n += 32 + step.sibling_bf.serialized_bits_size();
+  }
+  n += varint_size(block_proofs.size());
+  for (const auto& [height, proof] : block_proofs) {
+    n += varint_size(height) + proof.serialized_size();
+  }
+  return n;
+}
+
+void RangeQueryRequest::serialize(Writer& w) const {
+  address.serialize(w);
+  w.varint(from);
+  w.varint(to);
+}
+
+RangeQueryRequest RangeQueryRequest::deserialize(Reader& r) {
+  RangeQueryRequest req;
+  req.address = Address::deserialize(r);
+  req.from = r.varint();
+  req.to = r.varint();
+  if (req.from < 1 || req.from > req.to || req.to > 100'000'000) {
+    throw SerializeError("bad range bounds");
+  }
+  return req;
+}
+
+void RangeQueryResponse::serialize(Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(design));
+  w.varint(tip_height);
+  w.varint(from);
+  w.varint(to);
+  if (design_has_bmt(design)) {
+    for (const AnchoredTreeProof& p : pieces) p.serialize(w);
+  } else {
+    if (design_ships_block_bfs(design)) {
+      LVQ_CHECK(block_bfs.size() == to - from + 1);
+      for (const BloomFilter& bf : block_bfs) bf.serialize_bits(w);
+    }
+    LVQ_CHECK(fragments.size() == to - from + 1);
+    for (const BlockProof& f : fragments) f.serialize(w);
+  }
+}
+
+RangeQueryResponse RangeQueryResponse::deserialize(
+    Reader& r, const ProtocolConfig& config) {
+  RangeQueryResponse resp;
+  std::uint8_t design = r.u8();
+  if (design > static_cast<std::uint8_t>(Design::kLvq))
+    throw SerializeError("bad design tag");
+  resp.design = static_cast<Design>(design);
+  if (resp.design != config.design)
+    throw SerializeError("response design does not match local config");
+  resp.tip_height = r.varint();
+  resp.from = r.varint();
+  resp.to = r.varint();
+  if (resp.tip_height > 100'000'000 || resp.from < 1 ||
+      resp.from > resp.to || resp.to > resp.tip_height) {
+    throw SerializeError("bad range response bounds");
+  }
+  if (design_has_bmt(resp.design)) {
+    // The cover (and thus the piece count and path lengths) is a pure
+    // function of the claimed bounds; verification later pins the bounds
+    // to the local chain.
+    std::vector<RangePiece> cover =
+        range_cover(resp.from, resp.to, resp.tip_height,
+                    config.segment_length);
+    resp.pieces.reserve(cover.size());
+    for (const RangePiece& piece : cover) {
+      resp.pieces.push_back(AnchoredTreeProof::deserialize(
+          r, config.bloom, piece.path_length()));
+    }
+  } else {
+    std::uint64_t count = resp.to - resp.from + 1;
+    if (design_ships_block_bfs(resp.design)) {
+      reserve_clamped(resp.block_bfs, count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        resp.block_bfs.push_back(
+            BloomFilter::deserialize_bits(r, config.bloom));
+      }
+    }
+    reserve_clamped(resp.fragments, count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      resp.fragments.push_back(BlockProof::deserialize(r));
+    }
+  }
+  r.expect_done();
+  return resp;
+}
+
+std::size_t RangeQueryResponse::serialized_size() const {
+  std::size_t n = 1 + varint_size(tip_height) + varint_size(from) +
+                  varint_size(to);
+  for (const AnchoredTreeProof& p : pieces) n += p.serialized_size();
+  for (const BloomFilter& bf : block_bfs) n += bf.serialized_bits_size();
+  for (const BlockProof& f : fragments) n += f.serialized_size();
+  return n;
+}
+
+RangeQueryResponse build_range_response(const ChainContext& ctx,
+                                        const Address& address,
+                                        std::uint64_t from, std::uint64_t to) {
+  const ProtocolConfig& config = ctx.config();
+  LVQ_CHECK(from >= 1 && from <= to && to <= ctx.tip_height());
+  RangeQueryResponse resp;
+  resp.design = config.design;
+  resp.tip_height = ctx.tip_height();
+  resp.from = from;
+  resp.to = to;
+
+  BloomKey key = BloomKey::from_bytes(address.span());
+  std::vector<std::uint64_t> cbp = config.bloom.positions(key);
+
+  if (config.has_bmt()) {
+    for (const RangePiece& piece :
+         range_cover(from, to, resp.tip_height, config.segment_length)) {
+      const SegmentBmt& bmt = ctx.bmt_for_height(piece.seg_first_height);
+      BmtCheckMasks masks = bmt.check_masks(cbp);
+
+      AnchoredTreeProof p;
+      p.tree = build_bmt_proof(bmt, masks, piece.level, piece.j);
+      std::uint32_t level = piece.level;
+      std::uint64_t j = piece.j;
+      while (level < piece.anchor_level) {
+        std::uint64_t sib = j ^ 1;
+        p.path.push_back(BmtPathStep{bmt.node_hash(level, sib),
+                                     bmt.node_bf(level, sib)});
+        j >>= 1;
+        level++;
+      }
+      // Per-block proofs for failed leaves inside the piece, ascending.
+      std::uint64_t leaves = std::uint64_t{1} << piece.level;
+      for (std::uint64_t off = 0; off < leaves; ++off) {
+        std::uint64_t local = (piece.j << piece.level) + off;
+        if (!masks.fails(0, local)) continue;
+        std::uint64_t height = piece.seg_first_height + local;
+        p.block_proofs.emplace_back(height,
+                                    build_block_proof(ctx, height, address));
+      }
+      resp.pieces.push_back(std::move(p));
+    }
+    return resp;
+  }
+
+  const bool ships_bfs = design_ships_block_bfs(config.design);
+  for (std::uint64_t h = from; h <= to; ++h) {
+    if (ships_bfs) resp.block_bfs.push_back(ctx.positions().block_bf(h));
+    BlockProof frag;
+    if (ctx.positions().check_fails(h, cbp)) {
+      frag = build_block_proof(ctx, h, address);
+    } else {
+      frag.kind = BlockProof::Kind::kEmpty;
+    }
+    resp.fragments.push_back(std::move(frag));
+  }
+  return resp;
+}
+
+VerifyOutcome verify_range_response(const std::vector<BlockHeader>& headers,
+                                    const ProtocolConfig& config,
+                                    const Address& address,
+                                    const RangeQueryResponse& response) {
+  const std::uint64_t tip = headers.size();
+  if (tip == 0 || response.tip_height != tip || response.design != config.design ||
+      response.from < 1 || response.from > response.to || response.to > tip) {
+    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                  "range response does not fit local chain");
+  }
+  if (headers.front().scheme != config.scheme()) {
+    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                  "header scheme does not match config");
+  }
+
+  BloomKey key = BloomKey::from_bytes(address.span());
+  std::vector<std::uint64_t> cbp = config.bloom.positions(key);
+
+  VerifyOutcome outcome;
+  outcome.history.address = address;
+
+  if (config.has_bmt()) {
+    std::vector<RangePiece> cover = range_cover(
+        response.from, response.to, tip, config.segment_length);
+    if (response.pieces.size() != cover.size()) {
+      return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                    "wrong number of range pieces");
+    }
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+      const RangePiece& piece = cover[i];
+      const AnchoredTreeProof& proof = response.pieces[i];
+      if (proof.path.size() != piece.path_length()) {
+        return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                      "wrong anchor path length");
+      }
+      BmtOpenOutcome open =
+          open_bmt_proof(proof.tree, config.bloom, cbp, piece.level);
+      if (!open.ok) {
+        return VerifyOutcome::failure(VerifyError::kBmtProofInvalid,
+                                      open.error);
+      }
+      // Fold the anchor path (Eq. 2/3); sidedness follows from j parity.
+      Hash256 hash = open.hash;
+      BloomFilter bf = std::move(open.bf);
+      std::uint64_t j = piece.j;
+      for (const BmtPathStep& step : proof.path) {
+        if (step.sibling_bf.geometry() != config.bloom) {
+          return VerifyOutcome::failure(VerifyError::kBmtProofInvalid,
+                                        "path sibling BF has wrong geometry");
+        }
+        bf.merge(step.sibling_bf);
+        hash = (j & 1) ? bmt_node_hash(step.sibling_hash, hash, bf)
+                       : bmt_node_hash(hash, step.sibling_hash, bf);
+        j >>= 1;
+      }
+      const BlockHeader& anchor = headers[piece.anchor_height - 1];
+      if (!anchor.bmt_root || hash != *anchor.bmt_root) {
+        return VerifyOutcome::failure(
+            VerifyError::kBmtProofInvalid,
+            "anchored proof does not reach the header commitment");
+      }
+      // Failed leaves <-> block proofs, exactly, in order.
+      if (proof.block_proofs.size() != open.failed_leaf_locals.size()) {
+        return VerifyOutcome::failure(
+            proof.block_proofs.size() < open.failed_leaf_locals.size()
+                ? VerifyError::kBlockProofMissing
+                : VerifyError::kBlockProofUnexpected,
+            "failed-leaf set and block-proof set differ");
+      }
+      for (std::size_t k = 0; k < proof.block_proofs.size(); ++k) {
+        std::uint64_t expect_height =
+            piece.first_height() + open.failed_leaf_locals[k];
+        if (proof.block_proofs[k].first != expect_height) {
+          return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                        "block proof at wrong height");
+        }
+        if (auto fail = verify_failed_block_proof(
+                headers, config, address, expect_height,
+                proof.block_proofs[k].second, outcome.history)) {
+          return *fail;
+        }
+      }
+    }
+    outcome.ok = true;
+    return outcome;
+  }
+
+  // Non-BMT designs: dense fragments over the range.
+  std::uint64_t count = response.to - response.from + 1;
+  const bool ships_bfs = design_ships_block_bfs(config.design);
+  if (response.fragments.size() != count ||
+      (ships_bfs && response.block_bfs.size() != count)) {
+    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                  "fragment list does not cover the range");
+  }
+  for (std::uint64_t h = response.from; h <= response.to; ++h) {
+    const BlockHeader& hd = headers[h - 1];
+    const BloomFilter* bf = nullptr;
+    if (config.design == Design::kStrawman) {
+      if (!hd.embedded_bf) {
+        return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                      "header lacks embedded BF");
+      }
+      bf = &*hd.embedded_bf;
+    } else {
+      const BloomFilter& shipped = response.block_bfs[h - response.from];
+      if (shipped.geometry() != config.bloom || !hd.bf_hash ||
+          shipped.content_hash() != *hd.bf_hash) {
+        return VerifyOutcome::failure(VerifyError::kBfHashMismatch,
+                                      "shipped BF does not match header H(BF)");
+      }
+      bf = &shipped;
+    }
+    bool failed_check = true;
+    for (std::uint64_t p : cbp) {
+      if (!bf->bit(p)) {
+        failed_check = false;
+        break;
+      }
+    }
+    const BlockProof& frag = response.fragments[h - response.from];
+    if (!failed_check) {
+      if (frag.kind != BlockProof::Kind::kEmpty) {
+        return VerifyOutcome::failure(
+            VerifyError::kFragmentKindInvalid,
+            "BF proves absence but fragment is not empty");
+      }
+      continue;
+    }
+    if (auto fail = verify_failed_block_proof(headers, config, address, h,
+                                              frag, outcome.history)) {
+      return *fail;
+    }
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace lvq

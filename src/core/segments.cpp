@@ -1,0 +1,37 @@
+#include "core/segments.hpp"
+
+namespace lvq {
+
+std::vector<SubSegment> split_last_segment(std::uint64_t seg_start,
+                                           std::uint64_t tip) {
+  std::vector<SubSegment> out;
+  std::uint64_t len = tip - seg_start + 1;
+  std::uint64_t cursor = seg_start;
+  // Binary expansion of len, high bit first (paper Eq. 6).
+  for (int bit = 63; bit >= 0; --bit) {
+    std::uint64_t piece = std::uint64_t{1} << bit;
+    if (len & piece) {
+      out.push_back(SubSegment{cursor, cursor + piece - 1});
+      cursor += piece;
+    }
+  }
+  return out;
+}
+
+std::vector<SubSegment> query_forest(std::uint64_t tip,
+                                     std::uint32_t segment_length) {
+  LVQ_CHECK(is_power_of_two(segment_length));
+  std::vector<SubSegment> out;
+  std::uint64_t complete = tip / segment_length;
+  for (std::uint64_t s = 0; s < complete; ++s) {
+    out.push_back(SubSegment{s * segment_length + 1, (s + 1) * segment_length});
+  }
+  std::uint64_t rest_start = complete * segment_length + 1;
+  if (rest_start <= tip) {
+    auto subs = split_last_segment(rest_start, tip);
+    out.insert(out.end(), subs.begin(), subs.end());
+  }
+  return out;
+}
+
+}  // namespace lvq

@@ -1,0 +1,41 @@
+// Segment and sub-segment division — the paper's §V-B (Eq. 5/6, Table II).
+//
+// The chain is cut into segments of length M. Every complete segment is
+// proven with one merged BMT branch rooted at its last block. The last,
+// possibly incomplete segment of length l = tip mod M is split into
+// sub-segments following the binary expansion of l, high bit first; each
+// sub-segment's last block merges exactly that sub-segment (Algorithm 1),
+// so each sub-segment behaves like a smaller complete segment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/merge_schedule.hpp"
+
+namespace lvq {
+
+/// A contiguous height range [first, last] whose last block's BMT root
+/// covers the whole range. `last - first + 1` is always a power of two.
+struct SubSegment {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+
+  auto operator<=>(const SubSegment&) const = default;
+
+  std::uint64_t length() const { return last - first + 1; }
+};
+
+/// Sub-segment division of the (possibly incomplete) last segment
+/// [seg_start, tip]; `len = tip - seg_start + 1 < M`. Paper Table II.
+std::vector<SubSegment> split_last_segment(std::uint64_t seg_start,
+                                           std::uint64_t tip);
+
+/// The full query forest for a chain of height `tip`: complete segments of
+/// length M first, then the last segment's sub-segments. Every height in
+/// [1, tip] is covered by exactly one entry; each entry's proof root is the
+/// BMT root in the header of block `entry.last`.
+std::vector<SubSegment> query_forest(std::uint64_t tip,
+                                     std::uint32_t segment_length);
+
+}  // namespace lvq

@@ -1,0 +1,170 @@
+#include "core/size_estimator.hpp"
+
+#include <bit>
+
+#include "core/segments.hpp"
+#include "util/check.hpp"
+
+namespace lvq {
+
+namespace {
+
+/// Length of the RFC 6962 inclusion path for leaf `m` in a tree of `n`.
+std::size_t smt_path_length(std::uint64_t m, std::uint64_t n) {
+  LVQ_CHECK(n >= 1 && m < n);
+  if (n == 1) return 0;
+  std::uint64_t k = std::bit_floor(n - 1);
+  if (m < k) return 1 + smt_path_length(m, k);
+  return 1 + smt_path_length(m - k, n - k);
+}
+
+std::size_t smt_branch_size(std::uint64_t index, std::uint64_t tree_size) {
+  std::size_t path = smt_path_length(index, tree_size);
+  return SmtLeaf::kSerializedSize + varint_size(index) +
+         varint_size(tree_size) + varint_size(path) + 32 * path;
+}
+
+/// Depth (sibling count) of a Bitcoin-style Merkle branch over n leaves.
+std::size_t mt_branch_depth(std::size_t n) {
+  std::size_t depth = 0;
+  while (n > 1) {
+    n = (n + 1) / 2;
+    depth++;
+  }
+  return depth;
+}
+
+std::size_t mt_branch_size(std::size_t leaf_count) {
+  std::size_t d = mt_branch_depth(leaf_count);
+  return 32 + 4 + varint_size(d) + 32 * d;
+}
+
+struct Estimator {
+  const ChainContext& ctx;
+  const Address& address;
+  SizeBreakdown b;
+
+  /// Size (and categories) of the per-block proof for a failed check,
+  /// mirroring build_block_proof + BlockProof::serialize byte-for-byte.
+  void add_failed_block(std::uint64_t height) {
+    b.other_bytes += 1;  // kind tag
+    const BlockDerived& derived = ctx.derived().at(height);
+    const auto& leaves = derived.smt_leaves;
+    auto it = std::lower_bound(
+        leaves.begin(), leaves.end(), address,
+        [](const SmtLeaf& l, const Address& a) { return l.address < a; });
+    bool present = it != leaves.end() && it->address == address;
+    std::uint64_t n = leaves.size();
+    bool has_smt = ctx.config().has_smt();
+
+    if (present) {
+      if (has_smt) {
+        std::uint64_t idx = static_cast<std::uint64_t>(it - leaves.begin());
+        b.smt_bytes += smt_branch_size(idx, n);
+        add_involved_txs(height, /*with_count_prefix=*/true);
+      } else if (ctx.config().design == Design::kLvqNoSmt) {
+        b.block_bytes += ctx.chain().at_height(height).serialized_size();
+      } else {
+        add_involved_txs(height, /*with_count_prefix=*/true);
+      }
+    } else {
+      if (has_smt) {
+        // Absence proof: 1 kind byte + branch(es) by boundary case.
+        b.smt_bytes += 1;
+        if (n == 0) {
+          // empty tree: kind only
+        } else if (it == leaves.begin()) {
+          b.smt_bytes += smt_branch_size(0, n);
+        } else if (it == leaves.end()) {
+          b.smt_bytes += smt_branch_size(n - 1, n);
+        } else {
+          std::uint64_t succ = static_cast<std::uint64_t>(it - leaves.begin());
+          b.smt_bytes += smt_branch_size(succ - 1, n);
+          b.smt_bytes += smt_branch_size(succ, n);
+        }
+      } else {
+        b.block_bytes += ctx.chain().at_height(height).serialized_size();
+      }
+    }
+  }
+
+  void add_involved_txs(std::uint64_t height, bool with_count_prefix) {
+    const Block& block = ctx.chain().at_height(height);
+    std::size_t branch = mt_branch_size(block.txs.size());
+    std::uint64_t count = 0;
+    for (const Transaction& tx : block.txs) {
+      if (!tx.involves(address)) continue;
+      count++;
+      b.tx_bytes += tx.serialized_size();
+      b.mt_bytes += branch;
+    }
+    if (with_count_prefix) b.other_bytes += varint_size(count);
+  }
+
+  /// BMT tree proof size via the check masks (mirrors build_bmt_proof +
+  /// BmtNodeProof::serialize) and per-block proofs for failed leaves.
+  void add_tree(const SegmentBmt& bmt, const BmtCheckMasks& masks,
+                std::uint32_t level, std::uint64_t j,
+                std::vector<std::uint64_t>& failed_heights) {
+    std::uint32_t bf_size = ctx.config().bloom.size_bytes;
+    if (!masks.fails(level, j)) {
+      b.bmt_bytes += 1 + bf_size + 1 + (level > 0 ? 64 : 0);
+      return;
+    }
+    if (level == 0) {
+      b.bmt_bytes += 1 + bf_size;
+      failed_heights.push_back(bmt.first_height() + j);
+      return;
+    }
+    b.bmt_bytes += 1;  // interior tag
+    add_tree(bmt, masks, level - 1, 2 * j, failed_heights);
+    add_tree(bmt, masks, level - 1, 2 * j + 1, failed_heights);
+  }
+};
+
+}  // namespace
+
+SizeBreakdown estimate_response_size(const ChainContext& ctx,
+                                     const Address& address) {
+  Estimator est{ctx, address, {}};
+  const ProtocolConfig& config = ctx.config();
+  std::uint64_t tip = ctx.tip_height();
+  est.b.other_bytes += 1 + varint_size(tip);
+
+  BloomKey key = BloomKey::from_bytes(address.span());
+  std::vector<std::uint64_t> cbp = config.bloom.positions(key);
+
+  if (config.has_bmt()) {
+    std::vector<SubSegment> forest = query_forest(tip, config.segment_length);
+    est.b.other_bytes += varint_size(forest.size());
+    for (const SubSegment& range : forest) {
+      const SegmentBmt& bmt = ctx.bmt_for_height(range.first);
+      BmtCheckMasks masks = bmt.check_masks(cbp);
+      std::uint32_t level =
+          static_cast<std::uint32_t>(std::countr_zero(range.length()));
+      std::uint64_t j = (range.first - bmt.first_height()) >> level;
+      std::vector<std::uint64_t> failed;
+      est.add_tree(bmt, masks, level, j, failed);
+      est.b.other_bytes += varint_size(failed.size());
+      for (std::uint64_t height : failed) {
+        est.b.other_bytes += varint_size(height);
+        est.add_failed_block(height);
+      }
+    }
+    return est.b;
+  }
+
+  if (design_ships_block_bfs(config.design)) {
+    est.b.bf_bytes += std::uint64_t{tip} * config.bloom.size_bytes;
+  }
+  for (std::uint64_t h = 1; h <= tip; ++h) {
+    if (ctx.positions().check_fails(h, cbp)) {
+      est.add_failed_block(h);
+    } else {
+      est.b.other_bytes += 1;  // empty fragment tag
+    }
+  }
+  return est.b;
+}
+
+}  // namespace lvq

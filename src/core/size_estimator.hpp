@@ -1,0 +1,22 @@
+// Size-only query pipeline (DESIGN.md extension).
+//
+// Computes the EXACT serialized size of the query response for an address
+// without materializing a single Bloom filter, transaction copy, or proof
+// object. Used for capacity planning (how big would this query be?) and by
+// very large parameter sweeps. Tests pin it byte-for-byte to the real
+// prover's output.
+#pragma once
+
+#include "chain/address.hpp"
+#include "core/chain_context.hpp"
+#include "core/query.hpp"
+
+namespace lvq {
+
+/// Exact wire size (in bytes) of `build_query_response(ctx, address)`
+/// after serialization, plus the category breakdown — byte-identical to
+/// serializing the real response, at a small fraction of the cost.
+SizeBreakdown estimate_response_size(const ChainContext& ctx,
+                                     const Address& address);
+
+}  // namespace lvq

@@ -1,0 +1,289 @@
+#include "core/verifier.hpp"
+
+#include <bit>
+#include <set>
+
+#include "core/segments.hpp"
+
+namespace lvq {
+
+namespace {
+
+struct BlockVerifier {
+  const std::vector<BlockHeader>& headers;
+  const ProtocolConfig& config;
+  const Address& address;
+  VerifiedHistory& history;
+
+  /// Validates a list of (tx, MT branch) pairs against the block header;
+  /// on success appends the txs to `out`. Returns nullopt on success.
+  std::optional<VerifyOutcome> check_txs(const BlockHeader& hd,
+                                         const std::vector<TxWithBranch>& txs,
+                                         std::vector<Transaction>& out) const {
+    std::set<Hash256> seen;
+    for (const TxWithBranch& t : txs) {
+      if (!t.tx.involves(address)) {
+        return VerifyOutcome::failure(VerifyError::kTxNotRelevant,
+                                      "returned tx does not involve address");
+      }
+      Hash256 id = t.tx.txid();
+      if (t.branch.leaf != id || !t.branch.index_canonical()) {
+        return VerifyOutcome::failure(VerifyError::kMerkleProofInvalid,
+                                      "branch leaf is not the tx hash");
+      }
+      if (!seen.insert(id).second) {
+        return VerifyOutcome::failure(VerifyError::kDuplicateTx,
+                                      "same tx presented twice");
+      }
+      if (t.branch.compute_root() != hd.merkle_root) {
+        return VerifyOutcome::failure(VerifyError::kMerkleProofInvalid,
+                                      "Merkle branch does not reach root");
+      }
+      out.push_back(t.tx);
+    }
+    return std::nullopt;
+  }
+
+  /// Verifies the per-block proof for a block whose BF check failed.
+  /// Appends to history on success; nullopt == success.
+  std::optional<VerifyOutcome> verify_failed_block(std::uint64_t height,
+                                                   const BlockProof& proof) {
+    const BlockHeader& hd = headers[height - 1];
+    switch (proof.kind) {
+      case BlockProof::Kind::kEmpty:
+        return VerifyOutcome::failure(
+            VerifyError::kFragmentKindInvalid,
+            "BF indicates possible presence but fragment is empty");
+
+      case BlockProof::Kind::kExistent: {
+        if (!config.has_smt() || !proof.existence || !hd.smt_commitment) {
+          return VerifyOutcome::failure(VerifyError::kFragmentKindInvalid,
+                                        "existence proof illegal here");
+        }
+        const BlockExistenceProof& e = *proof.existence;
+        if (e.count_branch.leaf.address != address ||
+            !SortedMerkleTree::verify_branch(e.count_branch,
+                                             *hd.smt_commitment)) {
+          return VerifyOutcome::failure(VerifyError::kSmtProofInvalid,
+                                        "SMT count branch invalid");
+        }
+        if (e.txs.size() != e.count_branch.leaf.count) {
+          return VerifyOutcome::failure(
+              VerifyError::kCountMismatch,
+              "tx count differs from SMT-proved appearance count");
+        }
+        VerifiedBlockTxs verified;
+        verified.height = height;
+        verified.count_proven = true;
+        if (auto fail = check_txs(hd, e.txs, verified.txs)) return fail;
+        history.blocks.push_back(std::move(verified));
+        return std::nullopt;
+      }
+
+      case BlockProof::Kind::kAbsent: {
+        if (!config.has_smt() || !proof.absence || !hd.smt_commitment) {
+          return VerifyOutcome::failure(VerifyError::kFragmentKindInvalid,
+                                        "absence proof illegal here");
+        }
+        if (!SortedMerkleTree::verify_absence(*proof.absence, address,
+                                              *hd.smt_commitment)) {
+          return VerifyOutcome::failure(VerifyError::kSmtProofInvalid,
+                                        "SMT absence proof invalid");
+        }
+        return std::nullopt;
+      }
+
+      case BlockProof::Kind::kExistentNoCount: {
+        if (config.has_smt() || config.design == Design::kLvqNoSmt) {
+          // With an SMT the count must be proven; lvq-no-smt demands an
+          // integral block instead — accepting bare branches would
+          // silently reintroduce Challenge 3.
+          return VerifyOutcome::failure(
+              VerifyError::kFragmentKindInvalid,
+              "count-less existence proof illegal for this design");
+        }
+        if (proof.plain_txs.empty()) {
+          return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                        "existence claim without txs");
+        }
+        VerifiedBlockTxs verified;
+        verified.height = height;
+        verified.count_proven = false;  // Challenge 3: count unverifiable
+        if (auto fail = check_txs(hd, proof.plain_txs, verified.txs))
+          return fail;
+        history.blocks.push_back(std::move(verified));
+        return std::nullopt;
+      }
+
+      case BlockProof::Kind::kIntegralBlock: {
+        if (config.has_smt()) {
+          return VerifyOutcome::failure(
+              VerifyError::kFragmentKindInvalid,
+              "integral block illegal for SMT design");
+        }
+        if (!proof.block) {
+          return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                        "integral block missing");
+        }
+        const Block& block = *proof.block;
+        // Reject duplicate txids before trusting the Merkle root: the
+        // duplicate-last-leaf rule (CVE-2012-2459) would otherwise let a
+        // mutated block body match the committed root.
+        std::set<Hash256> ids;
+        for (const Transaction& tx : block.txs) {
+          if (!ids.insert(tx.txid()).second) {
+            return VerifyOutcome::failure(VerifyError::kIntegralBlockInvalid,
+                                          "duplicate tx in integral block");
+          }
+        }
+        if (block.txs.empty() ||
+            block.compute_merkle_root() != hd.merkle_root) {
+          return VerifyOutcome::failure(
+              VerifyError::kIntegralBlockInvalid,
+              "integral block does not match header Merkle root");
+        }
+        VerifiedBlockTxs verified;
+        verified.height = height;
+        verified.count_proven = true;  // full disclosure == complete
+        for (const Transaction& tx : block.txs) {
+          if (tx.involves(address)) verified.txs.push_back(tx);
+        }
+        if (!verified.txs.empty()) history.blocks.push_back(std::move(verified));
+        return std::nullopt;
+      }
+    }
+    return VerifyOutcome::failure(VerifyError::kBadEncoding,
+                                  "corrupt block proof");
+  }
+};
+
+}  // namespace
+
+std::optional<VerifyOutcome> verify_failed_block_proof(
+    const std::vector<BlockHeader>& headers, const ProtocolConfig& config,
+    const Address& address, std::uint64_t height, const BlockProof& proof,
+    VerifiedHistory& history) {
+  BlockVerifier bv{headers, config, address, history};
+  return bv.verify_failed_block(height, proof);
+}
+
+VerifyOutcome verify_response(const std::vector<BlockHeader>& headers,
+                              const ProtocolConfig& config,
+                              const Address& address,
+                              const QueryResponse& response) {
+  const std::uint64_t tip = headers.size();
+  if (tip == 0 || response.tip_height != tip ||
+      response.design != config.design) {
+    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                  "response does not cover the local chain");
+  }
+  if (headers.front().scheme != config.scheme()) {
+    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                  "header scheme does not match config");
+  }
+
+  BloomKey key = BloomKey::from_bytes(address.span());
+  std::vector<std::uint64_t> cbp = config.bloom.positions(key);
+
+  VerifyOutcome outcome;
+  outcome.history.address = address;
+  BlockVerifier bv{headers, config, address, outcome.history};
+
+  if (config.has_bmt()) {
+    std::vector<SubSegment> forest = query_forest(tip, config.segment_length);
+    if (response.segments.size() != forest.size()) {
+      return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                    "wrong number of segment proofs");
+    }
+    for (std::size_t i = 0; i < forest.size(); ++i) {
+      const SubSegment& range = forest[i];
+      const SegmentQueryProof& seg = response.segments[i];
+      const BlockHeader& last_hd = headers[range.last - 1];
+      if (!last_hd.bmt_root) {
+        return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                      "header lacks BMT root");
+      }
+      std::uint32_t root_level =
+          static_cast<std::uint32_t>(std::countr_zero(range.length()));
+      BmtProofOutcome bmt = verify_bmt_proof(seg.tree, *last_hd.bmt_root,
+                                             config.bloom, cbp, root_level);
+      if (!bmt.ok) {
+        return VerifyOutcome::failure(VerifyError::kBmtProofInvalid, bmt.error);
+      }
+      // Every failed leaf needs exactly one per-block proof at its height,
+      // in order; extras and omissions both reject.
+      if (seg.block_proofs.size() != bmt.failed_leaf_locals.size()) {
+        return VerifyOutcome::failure(
+            seg.block_proofs.size() < bmt.failed_leaf_locals.size()
+                ? VerifyError::kBlockProofMissing
+                : VerifyError::kBlockProofUnexpected,
+            "failed-leaf set and block-proof set differ");
+      }
+      for (std::size_t k = 0; k < seg.block_proofs.size(); ++k) {
+        std::uint64_t expect_height = range.first + bmt.failed_leaf_locals[k];
+        if (seg.block_proofs[k].first != expect_height) {
+          return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                        "block proof at wrong height");
+        }
+        if (auto fail =
+                bv.verify_failed_block(expect_height, seg.block_proofs[k].second)) {
+          return *fail;
+        }
+      }
+    }
+    outcome.ok = true;
+    return outcome;
+  }
+
+  // Non-BMT designs.
+  const bool ships_bfs = design_ships_block_bfs(config.design);
+  if (response.fragments.size() != tip ||
+      (ships_bfs && response.block_bfs.size() != tip)) {
+    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                  "fragment list does not cover the chain");
+  }
+  for (std::uint64_t h = 1; h <= tip; ++h) {
+    const BlockHeader& hd = headers[h - 1];
+    const BloomFilter* bf = nullptr;
+    if (config.design == Design::kStrawman) {
+      if (!hd.embedded_bf) {
+        return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                      "header lacks embedded BF");
+      }
+      bf = &*hd.embedded_bf;
+    } else {
+      const BloomFilter& shipped = response.block_bfs[h - 1];
+      if (shipped.geometry() != config.bloom) {
+        return VerifyOutcome::failure(VerifyError::kBfHashMismatch,
+                                      "shipped BF has wrong geometry");
+      }
+      if (!hd.bf_hash || shipped.content_hash() != *hd.bf_hash) {
+        return VerifyOutcome::failure(VerifyError::kBfHashMismatch,
+                                      "shipped BF does not match header H(BF)");
+      }
+      bf = &shipped;
+    }
+    bool failed_check = true;
+    for (std::uint64_t p : cbp) {
+      if (!bf->bit(p)) {
+        failed_check = false;
+        break;
+      }
+    }
+    const BlockProof& frag = response.fragments[h - 1];
+    if (!failed_check) {
+      // Successful check: the only valid fragment is Ø (paper §IV-A).
+      if (frag.kind != BlockProof::Kind::kEmpty) {
+        return VerifyOutcome::failure(
+            VerifyError::kFragmentKindInvalid,
+            "BF proves absence but fragment is not empty");
+      }
+      continue;
+    }
+    if (auto fail = bv.verify_failed_block(h, frag)) return *fail;
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace lvq

@@ -1,0 +1,35 @@
+// Light-node-side verification (paper §V, "verify the proof in the light
+// node").
+//
+// Inputs: the locally synced headers (trusted via consensus, exactly as in
+// the paper's threat model), the protocol config, the queried address, and
+// an untrusted QueryResponse. Output: either the verified transaction
+// history — correct AND complete for designs with SMT — or a precise
+// rejection reason.
+#pragma once
+
+#include <vector>
+
+#include "chain/block.hpp"
+#include "core/protocol_config.hpp"
+#include "core/query.hpp"
+#include "core/verify_result.hpp"
+
+namespace lvq {
+
+/// `headers[h-1]` must be the header of height h, 1..tip.
+VerifyOutcome verify_response(const std::vector<BlockHeader>& headers,
+                              const ProtocolConfig& config,
+                              const Address& address,
+                              const QueryResponse& response);
+
+/// Verifies the per-block proof for a block whose BF check failed, and on
+/// success appends any verified transactions to `history`. Returns
+/// nullopt on success, the failure otherwise. Shared by full-chain and
+/// range verification.
+std::optional<VerifyOutcome> verify_failed_block_proof(
+    const std::vector<BlockHeader>& headers, const ProtocolConfig& config,
+    const Address& address, std::uint64_t height, const BlockProof& proof,
+    VerifiedHistory& history);
+
+}  // namespace lvq

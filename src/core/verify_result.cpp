@@ -1,0 +1,53 @@
+#include "core/verify_result.hpp"
+
+namespace lvq {
+
+const char* verify_error_name(VerifyError e) {
+  switch (e) {
+    case VerifyError::kNone: return "none";
+    case VerifyError::kBadEncoding: return "bad-encoding";
+    case VerifyError::kShapeMismatch: return "shape-mismatch";
+    case VerifyError::kBfHashMismatch: return "bf-hash-mismatch";
+    case VerifyError::kBmtProofInvalid: return "bmt-proof-invalid";
+    case VerifyError::kFragmentKindInvalid: return "fragment-kind-invalid";
+    case VerifyError::kSmtProofInvalid: return "smt-proof-invalid";
+    case VerifyError::kCountMismatch: return "count-mismatch";
+    case VerifyError::kMerkleProofInvalid: return "merkle-proof-invalid";
+    case VerifyError::kTxNotRelevant: return "tx-not-relevant";
+    case VerifyError::kDuplicateTx: return "duplicate-tx";
+    case VerifyError::kBlockProofMissing: return "block-proof-missing";
+    case VerifyError::kBlockProofUnexpected: return "block-proof-unexpected";
+    case VerifyError::kIntegralBlockInvalid: return "integral-block-invalid";
+  }
+  return "?";
+}
+
+Amount VerifiedHistory::balance() const {
+  Amount total = 0;
+  for (const VerifiedBlockTxs& b : blocks) {
+    for (const Transaction& tx : b.txs) {
+      for (const TxOutput& out : tx.outputs) {
+        if (out.address == address) total += out.value;
+      }
+      for (const TxInput& in : tx.inputs) {
+        if (in.address == address) total -= in.value;
+      }
+    }
+  }
+  return total;
+}
+
+std::uint64_t VerifiedHistory::total_txs() const {
+  std::uint64_t n = 0;
+  for (const VerifiedBlockTxs& b : blocks) n += b.txs.size();
+  return n;
+}
+
+bool VerifiedHistory::fully_complete() const {
+  for (const VerifiedBlockTxs& b : blocks) {
+    if (!b.count_proven) return false;
+  }
+  return true;
+}
+
+}  // namespace lvq

@@ -1,0 +1,76 @@
+// Rich verification results.
+//
+// A malicious full node's bad proof is expected input, not a bug, so
+// verification never throws on proof content — it returns a VerifyOutcome
+// carrying an error code, a human-readable detail, and (on success) the
+// verified transaction history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/address.hpp"
+#include "chain/amount.hpp"
+#include "chain/transaction.hpp"
+
+namespace lvq {
+
+enum class VerifyError : std::uint8_t {
+  kNone = 0,
+  kBadEncoding,           // response failed to decode
+  kShapeMismatch,         // wrong counts/segments/fragment layout
+  kBfHashMismatch,        // shipped BF does not match header H(BF)
+  kBmtProofInvalid,       // BMT branch failed (root mismatch / bad claim)
+  kFragmentKindInvalid,   // fragment kind contradicts the BF check
+  kSmtProofInvalid,       // SMT count/absence branch failed
+  kCountMismatch,         // #txs differs from the SMT-proved count
+  kMerkleProofInvalid,    // MT branch does not reach header merkle root
+  kTxNotRelevant,         // returned tx does not involve the address
+  kDuplicateTx,           // same txid presented twice for one block
+  kBlockProofMissing,     // failed leaf without a per-block proof
+  kBlockProofUnexpected,  // per-block proof for a non-failed block
+  kIntegralBlockInvalid,  // integral block does not match header
+};
+
+const char* verify_error_name(VerifyError e);
+
+/// Verified transactions of one block.
+struct VerifiedBlockTxs {
+  std::uint64_t height = 0;
+  std::vector<Transaction> txs;
+  /// True when the appearance count was proven (SMT present). False for
+  /// designs without SMT (strawman MBr fragments, lvq-no-smt): those txs
+  /// are correct but possibly incomplete — the paper's Challenge 3.
+  bool count_proven = false;
+};
+
+struct VerifiedHistory {
+  Address address;
+  std::vector<VerifiedBlockTxs> blocks;  // ascending height, non-empty only
+
+  /// Eq. 1: sum of outputs paying the address minus sum of inputs spending
+  /// from it, over the verified history.
+  Amount balance() const;
+
+  std::uint64_t total_txs() const;
+
+  /// True iff every block's appearance count was proven.
+  bool fully_complete() const;
+};
+
+struct VerifyOutcome {
+  bool ok = false;
+  VerifyError error = VerifyError::kNone;
+  std::string detail;
+  VerifiedHistory history;  // valid iff ok
+
+  static VerifyOutcome failure(VerifyError e, std::string detail) {
+    VerifyOutcome out;
+    out.error = e;
+    out.detail = std::move(detail);
+    return out;
+  }
+};
+
+}  // namespace lvq

@@ -1,0 +1,96 @@
+#include "crypto/base58.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace lvq {
+
+namespace {
+constexpr char kAlphabet[] =
+    "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+int char_index(char c) {
+  const char* p = std::strchr(kAlphabet, c);
+  if (p == nullptr || c == '\0') return -1;
+  return static_cast<int>(p - kAlphabet);
+}
+}  // namespace
+
+std::string base58_encode(ByteSpan data) {
+  // Count leading zero bytes; they map to '1' characters.
+  std::size_t zeros = 0;
+  while (zeros < data.size() && data[zeros] == 0) ++zeros;
+
+  // Big-number base conversion, byte-at-a-time.
+  std::vector<std::uint8_t> b58((data.size() - zeros) * 138 / 100 + 1, 0);
+  std::size_t length = 0;
+  for (std::size_t i = zeros; i < data.size(); ++i) {
+    int carry = data[i];
+    std::size_t j = 0;
+    for (auto it = b58.rbegin(); (carry != 0 || j < length) && it != b58.rend();
+         ++it, ++j) {
+      carry += 256 * (*it);
+      *it = static_cast<std::uint8_t>(carry % 58);
+      carry /= 58;
+    }
+    length = j;
+  }
+
+  std::string out(zeros, '1');
+  auto it = b58.begin() + static_cast<std::ptrdiff_t>(b58.size() - length);
+  while (it != b58.end() && *it == 0) ++it;  // skip internal leading zeros
+  for (; it != b58.end(); ++it) out.push_back(kAlphabet[*it]);
+  return out;
+}
+
+std::optional<Bytes> base58_decode(const std::string& text) {
+  std::size_t zeros = 0;
+  while (zeros < text.size() && text[zeros] == '1') ++zeros;
+
+  std::vector<std::uint8_t> b256((text.size() - zeros) * 733 / 1000 + 1, 0);
+  std::size_t length = 0;
+  for (std::size_t i = zeros; i < text.size(); ++i) {
+    int carry = char_index(text[i]);
+    if (carry < 0) return std::nullopt;
+    std::size_t j = 0;
+    for (auto it = b256.rbegin(); (carry != 0 || j < length) && it != b256.rend();
+         ++it, ++j) {
+      carry += 58 * (*it);
+      *it = static_cast<std::uint8_t>(carry % 256);
+      carry /= 256;
+    }
+    length = j;
+  }
+
+  Bytes out(zeros, 0);
+  auto it = b256.begin() + static_cast<std::ptrdiff_t>(b256.size() - length);
+  while (it != b256.end() && *it == 0) ++it;
+  out.insert(out.end(), it, b256.end());
+  return out;
+}
+
+std::string base58check_encode(std::uint8_t version, ByteSpan payload) {
+  Bytes data;
+  data.push_back(version);
+  append(data, payload);
+  Sha256Digest check = sha256d(ByteSpan{data.data(), data.size()});
+  data.insert(data.end(), check.begin(), check.begin() + 4);
+  return base58_encode(ByteSpan{data.data(), data.size()});
+}
+
+std::optional<std::pair<std::uint8_t, Bytes>> base58check_decode(
+    const std::string& text) {
+  auto decoded = base58_decode(text);
+  if (!decoded || decoded->size() < 5) return std::nullopt;
+  ByteSpan body{decoded->data(), decoded->size() - 4};
+  Sha256Digest check = sha256d(body);
+  for (int i = 0; i < 4; ++i) {
+    if ((*decoded)[decoded->size() - 4 + i] != check[i]) return std::nullopt;
+  }
+  return std::make_pair((*decoded)[0],
+                        Bytes(decoded->begin() + 1, decoded->end() - 4));
+}
+
+}  // namespace lvq

@@ -1,0 +1,21 @@
+// Base58 and Base58Check (Bitcoin address text encoding).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+std::string base58_encode(ByteSpan data);
+std::optional<Bytes> base58_decode(const std::string& text);
+
+/// Base58Check: version byte + payload + 4-byte double-SHA256 checksum.
+std::string base58check_encode(std::uint8_t version, ByteSpan payload);
+
+/// Returns (version, payload) or nullopt on bad encoding/checksum.
+std::optional<std::pair<std::uint8_t, Bytes>> base58check_decode(
+    const std::string& text);
+
+}  // namespace lvq

@@ -1,0 +1,25 @@
+#include "crypto/hash.hpp"
+
+#include "crypto/ripemd160.hpp"
+#include "util/hex.hpp"
+
+namespace lvq {
+
+std::string Hash256::hex() const { return to_hex(span()); }
+std::string Hash160::hex() const { return to_hex(span()); }
+
+Hash160 hash160(ByteSpan data) {
+  Sha256Digest inner = Sha256::hash(data);
+  Ripemd160Digest outer = ripemd160(ByteSpan{inner.data(), inner.size()});
+  Hash160 out;
+  out.bytes = outer;
+  return out;
+}
+
+Hash256 hash256d(ByteSpan data) { return Hash256::from_digest(sha256d(data)); }
+
+Hash256 tagged_hash(const char* tag, ByteSpan data) {
+  return TaggedHasher(tag).add(data).finalize();
+}
+
+}  // namespace lvq

@@ -1,0 +1,81 @@
+// Fixed-size hash value types and domain-separated hashing helpers.
+//
+// Every authenticated structure in this repo (MT, SMT, BMT) hashes with a
+// distinct ASCII tag so that, e.g., an SMT leaf can never be replayed as an
+// MT node — a standard hardening absent from the paper's notation but
+// implied by its unforgeability argument (§VI).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+struct Hash256 {
+  std::array<std::uint8_t, 32> bytes{};
+
+  auto operator<=>(const Hash256&) const = default;
+
+  ByteSpan span() const { return {bytes.data(), bytes.size()}; }
+  std::string hex() const;
+
+  static Hash256 from_digest(const Sha256Digest& d) {
+    Hash256 h;
+    h.bytes = d;
+    return h;
+  }
+  static constexpr std::size_t kSize = 32;
+};
+
+struct Hash160 {
+  std::array<std::uint8_t, 20> bytes{};
+
+  auto operator<=>(const Hash160&) const = default;
+
+  ByteSpan span() const { return {bytes.data(), bytes.size()}; }
+  std::string hex() const;
+  static constexpr std::size_t kSize = 20;
+};
+
+/// Streaming hasher with a domain-separation tag mixed in first.
+class TaggedHasher {
+ public:
+  explicit TaggedHasher(const char* tag) { h_.update(str_bytes(tag)); }
+
+  TaggedHasher& add(ByteSpan data) {
+    h_.update(data);
+    return *this;
+  }
+  TaggedHasher& add(const Hash256& h) { return add(h.span()); }
+  TaggedHasher& add_u64(std::uint64_t v) {
+    std::uint8_t le[8];
+    for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return add(as_bytes(le, 8));
+  }
+  TaggedHasher& add_u32(std::uint32_t v) {
+    std::uint8_t le[4];
+    for (int i = 0; i < 4; ++i) le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return add(as_bytes(le, 4));
+  }
+
+  Hash256 finalize() { return Hash256::from_digest(h_.finalize()); }
+
+ private:
+  Sha256 h_;
+};
+
+/// Bitcoin hash160 = RIPEMD160(SHA256(x)); produces 20-byte addresses.
+Hash160 hash160(ByteSpan data);
+
+/// Double SHA-256 packaged as Hash256 (txids, block hashes).
+Hash256 hash256d(ByteSpan data);
+
+/// Single tagged SHA-256 of one span.
+Hash256 tagged_hash(const char* tag, ByteSpan data);
+
+}  // namespace lvq

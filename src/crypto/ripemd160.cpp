@@ -1,0 +1,103 @@
+#include "crypto/ripemd160.hpp"
+
+#include <cstring>
+
+namespace lvq {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline std::uint32_t f(int j, std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  if (j < 16) return x ^ y ^ z;
+  if (j < 32) return (x & y) | (~x & z);
+  if (j < 48) return (x | ~y) ^ z;
+  if (j < 64) return (x & z) | (y & ~z);
+  return x ^ (y | ~z);
+}
+
+constexpr std::uint32_t kKL[5] = {0x00000000, 0x5a827999, 0x6ed9eba1,
+                                  0x8f1bbcdc, 0xa953fd4e};
+constexpr std::uint32_t kKR[5] = {0x50a28be6, 0x5c4dd124, 0x6d703ef3,
+                                  0x7a6d76e9, 0x00000000};
+
+constexpr int kRL[80] = {
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    7, 4, 13, 1, 10, 6, 15, 3, 12, 0, 9, 5, 2, 14, 11, 8,
+    3, 10, 14, 4, 9, 15, 8, 1, 2, 7, 0, 6, 13, 11, 5, 12,
+    1, 9, 11, 10, 0, 8, 12, 4, 13, 3, 7, 15, 14, 5, 6, 2,
+    4, 0, 5, 9, 7, 12, 2, 10, 14, 1, 3, 8, 11, 6, 15, 13};
+constexpr int kRR[80] = {
+    5, 14, 7, 0, 9, 2, 11, 4, 13, 6, 15, 8, 1, 10, 3, 12,
+    6, 11, 3, 7, 0, 13, 5, 10, 14, 15, 8, 12, 4, 9, 1, 2,
+    15, 5, 1, 3, 7, 14, 6, 9, 11, 8, 12, 2, 10, 0, 4, 13,
+    8, 6, 4, 1, 3, 11, 15, 0, 5, 12, 2, 13, 9, 7, 10, 14,
+    12, 15, 10, 4, 1, 5, 8, 7, 6, 2, 13, 14, 0, 3, 9, 11};
+constexpr int kSL[80] = {
+    11, 14, 15, 12, 5, 8, 7, 9, 11, 13, 14, 15, 6, 7, 9, 8,
+    7, 6, 8, 13, 11, 9, 7, 15, 7, 12, 15, 9, 11, 7, 13, 12,
+    11, 13, 6, 7, 14, 9, 13, 15, 14, 8, 13, 6, 5, 12, 7, 5,
+    11, 12, 14, 15, 14, 15, 9, 8, 9, 14, 5, 6, 8, 6, 5, 12,
+    9, 15, 5, 11, 6, 8, 13, 12, 5, 12, 13, 14, 11, 8, 5, 6};
+constexpr int kSR[80] = {
+    8, 9, 9, 11, 13, 15, 15, 5, 7, 7, 8, 11, 14, 14, 12, 6,
+    9, 13, 15, 7, 12, 8, 9, 11, 7, 7, 12, 7, 6, 15, 13, 11,
+    9, 7, 15, 11, 8, 6, 6, 14, 12, 13, 5, 14, 13, 13, 7, 5,
+    15, 5, 8, 11, 14, 14, 6, 14, 6, 9, 12, 9, 12, 5, 15, 8,
+    8, 5, 12, 9, 12, 5, 14, 6, 8, 13, 6, 5, 15, 13, 11, 11};
+
+void compress(std::uint32_t h[5], const std::uint8_t* block) {
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = std::uint32_t(block[4 * i]) | (std::uint32_t(block[4 * i + 1]) << 8) |
+           (std::uint32_t(block[4 * i + 2]) << 16) |
+           (std::uint32_t(block[4 * i + 3]) << 24);
+  }
+  std::uint32_t al = h[0], bl = h[1], cl = h[2], dl = h[3], el = h[4];
+  std::uint32_t ar = h[0], br = h[1], cr = h[2], dr = h[3], er = h[4];
+  for (int j = 0; j < 80; ++j) {
+    std::uint32_t t = rotl(al + f(j, bl, cl, dl) + x[kRL[j]] + kKL[j / 16], kSL[j]) + el;
+    al = el; el = dl; dl = rotl(cl, 10); cl = bl; bl = t;
+    t = rotl(ar + f(79 - j, br, cr, dr) + x[kRR[j]] + kKR[j / 16], kSR[j]) + er;
+    ar = er; er = dr; dr = rotl(cr, 10); cr = br; br = t;
+  }
+  std::uint32_t t = h[1] + cl + dr;
+  h[1] = h[2] + dl + er;
+  h[2] = h[3] + el + ar;
+  h[3] = h[4] + al + br;
+  h[4] = h[0] + bl + cr;
+  h[0] = t;
+}
+
+}  // namespace
+
+Ripemd160Digest ripemd160(ByteSpan data) {
+  std::uint32_t h[5] = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476,
+                        0xc3d2e1f0};
+  std::size_t full = data.size() / 64;
+  for (std::size_t i = 0; i < full; ++i) compress(h, data.data() + 64 * i);
+
+  // Padding: 0x80, zeros, 64-bit little-endian bit length.
+  std::uint8_t tail[128] = {0};
+  std::size_t rem = data.size() - full * 64;
+  if (rem > 0) std::memcpy(tail, data.data() + full * 64, rem);
+  tail[rem] = 0x80;
+  std::size_t tail_blocks = (rem + 1 + 8 <= 64) ? 1 : 2;
+  std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i)
+    tail[tail_blocks * 64 - 8 + i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+  for (std::size_t i = 0; i < tail_blocks; ++i) compress(h, tail + 64 * i);
+
+  Ripemd160Digest out{};
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(h[i]);
+    out[4 * i + 1] = static_cast<std::uint8_t>(h[i] >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(h[i] >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(h[i] >> 24);
+  }
+  return out;
+}
+
+}  // namespace lvq

@@ -1,0 +1,16 @@
+// RIPEMD-160, used (as in Bitcoin) to derive 20-byte addresses via
+// hash160 = RIPEMD160(SHA256(pubkey-surrogate)).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+using Ripemd160Digest = std::array<std::uint8_t, 20>;
+
+Ripemd160Digest ripemd160(ByteSpan data);
+
+}  // namespace lvq

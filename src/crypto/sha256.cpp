@@ -1,0 +1,184 @@
+#include "crypto/sha256.hpp"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define LVQ_X86 1
+#include <cpuid.h>
+#endif
+
+namespace lvq {
+
+namespace {
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+         (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void compress_portable(std::uint32_t state[8], const std::uint8_t* block,
+                       std::size_t nblocks) {
+  std::uint32_t a, b, c, d, e, f, g, h;
+  std::uint32_t w[64];
+  while (nblocks-- > 0) {
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+    for (int i = 16; i < 64; ++i) {
+      std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    a = state[0]; b = state[1]; c = state[2]; d = state[3];
+    e = state[4]; f = state[5]; g = state[6]; h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      std::uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      std::uint32_t ch = (e & f) ^ (~e & g);
+      std::uint32_t t1 = h + S1 + ch + kK[i] + w[i];
+      std::uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      std::uint32_t t2 = S0 + maj;
+      h = g; g = f; f = e; e = d + t1;
+      d = c; c = b; b = a; a = t1 + t2;
+    }
+    state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+    state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+    block += 64;
+  }
+}
+
+#ifdef LVQ_X86
+bool cpu_has_shani() {
+  unsigned int eax, ebx, ecx, edx;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  return (ebx & (1u << 29)) != 0;  // SHA extensions
+}
+
+// The SHA-NI path lives in sha256_shani.cpp (compiled with -msha -msse4.1).
+void compress_shani(std::uint32_t state[8], const std::uint8_t* block,
+                    std::size_t nblocks);
+#endif
+
+using CompressFn = void (*)(std::uint32_t[8], const std::uint8_t*, std::size_t);
+
+CompressFn select_backend(const char** name) {
+#ifdef LVQ_X86
+  if (cpu_has_shani()) {
+    *name = "sha-ni";
+    return &compress_shani;
+  }
+#endif
+  *name = "portable";
+  return &compress_portable;
+}
+
+const char* g_backend_name = nullptr;
+CompressFn g_compress = select_backend(&g_backend_name);
+
+}  // namespace
+
+#ifdef LVQ_X86
+namespace detail {
+// Defined in sha256_shani.cpp.
+void sha256_shani_compress(std::uint32_t state[8], const std::uint8_t* block,
+                           std::size_t nblocks);
+}  // namespace detail
+
+namespace {
+void compress_shani(std::uint32_t state[8], const std::uint8_t* block,
+                    std::size_t nblocks) {
+  detail::sha256_shani_compress(state, block, nblocks);
+}
+}  // namespace
+#endif
+
+void Sha256::reset() {
+  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  buffered_ = 0;
+  total_len_ = 0;
+}
+
+void Sha256::compress(const std::uint8_t* block, std::size_t nblocks) {
+  g_compress(state_.data(), block, nblocks);
+}
+
+Sha256& Sha256::update(ByteSpan data) {
+  total_len_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    std::size_t need = 64 - buffered_;
+    std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    off += take;
+    if (buffered_ == 64) {
+      compress(buffer_.data(), 1);
+      buffered_ = 0;
+    }
+  }
+  std::size_t full = (data.size() - off) / 64;
+  if (full > 0) {
+    compress(data.data() + off, full);
+    off += full * 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+  return *this;
+}
+
+Sha256Digest Sha256::finalize() {
+  std::uint64_t bit_len = total_len_ * 8;
+  std::uint8_t pad = 0x80;
+  update(as_bytes(&pad, 1));
+  std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(as_bytes(&zero, 1));
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i)
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  // Bypass total_len_ accounting for the length field itself.
+  std::memcpy(buffer_.data() + 56, len_be, 8);
+  compress(buffer_.data(), 1);
+  buffered_ = 0;
+
+  Sha256Digest out{};
+  for (int i = 0; i < 8; ++i) store_be32(out.data() + 4 * i, state_[i]);
+  return out;
+}
+
+Sha256Digest Sha256::hash(ByteSpan data) {
+  Sha256 h;
+  h.update(data);
+  return h.finalize();
+}
+
+const char* Sha256::backend() { return g_backend_name; }
+
+Sha256Digest sha256d(ByteSpan data) {
+  Sha256Digest first = Sha256::hash(data);
+  return Sha256::hash(ByteSpan{first.data(), first.size()});
+}
+
+}  // namespace lvq

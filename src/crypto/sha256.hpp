@@ -1,0 +1,52 @@
+// SHA-256, implemented from scratch.
+//
+// Two compression-function backends:
+//   * a portable C++ implementation (always available), and
+//   * an x86 SHA-NI implementation, selected at runtime via CPUID.
+// BMT construction hashes every node's Bloom filter (gigabytes at the large
+// filter sizes in Fig. 13), so the hardware path matters for bench runtime.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(ByteSpan data);
+  Sha256& update(const void* data, std::size_t size) {
+    return update(as_bytes(data, size));
+  }
+  /// Finalizes and returns the digest. The object must be reset() before
+  /// further use.
+  Sha256Digest finalize();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(ByteSpan data);
+
+  /// Name of the compression backend in use ("sha-ni" or "portable").
+  static const char* backend();
+
+ private:
+  void compress(const std::uint8_t* block, std::size_t nblocks);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Bitcoin's double SHA-256.
+Sha256Digest sha256d(ByteSpan data);
+
+}  // namespace lvq

@@ -1,0 +1,105 @@
+#include "merkle/merkle_tree.hpp"
+
+#include "util/check.hpp"
+
+namespace lvq {
+
+Hash256 merkle_parent(const Hash256& left, const Hash256& right) {
+  Bytes cat;
+  cat.reserve(64);
+  append(cat, left.span());
+  append(cat, right.span());
+  return hash256d(ByteSpan{cat.data(), cat.size()});
+}
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
+  LVQ_CHECK_MSG(!leaves.empty(), "Merkle tree needs at least one leaf");
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Hash256& l = prev[i];
+      const Hash256& r = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(merkle_parent(l, r));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+Hash256 MerkleTree::compute_root(const std::vector<Hash256>& leaves) {
+  LVQ_CHECK_MSG(!leaves.empty(), "Merkle tree needs at least one leaf");
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash256& l = level[i];
+      const Hash256& r = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(merkle_parent(l, r));
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+MerkleBranch MerkleTree::branch(std::uint32_t index) const {
+  LVQ_CHECK(index < leaf_count());
+  MerkleBranch out;
+  out.leaf = levels_.front()[index];
+  out.index = index;
+  std::uint32_t i = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    std::uint32_t sib = i ^ 1;
+    // Odd level end: Bitcoin duplicates the last node, so the sibling of a
+    // final unpaired node is itself.
+    if (sib >= nodes.size()) sib = i;
+    out.siblings.push_back(nodes[sib]);
+    i >>= 1;
+  }
+  return out;
+}
+
+Hash256 MerkleBranch::compute_root() const {
+  Hash256 h = leaf;
+  std::uint32_t i = index;
+  for (const Hash256& sib : siblings) {
+    if (i & 1) {
+      h = merkle_parent(sib, h);
+    } else {
+      h = merkle_parent(h, sib);
+    }
+    i >>= 1;
+  }
+  return h;
+}
+
+void MerkleBranch::serialize(Writer& w) const {
+  w.raw(leaf.bytes);
+  w.u32(index);
+  w.varint(siblings.size());
+  for (const Hash256& s : siblings) w.raw(s.bytes);
+}
+
+MerkleBranch MerkleBranch::deserialize(Reader& r) {
+  MerkleBranch b;
+  b.leaf.bytes = r.arr<32>();
+  b.index = r.u32();
+  std::uint64_t n = r.varint();
+  if (n > 64) throw SerializeError("Merkle branch too deep");
+  reserve_clamped(b.siblings, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Hash256 h;
+    h.bytes = r.arr<32>();
+    b.siblings.push_back(h);
+  }
+  return b;
+}
+
+std::size_t MerkleBranch::serialized_size() const {
+  return 32 + 4 + varint_size(siblings.size()) + 32 * siblings.size();
+}
+
+}  // namespace lvq

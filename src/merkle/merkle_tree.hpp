@@ -1,0 +1,65 @@
+// Bitcoin-style Merkle tree over transaction ids (paper §II-A).
+//
+// Interior nodes are sha256d(left || right); a level with an odd number of
+// nodes duplicates its last node, exactly as Bitcoin does. A `MerkleBranch`
+// (the paper's MBr) proves that a txid is included under a header's
+// merkle_root; it cannot prove absence — that is the whole reason LVQ
+// exists.
+//
+// Note: the duplicate-last-node rule famously admits two leaf lists with
+// the same root (CVE-2012-2459). LVQ's completeness argument never relies
+// on MT leaf-set uniqueness (appearance counts come from the SMT), so we
+// keep Bitcoin's rule for fidelity; the SMT deliberately uses the RFC 6962
+// shape instead, where index arithmetic must be unambiguous.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+/// Inclusion proof: leaf txid, its index, and one sibling per level.
+struct MerkleBranch {
+  Hash256 leaf;
+  std::uint32_t index = 0;
+  std::vector<Hash256> siblings;
+
+  /// Folds the branch to a root; compare with the header's merkle_root.
+  Hash256 compute_root() const;
+
+  /// The fold consumes one index bit per sibling; higher bits are inert.
+  /// Verifiers must reject branches with inert bits set, otherwise two
+  /// distinct encodings prove the same statement (non-canonical proofs).
+  bool index_canonical() const {
+    return siblings.size() >= 32 || (index >> siblings.size()) == 0;
+  }
+
+  void serialize(Writer& w) const;
+  static MerkleBranch deserialize(Reader& r);
+  std::size_t serialized_size() const;
+};
+
+class MerkleTree {
+ public:
+  /// Builds all levels; `leaves` must be non-empty.
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  const Hash256& root() const { return levels_.back().front(); }
+  std::size_t leaf_count() const { return levels_.front().size(); }
+
+  MerkleBranch branch(std::uint32_t index) const;
+
+  /// Root without building branch-capable state.
+  static Hash256 compute_root(const std::vector<Hash256>& leaves);
+
+ private:
+  std::vector<std::vector<Hash256>> levels_;  // levels_[0] = leaves
+};
+
+/// Interior combiner, exposed for tests.
+Hash256 merkle_parent(const Hash256& left, const Hash256& right);
+
+}  // namespace lvq

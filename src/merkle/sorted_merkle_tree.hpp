@@ -1,0 +1,130 @@
+// Sorted Merkle Tree (paper §III-A and §IV-B2).
+//
+// One SMT is built per block. Its leaves are `(address, appearance_count)`
+// pairs for every address appearing in the block, sorted lexicographically
+// by address. Appearance count is defined as the number of *transactions*
+// in the block in which the address occurs (input or output side) — that
+// definition makes "count" equal the number of Merkle branches an existence
+// proof must carry, which is exactly how the paper uses it (Fig. 10).
+//
+// Tree shape is RFC 6962 (split at the largest power of two strictly less
+// than n): unlike Bitcoin's duplicate-last rule, every (index, tree_size)
+// pair addresses a unique leaf, so "these two leaves are adjacent" is a
+// sound statement — the heart of the predecessor/successor absence proof
+// (paper Fig. 9). Leaf and interior hashes are domain-separated, and the
+// header stores a commitment H(tag || tree_size || root) so the verifier
+// learns the authentic leaf count (needed to recognize "last leaf").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/address.hpp"
+#include "crypto/hash.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+struct SmtLeaf {
+  Address address;
+  std::uint32_t count = 0;  // appearance count, >= 1 for a stored leaf
+
+  auto operator<=>(const SmtLeaf&) const = default;
+
+  Hash256 hash() const;
+
+  void serialize(Writer& w) const {
+    address.serialize(w);
+    w.u32(count);
+  }
+  static SmtLeaf deserialize(Reader& r) {
+    SmtLeaf l;
+    l.address = Address::deserialize(r);
+    l.count = r.u32();
+    return l;
+  }
+  static constexpr std::size_t kSerializedSize = Address::kSerializedSize + 4;
+};
+
+/// Inclusion proof of one leaf at a known index in a tree of known size.
+struct SmtBranch {
+  SmtLeaf leaf;
+  std::uint64_t index = 0;
+  std::uint64_t tree_size = 0;
+  std::vector<Hash256> path;  // RFC 6962 inclusion path, leaf to root
+
+  /// Recomputes the header commitment implied by this branch; returns
+  /// nullopt if (index, tree_size, path length) are inconsistent.
+  std::optional<Hash256> compute_commitment() const;
+
+  void serialize(Writer& w) const;
+  static SmtBranch deserialize(Reader& r);
+  std::size_t serialized_size() const;
+};
+
+/// Absence proof for an address (resolves Bloom-filter false positives).
+struct SmtAbsenceProof {
+  enum class Kind : std::uint8_t {
+    kEmptyTree = 0,    // block has no addresses at all
+    kBeforeFirst = 1,  // address < smallest leaf; proof carries successor
+    kAfterLast = 2,    // address > largest leaf; proof carries predecessor
+    kBetween = 3,      // predecessor < address < successor, adjacent leaves
+  };
+
+  Kind kind = Kind::kEmptyTree;
+  std::optional<SmtBranch> predecessor;
+  std::optional<SmtBranch> successor;
+
+  void serialize(Writer& w) const;
+  static SmtAbsenceProof deserialize(Reader& r);
+  std::size_t serialized_size() const;
+};
+
+class SortedMerkleTree {
+ public:
+  /// `leaves` must be strictly sorted by address (duplicates rejected);
+  /// counts must be >= 1. An empty leaf set is allowed (degenerate block).
+  explicit SortedMerkleTree(std::vector<SmtLeaf> leaves);
+
+  /// The value stored in the block header ("SMT root" in the paper):
+  /// H("LVQ/SMTRoot" || tree_size || MTH). Commits to the leaf count.
+  const Hash256& commitment() const { return commitment_; }
+
+  std::uint64_t size() const { return leaves_.size(); }
+  const std::vector<SmtLeaf>& leaves() const { return leaves_; }
+
+  /// Index of `addr`, or nullopt if absent.
+  std::optional<std::uint64_t> find(const Address& addr) const;
+
+  SmtBranch branch(std::uint64_t index) const;
+
+  /// Builds the right-shaped absence proof for an absent address.
+  /// Precondition: `addr` is not in the tree.
+  SmtAbsenceProof absence_proof(const Address& addr) const;
+
+  /// --- verification (static: runs on the light node, no tree needed) ---
+
+  /// True iff `branch` authenticates against `commitment`.
+  static bool verify_branch(const SmtBranch& branch, const Hash256& commitment);
+
+  /// True iff `proof` soundly demonstrates that `addr` is NOT in the tree
+  /// committed to by `commitment`. Checks branch validity, adjacency
+  /// (indices differ by one / boundary indices), and the ordering
+  /// predecessor.address < addr < successor.address.
+  static bool verify_absence(const SmtAbsenceProof& proof, const Address& addr,
+                             const Hash256& commitment);
+
+  /// Commitment for an empty tree (used when a block exposes no addresses).
+  static Hash256 empty_commitment();
+
+ private:
+  Hash256 mth(std::size_t lo, std::size_t hi) const;  // RFC 6962 MTH over [lo,hi)
+  void path_into(std::size_t m, std::size_t lo, std::size_t hi,
+                 std::vector<Hash256>& out) const;
+
+  std::vector<SmtLeaf> leaves_;
+  Hash256 commitment_;
+};
+
+}  // namespace lvq

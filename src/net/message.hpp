@@ -1,0 +1,56 @@
+// Wire envelope for the light-node <-> full-node RPC (paper §VII-A: "the
+// query process is simulated by the RPC call").
+//
+// Every message is `u8 type || payload`. The loopback transport counts the
+// exact bytes of these envelopes, which is what every "query result size"
+// in the benchmarks measures.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "util/bytes.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+enum class MsgType : std::uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kHeadersRequest = 3,
+  kHeaders = 4,
+  kError = 5,
+  /// Incremental sync: payload is a varint height h; the reply is a
+  /// kHeaders message carrying only headers with height > h.
+  kHeadersSinceRequest = 6,
+  /// Batch query: varint count + that many addresses; the reply is a
+  /// kBatchQueryResponse with one QueryResponse per address, in order.
+  kBatchQueryRequest = 7,
+  kBatchQueryResponse = 8,
+  /// Height-range query: address + varint from + varint to.
+  kRangeQueryRequest = 9,
+  kRangeQueryResponse = 10,
+  /// Shared watchlist query: varint n + addresses; the reply carries ONE
+  /// shared BMT structure plus per-address block proofs.
+  kMultiQueryRequest = 11,
+  kMultiQueryResponse = 12,
+};
+
+inline Bytes encode_envelope(MsgType type, ByteSpan payload) {
+  Bytes out;
+  out.reserve(payload.size() + 1);
+  out.push_back(static_cast<std::uint8_t>(type));
+  append(out, payload);
+  return out;
+}
+
+/// Returns (type, payload view). Throws SerializeError on an empty or
+/// unknown-typed message.
+inline std::pair<MsgType, ByteSpan> decode_envelope(ByteSpan msg) {
+  if (msg.empty()) throw SerializeError("empty message");
+  std::uint8_t type = msg[0];
+  if (type < 1 || type > 12) throw SerializeError("unknown message type");
+  return {static_cast<MsgType>(type), msg.subspan(1)};
+}
+
+}  // namespace lvq

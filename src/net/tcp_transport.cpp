@@ -1,0 +1,150 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace lvq {
+
+namespace {
+
+constexpr std::uint32_t kMaxFrame = 1u << 30;  // 1 GiB guard
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("tcp: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+/// Reads exactly n bytes; false on orderly EOF at a frame boundary.
+bool read_full(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t got = ::read(fd, out + off, n - off);
+    if (got == 0) return false;
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_full(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t put = ::write(fd, data + off, n - off);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+bool write_frame(int fd, ByteSpan payload) {
+  std::uint8_t len[4];
+  std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) len[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  return write_full(fd, len, 4) && write_full(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, Bytes& out) {
+  std::uint8_t len[4];
+  if (!read_full(fd, len, 4)) return false;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) n |= std::uint32_t{len[i]} << (8 * i);
+  if (n > kMaxFrame) return false;
+  out.resize(n);
+  return n == 0 || read_full(fd, out.data(), n);
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Handler handler) : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    fail("bind");
+  if (::listen(listen_fd_, 16) < 0) fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail("getsockname");
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  bool expected = false;
+  if (stopping_.compare_exchange_strong(expected, true)) {
+    // Closing the listener unblocks accept().
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void TcpServer::accept_loop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  Bytes request;
+  while (read_frame(fd, request)) {
+    Bytes response = handler_(ByteSpan{request.data(), request.size()});
+    if (!write_frame(fd, ByteSpan{response.data(), response.size()})) break;
+  }
+  ::close(fd);
+}
+
+TcpTransport::TcpTransport(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fail("connect");
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Bytes TcpTransport::round_trip(ByteSpan request) {
+  if (!write_frame(fd_, request)) throw std::runtime_error("tcp: send failed");
+  bytes_sent_ += request.size();
+  Bytes response;
+  if (!read_frame(fd_, response)) throw std::runtime_error("tcp: recv failed");
+  bytes_received_ += response.size();
+  return response;
+}
+
+}  // namespace lvq

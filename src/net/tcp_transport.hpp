@@ -1,0 +1,69 @@
+// Real TCP transport over loopback.
+//
+// The paper ran the light node (RPC client) and full node (RPC server) on
+// separate machines; `LoopbackTransport` models only the byte counts. This
+// pair makes the split literal: a `TcpServer` accepts connections on
+// 127.0.0.1 and serves the same handler a full node exposes, and a
+// `TcpTransport` is a drop-in `Transport` speaking length-prefixed frames
+// over a persistent socket. Every test/bench works with either transport.
+//
+// Framing per direction: u32 little-endian payload length, then payload.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+class TcpServer {
+ public:
+  using Handler = std::function<Bytes(ByteSpan)>;
+
+  /// Binds 127.0.0.1 on an ephemeral port and starts the accept loop.
+  /// Throws std::runtime_error if the socket cannot be set up.
+  explicit TcpServer(Handler handler);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes the listener, and joins all workers.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Connects to 127.0.0.1:port; throws std::runtime_error on failure.
+  explicit TcpTransport(std::uint16_t port);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Bytes round_trip(ByteSpan request) override;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace lvq

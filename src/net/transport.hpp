@@ -1,0 +1,50 @@
+// Byte-counting transport between a light node and a full node.
+//
+// The paper ran client and server on two machines and measured the size of
+// query results; we run them in-process but serialize every message through
+// this interface, so "communication cost" is the size of real wire bytes,
+// not an estimate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `request`, returns the peer's response. Implementations must
+  /// account bytes in both directions.
+  virtual Bytes round_trip(ByteSpan request) = 0;
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ protected:
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+/// In-process loopback to a server-side handler function.
+class LoopbackTransport final : public Transport {
+ public:
+  using Handler = std::function<Bytes(ByteSpan)>;
+
+  explicit LoopbackTransport(Handler handler) : handler_(std::move(handler)) {}
+
+  Bytes round_trip(ByteSpan request) override {
+    bytes_sent_ += request.size();
+    Bytes response = handler_(request);
+    bytes_received_ += response.size();
+    return response;
+  }
+
+ private:
+  Handler handler_;
+};
+
+}  // namespace lvq

@@ -1,0 +1,160 @@
+#include "node/attack.hpp"
+
+namespace lvq::attacks {
+
+namespace {
+
+/// Finds the first block proof of `kind` anywhere in the response (BMT
+/// segment proofs or dense fragments); nullptr if none.
+BlockProof* find_block_proof(QueryResponse& resp, BlockProof::Kind kind) {
+  for (SegmentQueryProof& seg : resp.segments) {
+    for (auto& [height, proof] : seg.block_proofs) {
+      if (proof.kind == kind) return &proof;
+    }
+  }
+  for (BlockProof& frag : resp.fragments) {
+    if (frag.kind == kind) return &frag;
+  }
+  return nullptr;
+}
+
+/// Depth-first search for the first failed-leaf node in a BMT proof.
+BmtNodeProof* find_failed_leaf(BmtNodeProof& node) {
+  switch (node.kind) {
+    case BmtNodeProof::Kind::kFailedLeaf:
+      return &node;
+    case BmtNodeProof::Kind::kInterior: {
+      if (node.left) {
+        if (BmtNodeProof* hit = find_failed_leaf(*node.left)) return hit;
+      }
+      if (node.right) {
+        if (BmtNodeProof* hit = find_failed_leaf(*node.right)) return hit;
+      }
+      return nullptr;
+    }
+    case BmtNodeProof::Kind::kInexistentEndpoint:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool omit_tx_from_existence(QueryResponse& resp) {
+  BlockProof* p = find_block_proof(resp, BlockProof::Kind::kExistent);
+  if (p == nullptr || !p->existence || p->existence->txs.empty()) return false;
+  p->existence->txs.pop_back();
+  return true;
+}
+
+bool omit_tx_no_count(QueryResponse& resp) {
+  // Leaving zero txs would be rejected as an empty claim, so find a proof
+  // with at least two.
+  auto try_one = [](BlockProof& p) {
+    if (p.kind != BlockProof::Kind::kExistentNoCount || p.plain_txs.size() < 2)
+      return false;
+    p.plain_txs.pop_back();
+    return true;
+  };
+  for (SegmentQueryProof& seg : resp.segments) {
+    for (auto& [height, proof] : seg.block_proofs) {
+      if (try_one(proof)) return true;
+    }
+  }
+  for (BlockProof& frag : resp.fragments) {
+    if (try_one(frag)) return true;
+  }
+  return false;
+}
+
+bool suppress_block_proof(QueryResponse& resp) {
+  for (SegmentQueryProof& seg : resp.segments) {
+    if (!seg.block_proofs.empty()) {
+      seg.block_proofs.pop_back();
+      return true;
+    }
+  }
+  for (BlockProof& frag : resp.fragments) {
+    if (frag.kind != BlockProof::Kind::kEmpty) {
+      frag = BlockProof{};  // kEmpty
+      return true;
+    }
+  }
+  return false;
+}
+
+bool tamper_bmt_bloom_filter(QueryResponse& resp) {
+  for (SegmentQueryProof& seg : resp.segments) {
+    if (BmtNodeProof* leaf = find_failed_leaf(seg.tree)) {
+      Bytes& bits = leaf->bf.mutable_data();
+      for (std::uint8_t& b : bits) {
+        if (b != 0) {
+          b &= static_cast<std::uint8_t>(b - 1);  // clear lowest set bit
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool tamper_shipped_bloom_filter(QueryResponse& resp) {
+  for (BloomFilter& bf : resp.block_bfs) {
+    Bytes& bits = bf.mutable_data();
+    for (std::uint8_t& b : bits) {
+      if (b != 0) {
+        b &= static_cast<std::uint8_t>(b - 1);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool forge_count(QueryResponse& resp) {
+  BlockProof* p = find_block_proof(resp, BlockProof::Kind::kExistent);
+  if (p == nullptr || !p->existence || p->existence->txs.empty()) return false;
+  p->existence->count_branch.leaf.count -= 1;
+  p->existence->txs.pop_back();
+  return true;
+}
+
+bool corrupt_tx(QueryResponse& resp) {
+  auto corrupt = [](std::vector<TxWithBranch>& txs) {
+    if (txs.empty()) return false;
+    if (txs[0].tx.outputs.empty()) return false;
+    txs[0].tx.outputs[0].value += 1;
+    return true;
+  };
+  for (SegmentQueryProof& seg : resp.segments) {
+    for (auto& [height, proof] : seg.block_proofs) {
+      if (proof.kind == BlockProof::Kind::kExistent && proof.existence &&
+          corrupt(proof.existence->txs)) {
+        return true;
+      }
+      if (proof.kind == BlockProof::Kind::kExistentNoCount &&
+          corrupt(proof.plain_txs)) {
+        return true;
+      }
+    }
+  }
+  for (BlockProof& frag : resp.fragments) {
+    if (frag.kind == BlockProof::Kind::kExistent && frag.existence &&
+        corrupt(frag.existence->txs)) {
+      return true;
+    }
+    if (frag.kind == BlockProof::Kind::kExistentNoCount &&
+        corrupt(frag.plain_txs)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool drop_segment(QueryResponse& resp) {
+  if (resp.segments.empty()) return false;
+  resp.segments.pop_back();
+  return true;
+}
+
+}  // namespace lvq::attacks

@@ -1,0 +1,43 @@
+// Canned response mutations modelling a malicious full node (paper §VI).
+//
+// Each function perturbs a QueryResponse the way a cheating server would;
+// it returns true if the response shape admitted the attack. Tests and the
+// coffee-shop example assert that the light node rejects every mutated
+// response (and that the strawman's Challenge-3 gap is real).
+#pragma once
+
+#include "core/query.hpp"
+
+namespace lvq::attacks {
+
+/// Hide one transaction from an SMT-counted existence proof (the count no
+/// longer matches → kCountMismatch).
+bool omit_tx_from_existence(QueryResponse& resp);
+
+/// Hide one transaction from a count-less existence proof (strawman
+/// designs). The light node CANNOT detect this — Challenge 3.
+bool omit_tx_no_count(QueryResponse& resp);
+
+/// Replace a block's existence proof with an empty fragment / drop the
+/// per-block proof entirely.
+bool suppress_block_proof(QueryResponse& resp);
+
+/// Clear the first set bit of a failed-leaf BF inside a BMT proof so the
+/// leaf looks inexistent (hash no longer matches → kBmtProofInvalid).
+bool tamper_bmt_bloom_filter(QueryResponse& resp);
+
+/// Flip one bit of a shipped per-block BF (strawman-variant / lvq-no-bmt)
+/// so a present address looks absent (→ kBfHashMismatch).
+bool tamper_shipped_bloom_filter(QueryResponse& resp);
+
+/// Decrement the SMT-proved appearance count and drop a tx together, so the
+/// count matches again (the SMT branch hash breaks → kSmtProofInvalid).
+bool forge_count(QueryResponse& resp);
+
+/// Corrupt one transaction's payload (its Merkle branch leaf hash breaks).
+bool corrupt_tx(QueryResponse& resp);
+
+/// Drop the last segment proof entirely (→ kShapeMismatch).
+bool drop_segment(QueryResponse& resp);
+
+}  // namespace lvq::attacks

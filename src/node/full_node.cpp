@@ -1,0 +1,96 @@
+#include "node/full_node.hpp"
+
+namespace lvq {
+
+Bytes FullNode::handle_message(ByteSpan request) const {
+  try {
+    auto [type, payload] = decode_envelope(request);
+    switch (type) {
+      case MsgType::kHeadersRequest: {
+        Writer w;
+        w.varint(tip_height());
+        for (const Block& b : ctx_.chain().blocks()) b.header.serialize(w);
+        return encode_envelope(MsgType::kHeaders,
+                               ByteSpan{w.data().data(), w.data().size()});
+      }
+      case MsgType::kHeadersSinceRequest: {
+        Reader r(payload);
+        std::uint64_t from = r.varint();
+        r.expect_done();
+        std::uint64_t first = std::min(from + 1, tip_height() + 1);
+        Writer w;
+        w.varint(tip_height() - (first - 1));
+        for (std::uint64_t h = first; h <= tip_height(); ++h) {
+          ctx_.chain().at_height(h).header.serialize(w);
+        }
+        return encode_envelope(MsgType::kHeaders,
+                               ByteSpan{w.data().data(), w.data().size()});
+      }
+      case MsgType::kQueryRequest: {
+        Reader r(payload);
+        QueryRequest req = QueryRequest::deserialize(r);
+        r.expect_done();
+        QueryResponse resp = query(req.address);
+        Writer w;
+        resp.serialize(w);
+        return encode_envelope(MsgType::kQueryResponse,
+                               ByteSpan{w.data().data(), w.data().size()});
+      }
+      case MsgType::kRangeQueryRequest: {
+        Reader r(payload);
+        RangeQueryRequest req = RangeQueryRequest::deserialize(r);
+        r.expect_done();
+        if (req.to > tip_height()) break;  // error reply
+        RangeQueryResponse resp = range_query(req.address, req.from, req.to);
+        Writer w;
+        resp.serialize(w);
+        return encode_envelope(MsgType::kRangeQueryResponse,
+                               ByteSpan{w.data().data(), w.data().size()});
+      }
+      case MsgType::kMultiQueryRequest: {
+        Reader r(payload);
+        std::uint64_t n = r.varint();
+        if (n == 0 || n > 1000) break;  // error reply
+        std::vector<Address> addresses;
+        reserve_clamped(addresses, n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          addresses.push_back(Address::deserialize(r));
+        }
+        r.expect_done();
+        Writer w;
+        multi_query(addresses).serialize(w);
+        return encode_envelope(MsgType::kMultiQueryResponse,
+                               ByteSpan{w.data().data(), w.data().size()});
+      }
+      case MsgType::kBatchQueryRequest: {
+        Reader r(payload);
+        std::uint64_t n = r.varint();
+        if (n > 1000) break;  // refuse absurd batches -> error reply
+        std::vector<Address> addresses;
+        reserve_clamped(addresses, n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          addresses.push_back(Address::deserialize(r));
+        }
+        r.expect_done();
+        Writer w;
+        w.varint(addresses.size());
+        for (const Address& addr : addresses) query(addr).serialize(w);
+        return encode_envelope(MsgType::kBatchQueryResponse,
+                               ByteSpan{w.data().data(), w.data().size()});
+      }
+      default:
+        break;
+    }
+  } catch (const SerializeError&) {
+    // fall through to error reply
+  }
+  return encode_envelope(MsgType::kError, {});
+}
+
+std::uint64_t FullNode::storage_bytes() const {
+  std::uint64_t n = 0;
+  for (const Block& b : ctx_.chain().blocks()) n += b.serialized_size();
+  return n;
+}
+
+}  // namespace lvq

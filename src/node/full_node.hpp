@@ -1,0 +1,53 @@
+// Full node: stores complete blocks, serves headers and verifiable query
+// responses over the RPC envelope protocol.
+#pragma once
+
+#include <memory>
+
+#include "core/chain_context.hpp"
+#include "core/multi_query.hpp"
+#include "core/prover.hpp"
+#include "core/range_query.hpp"
+#include "net/message.hpp"
+
+namespace lvq {
+
+class FullNode {
+ public:
+  FullNode(std::shared_ptr<const Workload> workload,
+           std::shared_ptr<const WorkloadDerived> derived,
+           const ProtocolConfig& config)
+      : ctx_(std::move(workload), std::move(derived), config) {}
+
+  const ChainContext& context() const { return ctx_; }
+  const ProtocolConfig& config() const { return ctx_.config(); }
+  std::uint64_t tip_height() const { return ctx_.tip_height(); }
+
+  std::vector<BlockHeader> headers() const { return ctx_.headers(); }
+
+  QueryResponse query(const Address& address) const {
+    return build_query_response(ctx_, address);
+  }
+
+  RangeQueryResponse range_query(const Address& address, std::uint64_t from,
+                                 std::uint64_t to) const {
+    return build_range_response(ctx_, address, from, to);
+  }
+
+  MultiQueryResponse multi_query(const std::vector<Address>& addresses) const {
+    return build_multi_response(ctx_, addresses);
+  }
+
+  /// RPC server entry point: decodes an envelope, dispatches, encodes the
+  /// reply. Malformed requests yield a kError envelope, never a crash.
+  Bytes handle_message(ByteSpan request) const;
+
+  /// Serialized size of the complete ledger (headers + bodies) — the full
+  /// node's storage burden quoted in the paper's storage comparisons.
+  std::uint64_t storage_bytes() const;
+
+ private:
+  ChainContext ctx_;
+};
+
+}  // namespace lvq

@@ -1,0 +1,240 @@
+#include "node/light_node.hpp"
+
+#include "net/message.hpp"
+#include "util/check.hpp"
+
+namespace lvq {
+
+void LightNode::set_headers(std::vector<BlockHeader> headers) {
+  Hash256 prev{};
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    LVQ_CHECK_MSG(headers[i].scheme == config_.scheme(),
+                  "header scheme does not match node config");
+    LVQ_CHECK_MSG(headers[i].prev_hash == prev, "broken header chain");
+    prev = headers[i].hash();
+  }
+  headers_ = std::move(headers);
+}
+
+bool LightNode::sync_headers(Transport& transport) {
+  Bytes reply = transport.round_trip(encode_envelope(MsgType::kHeadersRequest, {}));
+  try {
+    auto [type, payload] = decode_envelope(ByteSpan{reply.data(), reply.size()});
+    if (type != MsgType::kHeaders) return false;
+    Reader r(payload);
+    std::uint64_t n = r.varint();
+    if (n > 100'000'000) return false;
+    std::vector<BlockHeader> headers;
+    reserve_clamped(headers, n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      headers.push_back(BlockHeader::deserialize(r));
+    }
+    r.expect_done();
+    set_headers(std::move(headers));
+    return true;
+  } catch (const SerializeError&) {
+    return false;
+  }
+}
+
+void LightNode::append_headers(const std::vector<BlockHeader>& more) {
+  Hash256 prev = headers_.empty() ? Hash256{} : headers_.back().hash();
+  for (const BlockHeader& h : more) {
+    LVQ_CHECK_MSG(h.scheme == config_.scheme(),
+                  "header scheme does not match node config");
+    LVQ_CHECK_MSG(h.prev_hash == prev, "headers do not extend local chain");
+    prev = h.hash();
+  }
+  headers_.insert(headers_.end(), more.begin(), more.end());
+}
+
+bool LightNode::sync_new_headers(Transport& transport) {
+  Writer req;
+  req.varint(tip_height());
+  Bytes reply = transport.round_trip(encode_envelope(
+      MsgType::kHeadersSinceRequest,
+      ByteSpan{req.data().data(), req.data().size()}));
+  try {
+    auto [type, payload] = decode_envelope(ByteSpan{reply.data(), reply.size()});
+    if (type != MsgType::kHeaders) return false;
+    Reader r(payload);
+    std::uint64_t n = r.varint();
+    if (n > 100'000'000) return false;
+    std::vector<BlockHeader> more;
+    reserve_clamped(more, n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      more.push_back(BlockHeader::deserialize(r));
+    }
+    r.expect_done();
+    append_headers(more);
+    return true;
+  } catch (const SerializeError&) {
+    return false;
+  } catch (const std::logic_error&) {
+    return false;  // peer sent headers that do not extend our chain
+  }
+}
+
+bool LightNode::replace_headers_from(
+    std::uint64_t first_replaced, const std::vector<BlockHeader>& replacement) {
+  if (first_replaced < 1 || first_replaced > headers_.size() + 1) return false;
+  // Longest-chain rule: strictly more blocks than we currently have.
+  std::uint64_t new_tip = first_replaced - 1 + replacement.size();
+  if (new_tip <= headers_.size()) return false;
+  Hash256 prev = first_replaced == 1
+                     ? Hash256{}
+                     : headers_[first_replaced - 2].hash();
+  for (const BlockHeader& h : replacement) {
+    if (h.scheme != config_.scheme() || h.prev_hash != prev) return false;
+    prev = h.hash();
+  }
+  headers_.resize(first_replaced - 1);
+  headers_.insert(headers_.end(), replacement.begin(), replacement.end());
+  return true;
+}
+
+LightNode::QueryResult LightNode::query_range(Transport& transport,
+                                              const Address& address,
+                                              std::uint64_t from,
+                                              std::uint64_t to) const {
+  QueryResult result;
+  Writer w;
+  RangeQueryRequest{address, from, to}.serialize(w);
+  Bytes request = encode_envelope(MsgType::kRangeQueryRequest,
+                                  ByteSpan{w.data().data(), w.data().size()});
+  result.request_bytes = request.size();
+  Bytes reply = transport.round_trip(ByteSpan{request.data(), request.size()});
+  result.response_bytes = reply.size();
+  try {
+    auto [type, payload] = decode_envelope(ByteSpan{reply.data(), reply.size()});
+    if (type != MsgType::kRangeQueryResponse) {
+      result.outcome = VerifyOutcome::failure(VerifyError::kBadEncoding,
+                                              "peer returned an error");
+      return result;
+    }
+    Reader r(payload);
+    RangeQueryResponse response = RangeQueryResponse::deserialize(r, config_);
+    if (response.from != from || response.to != to) {
+      result.outcome = VerifyOutcome::failure(
+          VerifyError::kShapeMismatch, "peer answered a different range");
+      return result;
+    }
+    result.outcome = verify_range(address, response);
+  } catch (const SerializeError& e) {
+    result.outcome = VerifyOutcome::failure(VerifyError::kBadEncoding, e.what());
+  } catch (const std::logic_error& e) {
+    result.outcome = VerifyOutcome::failure(VerifyError::kBadEncoding, e.what());
+  }
+  return result;
+}
+
+std::vector<LightNode::QueryResult> LightNode::query_batch(
+    Transport& transport, const std::vector<Address>& addresses) const {
+  std::vector<QueryResult> results(addresses.size());
+  if (addresses.empty()) return results;
+
+  Writer req;
+  req.varint(addresses.size());
+  for (const Address& a : addresses) a.serialize(req);
+  Bytes request = encode_envelope(
+      MsgType::kBatchQueryRequest,
+      ByteSpan{req.data().data(), req.data().size()});
+  results[0].request_bytes = request.size();
+  Bytes reply = transport.round_trip(ByteSpan{request.data(), request.size()});
+
+  auto fail_all = [&](const std::string& why) {
+    for (QueryResult& r : results) {
+      r.outcome = VerifyOutcome::failure(VerifyError::kBadEncoding, why);
+    }
+    results[0].response_bytes = reply.size();
+    return results;
+  };
+
+  try {
+    auto [type, payload] = decode_envelope(ByteSpan{reply.data(), reply.size()});
+    if (type != MsgType::kBatchQueryResponse) {
+      return fail_all("peer returned an error");
+    }
+    Reader r(payload);
+    std::uint64_t n = r.varint();
+    if (n != addresses.size()) return fail_all("batch count mismatch");
+    std::uint64_t framing = 1 + varint_size(n);
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      QueryResponse resp =
+          QueryResponse::deserialize(r, config_, /*expect_end=*/false);
+      results[i].response_bytes = resp.serialized_size() + (i == 0 ? framing : 0);
+      results[i].breakdown = resp.breakdown();
+      results[i].outcome = verify(addresses[i], resp);
+    }
+    r.expect_done();
+  } catch (const SerializeError& e) {
+    return fail_all(e.what());
+  }
+  return results;
+}
+
+LightNode::MultiQueryResult LightNode::query_multi(
+    Transport& transport, const std::vector<Address>& addresses) const {
+  MultiQueryResult result;
+  result.outcomes.resize(addresses.size());
+  if (addresses.empty()) return result;
+
+  Writer req;
+  req.varint(addresses.size());
+  for (const Address& a : addresses) a.serialize(req);
+  Bytes request = encode_envelope(
+      MsgType::kMultiQueryRequest,
+      ByteSpan{req.data().data(), req.data().size()});
+  result.request_bytes = request.size();
+  Bytes reply = transport.round_trip(ByteSpan{request.data(), request.size()});
+  result.response_bytes = reply.size();
+  try {
+    auto [type, payload] = decode_envelope(ByteSpan{reply.data(), reply.size()});
+    if (type != MsgType::kMultiQueryResponse) {
+      throw SerializeError("peer returned an error");
+    }
+    Reader r(payload);
+    MultiQueryResponse response = MultiQueryResponse::deserialize(r, config_);
+    result.outcomes = verify_multi(addresses, response);
+  } catch (const SerializeError& e) {
+    for (VerifyOutcome& out : result.outcomes) {
+      out = VerifyOutcome::failure(VerifyError::kBadEncoding, e.what());
+    }
+  }
+  return result;
+}
+
+std::uint64_t LightNode::header_storage_bytes() const {
+  std::uint64_t n = 0;
+  for (const BlockHeader& h : headers_) n += h.serialized_size();
+  return n;
+}
+
+LightNode::QueryResult LightNode::query(Transport& transport,
+                                        const Address& address) const {
+  QueryResult result;
+  Writer w;
+  QueryRequest{address}.serialize(w);
+  Bytes request = encode_envelope(MsgType::kQueryRequest,
+                                  ByteSpan{w.data().data(), w.data().size()});
+  result.request_bytes = request.size();
+  Bytes reply = transport.round_trip(ByteSpan{request.data(), request.size()});
+  result.response_bytes = reply.size();
+  try {
+    auto [type, payload] = decode_envelope(ByteSpan{reply.data(), reply.size()});
+    if (type != MsgType::kQueryResponse) {
+      result.outcome = VerifyOutcome::failure(VerifyError::kBadEncoding,
+                                              "peer returned an error");
+      return result;
+    }
+    Reader r(payload);
+    QueryResponse response = QueryResponse::deserialize(r, config_);
+    result.breakdown = response.breakdown();
+    result.outcome = verify(address, response);
+  } catch (const SerializeError& e) {
+    result.outcome = VerifyOutcome::failure(VerifyError::kBadEncoding, e.what());
+  }
+  return result;
+}
+
+}  // namespace lvq

@@ -1,0 +1,115 @@
+// Light node: stores only headers; queries a full node and verifies.
+#pragma once
+
+#include <vector>
+
+#include "core/multi_query.hpp"
+#include "core/protocol_config.hpp"
+#include "core/query.hpp"
+#include "core/range_query.hpp"
+#include "core/verifier.hpp"
+#include "net/transport.hpp"
+
+namespace lvq {
+
+class LightNode {
+ public:
+  explicit LightNode(const ProtocolConfig& config) : config_(config) {}
+
+  const ProtocolConfig& config() const { return config_; }
+
+  /// Installs headers after validating the hash chain and scheme. Throws
+  /// std::logic_error on a broken chain (headers come from consensus; a
+  /// broken chain is a harness bug, not an untrusted-peer condition).
+  void set_headers(std::vector<BlockHeader> headers);
+
+  /// Fetches and installs headers from a full node over `transport`.
+  /// Returns false (and keeps the old headers) on a malformed reply.
+  bool sync_headers(Transport& transport);
+
+  /// Appends headers on top of the current tip after validating linkage.
+  /// Throws std::logic_error if they do not extend the local chain.
+  void append_headers(const std::vector<BlockHeader>& more);
+
+  /// Incremental sync: fetches only headers above the current tip.
+  /// Returns false (keeping local state) on a malformed reply or a peer
+  /// whose headers do not extend our chain.
+  bool sync_new_headers(Transport& transport);
+
+  /// Chain reorganization: replaces headers from `first_replaced` (1-based)
+  /// to the tip with `replacement`, applying the longest-chain rule — the
+  /// new chain must link onto header first_replaced-1 and must be strictly
+  /// longer than the current one. Returns false (state untouched) if the
+  /// replacement does not link, has the wrong scheme, or is not longer.
+  /// Proofs issued against the abandoned branch stop verifying immediately
+  /// (their commitments are no longer in any header).
+  bool replace_headers_from(std::uint64_t first_replaced,
+                            const std::vector<BlockHeader>& replacement);
+
+  std::uint64_t tip_height() const { return headers_.size(); }
+  const std::vector<BlockHeader>& headers() const { return headers_; }
+
+  /// Bytes a light node persists — the paper's light-node storage metric
+  /// (Challenge 1: strawman headers embed whole BFs; LVQ headers are tiny).
+  std::uint64_t header_storage_bytes() const;
+
+  /// Verifies an already-decoded response.
+  VerifyOutcome verify(const Address& address,
+                       const QueryResponse& response) const {
+    return verify_response(headers_, config_, address, response);
+  }
+
+  struct QueryResult {
+    VerifyOutcome outcome;
+    std::uint64_t request_bytes = 0;
+    std::uint64_t response_bytes = 0;  // the paper's "size of query result"
+    SizeBreakdown breakdown;
+  };
+
+  /// Full RPC round trip: request -> wire -> decode -> verify.
+  QueryResult query(Transport& transport, const Address& address) const;
+
+  /// Height-range round trip: verified history for blocks [from, to]
+  /// only. For BMT designs the cost scales with the range's aligned cover
+  /// (plus anchor paths), not with the chain length.
+  QueryResult query_range(Transport& transport, const Address& address,
+                          std::uint64_t from, std::uint64_t to) const;
+
+  /// Verifies an already-decoded range response.
+  VerifyOutcome verify_range(const Address& address,
+                             const RangeQueryResponse& response) const {
+    return verify_range_response(headers_, config_, address, response);
+  }
+
+  /// Batched round trip: all addresses in ONE request/response exchange.
+  /// result[i] corresponds to addresses[i]; response_bytes on each entry
+  /// is that address's share of the reply (the envelope/framing byte
+  /// overhead is attributed to entry 0).
+  std::vector<QueryResult> query_batch(
+      Transport& transport, const std::vector<Address>& addresses) const;
+
+  struct MultiQueryResult {
+    std::vector<VerifyOutcome> outcomes;  // per address, request order
+    std::uint64_t request_bytes = 0;
+    std::uint64_t response_bytes = 0;  // total shared reply size
+  };
+
+  /// Shared watchlist round trip: one merged BMT structure serves every
+  /// address (filters deduplicated across the batch). Compare with
+  /// query_batch, which concatenates independent proofs.
+  MultiQueryResult query_multi(Transport& transport,
+                               const std::vector<Address>& addresses) const;
+
+  /// Verifies an already-decoded shared response.
+  std::vector<VerifyOutcome> verify_multi(
+      const std::vector<Address>& addresses,
+      const MultiQueryResponse& response) const {
+    return verify_multi_response(headers_, config_, addresses, response);
+  }
+
+ private:
+  ProtocolConfig config_;
+  std::vector<BlockHeader> headers_;
+};
+
+}  // namespace lvq

@@ -1,0 +1,66 @@
+// QuerySession: the one-line harness every example and benchmark uses.
+//
+// Wires one full node and one light node together over a byte-counting
+// loopback transport, syncs headers, and runs verified queries.
+#pragma once
+
+#include <memory>
+
+#include "node/full_node.hpp"
+#include "node/light_node.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+
+/// Workload plus its geometry-independent derived caches, shared across
+/// every protocol configuration of an experiment.
+struct ExperimentSetup {
+  std::shared_ptr<const Workload> workload;
+  std::shared_ptr<const WorkloadDerived> derived;
+};
+
+inline ExperimentSetup make_setup(const WorkloadConfig& config) {
+  ExperimentSetup s;
+  s.workload = std::make_shared<const Workload>(generate_workload(config));
+  s.derived = std::make_shared<const WorkloadDerived>(*s.workload);
+  return s;
+}
+
+/// Wraps existing block bodies (e.g. a ledger loaded from disk via
+/// chain_io) for querying. No profiles; headers are (re)derived by the
+/// ChainContext for whatever ProtocolConfig the caller picks.
+inline ExperimentSetup make_setup_from_blocks(
+    std::vector<std::vector<Transaction>> blocks) {
+  auto workload = std::make_shared<Workload>();
+  workload->blocks = std::move(blocks);
+  ExperimentSetup s;
+  s.workload = workload;
+  s.derived = std::make_shared<const WorkloadDerived>(*workload);
+  return s;
+}
+
+class QuerySession {
+ public:
+  QuerySession(const ExperimentSetup& setup, const ProtocolConfig& config)
+      : full_(setup.workload, setup.derived, config),
+        light_(config),
+        transport_([this](ByteSpan req) { return full_.handle_message(req); }) {
+    bool ok = light_.sync_headers(transport_);
+    LVQ_CHECK_MSG(ok, "header sync failed");
+  }
+
+  LightNode::QueryResult query(const Address& address) {
+    return light_.query(transport_, address);
+  }
+
+  const FullNode& full_node() const { return full_; }
+  const LightNode& light_node() const { return light_; }
+  Transport& transport() { return transport_; }
+
+ private:
+  FullNode full_;
+  LightNode light_;
+  LoopbackTransport transport_;
+};
+
+}  // namespace lvq

@@ -1,0 +1,49 @@
+// Basic byte-buffer aliases and helpers used across the LVQ codebase.
+//
+// We standardize on `Bytes` (owning) and `ByteSpan` (non-owning view) so that
+// serialization, hashing, and proof plumbing never copy more than necessary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lvq {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// View over the raw bytes of any trivially-copyable object or buffer.
+inline ByteSpan as_bytes(const void* data, std::size_t size) {
+  return {static_cast<const std::uint8_t*>(data), size};
+}
+
+/// View over the bytes of a std::string (useful for hashing test vectors).
+inline ByteSpan str_bytes(const std::string& s) {
+  return as_bytes(s.data(), s.size());
+}
+
+/// Constant-time-ish equality is NOT needed here (no secrets); plain compare.
+inline bool span_equal(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+/// Append a span to an owning buffer. The explicit reserve placates GCC
+/// 12's spurious -Wstringop-overflow on the insert path — but it must
+/// keep GEOMETRIC growth: reserving the exact size on every call would
+/// reallocate-and-copy each time, turning large serializations quadratic.
+inline void append(Bytes& out, ByteSpan more) {
+  std::size_t needed = out.size() + more.size();
+  if (out.capacity() < needed) {
+    std::size_t doubled = out.capacity() * 2;
+    out.reserve(doubled > needed ? doubled : needed);
+  }
+  out.insert(out.end(), more.begin(), more.end());
+}
+
+}  // namespace lvq

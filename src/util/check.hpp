@@ -1,0 +1,36 @@
+// Precondition checking.
+//
+// LVQ_CHECK guards programmer errors (API misuse); failures throw
+// std::logic_error so tests can assert on them. Runtime verification of
+// untrusted proof data NEVER uses these macros — verifiers return rich
+// result types instead (see core/verify_result.hpp), because a malicious
+// full node's bad proof is expected data, not a bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lvq::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LVQ_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace lvq::detail
+
+#define LVQ_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::lvq::detail::check_failed(#expr, __FILE__, __LINE__, "");         \
+  } while (0)
+
+#define LVQ_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::lvq::detail::check_failed(#expr, __FILE__, __LINE__, (msg));      \
+  } while (0)

@@ -1,0 +1,76 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace lvq {
+
+namespace {
+
+std::string env_name(const std::string& flag) {
+  std::string out = "LVQ_";
+  for (char c : flag) {
+    if (c == '-') {
+      out.push_back('_');
+    } else {
+      out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      argv_joined_ += arg + "=true";
+    } else {
+      argv_joined_ += arg;
+    }
+    argv_joined_ += '\x1f';
+  }
+}
+
+std::string Flags::lookup(const std::string& name) const {
+  std::istringstream records(argv_joined_);
+  std::string rec;
+  std::string found;
+  while (std::getline(records, rec, '\x1f')) {
+    auto eq = rec.find('=');
+    if (eq != std::string::npos && rec.substr(0, eq) == name)
+      found = rec.substr(eq + 1);  // last occurrence wins
+  }
+  if (!found.empty()) return found;
+  if (const char* env = std::getenv(env_name(name).c_str())) return env;
+  return {};
+}
+
+std::uint64_t Flags::get_u64(const std::string& name, std::uint64_t def) const {
+  std::string v = lookup(name);
+  if (v.empty()) return def;
+  return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  std::string v = lookup(name);
+  if (v.empty()) return def;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+std::string Flags::get_str(const std::string& name, const std::string& def) const {
+  std::string v = lookup(name);
+  return v.empty() ? def : v;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  std::string v = lookup(name);
+  if (v.empty()) return def;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace lvq

@@ -1,0 +1,29 @@
+// Minimal flag parsing for bench/example binaries.
+//
+// Flags come from the command line (`--blocks=1024`) with environment
+// variable fallback (`LVQ_BLOCKS=1024`), so the whole bench suite can be
+// scaled down in CI by exporting a few variables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lvq {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// --name=value or env LVQ_NAME; `name` is lowercase with dashes.
+  std::uint64_t get_u64(const std::string& name, std::uint64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_str(const std::string& name, const std::string& def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+ private:
+  /// Raw lookup: command line first, then environment. Empty if absent.
+  std::string lookup(const std::string& name) const;
+  std::string argv_joined_;  // "\x1f"-separated "name=value" records
+};
+
+}  // namespace lvq

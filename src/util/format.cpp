@@ -1,0 +1,27 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace lvq {
+
+std::string format_double(double v, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return std::string(buf.data());
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = 1024 * kKiB;
+  constexpr std::uint64_t kGiB = 1024 * kMiB;
+  if (bytes >= kGiB)
+    return format_double(static_cast<double>(bytes) / kGiB, 2) + " GB";
+  if (bytes >= kMiB)
+    return format_double(static_cast<double>(bytes) / kMiB, 2) + " MB";
+  if (bytes >= kKiB)
+    return format_double(static_cast<double>(bytes) / kKiB, 2) + " KB";
+  return std::to_string(bytes) + " B";
+}
+
+}  // namespace lvq

@@ -1,0 +1,15 @@
+// Human-friendly formatting for bench output tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lvq {
+
+/// "41.12 MB", "30.0 KB", "144 B" — binary units matching the paper's usage.
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-precision double, e.g. format_double(1.3945, 2) == "1.39".
+std::string format_double(double v, int precision);
+
+}  // namespace lvq

@@ -1,0 +1,18 @@
+// Hex encoding/decoding for diagnostics, test vectors, and address display.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+/// Lowercase hex encoding of a byte span.
+std::string to_hex(ByteSpan data);
+
+/// Decode a hex string (case-insensitive). Returns std::nullopt on any
+/// malformed input (odd length, non-hex character).
+std::optional<Bytes> from_hex(const std::string& hex);
+
+}  // namespace lvq

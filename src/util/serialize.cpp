@@ -1,0 +1,45 @@
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+void Writer::varint(std::uint64_t v) {
+  if (v < 0xfd) {
+    u8(static_cast<std::uint8_t>(v));
+  } else if (v <= 0xffff) {
+    u8(0xfd);
+    u16(static_cast<std::uint16_t>(v));
+  } else if (v <= 0xffffffffULL) {
+    u8(0xfe);
+    u32(static_cast<std::uint32_t>(v));
+  } else {
+    u8(0xff);
+    u64(v);
+  }
+}
+
+std::uint64_t Reader::varint() {
+  std::uint8_t tag = u8();
+  std::uint64_t v;
+  if (tag < 0xfd) {
+    return tag;
+  } else if (tag == 0xfd) {
+    v = u16();
+    if (v < 0xfd) throw SerializeError("non-canonical varint");
+  } else if (tag == 0xfe) {
+    v = u32();
+    if (v <= 0xffff) throw SerializeError("non-canonical varint");
+  } else {
+    v = u64();
+    if (v <= 0xffffffffULL) throw SerializeError("non-canonical varint");
+  }
+  return v;
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  if (v < 0xfd) return 1;
+  if (v <= 0xffff) return 3;
+  if (v <= 0xffffffffULL) return 5;
+  return 9;
+}
+
+}  // namespace lvq

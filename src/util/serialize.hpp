@@ -1,0 +1,147 @@
+// Wire serialization primitives.
+//
+// Conventions (shared by every on-wire structure in this repo):
+//   * fixed-width integers are little-endian, as in Bitcoin;
+//   * variable-length counts use Bitcoin's CompactSize encoding;
+//   * byte strings are length-prefixed with a CompactSize.
+//
+// `Writer` appends to an owning buffer; `Reader` consumes a non-owning view
+// and throws `SerializeError` on truncation or malformed varints. Protocol
+// boundaries catch SerializeError and convert it into a verification
+// failure, so a malicious peer can never crash a node with a short buffer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : std::runtime_error("serialize: " + what) {}
+};
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v, 2); }
+  void u32(std::uint32_t v) { put_le(v, 4); }
+  void u64(std::uint64_t v) { put_le(v, 8); }
+
+  /// Bitcoin CompactSize.
+  void varint(std::uint64_t v);
+
+  /// Raw bytes, no length prefix (fixed-size fields like hashes).
+  void raw(ByteSpan data) { append(buf_, data); }
+
+  template <std::size_t N>
+  void raw(const std::array<std::uint8_t, N>& a) {
+    raw(ByteSpan{a.data(), N});
+  }
+
+  /// Length-prefixed byte string.
+  void bytes(ByteSpan data) {
+    varint(data.size());
+    raw(data);
+  }
+
+  void str(const std::string& s) { bytes(str_bytes(s)); }
+
+  /// Signed 64-bit (two's complement, little-endian) — used for amounts.
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void put_le(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(get_le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(get_le(4)); }
+  std::uint64_t u64() { return get_le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  std::uint64_t varint();
+
+  ByteSpan raw(std::size_t n) { return take(n); }
+
+  template <std::size_t N>
+  std::array<std::uint8_t, N> arr() {
+    std::array<std::uint8_t, N> out{};
+    ByteSpan s = take(N);
+    for (std::size_t i = 0; i < N; ++i) out[i] = s[i];
+    return out;
+  }
+
+  Bytes bytes() {
+    std::uint64_t n = varint();
+    if (n > remaining()) throw SerializeError("byte string exceeds buffer");
+    ByteSpan s = take(static_cast<std::size_t>(n));
+    return Bytes(s.begin(), s.end());
+  }
+
+  std::string str() {
+    Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+  /// Consumes nothing; fails decode if trailing bytes remain. Canonical
+  /// decoding matters: otherwise two distinct byte strings could decode to
+  /// the same proof, confusing size accounting and caching.
+  void expect_done() const {
+    if (!done()) throw SerializeError("trailing bytes after message");
+  }
+
+ private:
+  ByteSpan take(std::size_t n) {
+    if (n > remaining()) throw SerializeError("read past end of buffer");
+    ByteSpan out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::uint64_t get_le(int n) {
+    ByteSpan s = take(static_cast<std::size_t>(n));
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(s[i]) << (8 * i);
+    return v;
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+/// Size of a CompactSize encoding without materializing it — the size-only
+/// proof pipeline uses this to account bytes exactly.
+std::size_t varint_size(std::uint64_t v);
+
+/// Reserve capacity for a length-prefixed collection WITHOUT trusting the
+/// attacker-controlled count: pre-allocation is capped, and the vector
+/// still grows naturally if the elements really arrive. Decoders must use
+/// this instead of reserve(n) — a crafted varint must never be able to
+/// trigger a multi-gigabyte allocation before any element is parsed.
+template <typename Vec>
+void reserve_clamped(Vec& v, std::uint64_t n, std::size_t cap = 4096) {
+  v.reserve(static_cast<std::size_t>(n < cap ? n : cap));
+}
+
+}  // namespace lvq

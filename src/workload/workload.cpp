@@ -1,0 +1,266 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+std::vector<ProfileSpec> table3_profiles() {
+  return {
+      {"Addr1", 0, 0},     {"Addr2", 1, 1},     {"Addr3", 10, 5},
+      {"Addr4", 60, 44},   {"Addr5", 324, 289}, {"Addr6", 929, 410},
+  };
+}
+
+namespace {
+
+struct Utxo {
+  TxOutPoint out;
+  Address address;
+  Amount value = 0;
+};
+
+class Generator {
+ public:
+  explicit Generator(const WorkloadConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  Workload run() {
+    Workload w;
+    w.config = config_;
+    plan_profiles(w);
+
+    w.blocks.resize(config_.num_blocks);
+    for (std::uint32_t b = 0; b < config_.num_blocks; ++b) {
+      std::uint64_t height = b + 1;
+      auto& txs = w.blocks[b];
+      txs.push_back(make_coinbase(height));
+      register_outputs(txs.back());
+      for (std::uint32_t t = 0; t < config_.background_txs_per_block; ++t) {
+        txs.push_back(make_background_tx());
+        register_outputs(txs.back());
+      }
+      inject_profile_txs(w, height, txs);
+    }
+    return w;
+  }
+
+ private:
+  /// Signature/script-equivalent padding (see Transaction::padding).
+  void pad_tx(Transaction& tx) {
+    std::size_t n = 107 * tx.inputs.size() + 25 * tx.outputs.size() +
+                    rng_.below(16);
+    tx.padding.assign(n, 0);
+    // A couple of seed bytes so padded transactions are not bit-identical.
+    Writer w;
+    w.u64(next_serial_++);
+    std::copy(w.data().begin(), w.data().end(), tx.padding.begin());
+  }
+
+  Address fresh_address(const char* domain) {
+    Writer wtr;
+    wtr.str(domain);
+    wtr.u64(rng_.next_u64());
+    wtr.u64(next_serial_++);
+    return Address::derive(
+        ByteSpan{wtr.data().data(), wtr.data().size()});
+  }
+
+  /// A background address: fresh with probability new_address_fraction,
+  /// else drawn from the reuse pool.
+  Address background_address() {
+    if (pool_.empty() || rng_.chance(config_.new_address_fraction)) {
+      Address a = fresh_address("bg");
+      pool_.push_back(a);
+      return a;
+    }
+    return pool_[rng_.below(pool_.size())];
+  }
+
+  void register_outputs(const Transaction& tx) {
+    Hash256 id = tx.txid();
+    for (std::uint32_t v = 0; v < tx.outputs.size(); ++v) {
+      utxos_.push_back(Utxo{{id, v}, tx.outputs[v].address, tx.outputs[v].value});
+    }
+  }
+
+  Utxo take_utxo() {
+    if (utxos_.empty()) {
+      // Bootstrap mint for the first blocks, before the coinbase fan-out
+      // makes the UTXO pool self-sustaining.
+      Writer wtr;
+      wtr.str("mint");
+      wtr.u64(next_serial_++);
+      Utxo u;
+      u.out.txid = hash256d(ByteSpan{wtr.data().data(), wtr.data().size()});
+      u.out.vout = 0;
+      u.address = background_address();
+      u.value = kCoin;
+      return u;
+    }
+    std::size_t i = rng_.below(utxos_.size());
+    Utxo u = utxos_[i];
+    utxos_[i] = utxos_.back();
+    utxos_.pop_back();
+    return u;
+  }
+
+  Transaction make_coinbase(std::uint64_t height) {
+    Transaction tx;
+    // 25 BTC subsidy (post-November-2012 halving), fanned out so the UTXO
+    // pool always has spendable entries.
+    constexpr int kFanOut = 10;
+    Amount subsidy = 25 * kCoin;
+    Amount each = subsidy / kFanOut;
+    tx.lock_time = static_cast<std::uint32_t>(height);  // uniquify coinbases
+    for (int i = 0; i < kFanOut; ++i) {
+      tx.outputs.push_back(TxOutput{background_address(), each});
+    }
+    pad_tx(tx);
+    return tx;
+  }
+
+  Transaction make_background_tx() {
+    Transaction tx;
+    int nin = rng_.chance(0.4) ? 2 : 1;
+    Amount total = 0;
+    for (int i = 0; i < nin; ++i) {
+      Utxo u = take_utxo();
+      tx.inputs.push_back(TxInput{u.out, u.address, u.value});
+      total += u.value;
+    }
+    // Two outputs (payment + change) when divisible, zero fee.
+    if (total < 2) {
+      tx.outputs.push_back(TxOutput{background_address(), total});
+    } else {
+      Amount pay = 1 + static_cast<Amount>(
+                           rng_.below(static_cast<std::uint64_t>(total - 1)));
+      tx.outputs.push_back(TxOutput{background_address(), pay});
+      tx.outputs.push_back(TxOutput{background_address(), total - pay});
+    }
+    pad_tx(tx);
+    return tx;
+  }
+
+  void plan_profiles(Workload& w) {
+    for (const ProfileSpec& spec : config_.profiles) {
+      LVQ_CHECK_MSG(spec.target_blocks <= config_.num_blocks,
+                    "profile needs more blocks than the chain has");
+      LVQ_CHECK_MSG(spec.target_txs >= spec.target_blocks,
+                    "profile txs must be >= profile blocks");
+      AddressProfile p;
+      p.label = spec.label;
+      p.address = fresh_address(("profile/" + spec.label).c_str());
+      p.total_txs = spec.target_txs;
+      p.total_blocks = spec.target_blocks;
+      if (spec.target_blocks > 0) {
+        p.heights = sample_heights(spec.target_blocks);
+        p.txs_per_height.assign(spec.target_blocks, 1);
+        for (std::uint32_t extra = spec.target_txs - spec.target_blocks;
+             extra > 0; --extra) {
+          p.txs_per_height[rng_.below(spec.target_blocks)]++;
+        }
+      }
+      w.profiles.push_back(std::move(p));
+    }
+  }
+
+  std::vector<std::uint64_t> sample_heights(std::uint32_t count) {
+    // Floyd's algorithm for a uniform sample without replacement.
+    std::vector<std::uint64_t> chosen;
+    chosen.reserve(count);
+    for (std::uint64_t j = config_.num_blocks - count; j < config_.num_blocks; ++j) {
+      std::uint64_t t = rng_.below(j + 1) + 1;  // heights are 1-based
+      if (std::find(chosen.begin(), chosen.end(), t) != chosen.end()) {
+        chosen.push_back(j + 1);
+      } else {
+        chosen.push_back(t);
+      }
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+  }
+
+  void inject_profile_txs(Workload& w, std::uint64_t height,
+                          std::vector<Transaction>& txs) {
+    for (std::size_t pi = 0; pi < w.profiles.size(); ++pi) {
+      AddressProfile& p = w.profiles[pi];
+      auto it = std::lower_bound(p.heights.begin(), p.heights.end(), height);
+      if (it == p.heights.end() || *it != height) continue;
+      std::size_t slot = static_cast<std::size_t>(it - p.heights.begin());
+      std::uint32_t count = p.txs_per_height[slot];
+      auto& mine = profile_utxos_[pi];
+      for (std::uint32_t i = 0; i < count; ++i) {
+        bool spend = !mine.empty() && rng_.chance(0.5);
+        Transaction tx;
+        if (spend) {
+          Utxo u = mine.back();
+          mine.pop_back();
+          tx.inputs.push_back(TxInput{u.out, u.address, u.value});
+          tx.outputs.push_back(TxOutput{background_address(), u.value});
+          pad_tx(tx);
+        } else {
+          Utxo u = take_utxo();
+          tx.inputs.push_back(TxInput{u.out, u.address, u.value});
+          Amount to_profile =
+              u.value >= 2 ? std::max<Amount>(1, u.value * 2 / 5) : u.value;
+          tx.outputs.push_back(TxOutput{p.address, to_profile});
+          if (u.value - to_profile > 0) {
+            tx.outputs.push_back(
+                TxOutput{background_address(), u.value - to_profile});
+          }
+          pad_tx(tx);
+          Hash256 id = tx.txid();
+          mine.push_back(Utxo{{id, 0}, p.address, to_profile});
+        }
+        // Background outputs of profile txs stay spendable.
+        Hash256 id = tx.txid();
+        for (std::uint32_t v = 0; v < tx.outputs.size(); ++v) {
+          if (tx.outputs[v].address == p.address) continue;
+          utxos_.push_back(Utxo{{id, v}, tx.outputs[v].address,
+                                tx.outputs[v].value});
+        }
+        txs.push_back(std::move(tx));
+      }
+    }
+  }
+
+  WorkloadConfig config_;
+  Rng rng_;
+  std::uint64_t next_serial_ = 0;
+  std::vector<Address> pool_;
+  std::vector<Utxo> utxos_;
+  std::map<std::size_t, std::vector<Utxo>> profile_utxos_;
+};
+
+}  // namespace
+
+Workload generate_workload(const WorkloadConfig& config) {
+  return Generator(config).run();
+}
+
+GroundTruth scan_ground_truth(const Workload& w, const Address& addr) {
+  GroundTruth gt;
+  for (std::size_t b = 0; b < w.blocks.size(); ++b) {
+    bool in_block = false;
+    for (const Transaction& tx : w.blocks[b]) {
+      if (!tx.involves(addr)) continue;
+      gt.txs.emplace_back(b + 1, tx.txid());
+      in_block = true;
+      for (const TxOutput& out : tx.outputs) {
+        if (out.address == addr) gt.balance += out.value;
+      }
+      for (const TxInput& in : tx.inputs) {
+        if (in.address == addr) gt.balance -= in.value;
+      }
+    }
+    if (in_block) gt.block_count++;
+  }
+  return gt;
+}
+
+}  // namespace lvq

@@ -1,0 +1,77 @@
+// Synthetic Bitcoin-mainnet-like workload (DESIGN.md substitution #1).
+//
+// The paper evaluates on mainnet blocks 204,800–208,895 (4096 blocks,
+// November 2012 era) and six query addresses whose transaction/block counts
+// span four orders of magnitude (Table III). We reproduce that shape:
+//
+//   * `num_blocks` blocks of background traffic with an address-reuse model
+//     (fresh vs. pool-reuse mix) and a loose UTXO discipline (inputs spend
+//     real prior outputs, coinbases mint the era's 25 BTC subsidy);
+//   * six profile addresses injected with exactly the Table III counts;
+//     profile addresses never leak into background traffic, so their
+//     per-block appearance counts are exact ground truth.
+//
+// Everything is driven by one seed; two runs with equal config produce
+// byte-identical chains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/address.hpp"
+#include "chain/transaction.hpp"
+
+namespace lvq {
+
+struct ProfileSpec {
+  std::string label;
+  std::uint32_t target_txs = 0;
+  std::uint32_t target_blocks = 0;
+};
+
+/// Table III of the paper.
+std::vector<ProfileSpec> table3_profiles();
+
+struct WorkloadConfig {
+  std::uint64_t seed = 20200704;
+  std::uint32_t num_blocks = 4096;
+  /// Background (non-profile) transactions per block. ~110 txs with ~3
+  /// unique addresses each yields ~300-400 unique addresses per block,
+  /// matching the 2012-era blocks the paper replays.
+  std::uint32_t background_txs_per_block = 110;
+  /// Probability that a background output pays a brand-new address.
+  double new_address_fraction = 0.55;
+  std::vector<ProfileSpec> profiles = table3_profiles();
+};
+
+struct AddressProfile {
+  std::string label;
+  Address address;
+  std::uint32_t total_txs = 0;
+  std::uint32_t total_blocks = 0;
+  /// Heights (ascending) and per-height tx counts; ground truth for tests.
+  std::vector<std::uint64_t> heights;
+  std::vector<std::uint32_t> txs_per_height;
+};
+
+struct Workload {
+  WorkloadConfig config;
+  /// Transaction bodies per block; index i holds block height i+1.
+  std::vector<std::vector<Transaction>> blocks;
+  std::vector<AddressProfile> profiles;
+};
+
+/// Deterministically generates the workload described by `config`.
+Workload generate_workload(const WorkloadConfig& config);
+
+/// Ground truth scan: all (height, txid) pairs involving `addr`, plus the
+/// paper's Eq. 1 balance. Used by tests to validate verified query results.
+struct GroundTruth {
+  std::vector<std::pair<std::uint64_t, Hash256>> txs;  // (height, txid)
+  Amount balance = 0;
+  std::uint64_t block_count = 0;
+};
+GroundTruth scan_ground_truth(const Workload& w, const Address& addr);
+
+}  // namespace lvq

@@ -1,0 +1,313 @@
+// Security tests: a malicious full node mutates responses in every way the
+// paper's §VI argument says must be detectable — and one way it admits is
+// NOT detectable without LVQ (Challenge 3), which we demonstrate.
+#include <gtest/gtest.h>
+
+#include "node/attack.hpp"
+#include "node/session.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ExperimentSetup& setup() {
+  static ExperimentSetup s = [] {
+    WorkloadConfig c;
+    c.seed = 4242;
+    c.num_blocks = 64;
+    c.background_txs_per_block = 10;
+    c.profiles = {
+        {"victim", 30, 18},  // multi-tx blocks exist (18 < 30)
+        {"ghost", 0, 0},
+    };
+    return make_setup(c);
+  }();
+  return s;
+}
+
+constexpr BloomGeometry kRoomy{512, 6};
+constexpr BloomGeometry kTight{24, 4};
+
+struct Harness {
+  ProtocolConfig config;
+  FullNode full;
+  LightNode light;
+
+  explicit Harness(const ProtocolConfig& cfg)
+      : config(cfg), full(setup().workload, setup().derived, cfg), light(cfg) {
+    light.set_headers(full.headers());
+  }
+
+  VerifyOutcome run(const Address& addr, QueryResponse resp) const {
+    return light.verify(addr, resp);
+  }
+};
+
+const Address& victim() { return setup().workload->profiles[0].address; }
+const Address& ghost() { return setup().workload->profiles[1].address; }
+
+TEST(Adversarial, HonestBaselinePasses) {
+  for (Design d : {Design::kStrawman, Design::kStrawmanVariant,
+                   Design::kLvqNoBmt, Design::kLvqNoSmt, Design::kLvq}) {
+    Harness h(ProtocolConfig{d, kRoomy, 16});
+    EXPECT_TRUE(h.run(victim(), h.full.query(victim())).ok) << design_name(d);
+  }
+}
+
+TEST(Adversarial, LvqDetectsOmittedTx) {
+  Harness h(ProtocolConfig{Design::kLvq, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::omit_tx_from_existence(resp));
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, VerifyError::kCountMismatch);
+}
+
+TEST(Adversarial, LvqNoBmtDetectsOmittedTx) {
+  Harness h(ProtocolConfig{Design::kLvqNoBmt, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::omit_tx_from_existence(resp));
+  EXPECT_EQ(h.run(victim(), resp).error, VerifyError::kCountMismatch);
+}
+
+TEST(Adversarial, Challenge3StrawmanCannotDetectOmission) {
+  // The paper's motivating gap: without SMT, dropping one of several MBr
+  // fragments in a block is UNDETECTABLE. The light node accepts a wrong
+  // (incomplete) history.
+  Harness h(ProtocolConfig{Design::kStrawmanVariant, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  GroundTruth gt = scan_ground_truth(*setup().workload, victim());
+  if (!attacks::omit_tx_no_count(resp)) {
+    GTEST_SKIP() << "no multi-tx block in this workload";
+  }
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_TRUE(out.ok);  // the attack slips through!
+  EXPECT_LT(out.history.total_txs(), gt.txs.size());
+  EXPECT_FALSE(out.history.fully_complete());
+}
+
+TEST(Adversarial, LvqNoSmtPaysIntegralBlocksToStayComplete) {
+  // The no-SMT ablation avoids Challenge 3 the only way it can: every
+  // failed check ships the whole block. Bare-branch proofs are rejected.
+  Harness h(ProtocolConfig{Design::kLvqNoSmt, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  EXPECT_FALSE(attacks::omit_tx_no_count(resp));  // nothing to omit from
+  VerifyOutcome out = h.run(victim(), resp);
+  ASSERT_TRUE(out.ok);
+  EXPECT_TRUE(out.history.fully_complete());
+
+  // A malicious server that downgrades an integral block to bare branches
+  // (to hide one tx) is rejected outright.
+  bool downgraded = false;
+  for (SegmentQueryProof& seg : resp.segments) {
+    for (auto& [height, proof] : seg.block_proofs) {
+      if (proof.kind != BlockProof::Kind::kIntegralBlock) continue;
+      proof.kind = BlockProof::Kind::kExistentNoCount;
+      proof.block.reset();
+      // (Contents don't matter; the kind alone must be rejected.)
+      downgraded = true;
+      break;
+    }
+    if (downgraded) break;
+  }
+  ASSERT_TRUE(downgraded);
+  VerifyOutcome bad = h.run(victim(), resp);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, VerifyError::kFragmentKindInvalid);
+}
+
+TEST(Adversarial, LvqDetectsSuppressedBlockProof) {
+  Harness h(ProtocolConfig{Design::kLvq, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::suppress_block_proof(resp));
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, VerifyError::kBlockProofMissing);
+}
+
+TEST(Adversarial, StrawmanDetectsSuppressedFragment) {
+  // Turning a non-empty fragment into Ø contradicts the (header-committed)
+  // BF: the check failed, so Ø is illegal (Eq. 4 enforcement).
+  Harness h(ProtocolConfig{Design::kStrawmanVariant, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::suppress_block_proof(resp));
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, VerifyError::kFragmentKindInvalid);
+}
+
+TEST(Adversarial, LvqDetectsTamperedBmtBloomFilter) {
+  // §VI: BMT hashes commit to the filters (Eq. 2), so clearing bits to
+  // fake absence breaks the chain up to the header root.
+  Harness h(ProtocolConfig{Design::kLvq, kTight, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::tamper_bmt_bloom_filter(resp));
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, VerifyError::kBmtProofInvalid);
+}
+
+TEST(Adversarial, VariantDetectsTamperedShippedBf) {
+  Harness h(ProtocolConfig{Design::kStrawmanVariant, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::tamper_shipped_bloom_filter(resp));
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, VerifyError::kBfHashMismatch);
+}
+
+TEST(Adversarial, LvqDetectsForgedCount) {
+  Harness h(ProtocolConfig{Design::kLvq, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::forge_count(resp));
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, VerifyError::kSmtProofInvalid);
+}
+
+TEST(Adversarial, LvqDetectsCorruptedTx) {
+  Harness h(ProtocolConfig{Design::kLvq, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::corrupt_tx(resp));
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, VerifyError::kMerkleProofInvalid);
+}
+
+TEST(Adversarial, StrawmanDetectsCorruptedTx) {
+  Harness h(ProtocolConfig{Design::kStrawmanVariant, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::corrupt_tx(resp));
+  EXPECT_EQ(h.run(victim(), resp).error, VerifyError::kMerkleProofInvalid);
+}
+
+TEST(Adversarial, LvqDetectsDroppedSegment) {
+  Harness h(ProtocolConfig{Design::kLvq, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  ASSERT_TRUE(attacks::drop_segment(resp));
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, VerifyError::kShapeMismatch);
+}
+
+TEST(Adversarial, LvqDetectsIrrelevantTxPadding) {
+  // Pad an existence proof with a genuine (provable!) transaction that
+  // does not involve the address — rejecting this stops count inflation.
+  Harness h(ProtocolConfig{Design::kLvq, kRoomy, 16});
+  QueryResponse resp = h.full.query(victim());
+  // Find an existence proof and clone its first tx into a mutated one that
+  // drops the victim address.
+  bool planted = false;
+  for (SegmentQueryProof& seg : resp.segments) {
+    for (auto& [height, proof] : seg.block_proofs) {
+      if (proof.kind != BlockProof::Kind::kExistent || !proof.existence)
+        continue;
+      auto& e = *proof.existence;
+      e.count_branch.leaf.count += 1;  // claim one more appearance
+      TxWithBranch extra = e.txs.front();
+      e.txs.push_back(extra);  // duplicate tx to satisfy the count
+      planted = true;
+      break;
+    }
+    if (planted) break;
+  }
+  ASSERT_TRUE(planted);
+  VerifyOutcome out = h.run(victim(), resp);
+  EXPECT_FALSE(out.ok);
+  // Rejected either as a forged count (SMT branch hash broke) or, had the
+  // count been genuine, as a duplicate tx.
+  EXPECT_TRUE(out.error == VerifyError::kSmtProofInvalid ||
+              out.error == VerifyError::kDuplicateTx);
+}
+
+TEST(Adversarial, LvqRejectsHistoryForGhostWithFakeTx) {
+  // Claim the ghost address (no history) has a transaction by splicing in
+  // a victim tx: involves() fails -> kTxNotRelevant, or the SMT existence
+  // branch for the ghost cannot be built at all (absence is provable).
+  Harness h(ProtocolConfig{Design::kLvq, kTight, 16});
+  QueryResponse honest = h.full.query(ghost());
+  VerifyOutcome out = h.run(ghost(), honest);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.history.total_txs(), 0u);
+
+  // Now mutate: replace the first absence proof with an existence claim
+  // stolen from the victim's response.
+  QueryResponse vresp = h.full.query(victim());
+  const BlockExistenceProof* stolen = nullptr;
+  for (const SegmentQueryProof& seg : vresp.segments) {
+    for (const auto& [height, proof] : seg.block_proofs) {
+      if (proof.kind == BlockProof::Kind::kExistent && proof.existence) {
+        stolen = &*proof.existence;
+        break;
+      }
+    }
+    if (stolen) break;
+  }
+  ASSERT_NE(stolen, nullptr);
+  bool planted = false;
+  for (SegmentQueryProof& seg : honest.segments) {
+    for (auto& [height, proof] : seg.block_proofs) {
+      if (proof.kind == BlockProof::Kind::kAbsent) {
+        proof.kind = BlockProof::Kind::kExistent;
+        proof.absence.reset();
+        proof.existence = *stolen;
+        planted = true;
+        break;
+      }
+    }
+    if (planted) break;
+  }
+  if (!planted) GTEST_SKIP() << "no absence proofs under this geometry";
+  VerifyOutcome bad = h.run(ghost(), honest);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, VerifyError::kSmtProofInvalid);
+}
+
+TEST(Adversarial, TruncatedWireResponseRejectedGracefully) {
+  ProtocolConfig config{Design::kLvq, kRoomy, 16};
+  Harness h(config);
+  QueryResponse resp = h.full.query(victim());
+  Writer w;
+  resp.serialize(w);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, w.size() / 2,
+                          w.size() - 1}) {
+    Reader r(ByteSpan{w.data().data(), cut});
+    EXPECT_THROW(QueryResponse::deserialize(r, config), SerializeError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Adversarial, BitflippedWireResponseNeverCrashes) {
+  // Fuzz-ish robustness: single-bit flips either still verify-fail cleanly
+  // or raise SerializeError; nothing may crash or hang.
+  ProtocolConfig config{Design::kLvq, kRoomy, 16};
+  Harness h(config);
+  QueryResponse resp = h.full.query(victim());
+  Writer w;
+  resp.serialize(w);
+  Bytes bytes = w.take();
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes copy = bytes;
+    std::size_t pos = rng.below(copy.size());
+    copy[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      Reader r(ByteSpan{copy.data(), copy.size()});
+      QueryResponse decoded = QueryResponse::deserialize(r, config);
+      VerifyOutcome out = h.light.verify(victim(), decoded);
+      // Flips in tx payload values can keep everything consistent except
+      // the Merkle leaf — most flips must fail; a flip that keeps the
+      // response identical is impossible, but a flip in an IGNORED byte
+      // cannot exist because decode is canonical. So: must not be ok...
+      // unless the flip landed in a part the verifier recomputes anyway
+      // (there is none). Assert rejection.
+      EXPECT_FALSE(out.ok) << "bit flip at byte " << pos << " accepted";
+    } catch (const SerializeError&) {
+      // fine — rejected at decode
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lvq

@@ -1,0 +1,160 @@
+// Tests for the batch query extension: many addresses, one round trip.
+#include <gtest/gtest.h>
+
+#include "node/session.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ExperimentSetup& setup() {
+  static ExperimentSetup s = [] {
+    WorkloadConfig c;
+    c.seed = 808;
+    c.num_blocks = 48;
+    c.background_txs_per_block = 8;
+    c.profiles = {{"a", 6, 4}, {"b", 1, 1}, {"ghost", 0, 0}};
+    return make_setup(c);
+  }();
+  return s;
+}
+
+constexpr BloomGeometry kGeom{256, 6};
+
+struct Harness {
+  FullNode full;
+  LightNode light;
+  LoopbackTransport transport;
+
+  explicit Harness(const ProtocolConfig& config)
+      : full(setup().workload, setup().derived, config),
+        light(config),
+        transport([this](ByteSpan req) { return full.handle_message(req); }) {
+    light.sync_headers(transport);
+  }
+};
+
+std::vector<Address> all_addresses() {
+  std::vector<Address> out;
+  for (const AddressProfile& p : setup().workload->profiles) {
+    out.push_back(p.address);
+  }
+  return out;
+}
+
+TEST(BatchQuery, MatchesIndividualQueries) {
+  Harness h(ProtocolConfig{Design::kLvq, kGeom, 16});
+  auto addresses = all_addresses();
+  auto batch = h.light.query_batch(h.transport, addresses);
+  ASSERT_EQ(batch.size(), addresses.size());
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    ASSERT_TRUE(batch[i].outcome.ok) << i << ": " << batch[i].outcome.detail;
+    auto single = h.light.query(h.transport, addresses[i]);
+    ASSERT_TRUE(single.outcome.ok);
+    EXPECT_EQ(batch[i].outcome.history.total_txs(),
+              single.outcome.history.total_txs());
+    EXPECT_EQ(batch[i].outcome.history.balance(),
+              single.outcome.history.balance());
+    EXPECT_EQ(batch[i].breakdown.total(), single.breakdown.total());
+  }
+}
+
+TEST(BatchQuery, OneRoundTripOnly) {
+  Harness h(ProtocolConfig{Design::kLvq, kGeom, 16});
+  std::uint64_t sent_before = h.transport.bytes_sent();
+  auto batch = h.light.query_batch(h.transport, all_addresses());
+  // Exactly one request went out (its size equals the request_bytes of the
+  // first entry and nothing else).
+  EXPECT_EQ(h.transport.bytes_sent() - sent_before, batch[0].request_bytes);
+  EXPECT_EQ(batch[1].request_bytes, 0u);
+}
+
+TEST(BatchQuery, PerAddressByteAttributionSumsToReply) {
+  Harness h(ProtocolConfig{Design::kLvq, kGeom, 16});
+  std::uint64_t recv_before = h.transport.bytes_received();
+  auto batch = h.light.query_batch(h.transport, all_addresses());
+  std::uint64_t total = 0;
+  for (const auto& r : batch) total += r.response_bytes;
+  EXPECT_EQ(total, h.transport.bytes_received() - recv_before);
+}
+
+TEST(BatchQuery, EmptyBatchIsNoop) {
+  Harness h(ProtocolConfig{Design::kLvq, kGeom, 16});
+  std::uint64_t sent_before = h.transport.bytes_sent();
+  auto batch = h.light.query_batch(h.transport, {});
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(h.transport.bytes_sent(), sent_before);
+}
+
+TEST(BatchQuery, WorksAcrossDesigns) {
+  for (Design d : {Design::kStrawmanVariant, Design::kLvqNoBmt,
+                   Design::kLvqNoSmt, Design::kLvq}) {
+    Harness h(ProtocolConfig{d, kGeom, 16});
+    auto batch = h.light.query_batch(h.transport, all_addresses());
+    for (const auto& r : batch) {
+      EXPECT_TRUE(r.outcome.ok) << design_name(d) << ": " << r.outcome.detail;
+    }
+  }
+}
+
+TEST(BatchQuery, OversizedBatchRefused) {
+  Harness h(ProtocolConfig{Design::kLvq, kGeom, 16});
+  std::vector<Address> too_many(1001, all_addresses()[0]);
+  auto batch = h.light.query_batch(h.transport, too_many);
+  for (const auto& r : batch) {
+    EXPECT_FALSE(r.outcome.ok);
+    EXPECT_EQ(r.outcome.error, VerifyError::kBadEncoding);
+  }
+}
+
+TEST(BatchQuery, GarbageReplyFailsAllEntries) {
+  ProtocolConfig config{Design::kLvq, kGeom, 16};
+  FullNode full(setup().workload, setup().derived, config);
+  LightNode light(config);
+  light.set_headers(full.headers());
+  LoopbackTransport garbage([](ByteSpan) { return Bytes{0x08, 0x01}; });
+  auto batch = light.query_batch(garbage, all_addresses());
+  for (const auto& r : batch) {
+    EXPECT_FALSE(r.outcome.ok);
+  }
+}
+
+TEST(BatchQuery, TamperedEntryFailsOnlyThatAddress) {
+  // A server that corrupts the SECOND response in the batch: entry 1 must
+  // fail, entries 0 and 2 must still verify.
+  ProtocolConfig config{Design::kLvq, kGeom, 16};
+  FullNode full(setup().workload, setup().derived, config);
+  auto addresses = all_addresses();
+
+  LoopbackTransport cheat([&](ByteSpan req) {
+    auto [type, payload] = decode_envelope(req);
+    if (type != MsgType::kBatchQueryRequest) return full.handle_message(req);
+    Writer w;
+    w.varint(addresses.size());
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      QueryResponse resp = full.query(addresses[i]);
+      if (i == 1) {
+        for (SegmentQueryProof& seg : resp.segments) {
+          if (!seg.block_proofs.empty()) {
+            seg.block_proofs.pop_back();  // hide a block proof
+            break;
+          }
+        }
+      }
+      resp.serialize(w);
+    }
+    return encode_envelope(MsgType::kBatchQueryResponse,
+                           ByteSpan{w.data().data(), w.data().size()});
+  });
+
+  LightNode light(config);
+  light.set_headers(full.headers());
+  auto batch = light.query_batch(cheat, addresses);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch[0].outcome.ok);
+  EXPECT_FALSE(batch[1].outcome.ok);
+  EXPECT_TRUE(batch[2].outcome.ok);
+}
+
+}  // namespace
+}  // namespace lvq

@@ -1,0 +1,203 @@
+// Unit + property tests for the Bloom filter (paper §III-B1).
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+namespace {
+
+BloomKey random_key(Rng& rng) {
+  Bytes seed(20);
+  for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+  return BloomKey::from_bytes(ByteSpan{seed.data(), seed.size()});
+}
+
+TEST(BloomKey, DeterministicFromBytes) {
+  Bytes data = {1, 2, 3};
+  BloomKey a = BloomKey::from_bytes(ByteSpan{data.data(), data.size()});
+  BloomKey b = BloomKey::from_bytes(ByteSpan{data.data(), data.size()});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.h2, 0u);
+}
+
+TEST(BloomGeometry, PositionsInRange) {
+  BloomGeometry geom{1024, 10};
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    for (std::uint64_t p : geom.positions(random_key(rng))) {
+      EXPECT_LT(p, geom.size_bits());
+    }
+  }
+}
+
+TEST(BloomGeometry, PositionsAreDoubleHashed) {
+  BloomGeometry geom{1 << 20, 4};
+  BloomKey key{100, 7};
+  auto pos = geom.positions(key);
+  ASSERT_EQ(pos.size(), 4u);
+  EXPECT_EQ(pos[0], 100u);
+  EXPECT_EQ(pos[1], 107u);
+  EXPECT_EQ(pos[2], 114u);
+  EXPECT_EQ(pos[3], 121u);
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomGeometry geom{512, 8};
+  BloomFilter bf(geom);
+  Rng rng(2);
+  std::vector<BloomKey> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(random_key(rng));
+  for (const BloomKey& k : keys) bf.insert(k);
+  for (const BloomKey& k : keys) EXPECT_TRUE(bf.possibly_contains(k));
+}
+
+TEST(BloomFilter, AbsentKeyUsuallyRejected) {
+  BloomGeometry geom{4096, 10};  // generously sized for 100 elements
+  BloomFilter bf(geom);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) bf.insert(random_key(rng));
+  int fp = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (bf.possibly_contains(random_key(rng))) fp++;
+  }
+  EXPECT_LT(fp, 5);  // theoretical FPR here is ~1e-8
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  // m = 8192 bits, n = 800 elements, k = 5:
+  // FPR = (1 - e^(-k n / m))^k = (1 - e^(-0.488))^5 ≈ 0.0086.
+  BloomGeometry geom{1024, 5};
+  BloomFilter bf(geom);
+  Rng rng(4);
+  for (int i = 0; i < 800; ++i) bf.insert(random_key(rng));
+  int fp = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bf.possibly_contains(random_key(rng))) fp++;
+  }
+  double rate = static_cast<double>(fp) / kProbes;
+  EXPECT_GT(rate, 0.005);
+  EXPECT_LT(rate, 0.014);
+}
+
+TEST(BloomFilter, MoreElementsRaiseFpmLikelihood) {
+  // The paper's Fig. 2 observation: the same checked element flips from
+  // "inexistent" to FPM as the filter fills.
+  BloomGeometry geom{128, 6};
+  Rng rng(5);
+  int fp_small = 0, fp_large = 0;
+  constexpr int kProbes = 3000;
+  BloomFilter small(geom), large(geom);
+  for (int i = 0; i < 20; ++i) small.insert(random_key(rng));
+  for (int i = 0; i < 200; ++i) large.insert(random_key(rng));
+  for (int i = 0; i < kProbes; ++i) {
+    BloomKey probe = random_key(rng);
+    if (small.possibly_contains(probe)) fp_small++;
+    if (large.possibly_contains(probe)) fp_large++;
+  }
+  EXPECT_LT(fp_small * 5, fp_large);
+}
+
+TEST(BloomFilter, MergeIsBitwiseOr) {
+  BloomGeometry geom{256, 7};
+  Rng rng(6);
+  BloomFilter a(geom), b(geom);
+  std::vector<BloomKey> ka, kb;
+  for (int i = 0; i < 50; ++i) {
+    ka.push_back(random_key(rng));
+    kb.push_back(random_key(rng));
+  }
+  for (const auto& k : ka) a.insert(k);
+  for (const auto& k : kb) b.insert(k);
+  BloomFilter merged = a;
+  merged.merge(b);
+  for (const auto& k : ka) EXPECT_TRUE(merged.possibly_contains(k));
+  for (const auto& k : kb) EXPECT_TRUE(merged.possibly_contains(k));
+  // Every set bit must come from one side (no spurious bits).
+  for (std::uint64_t bit = 0; bit < geom.size_bits(); ++bit) {
+    EXPECT_EQ(merged.bit(bit), a.bit(bit) || b.bit(bit));
+  }
+}
+
+TEST(BloomFilter, MergeRejectsGeometryMismatch) {
+  BloomFilter a(BloomGeometry{256, 7});
+  BloomFilter b(BloomGeometry{512, 7});
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(BloomFilter, FillRatio) {
+  BloomGeometry geom{16, 4};  // 128 bits
+  BloomFilter bf(geom);
+  EXPECT_DOUBLE_EQ(bf.fill_ratio(), 0.0);
+  bf.set_bit(0);
+  bf.set_bit(64);
+  EXPECT_DOUBLE_EQ(bf.fill_ratio(), 2.0 / 128.0);
+}
+
+TEST(BloomFilter, ContentHashChangesWithBits) {
+  BloomGeometry geom{64, 4};
+  BloomFilter a(geom), b(geom);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  b.set_bit(13);
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+TEST(BloomFilter, ContentHashCoversGeometry) {
+  BloomFilter a(BloomGeometry{64, 4});
+  BloomFilter b(BloomGeometry{64, 5});
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+TEST(BloomFilter, SerializeRoundTrip) {
+  BloomGeometry geom{128, 9};
+  BloomFilter bf(geom);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) bf.insert(random_key(rng));
+  Writer w;
+  bf.serialize(w);
+  EXPECT_EQ(w.size(), bf.serialized_size());
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  BloomFilter back = BloomFilter::deserialize(r);
+  EXPECT_EQ(back, bf);
+}
+
+TEST(BloomFilter, SerializeBitsRoundTrip) {
+  BloomGeometry geom{128, 9};
+  BloomFilter bf(geom);
+  Rng rng(8);
+  for (int i = 0; i < 30; ++i) bf.insert(random_key(rng));
+  Writer w;
+  bf.serialize_bits(w);
+  EXPECT_EQ(w.size(), geom.size_bytes);
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  EXPECT_EQ(BloomFilter::deserialize_bits(r, geom), bf);
+}
+
+TEST(BloomFilter, DeserializeRejectsImplausibleGeometry) {
+  Writer w;
+  w.u32(0);   // zero size
+  w.u32(10);
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  EXPECT_THROW(BloomFilter::deserialize(r), SerializeError);
+}
+
+class BloomSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BloomSweep, InsertLookupAtManyGeometries) {
+  std::uint32_t k = GetParam();
+  BloomGeometry geom{300, k};
+  BloomFilter bf(geom);
+  Rng rng(100 + k);
+  std::vector<BloomKey> keys;
+  for (int i = 0; i < 40; ++i) keys.push_back(random_key(rng));
+  for (const auto& key : keys) bf.insert(key);
+  for (const auto& key : keys) EXPECT_TRUE(bf.possibly_contains(key));
+}
+
+INSTANTIATE_TEST_SUITE_P(HashCounts, BloomSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 64));
+
+}  // namespace
+}  // namespace lvq

@@ -1,0 +1,265 @@
+// Tests for the chain data model: addresses, transactions, headers of every
+// scheme, blocks, and the chain store.
+#include <gtest/gtest.h>
+
+#include "chain/address.hpp"
+#include "chain/amount.hpp"
+#include "chain/block.hpp"
+#include "chain/chain_store.hpp"
+#include "util/rng.hpp"
+
+namespace lvq {
+namespace {
+
+Address addr(std::uint64_t v) {
+  Writer w;
+  w.u64(v);
+  return Address::derive(ByteSpan{w.data().data(), w.data().size()});
+}
+
+Transaction make_tx(std::uint64_t salt) {
+  Transaction tx;
+  TxInput in;
+  in.prev.txid.bytes[0] = static_cast<std::uint8_t>(salt);
+  in.prev.vout = 1;
+  in.address = addr(salt);
+  in.value = 5 * kCoin;
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOutput{addr(salt + 1), 2 * kCoin});
+  tx.outputs.push_back(TxOutput{addr(salt + 2), 3 * kCoin});
+  tx.lock_time = static_cast<std::uint32_t>(salt);
+  return tx;
+}
+
+TEST(Address, Base58RoundTrip) {
+  Address a = addr(7);
+  std::string text = a.to_string();
+  EXPECT_EQ(text[0], '1');  // mainnet P2PKH version byte 0x00
+  auto back = Address::from_string(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, a);
+}
+
+TEST(Address, FromStringRejectsCorruption) {
+  std::string text = addr(7).to_string();
+  text[4] = (text[4] == '2') ? '3' : '2';
+  EXPECT_FALSE(Address::from_string(text).has_value());
+}
+
+TEST(Address, PaperStyleAddressShape) {
+  // Our addresses render in the same shape as the paper's Table III
+  // entries: "1"-prefixed Base58Check, 26-35 characters. (The literal
+  // strings printed in the paper carry invalid checksums — e.g. its Addr2
+  // is Addr1 with one character changed, an illustrative pair — so we
+  // check shape, not those exact strings.)
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    std::string text = addr(i).to_string();
+    EXPECT_EQ(text[0], '1');
+    EXPECT_GE(text.size(), 26u);
+    EXPECT_LE(text.size(), 35u);
+  }
+  // And malformed paper-style strings are rejected, not mis-parsed.
+  EXPECT_FALSE(
+      Address::from_string("1GuLyHTpL6U121Ewe5h31jP4HPC8s4mLTs").has_value());
+}
+
+TEST(Address, DeriveIsDeterministicAndDistinct) {
+  EXPECT_EQ(addr(1), addr(1));
+  EXPECT_NE(addr(1), addr(2));
+}
+
+TEST(Amount, Formatting) {
+  EXPECT_EQ(format_amount(kCoin), "1.00000000 BTC");
+  EXPECT_EQ(format_amount(168'000'000), "1.68000000 BTC");
+  EXPECT_EQ(format_amount(-kCoin / 2), "-0.50000000 BTC");
+  EXPECT_EQ(format_amount(0), "0.00000000 BTC");
+}
+
+TEST(Transaction, SerializeRoundTrip) {
+  Transaction tx = make_tx(3);
+  Writer w;
+  tx.serialize(w);
+  EXPECT_EQ(w.size(), tx.serialized_size());
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  Transaction back = Transaction::deserialize(r);
+  EXPECT_EQ(back.txid(), tx.txid());
+  EXPECT_EQ(back.inputs.size(), 1u);
+  EXPECT_EQ(back.outputs.size(), 2u);
+  EXPECT_EQ(back.outputs[1].value, 3 * kCoin);
+}
+
+TEST(Transaction, TxidChangesWithContent) {
+  Transaction a = make_tx(3), b = make_tx(3);
+  EXPECT_EQ(a.txid(), b.txid());
+  b.outputs[0].value += 1;
+  EXPECT_NE(a.txid(), b.txid());
+}
+
+TEST(Transaction, Involves) {
+  Transaction tx = make_tx(3);
+  EXPECT_TRUE(tx.involves(addr(3)));   // input side
+  EXPECT_TRUE(tx.involves(addr(4)));   // output side
+  EXPECT_FALSE(tx.involves(addr(99)));
+}
+
+TEST(Transaction, CoinbaseHasNoInputs) {
+  Transaction tx;
+  tx.outputs.push_back(TxOutput{addr(1), 25 * kCoin});
+  EXPECT_TRUE(tx.is_coinbase());
+  EXPECT_FALSE(make_tx(1).is_coinbase());
+}
+
+TEST(Block, AddressCountsCountTransactionsNotSlots) {
+  // One tx mentioning an address on both sides counts once; two txs count
+  // twice — the count must equal the number of Merkle branches needed.
+  Block block;
+  Transaction tx1;
+  tx1.inputs.push_back(TxInput{{}, addr(5), kCoin});
+  tx1.outputs.push_back(TxOutput{addr(5), kCoin});  // same address again
+  tx1.outputs.push_back(TxOutput{addr(6), 0});
+  Transaction tx2;
+  tx2.inputs.push_back(TxInput{{}, addr(5), kCoin});
+  tx2.outputs.push_back(TxOutput{addr(7), kCoin});
+  block.txs = {tx1, tx2};
+
+  auto counts = block.address_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (const SmtLeaf& leaf : counts) {
+    if (leaf.address == addr(5)) {
+      EXPECT_EQ(leaf.count, 2u);
+    }
+    if (leaf.address == addr(6)) {
+      EXPECT_EQ(leaf.count, 1u);
+    }
+    if (leaf.address == addr(7)) {
+      EXPECT_EQ(leaf.count, 1u);
+    }
+  }
+  // Sorted by address.
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LT(counts[i - 1].address, counts[i].address);
+  }
+}
+
+TEST(Header, VanillaIs81Bytes) {
+  // 80 Bitcoin bytes + 1 scheme tag.
+  BlockHeader h;
+  EXPECT_EQ(h.serialized_size(), 81u);
+  Writer w;
+  h.serialize(w);
+  EXPECT_EQ(w.size(), 81u);
+}
+
+TEST(Header, SchemeSizes) {
+  BlockHeader h;
+  h.scheme = HeaderScheme::kLvq;
+  h.bmt_root = Hash256{};
+  h.smt_commitment = Hash256{};
+  EXPECT_EQ(h.serialized_size(), 81u + 64u);
+
+  BlockHeader v;
+  v.scheme = HeaderScheme::kStrawmanVariant;
+  v.bf_hash = Hash256{};
+  EXPECT_EQ(v.serialized_size(), 81u + 32u);
+
+  BlockHeader s;
+  s.scheme = HeaderScheme::kStrawman;
+  s.embedded_bf = BloomFilter(BloomGeometry{10 * 1024, 10});
+  EXPECT_GT(s.serialized_size(), 10u * 1024u);
+}
+
+TEST(Header, SerializeEnforcesSchemeConsistency) {
+  BlockHeader h;
+  h.scheme = HeaderScheme::kLvq;  // but commitments missing
+  Writer w;
+  EXPECT_THROW(h.serialize(w), std::logic_error);
+
+  BlockHeader v;
+  v.scheme = HeaderScheme::kVanilla;
+  v.bmt_root = Hash256{};  // commitment present but scheme says no
+  Writer w2;
+  EXPECT_THROW(v.serialize(w2), std::logic_error);
+}
+
+TEST(Header, RoundTripEveryScheme) {
+  for (HeaderScheme scheme :
+       {HeaderScheme::kVanilla, HeaderScheme::kStrawman,
+        HeaderScheme::kStrawmanVariant, HeaderScheme::kLvqNoBmt,
+        HeaderScheme::kLvqNoSmt, HeaderScheme::kLvq}) {
+    BlockHeader h;
+    h.scheme = scheme;
+    h.version = 2;
+    h.time = 123;
+    h.nonce = 7;
+    h.prev_hash.bytes[1] = 9;
+    h.merkle_root.bytes[2] = 8;
+    if (scheme_has_embedded_bf(scheme)) {
+      BloomFilter bf(BloomGeometry{32, 4});
+      bf.set_bit(10);
+      h.embedded_bf = bf;
+    }
+    if (scheme_has_bf_hash(scheme)) h.bf_hash = Hash256{};
+    if (scheme_has_bmt(scheme)) h.bmt_root = Hash256{};
+    if (scheme_has_smt(scheme)) h.smt_commitment = Hash256{};
+
+    Writer w;
+    h.serialize(w);
+    EXPECT_EQ(w.size(), h.serialized_size());
+    Reader r(ByteSpan{w.data().data(), w.data().size()});
+    BlockHeader back = BlockHeader::deserialize(r);
+    EXPECT_EQ(back.hash(), h.hash()) << header_scheme_name(scheme);
+    EXPECT_EQ(back.scheme, scheme);
+  }
+}
+
+TEST(Header, HashCoversCommitments) {
+  BlockHeader a, b;
+  a.scheme = b.scheme = HeaderScheme::kLvq;
+  a.bmt_root = Hash256{};
+  a.smt_commitment = Hash256{};
+  b.bmt_root = Hash256{};
+  b.smt_commitment = Hash256{};
+  b.bmt_root->bytes[0] = 1;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Block, SerializeRoundTrip) {
+  Block block;
+  block.header.scheme = HeaderScheme::kVanilla;
+  block.txs = {make_tx(1), make_tx(2), make_tx(3)};
+  block.header.merkle_root = block.compute_merkle_root();
+  Writer w;
+  block.serialize(w);
+  EXPECT_EQ(w.size(), block.serialized_size());
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  Block back = Block::deserialize(r);
+  EXPECT_EQ(back.txs.size(), 3u);
+  EXPECT_EQ(back.compute_merkle_root(), block.header.merkle_root);
+}
+
+TEST(ChainStore, EnforcesLinkage) {
+  ChainStore store;
+  Block b1;
+  b1.header.scheme = HeaderScheme::kVanilla;
+  b1.txs = {make_tx(1)};
+  store.append(b1);
+  EXPECT_EQ(store.tip_height(), 1u);
+
+  Block b2;
+  b2.header.scheme = HeaderScheme::kVanilla;
+  b2.header.prev_hash = b1.header.hash();
+  b2.txs = {make_tx(2)};
+  store.append(b2);
+  EXPECT_EQ(store.tip_height(), 2u);
+  EXPECT_EQ(store.at_height(1).header.hash(), b1.header.hash());
+
+  Block bad;
+  bad.header.scheme = HeaderScheme::kVanilla;
+  bad.txs = {make_tx(3)};
+  EXPECT_THROW(store.append(bad), std::logic_error);
+  EXPECT_THROW(store.at_height(0), std::logic_error);
+  EXPECT_THROW(store.at_height(3), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lvq

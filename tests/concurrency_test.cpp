@@ -1,0 +1,63 @@
+// A full node serves many light clients concurrently; every query path is
+// const over immutable chain state, so parallel queries must be safe and
+// deterministic. (On a 1-core machine this still exercises interleaving
+// via preemption.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "node/session.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+TEST(Concurrency, ParallelQueriesMatchSerialResults) {
+  WorkloadConfig c;
+  c.seed = 4444;
+  c.num_blocks = 48;
+  c.background_txs_per_block = 8;
+  c.profiles = {{"a", 6, 4}, {"b", 12, 8}, {"c", 0, 0}, {"d", 3, 3}};
+  ExperimentSetup setup = make_setup(c);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{256, 8}, 16};
+  FullNode full(setup.workload, setup.derived, config);
+
+  // Serial reference.
+  std::vector<std::uint64_t> expect_sizes;
+  for (const AddressProfile& p : setup.workload->profiles) {
+    Writer w;
+    full.query(p.address).serialize(w);
+    expect_sizes.push_back(w.size());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Each thread runs its own light node against the shared full node.
+      LightNode light(config);
+      light.set_headers(full.headers());
+      for (int round = 0; round < kRounds; ++round) {
+        std::size_t i = static_cast<std::size_t>((t + round) %
+                                                 setup.workload->profiles.size());
+        const AddressProfile& p = setup.workload->profiles[i];
+        QueryResponse resp = full.query(p.address);
+        Writer w;
+        resp.serialize(w);
+        if (w.size() != expect_sizes[i]) mismatches++;
+        VerifyOutcome out = light.verify(p.address, resp);
+        if (!out.ok) mismatches++;
+        GroundTruth gt = scan_ground_truth(*setup.workload, p.address);
+        if (out.history.total_txs() != gt.txs.size()) mismatches++;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace lvq

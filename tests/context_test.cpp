@@ -1,0 +1,191 @@
+// Integration tests for chain assembly: header commitments across schemes,
+// per-block BMT roots against the naive per-block construction, position
+// tables, and incremental chain growth (headers are append-only).
+#include <gtest/gtest.h>
+
+#include "core/chain_context.hpp"
+#include "core/merge_schedule.hpp"
+#include "node/session.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+ExperimentSetup make_small_setup(std::uint32_t blocks, std::uint64_t seed) {
+  WorkloadConfig c;
+  c.seed = seed;
+  c.num_blocks = blocks;
+  c.background_txs_per_block = 6;
+  c.profiles = {{"p", 8, 5}};
+  return make_setup(c);
+}
+
+constexpr BloomGeometry kGeom{128, 5};
+
+TEST(ChainContext, HeaderChainLinksAndScheme) {
+  ExperimentSetup s = make_small_setup(24, 1);
+  ChainContext ctx(s.workload, s.derived, ProtocolConfig{Design::kLvq, kGeom, 8});
+  auto headers = ctx.headers();
+  ASSERT_EQ(headers.size(), 24u);
+  Hash256 prev{};
+  for (const BlockHeader& h : headers) {
+    EXPECT_EQ(h.prev_hash, prev);
+    EXPECT_EQ(h.scheme, HeaderScheme::kLvq);
+    ASSERT_TRUE(h.bmt_root.has_value());
+    ASSERT_TRUE(h.smt_commitment.has_value());
+    prev = h.hash();
+  }
+}
+
+TEST(ChainContext, MerkleRootsMatchBlocks) {
+  ExperimentSetup s = make_small_setup(12, 2);
+  ChainContext ctx(s.workload, s.derived,
+                   ProtocolConfig{Design::kStrawmanVariant, kGeom, 8});
+  for (std::uint64_t h = 1; h <= 12; ++h) {
+    EXPECT_EQ(ctx.chain().at_height(h).header.merkle_root,
+              ctx.chain().at_height(h).compute_merkle_root());
+  }
+}
+
+TEST(ChainContext, SmtCommitmentsMatchBlockAddressCounts) {
+  ExperimentSetup s = make_small_setup(12, 3);
+  ChainContext ctx(s.workload, s.derived, ProtocolConfig{Design::kLvq, kGeom, 8});
+  for (std::uint64_t h = 1; h <= 12; ++h) {
+    SortedMerkleTree smt(ctx.chain().at_height(h).address_counts());
+    EXPECT_EQ(*ctx.chain().at_height(h).header.smt_commitment,
+              smt.commitment());
+  }
+}
+
+TEST(ChainContext, BfHashCommitmentsMatchMaterializedFilters) {
+  ExperimentSetup s = make_small_setup(12, 4);
+  ChainContext ctx(s.workload, s.derived,
+                   ProtocolConfig{Design::kStrawmanVariant, kGeom, 8});
+  for (std::uint64_t h = 1; h <= 12; ++h) {
+    EXPECT_EQ(*ctx.chain().at_height(h).header.bf_hash,
+              ctx.positions().block_bf(h).content_hash());
+  }
+}
+
+TEST(ChainContext, EmbeddedBfsContainEveryBlockAddress) {
+  ExperimentSetup s = make_small_setup(12, 5);
+  ChainContext ctx(s.workload, s.derived,
+                   ProtocolConfig{Design::kStrawman, kGeom, 8});
+  for (std::uint64_t h = 1; h <= 12; ++h) {
+    const Block& block = ctx.chain().at_height(h);
+    const BloomFilter& bf = *block.header.embedded_bf;
+    for (const SmtLeaf& leaf : block.address_counts()) {
+      EXPECT_TRUE(
+          bf.possibly_contains(BloomKey::from_bytes(leaf.address.span())));
+    }
+  }
+}
+
+TEST(ChainContext, BmtRootsMatchNaivePerBlockConstruction) {
+  // Cross-module check: header.bmt_root of every block equals the paper's
+  // direct per-block BMT over blocks [h - merge_count + 1, h].
+  ExperimentSetup s = make_small_setup(20, 6);
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  ChainContext ctx(s.workload, s.derived, config);
+
+  auto leaf_bf = [&](std::uint64_t h) {
+    return ctx.positions().block_bf(h);
+  };
+  // Recursive naive build over inclusive [lo, hi].
+  std::function<std::pair<Hash256, BloomFilter>(std::uint64_t, std::uint64_t)>
+      naive = [&](std::uint64_t lo,
+                  std::uint64_t hi) -> std::pair<Hash256, BloomFilter> {
+    if (lo == hi) {
+      BloomFilter bf = leaf_bf(lo);
+      return {bmt_leaf_hash(bf), bf};
+    }
+    std::uint64_t half = (hi - lo + 1) / 2;
+    auto l = naive(lo, lo + half - 1);
+    auto r = naive(lo + half, hi);
+    BloomFilter bf = l.second;
+    bf.merge(r.second);
+    return {bmt_node_hash(l.first, r.first, bf), bf};
+  };
+
+  for (std::uint64_t h = 1; h <= 20; ++h) {
+    std::uint32_t mc = merge_count(h, config.segment_length);
+    EXPECT_EQ(*ctx.chain().at_height(h).header.bmt_root,
+              naive(h - mc + 1, h).first)
+        << "height " << h;
+  }
+}
+
+TEST(ChainContext, PositionTableMatchesBruteForceBf) {
+  ExperimentSetup s = make_small_setup(8, 7);
+  ChainContext ctx(s.workload, s.derived, ProtocolConfig{Design::kLvq, kGeom, 8});
+  for (std::uint64_t h = 1; h <= 8; ++h) {
+    BloomFilter direct(kGeom);
+    for (const BloomKey& key : s.derived->at(h).bloom_keys) {
+      direct.insert(key);
+    }
+    EXPECT_EQ(ctx.positions().block_bf(h), direct);
+  }
+}
+
+TEST(ChainContext, HeadersAreAppendOnlyAsChainGrows) {
+  // A block's header (including its BMT root) must not change when new
+  // blocks arrive — otherwise light nodes would re-download headers. Build
+  // the same workload truncated at two lengths and compare the prefix.
+  WorkloadConfig base;
+  base.seed = 99;
+  base.num_blocks = 23;
+  base.background_txs_per_block = 6;
+  base.profiles = {{"p", 6, 4}};
+  Workload w_long = generate_workload(base);
+
+  // Truncate: same blocks, shorter chain.
+  auto w_short = std::make_shared<Workload>(w_long);
+  w_short->blocks.resize(17);
+  auto w_long_ptr = std::make_shared<const Workload>(std::move(w_long));
+  auto d_short = std::make_shared<const WorkloadDerived>(*w_short);
+  auto d_long = std::make_shared<const WorkloadDerived>(*w_long_ptr);
+
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  ChainContext short_ctx(std::shared_ptr<const Workload>(w_short), d_short,
+                         config);
+  ChainContext long_ctx(w_long_ptr, d_long, config);
+
+  for (std::uint64_t h = 1; h <= 17; ++h) {
+    EXPECT_EQ(short_ctx.chain().at_height(h).header.hash(),
+              long_ctx.chain().at_height(h).header.hash())
+        << "height " << h;
+  }
+}
+
+TEST(ChainContext, QueriesVerifyAfterChainGrowth) {
+  // Same truncation setup, but run the full query path at both lengths.
+  WorkloadConfig base;
+  base.seed = 77;
+  base.num_blocks = 29;
+  base.background_txs_per_block = 6;
+  base.profiles = {{"p", 10, 7}};
+  auto workload = std::make_shared<const Workload>(generate_workload(base));
+  const Address& addr = workload->profiles[0].address;
+
+  for (std::size_t cut : {13u, 16u, 29u}) {
+    auto truncated = std::make_shared<Workload>(*workload);
+    truncated->blocks.resize(cut);
+    ExperimentSetup s;
+    s.workload = truncated;
+    s.derived = std::make_shared<const WorkloadDerived>(*truncated);
+    QuerySession session(s, ProtocolConfig{Design::kLvq, kGeom, 8});
+    auto result = session.query(addr);
+    EXPECT_TRUE(result.outcome.ok)
+        << "tip " << cut << ": " << result.outcome.detail;
+  }
+}
+
+TEST(ChainContext, RejectsNonPowerOfTwoSegmentLength) {
+  ExperimentSetup s = make_small_setup(8, 8);
+  EXPECT_THROW(ChainContext(s.workload, s.derived,
+                            ProtocolConfig{Design::kLvq, kGeom, 6}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace lvq

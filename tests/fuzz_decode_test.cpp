@@ -1,0 +1,198 @@
+// Deterministic decode fuzzing: thousands of random and mutated byte
+// strings thrown at every wire decoder. The invariant is simple — decode
+// either succeeds or throws SerializeError; it never crashes, hangs, or
+// throws anything else. (Single-bit-flip semantic fuzzing lives in
+// adversarial_test.cpp; this suite targets the parsers themselves.)
+#include <gtest/gtest.h>
+
+#include "chain/block.hpp"
+#include "core/multi_query.hpp"
+#include "core/query.hpp"
+#include "core/range_query.hpp"
+#include "merkle/sorted_merkle_tree.hpp"
+#include "net/message.hpp"
+#include "node/session.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+constexpr BloomGeometry kGeom{64, 4};
+const ProtocolConfig kConfig{Design::kLvq, kGeom, 8};
+
+Bytes random_bytes(Rng& rng, std::size_t max_len) {
+  Bytes out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+template <typename Fn>
+void expect_no_crash(const Bytes& data, Fn&& decode) {
+  try {
+    decode(data);
+  } catch (const SerializeError&) {
+    // expected for malformed input
+  }
+  // Anything else (std::bad_alloc, logic_error, segfault) fails the test
+  // by escaping or crashing.
+}
+
+TEST(FuzzDecode, RandomBytesAllDecoders) {
+  Rng rng(101);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes data = random_bytes(rng, 300);
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)Transaction::deserialize(r);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)BlockHeader::deserialize(r);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)SmtBranch::deserialize(r);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)SmtAbsenceProof::deserialize(r);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)BmtNodeProof::deserialize(r, kGeom, 64);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)QueryResponse::deserialize(r, kConfig);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)RangeQueryResponse::deserialize(r, kConfig);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)MultiQueryResponse::deserialize(r, kConfig);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      (void)decode_envelope(ByteSpan{d.data(), d.size()});
+    });
+  }
+}
+
+TEST(FuzzDecode, MutatedRealMultiResponses) {
+  WorkloadConfig c;
+  c.seed = 108;
+  c.num_blocks = 24;
+  c.background_txs_per_block = 6;
+  c.profiles = {{"p", 5, 4}, {"q", 2, 2}};
+  ExperimentSetup setup = make_setup(c);
+  FullNode full(setup.workload, setup.derived, kConfig);
+
+  Writer w;
+  full.multi_query({setup.workload->profiles[0].address,
+                    setup.workload->profiles[1].address})
+      .serialize(w);
+  Bytes base = w.take();
+
+  Rng rng(109);
+  for (int trial = 0; trial < 1500; ++trial) {
+    Bytes data = base;
+    std::size_t pos = rng.below(data.size());
+    data[pos] ^= static_cast<std::uint8_t>(rng.next_u64() | 1);
+    if (rng.chance(0.3)) data.resize(rng.below(data.size() + 1));
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)MultiQueryResponse::deserialize(r, kConfig);
+    });
+  }
+}
+
+TEST(FuzzDecode, MutatedRealResponses) {
+  WorkloadConfig c;
+  c.seed = 102;
+  c.num_blocks = 24;
+  c.background_txs_per_block = 6;
+  c.profiles = {{"p", 5, 4}};
+  ExperimentSetup setup = make_setup(c);
+  FullNode full(setup.workload, setup.derived, kConfig);
+
+  Writer w;
+  full.query(setup.workload->profiles[0].address).serialize(w);
+  Bytes base = w.take();
+
+  Rng rng(103);
+  for (int trial = 0; trial < 1500; ++trial) {
+    Bytes data = base;
+    // Random edit: overwrite, truncate, or extend.
+    switch (rng.below(3)) {
+      case 0: {  // overwrite a random run
+        std::size_t pos = rng.below(data.size());
+        std::size_t len = std::min<std::size_t>(rng.below(16) + 1,
+                                                data.size() - pos);
+        for (std::size_t i = 0; i < len; ++i) {
+          data[pos + i] = static_cast<std::uint8_t>(rng.next_u64());
+        }
+        break;
+      }
+      case 1:
+        data.resize(rng.below(data.size() + 1));
+        break;
+      case 2: {
+        Bytes extra = random_bytes(rng, 32);
+        data.insert(data.end(), extra.begin(), extra.end());
+        break;
+      }
+    }
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)QueryResponse::deserialize(r, kConfig);
+    });
+  }
+}
+
+TEST(FuzzDecode, MutatedRealRangeResponses) {
+  WorkloadConfig c;
+  c.seed = 104;
+  c.num_blocks = 24;
+  c.background_txs_per_block = 6;
+  c.profiles = {{"p", 5, 4}};
+  ExperimentSetup setup = make_setup(c);
+  FullNode full(setup.workload, setup.derived, kConfig);
+
+  Writer w;
+  full.range_query(setup.workload->profiles[0].address, 3, 19).serialize(w);
+  Bytes base = w.take();
+
+  Rng rng(105);
+  for (int trial = 0; trial < 1500; ++trial) {
+    Bytes data = base;
+    std::size_t pos = rng.below(data.size());
+    data[pos] ^= static_cast<std::uint8_t>(rng.next_u64() | 1);
+    if (rng.chance(0.3)) data.resize(rng.below(data.size() + 1));
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)RangeQueryResponse::deserialize(r, kConfig);
+    });
+  }
+}
+
+TEST(FuzzDecode, ServerSurvivesGarbageRequests) {
+  WorkloadConfig c;
+  c.seed = 106;
+  c.num_blocks = 16;
+  c.background_txs_per_block = 5;
+  c.profiles = {{"p", 3, 2}};
+  ExperimentSetup setup = make_setup(c);
+  FullNode full(setup.workload, setup.derived, kConfig);
+
+  Rng rng(107);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes req = random_bytes(rng, 64);
+    Bytes reply = full.handle_message(ByteSpan{req.data(), req.size()});
+    ASSERT_FALSE(reply.empty());  // always a well-formed reply envelope
+  }
+}
+
+}  // namespace
+}  // namespace lvq

@@ -1,0 +1,93 @@
+// Golden regression pins.
+//
+// These values freeze the exact bytes of the whole stack — workload
+// generation, txids, Merkle/SMT/BMT hash rules, header layout, proof
+// serialization. Any unintended change to a hash rule, serialization
+// order, or generator behaviour shows up here first, with a clear diff.
+// (If you change the protocol ON PURPOSE, regenerate the constants and
+// say so in the commit message.)
+#include <gtest/gtest.h>
+
+#include "core/multi_query.hpp"
+#include "core/prover.hpp"
+#include "core/range_query.hpp"
+#include "node/session.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ChainContext& golden_context() {
+  static ExperimentSetup setup = [] {
+    WorkloadConfig c;
+    c.seed = 123;
+    c.num_blocks = 16;
+    c.background_txs_per_block = 5;
+    c.profiles = {{"p", 4, 3}};
+    return make_setup(c);
+  }();
+  static ChainContext ctx(setup.workload, setup.derived,
+                          ProtocolConfig{Design::kLvq, BloomGeometry{64, 4}, 8});
+  return ctx;
+}
+
+const Workload& golden_workload() { return golden_context().workload(); }
+
+TEST(Golden, TipHeaderHash) {
+  EXPECT_EQ(golden_context().chain().at_height(16).header.hash().hex(),
+            "8d46ee844d588cc6da0876e46facbdc25820e8309441409652d8d7bd77ad552f");
+}
+
+TEST(Golden, BmtRoot) {
+  EXPECT_EQ(golden_context().chain().at_height(16).header.bmt_root->hex(),
+            "c7a48438937fc94b01ce73e181769950a1cf59c419fc7dc98fa4e5bd2c8ef0c1");
+}
+
+TEST(Golden, SmtCommitment) {
+  EXPECT_EQ(
+      golden_context().chain().at_height(16).header.smt_commitment->hex(),
+      "2217791192f2ac28e1ba6dcbd66b2dda01e9c619c88a099492f6b31265f632f3");
+}
+
+TEST(Golden, MerkleRoot) {
+  EXPECT_EQ(golden_context().chain().at_height(16).header.merkle_root.hex(),
+            "7bb9d709bc8286edb4bc3b128dbe7b78b231a3bf96640a9a2ba2c23a1e4c8bde");
+}
+
+TEST(Golden, ProfileAddress) {
+  EXPECT_EQ(golden_workload().profiles[0].address.to_string(),
+            "1AKTzRjTq4TTETSR8mWrnP5MtFNZMDaRWr");
+}
+
+TEST(Golden, SerializedQueryResponse) {
+  Writer w;
+  build_query_response(golden_context(), golden_workload().profiles[0].address)
+      .serialize(w);
+  EXPECT_EQ(w.size(), 3108u);
+  EXPECT_EQ(hash256d(ByteSpan{w.data().data(), w.data().size()}).hex(),
+            "68144f069314fe4375e6d20be3d9a34de93d87b9f22a73d938fa911e3d3c82af");
+}
+
+TEST(Golden, SerializedRangeResponse) {
+  Writer w;
+  build_range_response(golden_context(), golden_workload().profiles[0].address,
+                       3, 13)
+      .serialize(w);
+  EXPECT_EQ(w.size(), 2406u);
+  EXPECT_EQ(hash256d(ByteSpan{w.data().data(), w.data().size()}).hex(),
+            "9bba9b8eb66045f15e1b6f06331d50a31894e0bb245c56a86eb7e87108c0e799");
+}
+
+TEST(Golden, SerializedMultiResponse) {
+  Writer w;
+  Address ghost = Address::derive(str_bytes("golden-ghost"));
+  build_multi_response(golden_context(),
+                       {golden_workload().profiles[0].address, ghost})
+      .serialize(w);
+  EXPECT_EQ(w.size(), 3114u);
+  EXPECT_EQ(hash256d(ByteSpan{w.data().data(), w.data().size()}).hex(),
+            "12047d0914f50a735bd54b424ffe8974a7d6cb6861defdc59233e16c69d8410c");
+}
+
+}  // namespace
+}  // namespace lvq

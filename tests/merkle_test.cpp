@@ -1,0 +1,130 @@
+// Tests for the Bitcoin-style Merkle tree and branches (paper §II-A).
+#include <gtest/gtest.h>
+
+#include "crypto/hash.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "util/rng.hpp"
+
+namespace lvq {
+namespace {
+
+Hash256 h(std::uint64_t v) {
+  Writer w;
+  w.u64(v);
+  return hash256d(ByteSpan{w.data().data(), w.data().size()});
+}
+
+std::vector<Hash256> leaves(std::size_t n, std::uint64_t salt = 0) {
+  std::vector<Hash256> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(h(salt * 1000 + i));
+  return out;
+}
+
+TEST(MerkleTree, SingleLeafRootIsLeaf) {
+  auto l = leaves(1);
+  EXPECT_EQ(MerkleTree::compute_root(l), l[0]);
+}
+
+TEST(MerkleTree, TwoLeafRoot) {
+  auto l = leaves(2);
+  EXPECT_EQ(MerkleTree::compute_root(l), merkle_parent(l[0], l[1]));
+}
+
+TEST(MerkleTree, OddCountDuplicatesLast) {
+  // Bitcoin rule: a trailing unpaired node pairs with itself.
+  auto l = leaves(3);
+  Hash256 expect = merkle_parent(merkle_parent(l[0], l[1]),
+                                 merkle_parent(l[2], l[2]));
+  EXPECT_EQ(MerkleTree::compute_root(l), expect);
+}
+
+TEST(MerkleTree, BuiltTreeMatchesStaticRoot) {
+  for (std::size_t n : {1, 2, 3, 4, 5, 7, 8, 9, 100}) {
+    auto l = leaves(n, n);
+    MerkleTree tree(l);
+    EXPECT_EQ(tree.root(), MerkleTree::compute_root(l)) << n;
+    EXPECT_EQ(tree.leaf_count(), n);
+  }
+}
+
+TEST(MerkleTree, RootDependsOnOrder) {
+  auto l = leaves(4);
+  auto swapped = l;
+  std::swap(swapped[1], swapped[2]);
+  EXPECT_NE(MerkleTree::compute_root(l), MerkleTree::compute_root(swapped));
+}
+
+class MerkleBranchSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleBranchSweep, EveryBranchVerifies) {
+  std::size_t n = GetParam();
+  auto l = leaves(n, 7);
+  MerkleTree tree(l);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MerkleBranch b = tree.branch(i);
+    EXPECT_EQ(b.leaf, l[i]);
+    EXPECT_EQ(b.index, i);
+    EXPECT_EQ(b.compute_root(), tree.root()) << "leaf " << i << " of " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleBranchSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16,
+                                           17, 33, 64, 111));
+
+TEST(MerkleBranch, TamperedLeafFails) {
+  auto l = leaves(8);
+  MerkleTree tree(l);
+  MerkleBranch b = tree.branch(3);
+  b.leaf.bytes[0] ^= 1;
+  EXPECT_NE(b.compute_root(), tree.root());
+}
+
+TEST(MerkleBranch, TamperedSiblingFails) {
+  auto l = leaves(8);
+  MerkleTree tree(l);
+  MerkleBranch b = tree.branch(3);
+  b.siblings[1].bytes[5] ^= 1;
+  EXPECT_NE(b.compute_root(), tree.root());
+}
+
+TEST(MerkleBranch, WrongIndexFails) {
+  auto l = leaves(8);
+  MerkleTree tree(l);
+  MerkleBranch b = tree.branch(3);
+  b.index = 5;
+  EXPECT_NE(b.compute_root(), tree.root());
+}
+
+TEST(MerkleBranch, SerializeRoundTrip) {
+  auto l = leaves(13);
+  MerkleTree tree(l);
+  MerkleBranch b = tree.branch(9);
+  Writer w;
+  b.serialize(w);
+  EXPECT_EQ(w.size(), b.serialized_size());
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  MerkleBranch back = MerkleBranch::deserialize(r);
+  EXPECT_EQ(back.leaf, b.leaf);
+  EXPECT_EQ(back.index, b.index);
+  EXPECT_EQ(back.siblings, b.siblings);
+  EXPECT_EQ(back.compute_root(), tree.root());
+}
+
+TEST(MerkleBranch, DeserializeRejectsAbsurdDepth) {
+  Writer w;
+  Hash256 x;
+  w.raw(x.bytes);
+  w.u32(0);
+  w.varint(100);  // deeper than any 2^64 tree
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  EXPECT_THROW(MerkleBranch::deserialize(r), SerializeError);
+}
+
+TEST(MerkleTree, EmptyLeavesRejected) {
+  EXPECT_THROW(MerkleTree::compute_root({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lvq

@@ -1,0 +1,224 @@
+// Tests for shared watchlist proofs: equivalence with individual queries,
+// the deduplication saving, per-address failure isolation, and attacks on
+// the shared structure.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/multi_query.hpp"
+#include "node/session.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ExperimentSetup& setup() {
+  static ExperimentSetup s = [] {
+    WorkloadConfig c;
+    c.seed = 33033;
+    c.num_blocks = 96;
+    c.background_txs_per_block = 10;
+    c.profiles = {{"a", 8, 6}, {"b", 3, 2}, {"ghost1", 0, 0},
+                  {"ghost2", 0, 0}, {"ghost3", 0, 0}};
+    return make_setup(c);
+  }();
+  return s;
+}
+
+constexpr BloomGeometry kGeom{192, 6};
+constexpr std::uint32_t kM = 32;
+
+struct Harness {
+  FullNode full;
+  LightNode light;
+  LoopbackTransport transport;
+
+  explicit Harness(const ProtocolConfig& config)
+      : full(setup().workload, setup().derived, config),
+        light(config),
+        transport([this](ByteSpan req) { return full.handle_message(req); }) {
+    light.sync_headers(transport);
+  }
+};
+
+std::vector<Address> watchlist() {
+  std::vector<Address> out;
+  for (const AddressProfile& p : setup().workload->profiles) {
+    out.push_back(p.address);
+  }
+  return out;
+}
+
+TEST(MultiQuery, MatchesIndividualQueriesAcrossDesigns) {
+  for (Design d : {Design::kLvq, Design::kLvqNoSmt, Design::kStrawmanVariant,
+                   Design::kLvqNoBmt, Design::kStrawman}) {
+    Harness h(ProtocolConfig{d, kGeom, kM});
+    auto addresses = watchlist();
+    auto multi = h.light.query_multi(h.transport, addresses);
+    ASSERT_EQ(multi.outcomes.size(), addresses.size());
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      ASSERT_TRUE(multi.outcomes[i].ok)
+          << design_name(d) << " addr " << i << ": "
+          << verify_error_name(multi.outcomes[i].error) << " — "
+          << multi.outcomes[i].detail;
+      auto single = h.light.query(h.transport, addresses[i]);
+      ASSERT_TRUE(single.outcome.ok);
+      EXPECT_EQ(multi.outcomes[i].history.total_txs(),
+                single.outcome.history.total_txs())
+          << design_name(d) << " addr " << i;
+      EXPECT_EQ(multi.outcomes[i].history.balance(),
+                single.outcome.history.balance());
+    }
+  }
+}
+
+TEST(MultiQuery, SharedProofBeatsNaiveBatchForSparseWatchlist) {
+  // Three dormant addresses share nearly all their endpoints; the shared
+  // structure ships each filter once.
+  Harness h(ProtocolConfig{Design::kLvq, kGeom, kM});
+  std::vector<Address> ghosts = {setup().workload->profiles[2].address,
+                                 setup().workload->profiles[3].address,
+                                 setup().workload->profiles[4].address};
+  auto multi = h.light.query_multi(h.transport, ghosts);
+  auto naive = h.light.query_batch(h.transport, ghosts);
+  std::uint64_t naive_total = 0;
+  for (const auto& r : naive) naive_total += r.response_bytes;
+  for (const auto& out : multi.outcomes) ASSERT_TRUE(out.ok);
+  // The union expansion is somewhat deeper than any single address's, so
+  // the saving is below the ideal 3x — but well above 1.5x.
+  EXPECT_LT(multi.response_bytes * 3, naive_total * 2)
+      << "shared " << multi.response_bytes << " vs naive " << naive_total;
+}
+
+TEST(MultiQuery, NonBmtSharingShipsFiltersOnce) {
+  Harness h(ProtocolConfig{Design::kStrawmanVariant, kGeom, kM});
+  std::vector<Address> ghosts = {setup().workload->profiles[2].address,
+                                 setup().workload->profiles[3].address,
+                                 setup().workload->profiles[4].address};
+  auto multi = h.light.query_multi(h.transport, ghosts);
+  auto naive = h.light.query_batch(h.transport, ghosts);
+  std::uint64_t naive_total = 0;
+  for (const auto& r : naive) naive_total += r.response_bytes;
+  for (const auto& out : multi.outcomes) ASSERT_TRUE(out.ok);
+  // Naive ships 3x (tip * BF); shared ships 1x.
+  EXPECT_LT(multi.response_bytes * 2, naive_total);
+}
+
+TEST(MultiQuery, SingleAddressDegeneratesGracefully) {
+  Harness h(ProtocolConfig{Design::kLvq, kGeom, kM});
+  auto multi =
+      h.light.query_multi(h.transport, {setup().workload->profiles[0].address});
+  ASSERT_EQ(multi.outcomes.size(), 1u);
+  EXPECT_TRUE(multi.outcomes[0].ok);
+  GroundTruth gt = scan_ground_truth(*setup().workload,
+                                     setup().workload->profiles[0].address);
+  EXPECT_EQ(multi.outcomes[0].history.total_txs(), gt.txs.size());
+}
+
+TEST(MultiQuery, PerAddressFailureIsolation) {
+  // Corrupt ONE address's block proofs; the others must still verify.
+  ProtocolConfig config{Design::kLvq, kGeom, kM};
+  FullNode full(setup().workload, setup().derived, config);
+  LightNode light(config);
+  light.set_headers(full.headers());
+  auto addresses = watchlist();
+  MultiQueryResponse resp = full.multi_query(addresses);
+  bool poisoned = false;
+  for (MultiSegmentProof& seg : resp.segments) {
+    auto& blocks = seg.per_address_blocks[0];  // address "a"
+    if (!blocks.empty()) {
+      blocks.pop_back();
+      poisoned = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(poisoned);
+  auto outcomes = light.verify_multi(addresses, resp);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_EQ(outcomes[0].error, VerifyError::kBlockProofMissing);
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok) << i;
+  }
+}
+
+TEST(MultiQuery, UnexpandedFailingTerminalRejectedForAll) {
+  // Replace an expanded node with a terminal (shipping its true BF): the
+  // structure still hashes to the root, but some address's check fails at
+  // that terminal without a proof below — everyone must reject, because
+  // the shared structure itself is unsound.
+  ProtocolConfig config{Design::kLvq, kGeom, kM};
+  FullNode full(setup().workload, setup().derived, config);
+  LightNode light(config);
+  light.set_headers(full.headers());
+  auto addresses = watchlist();
+  MultiQueryResponse resp = full.multi_query(addresses);
+
+  // Find an expanded node whose children are both terminal and splice it.
+  bool spliced = false;
+  for (std::size_t si = 0; si < resp.segments.size() && !spliced; ++si) {
+    std::vector<SharedBmtNodeProof*> stack{&resp.segments[si].tree};
+    while (!stack.empty()) {
+      SharedBmtNodeProof* node = stack.back();
+      stack.pop_back();
+      if (node->kind != SharedBmtNodeProof::Kind::kExpanded) continue;
+      auto* l = node->left.get();
+      auto* r = node->right.get();
+      if (l->kind == SharedBmtNodeProof::Kind::kTerminal &&
+          r->kind == SharedBmtNodeProof::Kind::kTerminal &&
+          !l->child_hashes && !r->child_hashes) {
+        // Both children are leaves: fuse into a terminal parent with the
+        // honest BF and child hashes.
+        SharedBmtNodeProof fused;
+        fused.kind = SharedBmtNodeProof::Kind::kTerminal;
+        fused.bf = l->bf;
+        fused.bf.merge(r->bf);
+        fused.child_hashes =
+            std::make_pair(bmt_leaf_hash(l->bf), bmt_leaf_hash(r->bf));
+        // Drop the per-block proofs that the fused subtree used to carry.
+        for (auto& blocks : resp.segments[si].per_address_blocks) {
+          blocks.clear();
+        }
+        *node = std::move(fused);
+        spliced = true;
+        break;
+      }
+      stack.push_back(node->left.get());
+      stack.push_back(node->right.get());
+    }
+  }
+  if (!spliced) GTEST_SKIP() << "no leaf-leaf expansion in this workload";
+  auto outcomes = light.verify_multi(addresses, resp);
+  bool any_rejected_structurally = false;
+  for (const auto& out : outcomes) {
+    if (!out.ok && out.error == VerifyError::kBmtProofInvalid) {
+      any_rejected_structurally = true;
+    }
+    EXPECT_FALSE(out.ok);  // everyone rejects one way or another
+  }
+  EXPECT_TRUE(any_rejected_structurally);
+}
+
+TEST(MultiQuery, WireRoundTrip) {
+  ProtocolConfig config{Design::kLvq, kGeom, kM};
+  FullNode full(setup().workload, setup().derived, config);
+  MultiQueryResponse resp = full.multi_query(watchlist());
+  Writer w;
+  resp.serialize(w);
+  EXPECT_EQ(w.size(), resp.serialized_size());
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  MultiQueryResponse back = MultiQueryResponse::deserialize(r, config);
+  EXPECT_EQ(back.n_addresses, resp.n_addresses);
+  EXPECT_EQ(back.serialized_size(), resp.serialized_size());
+}
+
+TEST(MultiQuery, OversizedWatchlistRefused) {
+  Harness h(ProtocolConfig{Design::kLvq, kGeom, kM});
+  std::vector<Address> too_many(1001, watchlist()[0]);
+  auto multi = h.light.query_multi(h.transport, too_many);
+  for (const auto& out : multi.outcomes) {
+    EXPECT_FALSE(out.ok);
+  }
+}
+
+}  // namespace
+}  // namespace lvq

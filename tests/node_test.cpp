@@ -1,0 +1,161 @@
+// Tests for the node layer: header sync over RPC, storage accounting,
+// query sessions, and the message envelope protocol.
+#include <gtest/gtest.h>
+
+#include "node/session.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ExperimentSetup& setup() {
+  static ExperimentSetup s = [] {
+    WorkloadConfig c;
+    c.seed = 31;
+    c.num_blocks = 40;
+    c.background_txs_per_block = 8;
+    c.profiles = {{"p", 9, 6}};
+    return make_setup(c);
+  }();
+  return s;
+}
+
+constexpr BloomGeometry kGeom{256, 6};
+
+TEST(Envelope, RoundTrip) {
+  Bytes payload = {1, 2, 3};
+  Bytes msg = encode_envelope(MsgType::kQueryRequest,
+                              ByteSpan{payload.data(), payload.size()});
+  auto [type, body] = decode_envelope(ByteSpan{msg.data(), msg.size()});
+  EXPECT_EQ(type, MsgType::kQueryRequest);
+  EXPECT_TRUE(span_equal(body, ByteSpan{payload.data(), payload.size()}));
+}
+
+TEST(Envelope, RejectsEmptyAndUnknown) {
+  EXPECT_THROW(decode_envelope({}), SerializeError);
+  Bytes bad = {99};
+  EXPECT_THROW(decode_envelope(ByteSpan{bad.data(), bad.size()}),
+               SerializeError);
+}
+
+TEST(LightNode, SyncsHeadersOverRpc) {
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  LightNode light(config);
+  LoopbackTransport transport(
+      [&](ByteSpan req) { return full.handle_message(req); });
+  ASSERT_TRUE(light.sync_headers(transport));
+  EXPECT_EQ(light.tip_height(), 40u);
+  EXPECT_EQ(light.headers().back().hash(),
+            full.context().chain().at_height(40).header.hash());
+}
+
+TEST(LightNode, RejectsBrokenHeaderChain) {
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  auto headers = full.headers();
+  headers[20].nonce ^= 1;  // breaks headers[21].prev_hash linkage
+  LightNode light(config);
+  EXPECT_THROW(light.set_headers(std::move(headers)), std::logic_error);
+}
+
+TEST(LightNode, RejectsSchemeMismatch) {
+  ProtocolConfig lvq_config{Design::kLvq, kGeom, 8};
+  ProtocolConfig other_config{Design::kStrawmanVariant, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, lvq_config);
+  LightNode light(other_config);
+  EXPECT_THROW(light.set_headers(full.headers()), std::logic_error);
+}
+
+TEST(LightNode, SyncFailsGracefullyOnGarbageServer) {
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  LightNode light(config);
+  LoopbackTransport garbage([](ByteSpan) { return Bytes{0x42}; });
+  EXPECT_FALSE(light.sync_headers(garbage));
+  EXPECT_EQ(light.tip_height(), 0u);
+
+  LoopbackTransport error_reply(
+      [](ByteSpan) { return encode_envelope(MsgType::kError, {}); });
+  EXPECT_FALSE(light.sync_headers(error_reply));
+}
+
+TEST(LightNode, QueryAgainstGarbageResponse) {
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  LightNode light(config);
+  light.set_headers(full.headers());
+  LoopbackTransport garbage([](ByteSpan) { return Bytes{0x02, 0xff}; });
+  auto result = light.query(garbage, setup().workload->profiles[0].address);
+  EXPECT_FALSE(result.outcome.ok);
+  EXPECT_EQ(result.outcome.error, VerifyError::kBadEncoding);
+}
+
+TEST(LightNode, VerifyRejectsResponseForDifferentAddress) {
+  // Query A's proof must not verify as B's history.
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  LightNode light(config);
+  light.set_headers(full.headers());
+  const Address& a = setup().workload->profiles[0].address;
+  Address b = Address::derive(str_bytes("someone else"));
+  QueryResponse resp = full.query(a);
+  VerifyOutcome out = light.verify(b, resp);
+  // Either the BMT endpoints don't clear B's bit positions or the SMT
+  // proofs are for the wrong leaf — both must reject.
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(FullNode, StorageAccounting) {
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  std::uint64_t total = full.storage_bytes();
+  std::uint64_t headers_only = 0;
+  for (const BlockHeader& h : full.headers()) headers_only += h.serialized_size();
+  EXPECT_GT(total, 20 * headers_only);  // bodies dominate
+}
+
+TEST(Session, EndToEndConvenience) {
+  QuerySession session(setup(), ProtocolConfig{Design::kLvq, kGeom, 8});
+  auto result = session.query(setup().workload->profiles[0].address);
+  ASSERT_TRUE(result.outcome.ok);
+  GroundTruth gt =
+      scan_ground_truth(*setup().workload, setup().workload->profiles[0].address);
+  EXPECT_EQ(result.outcome.history.total_txs(), gt.txs.size());
+  EXPECT_EQ(result.outcome.history.balance(), gt.balance);
+}
+
+TEST(Session, RepeatedQueriesAreDeterministic) {
+  QuerySession session(setup(), ProtocolConfig{Design::kLvq, kGeom, 8});
+  const Address& addr = setup().workload->profiles[0].address;
+  auto r1 = session.query(addr);
+  auto r2 = session.query(addr);
+  EXPECT_EQ(r1.response_bytes, r2.response_bytes);
+  EXPECT_EQ(r1.breakdown.total(), r2.breakdown.total());
+}
+
+TEST(VerifiedHistory, BalanceEquation) {
+  // Direct check of Eq. 1 on a hand-built history.
+  Address me = Address::derive(str_bytes("me"));
+  Address other = Address::derive(str_bytes("other"));
+  VerifiedHistory h;
+  h.address = me;
+  VerifiedBlockTxs b1;
+  b1.height = 1;
+  Transaction t1;  // receive 5
+  t1.outputs.push_back(TxOutput{me, 5 * kCoin});
+  t1.outputs.push_back(TxOutput{other, 1 * kCoin});
+  b1.txs.push_back(t1);
+  VerifiedBlockTxs b2;
+  b2.height = 2;
+  Transaction t2;  // spend 2 of it
+  t2.inputs.push_back(TxInput{{}, me, 5 * kCoin});
+  t2.outputs.push_back(TxOutput{me, 3 * kCoin});
+  t2.outputs.push_back(TxOutput{other, 2 * kCoin});
+  b2.txs.push_back(t2);
+  h.blocks = {b1, b2};
+  EXPECT_EQ(h.balance(), 3 * kCoin);
+  EXPECT_EQ(h.total_txs(), 2u);
+}
+
+}  // namespace
+}  // namespace lvq

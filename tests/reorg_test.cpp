@@ -1,0 +1,148 @@
+// Chain reorganization: the light node follows the longest chain, and
+// proofs issued against an abandoned branch stop verifying.
+#include <gtest/gtest.h>
+
+#include "node/session.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+constexpr BloomGeometry kGeom{128, 5};
+constexpr std::uint32_t kM = 8;
+
+/// Two chains sharing blocks 1..fork_point, then diverging: branch A has
+/// `a_extra` more blocks, branch B `b_extra` (with different content).
+struct Fork {
+  ExperimentSetup a, b;
+  std::uint64_t fork_point;
+
+  Fork(std::uint64_t fork, std::uint64_t a_extra, std::uint64_t b_extra)
+      : fork_point(fork) {
+    WorkloadConfig base;
+    base.seed = 7000;
+    base.num_blocks = static_cast<std::uint32_t>(fork + a_extra);
+    base.background_txs_per_block = 6;
+    base.profiles = {{"p", 6, 4}};
+    Workload wa = generate_workload(base);
+
+    WorkloadConfig other;
+    other.seed = 8000;  // different branch content
+    other.num_blocks = static_cast<std::uint32_t>(fork + b_extra);
+    other.background_txs_per_block = 6;
+    other.profiles = {{"q", 5, 3}};
+    Workload wb_src = generate_workload(other);
+
+    auto wb = std::make_shared<Workload>(wa);
+    wb->blocks.resize(fork);
+    for (std::uint64_t h = fork; h < fork + b_extra; ++h) {
+      wb->blocks.push_back(wb_src.blocks[h]);
+    }
+    wb->profiles = wa.profiles;  // ground truth for the shared profile
+
+    auto wa_ptr = std::make_shared<const Workload>(std::move(wa));
+    a.workload = wa_ptr;
+    a.derived = std::make_shared<const WorkloadDerived>(*wa_ptr);
+    b.workload = wb;
+    b.derived = std::make_shared<const WorkloadDerived>(*wb);
+  }
+};
+
+TEST(Reorg, LightNodeSwitchesToLongerChain) {
+  Fork fork(12, 3, 6);  // A: 15 blocks, B: 18 blocks
+  ProtocolConfig config{Design::kLvq, kGeom, kM};
+  FullNode node_a(fork.a.workload, fork.a.derived, config);
+  FullNode node_b(fork.b.workload, fork.b.derived, config);
+
+  LightNode light(config);
+  light.set_headers(node_a.headers());
+  ASSERT_EQ(light.tip_height(), 15u);
+
+  auto b_headers = node_b.headers();
+  // Shared prefix must be identical (headers are deterministic functions
+  // of the bodies).
+  for (std::uint64_t h = 1; h <= fork.fork_point; ++h) {
+    ASSERT_EQ(light.headers()[h - 1].hash(), b_headers[h - 1].hash());
+  }
+
+  std::vector<BlockHeader> branch(b_headers.begin() + fork.fork_point,
+                                  b_headers.end());
+  ASSERT_TRUE(light.replace_headers_from(fork.fork_point + 1, branch));
+  EXPECT_EQ(light.tip_height(), 18u);
+  EXPECT_EQ(light.headers().back().hash(), b_headers.back().hash());
+
+  // Queries against branch B verify on the reorged node.
+  LoopbackTransport to_b([&](ByteSpan r) { return node_b.handle_message(r); });
+  auto result = light.query(to_b, fork.b.workload->profiles[0].address);
+  EXPECT_TRUE(result.outcome.ok) << result.outcome.detail;
+}
+
+TEST(Reorg, ShorterBranchRejected) {
+  Fork fork(12, 6, 3);  // A: 18 blocks, B: 15 blocks — B loses
+  ProtocolConfig config{Design::kLvq, kGeom, kM};
+  FullNode node_a(fork.a.workload, fork.a.derived, config);
+  FullNode node_b(fork.b.workload, fork.b.derived, config);
+
+  LightNode light(config);
+  light.set_headers(node_a.headers());
+  auto b_headers = node_b.headers();
+  std::vector<BlockHeader> branch(b_headers.begin() + fork.fork_point,
+                                  b_headers.end());
+  EXPECT_FALSE(light.replace_headers_from(fork.fork_point + 1, branch));
+  EXPECT_EQ(light.tip_height(), 18u);  // unchanged
+}
+
+TEST(Reorg, EqualLengthBranchRejected) {
+  Fork fork(12, 4, 4);
+  ProtocolConfig config{Design::kLvq, kGeom, kM};
+  FullNode node_a(fork.a.workload, fork.a.derived, config);
+  FullNode node_b(fork.b.workload, fork.b.derived, config);
+  LightNode light(config);
+  light.set_headers(node_a.headers());
+  auto b_headers = node_b.headers();
+  std::vector<BlockHeader> branch(b_headers.begin() + fork.fork_point,
+                                  b_headers.end());
+  EXPECT_FALSE(light.replace_headers_from(fork.fork_point + 1, branch));
+}
+
+TEST(Reorg, NonLinkingBranchRejected) {
+  Fork fork(12, 3, 6);
+  ProtocolConfig config{Design::kLvq, kGeom, kM};
+  FullNode node_a(fork.a.workload, fork.a.derived, config);
+  FullNode node_b(fork.b.workload, fork.b.derived, config);
+  LightNode light(config);
+  light.set_headers(node_a.headers());
+  auto b_headers = node_b.headers();
+  std::vector<BlockHeader> branch(b_headers.begin() + fork.fork_point,
+                                  b_headers.end());
+  // Claim the branch attaches one block too early: linkage fails.
+  EXPECT_FALSE(light.replace_headers_from(fork.fork_point, branch));
+  EXPECT_EQ(light.tip_height(), 15u);
+}
+
+TEST(Reorg, StaleBranchProofsRejectedAfterReorg) {
+  Fork fork(12, 3, 6);
+  ProtocolConfig config{Design::kLvq, kGeom, kM};
+  FullNode node_a(fork.a.workload, fork.a.derived, config);
+  FullNode node_b(fork.b.workload, fork.b.derived, config);
+
+  LightNode light(config);
+  light.set_headers(node_a.headers());
+  const Address& addr = fork.a.workload->profiles[0].address;
+
+  // A proof generated on branch A, valid pre-reorg...
+  QueryResponse stale = node_a.query(addr);
+  ASSERT_TRUE(light.verify(addr, stale).ok);
+
+  // ...must be rejected after switching to branch B: either the shape
+  // (tip height) or the commitments no longer match.
+  auto b_headers = node_b.headers();
+  std::vector<BlockHeader> branch(b_headers.begin() + fork.fork_point,
+                                  b_headers.end());
+  ASSERT_TRUE(light.replace_headers_from(fork.fork_point + 1, branch));
+  VerifyOutcome out = light.verify(addr, stale);
+  EXPECT_FALSE(out.ok);
+}
+
+}  // namespace
+}  // namespace lvq

@@ -1,0 +1,138 @@
+// Tests for Algorithm 1 (merge schedule, Table I) and the segment /
+// sub-segment division (Eq. 5/6, Table II).
+#include <gtest/gtest.h>
+
+#include "core/merge_schedule.hpp"
+#include "core/segments.hpp"
+
+namespace lvq {
+namespace {
+
+TEST(MergeSchedule, PaperTable1) {
+  // Table I uses a segment at least 8 long; reproduce it exactly.
+  constexpr std::uint32_t kM = 8;
+  struct Row {
+    std::uint64_t height;
+    std::uint32_t count;
+    std::uint64_t first;
+  };
+  const Row rows[] = {
+      {1, 1, 1}, {2, 2, 1}, {3, 1, 3}, {4, 4, 1},
+      {5, 1, 5}, {6, 2, 5}, {7, 1, 7}, {8, 8, 1},
+  };
+  for (const Row& row : rows) {
+    EXPECT_EQ(merge_count(row.height, kM), row.count) << "h=" << row.height;
+    auto blocks = blocks_to_merge(row.height, kM);
+    EXPECT_EQ(blocks.size(), row.count);
+    EXPECT_EQ(blocks.front(), row.first);
+    EXPECT_EQ(blocks.back(), row.height);
+  }
+}
+
+TEST(MergeSchedule, OddHeightsMergeOnlyThemselves) {
+  for (std::uint64_t h = 1; h <= 4097; h += 2) {
+    EXPECT_EQ(merge_count(h, 4096), 1u) << h;
+  }
+}
+
+TEST(MergeSchedule, SegmentEndMergesWholeSegment) {
+  EXPECT_EQ(merge_count(4096, 4096), 4096u);
+  EXPECT_EQ(merge_count(8192, 4096), 4096u);
+  EXPECT_EQ(merge_count(256, 256), 256u);
+}
+
+TEST(MergeSchedule, CountIsPowerOfTwoDividingLocalIndex) {
+  // Property from the paper: the count is the maximum power of two that
+  // divides the height's position (and never crosses a segment boundary).
+  for (std::uint32_t m : {1u, 2u, 8u, 64u, 256u, 4096u}) {
+    for (std::uint64_t h = 1; h <= 3 * m + 5; ++h) {
+      std::uint32_t mc = merge_count(h, m);
+      EXPECT_TRUE(is_power_of_two(mc));
+      EXPECT_LE(mc, m);
+      std::uint64_t l = h % m == 0 ? m : h % m;
+      EXPECT_EQ(l % mc, 0u);                          // divides position
+      if (mc * 2 <= l) {
+        EXPECT_NE(l % (mc * 2), 0u);  // and is maximal
+      }
+      // Merged range stays within one segment.
+      std::uint64_t first = h - mc + 1;
+      EXPECT_EQ((first - 1) / m, (h - 1) / m);
+    }
+  }
+}
+
+TEST(MergeSchedule, SegmentLengthOneAlwaysMergesSelf) {
+  for (std::uint64_t h = 1; h < 20; ++h) EXPECT_EQ(merge_count(h, 1), 1u);
+}
+
+TEST(MergeSchedule, RejectsNonPowerOfTwoM) {
+  EXPECT_THROW(merge_count(5, 6), std::logic_error);
+  EXPECT_THROW(merge_count(5, 0), std::logic_error);
+}
+
+TEST(Segments, PaperTable2) {
+  // M = 256, blocks indexed from 1. The paper shows the last segment's
+  // sub-segments for tips 464, 465, 466.
+  using V = std::vector<SubSegment>;
+  EXPECT_EQ(split_last_segment(257, 464),
+            (V{{257, 384}, {385, 448}, {449, 464}}));
+  EXPECT_EQ(split_last_segment(257, 465),
+            (V{{257, 384}, {385, 448}, {449, 464}, {465, 465}}));
+  EXPECT_EQ(split_last_segment(257, 466),
+            (V{{257, 384}, {385, 448}, {449, 464}, {465, 466}}));
+}
+
+TEST(Segments, ForestCoversChainExactly) {
+  for (std::uint32_t m : {1u, 4u, 16u, 256u}) {
+    for (std::uint64_t tip = 1; tip <= 600; tip += 7) {
+      auto forest = query_forest(tip, m);
+      std::uint64_t expect = 1;
+      for (const SubSegment& s : forest) {
+        EXPECT_EQ(s.first, expect);
+        EXPECT_GE(s.last, s.first);
+        EXPECT_TRUE(is_power_of_two(s.length()));
+        EXPECT_LE(s.length(), m);
+        expect = s.last + 1;
+      }
+      EXPECT_EQ(expect, tip + 1) << "tip=" << tip << " m=" << m;
+    }
+  }
+}
+
+TEST(Segments, EachTreeRootIsItsLastBlocksMergeRange) {
+  // The invariant §V-B relies on: the last block of every forest entry
+  // merges exactly that entry.
+  for (std::uint32_t m : {4u, 64u, 4096u}) {
+    for (std::uint64_t tip : {1ull, 3ull, 17ull, 100ull, 4096ull, 5000ull}) {
+      for (const SubSegment& s : query_forest(tip, m)) {
+        EXPECT_EQ(merge_count(s.last, m), s.length());
+      }
+    }
+  }
+}
+
+TEST(Segments, CompleteChainIsWholeSegments) {
+  auto forest = query_forest(8192, 4096);
+  ASSERT_EQ(forest.size(), 2u);
+  EXPECT_EQ(forest[0], (SubSegment{1, 4096}));
+  EXPECT_EQ(forest[1], (SubSegment{4097, 8192}));
+}
+
+TEST(Segments, SegmentLengthOne) {
+  auto forest = query_forest(5, 1);
+  ASSERT_EQ(forest.size(), 5u);
+  for (std::uint64_t h = 1; h <= 5; ++h) {
+    EXPECT_EQ(forest[h - 1], (SubSegment{h, h}));
+  }
+}
+
+TEST(Segments, SubSegmentLengthsDescend) {
+  // High-to-low binary expansion ⇒ strictly decreasing lengths.
+  auto subs = split_last_segment(1, 0b10110101);  // 181 blocks
+  for (std::size_t i = 1; i < subs.size(); ++i) {
+    EXPECT_GT(subs[i - 1].length(), subs[i].length());
+  }
+}
+
+}  // namespace
+}  // namespace lvq

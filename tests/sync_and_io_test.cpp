@@ -1,0 +1,223 @@
+// Tests for incremental header sync and on-disk chain persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "chain/chain_io.hpp"
+#include "node/session.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+constexpr BloomGeometry kGeom{128, 5};
+
+/// Builds two full nodes over the same workload truncated at two lengths,
+/// modelling "the chain grew while the light node was offline".
+struct GrowingChain {
+  std::shared_ptr<const Workload> long_workload;
+  ExperimentSetup short_setup, long_setup;
+
+  GrowingChain(std::uint32_t short_tip, std::uint32_t long_tip) {
+    WorkloadConfig c;
+    c.seed = 2024;
+    c.num_blocks = long_tip;
+    c.background_txs_per_block = 6;
+    c.profiles = {{"p", 8, 5}};
+    long_workload = std::make_shared<const Workload>(generate_workload(c));
+
+    auto shorter = std::make_shared<Workload>(*long_workload);
+    shorter->blocks.resize(short_tip);
+    short_setup.workload = shorter;
+    short_setup.derived = std::make_shared<const WorkloadDerived>(*shorter);
+    long_setup.workload = long_workload;
+    long_setup.derived = std::make_shared<const WorkloadDerived>(*long_workload);
+  }
+};
+
+TEST(IncrementalSync, CatchesUpAfterChainGrowth) {
+  GrowingChain chains(20, 33);
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode old_node(chains.short_setup.workload, chains.short_setup.derived,
+                    config);
+  FullNode new_node(chains.long_setup.workload, chains.long_setup.derived,
+                    config);
+
+  LightNode light(config);
+  LoopbackTransport to_old([&](ByteSpan r) { return old_node.handle_message(r); });
+  LoopbackTransport to_new([&](ByteSpan r) { return new_node.handle_message(r); });
+
+  ASSERT_TRUE(light.sync_headers(to_old));
+  EXPECT_EQ(light.tip_height(), 20u);
+
+  // Catch up: only 13 headers travel, not 33.
+  std::uint64_t before = to_new.bytes_received();
+  ASSERT_TRUE(light.sync_new_headers(to_new));
+  EXPECT_EQ(light.tip_height(), 33u);
+  std::uint64_t transferred = to_new.bytes_received() - before;
+  EXPECT_LT(transferred, 14 * 150);  // ~13 headers, not a full re-sync
+
+  // And the synced state is fully query-capable.
+  auto result = light.query(to_new, chains.long_workload->profiles[0].address);
+  ASSERT_TRUE(result.outcome.ok) << result.outcome.detail;
+  GroundTruth gt =
+      scan_ground_truth(*chains.long_workload, chains.long_workload->profiles[0].address);
+  EXPECT_EQ(result.outcome.history.total_txs(), gt.txs.size());
+}
+
+TEST(IncrementalSync, NoopWhenAlreadyCurrent) {
+  GrowingChain chains(20, 20);
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode node(chains.long_setup.workload, chains.long_setup.derived, config);
+  LightNode light(config);
+  LoopbackTransport t([&](ByteSpan r) { return node.handle_message(r); });
+  ASSERT_TRUE(light.sync_headers(t));
+  ASSERT_TRUE(light.sync_new_headers(t));
+  EXPECT_EQ(light.tip_height(), 20u);
+}
+
+TEST(IncrementalSync, RejectsForeignChain) {
+  // A peer on a different chain cannot splice its headers onto ours.
+  GrowingChain ours(20, 26);
+  WorkloadConfig other_config;
+  other_config.seed = 777777;  // different chain entirely
+  other_config.num_blocks = 26;
+  other_config.background_txs_per_block = 6;
+  other_config.profiles = {{"p", 8, 5}};
+  ExperimentSetup other = make_setup(other_config);
+
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode our_node(ours.short_setup.workload, ours.short_setup.derived, config);
+  FullNode foreign_node(other.workload, other.derived, config);
+
+  LightNode light(config);
+  LoopbackTransport to_ours([&](ByteSpan r) { return our_node.handle_message(r); });
+  LoopbackTransport to_foreign(
+      [&](ByteSpan r) { return foreign_node.handle_message(r); });
+  ASSERT_TRUE(light.sync_headers(to_ours));
+  EXPECT_FALSE(light.sync_new_headers(to_foreign));
+  EXPECT_EQ(light.tip_height(), 20u);  // unchanged
+}
+
+TEST(IncrementalSync, AppendHeadersValidatesLinkage) {
+  GrowingChain chains(20, 24);
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode long_node(chains.long_setup.workload, chains.long_setup.derived,
+                     config);
+  auto all = long_node.headers();
+
+  LightNode light(config);
+  light.set_headers({all.begin(), all.begin() + 20});
+  // Skipping a header breaks linkage.
+  EXPECT_THROW(light.append_headers({all.begin() + 21, all.end()}),
+               std::logic_error);
+  // The contiguous suffix appends fine.
+  light.append_headers({all.begin() + 20, all.end()});
+  EXPECT_EQ(light.tip_height(), 24u);
+}
+
+class ChainIoTest : public ::testing::Test {
+ protected:
+  std::string path() const {
+    return testing::TempDir() + "lvq_chain_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".dat";
+  }
+
+  ChainStore make_chain(std::uint32_t blocks) {
+    WorkloadConfig c;
+    c.seed = 9;
+    c.num_blocks = blocks;
+    c.background_txs_per_block = 5;
+    c.profiles = {{"p", 4, 3}};
+    ExperimentSetup s = make_setup(c);
+    ChainContext ctx(s.workload, s.derived, ProtocolConfig{Design::kLvq, kGeom, 8});
+    ChainStore copy;
+    for (const Block& b : ctx.chain().blocks()) copy.append(b);
+    return copy;
+  }
+};
+
+TEST_F(ChainIoTest, RoundTripPreservesEveryBlock) {
+  ChainStore chain = make_chain(12);
+  save_chain(chain, path());
+  ChainStore loaded = load_chain(path());
+  ASSERT_EQ(loaded.tip_height(), chain.tip_height());
+  for (std::uint64_t h = 1; h <= chain.tip_height(); ++h) {
+    EXPECT_EQ(loaded.at_height(h).header.hash(),
+              chain.at_height(h).header.hash());
+    EXPECT_EQ(loaded.at_height(h).txs.size(), chain.at_height(h).txs.size());
+  }
+  std::remove(path().c_str());
+}
+
+TEST_F(ChainIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_chain(testing::TempDir() + "does_not_exist.dat"),
+               SerializeError);
+}
+
+TEST_F(ChainIoTest, BadMagicRejected) {
+  ChainStore chain = make_chain(3);
+  save_chain(chain, path());
+  {
+    std::FILE* f = std::fopen(path().c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_chain(path()), SerializeError);
+  std::remove(path().c_str());
+}
+
+TEST_F(ChainIoTest, TruncationRejected) {
+  ChainStore chain = make_chain(3);
+  save_chain(chain, path());
+  // Truncate the file by one byte.
+  std::FILE* f = std::fopen(path().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes data(static_cast<std::size_t>(size));
+  ASSERT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+  data.pop_back();
+  f = std::fopen(path().c_str(), "wb");
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+
+  EXPECT_THROW(load_chain(path()), SerializeError);
+  std::remove(path().c_str());
+}
+
+TEST_F(ChainIoTest, TrailingGarbageRejected) {
+  ChainStore chain = make_chain(3);
+  save_chain(chain, path());
+  std::FILE* f = std::fopen(path().c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputc(0x00, f);
+  std::fclose(f);
+  EXPECT_THROW(load_chain(path()), SerializeError);
+  std::remove(path().c_str());
+}
+
+TEST_F(ChainIoTest, TamperedBlockBreaksLinkage) {
+  ChainStore chain = make_chain(4);
+  save_chain(chain, path());
+  // Flip a byte in the middle of the file (inside some block body); either
+  // decoding fails or the prev-hash chain breaks — both must throw.
+  std::FILE* f = std::fopen(path().c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+  EXPECT_THROW(load_chain(path()), SerializeError);
+  std::remove(path().c_str());
+}
+
+}  // namespace
+}  // namespace lvq

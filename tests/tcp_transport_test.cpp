@@ -1,0 +1,153 @@
+// Tests for the real TCP loopback transport: the full query protocol over
+// genuine sockets, concurrent clients, and failure handling.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/tcp_transport.hpp"
+#include "node/session.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ExperimentSetup& setup() {
+  static ExperimentSetup s = [] {
+    WorkloadConfig c;
+    c.seed = 616;
+    c.num_blocks = 32;
+    c.background_txs_per_block = 8;
+    c.profiles = {{"a", 5, 4}, {"ghost", 0, 0}};
+    return make_setup(c);
+  }();
+  return s;
+}
+
+constexpr BloomGeometry kGeom{256, 6};
+
+TEST(TcpTransport, EchoFrames) {
+  TcpServer server([](ByteSpan req) { return Bytes(req.begin(), req.end()); });
+  TcpTransport client(server.port());
+  Bytes msg = {1, 2, 3, 4, 5};
+  Bytes reply = client.round_trip(ByteSpan{msg.data(), msg.size()});
+  EXPECT_EQ(reply, msg);
+  EXPECT_EQ(client.bytes_sent(), 5u);
+  EXPECT_EQ(client.bytes_received(), 5u);
+}
+
+TEST(TcpTransport, EmptyFrames) {
+  TcpServer server([](ByteSpan) { return Bytes{}; });
+  TcpTransport client(server.port());
+  Bytes reply = client.round_trip({});
+  EXPECT_TRUE(reply.empty());
+}
+
+TEST(TcpTransport, MultipleRoundTripsOnOneConnection) {
+  int calls = 0;
+  TcpServer server([&](ByteSpan req) {
+    calls++;
+    Bytes out(req.begin(), req.end());
+    out.push_back(static_cast<std::uint8_t>(calls));
+    return out;
+  });
+  TcpTransport client(server.port());
+  for (int i = 1; i <= 5; ++i) {
+    Bytes msg = {9};
+    Bytes reply = client.round_trip(ByteSpan{msg.data(), msg.size()});
+    ASSERT_EQ(reply.size(), 2u);
+    EXPECT_EQ(reply[1], i);
+  }
+}
+
+TEST(TcpTransport, FullQueryProtocolOverRealSockets) {
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  TcpServer server([&](ByteSpan req) { return full.handle_message(req); });
+
+  TcpTransport transport(server.port());
+  LightNode light(config);
+  ASSERT_TRUE(light.sync_headers(transport));
+  EXPECT_EQ(light.tip_height(), 32u);
+
+  for (const AddressProfile& p : setup().workload->profiles) {
+    auto result = light.query(transport, p.address);
+    ASSERT_TRUE(result.outcome.ok) << result.outcome.detail;
+    GroundTruth gt = scan_ground_truth(*setup().workload, p.address);
+    EXPECT_EQ(result.outcome.history.total_txs(), gt.txs.size());
+  }
+}
+
+TEST(TcpTransport, ResultsIdenticalToLoopback) {
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  TcpServer server([&](ByteSpan req) { return full.handle_message(req); });
+  TcpTransport tcp(server.port());
+  LoopbackTransport loop([&](ByteSpan req) { return full.handle_message(req); });
+
+  LightNode light(config);
+  light.set_headers(full.headers());
+  const Address& addr = setup().workload->profiles[0].address;
+  auto via_tcp = light.query(tcp, addr);
+  auto via_loop = light.query(loop, addr);
+  ASSERT_TRUE(via_tcp.outcome.ok);
+  EXPECT_EQ(via_tcp.response_bytes, via_loop.response_bytes);
+  EXPECT_EQ(via_tcp.request_bytes, via_loop.request_bytes);
+  EXPECT_EQ(via_tcp.breakdown.total(), via_loop.breakdown.total());
+}
+
+TEST(TcpTransport, ConcurrentClients) {
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  TcpServer server([&](ByteSpan req) { return full.handle_message(req); });
+
+  constexpr int kClients = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        TcpTransport transport(server.port());
+        LightNode light(config);
+        if (!light.sync_headers(transport)) {
+          failures++;
+          return;
+        }
+        const Address& addr =
+            setup().workload->profiles[i % 2].address;
+        auto result = light.query(transport, addr);
+        if (!result.outcome.ok) failures++;
+      } catch (const std::exception&) {
+        failures++;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TcpTransport, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    TcpServer tmp([](ByteSpan) { return Bytes{}; });
+    dead_port = tmp.port();
+  }  // server torn down; port released
+  EXPECT_THROW(TcpTransport t(dead_port), std::runtime_error);
+}
+
+TEST(TcpTransport, BatchQueryOverSockets) {
+  ProtocolConfig config{Design::kLvq, kGeom, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  TcpServer server([&](ByteSpan req) { return full.handle_message(req); });
+  TcpTransport transport(server.port());
+  LightNode light(config);
+  ASSERT_TRUE(light.sync_headers(transport));
+  std::vector<Address> addrs = {setup().workload->profiles[0].address,
+                                setup().workload->profiles[1].address};
+  auto results = light.query_batch(transport, addrs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].outcome.ok);
+  EXPECT_TRUE(results[1].outcome.ok);
+}
+
+}  // namespace
+}  // namespace lvq

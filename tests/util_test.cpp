@@ -1,0 +1,218 @@
+// Unit tests for src/util: hex, serialization, varints, RNG, flags, format.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  std::string hex = to_hex(ByteSpan{data.data(), data.size()});
+  EXPECT_EQ(hex, "0001abff7f");
+  auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex({}), "");
+  auto decoded = from_hex("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Hex, UppercaseAccepted) {
+  auto decoded = from_hex("ABCDEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(to_hex(ByteSpan{decoded->data(), decoded->size()}), "abcdef");
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, RejectsNonHexChars) { EXPECT_FALSE(from_hex("zz").has_value()); }
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  std::uint64_t v = GetParam();
+  Writer w;
+  w.varint(v);
+  EXPECT_EQ(w.size(), varint_size(v));
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 0xfcULL, 0xfdULL, 0xffffULL, 0x10000ULL,
+                      0xffffffffULL, 0x100000000ULL,
+                      0xffffffffffffffffULL));
+
+TEST(Serialize, VarintRejectsNonCanonical) {
+  // 0xfd prefix encoding a value < 0xfd must be rejected.
+  Bytes bad = {0xfd, 0x01, 0x00};
+  Reader r(ByteSpan{bad.data(), bad.size()});
+  EXPECT_THROW(r.varint(), SerializeError);
+}
+
+TEST(Serialize, VarintRejectsNonCanonical32) {
+  Bytes bad = {0xfe, 0xff, 0xff, 0x00, 0x00};  // fits in 16 bits
+  Reader r(ByteSpan{bad.data(), bad.size()});
+  EXPECT_THROW(r.varint(), SerializeError);
+}
+
+TEST(Serialize, ReadPastEndThrows) {
+  Bytes data = {1, 2, 3};
+  Reader r(ByteSpan{data.data(), data.size()});
+  EXPECT_THROW(r.u32(), SerializeError);
+}
+
+TEST(Serialize, BytesFieldRoundTrip) {
+  Writer w;
+  Bytes payload = {9, 8, 7, 6};
+  w.bytes(ByteSpan{payload.data(), payload.size()});
+  w.str("hello");
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_EQ(r.str(), "hello");
+}
+
+TEST(Serialize, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  r.u8();
+  EXPECT_THROW(r.expect_done(), SerializeError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Serialize, BytesLengthOverrunThrows) {
+  Writer w;
+  w.varint(1000);  // claims 1000 bytes, provides none
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  EXPECT_THROW(r.bytes(), SerializeError);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  int buckets[10] = {0};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) buckets[rng.below(10)]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, kDraws / 10 - kDraws / 50);
+    EXPECT_LT(b, kDraws / 10 + kDraws / 50);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(144), "144 B");
+  EXPECT_EQ(human_bytes(30 * 1024), "30.00 KB");
+  EXPECT_EQ(human_bytes(43'120'000), "41.12 MB");
+  EXPECT_EQ(human_bytes(2ULL << 30), "2.00 GB");
+}
+
+TEST(Flags, CommandLineAndDefaults) {
+  const char* argv_c[] = {"prog", "--blocks=128", "--size-only", "--name=abc"};
+  Flags flags(4, const_cast<char**>(argv_c));
+  EXPECT_EQ(flags.get_u64("blocks", 4096), 128u);
+  EXPECT_EQ(flags.get_u64("missing", 77), 77u);
+  EXPECT_TRUE(flags.get_bool("size-only", false));
+  EXPECT_EQ(flags.get_str("name", "x"), "abc");
+}
+
+TEST(Flags, LastOccurrenceWins) {
+  const char* argv_c[] = {"prog", "--n=1", "--n=2"};
+  Flags flags(3, const_cast<char**>(argv_c));
+  EXPECT_EQ(flags.get_u64("n", 0), 2u);
+}
+
+TEST(Flags, EnvironmentFallback) {
+  ::setenv("LVQ_TEST_ONLY_KNOB", "4096", 1);
+  ::setenv("LVQ_DASHED_NAME", "on", 1);
+  const char* argv_c[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv_c));
+  EXPECT_EQ(flags.get_u64("test-only-knob", 7), 4096u);
+  EXPECT_TRUE(flags.get_bool("dashed-name", false));
+  ::unsetenv("LVQ_TEST_ONLY_KNOB");
+  ::unsetenv("LVQ_DASHED_NAME");
+}
+
+TEST(Flags, CommandLineBeatsEnvironment) {
+  ::setenv("LVQ_PRIORITY_KNOB", "1", 1);
+  const char* argv_c[] = {"prog", "--priority-knob=2"};
+  Flags flags(2, const_cast<char**>(argv_c));
+  EXPECT_EQ(flags.get_u64("priority-knob", 0), 2u);
+  ::unsetenv("LVQ_PRIORITY_KNOB");
+}
+
+}  // namespace
+}  // namespace lvq

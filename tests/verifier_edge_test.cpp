@@ -1,0 +1,140 @@
+// Verifier edge cases: configuration mismatches between client and
+// server, FPM-path coverage assertions, and cross-parameter confusion.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "node/session.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ExperimentSetup& setup() {
+  static ExperimentSetup s = [] {
+    WorkloadConfig c;
+    c.seed = 999;
+    c.num_blocks = 64;
+    c.background_txs_per_block = 10;
+    c.profiles = {{"p", 10, 7}, {"ghost", 0, 0}};
+    return make_setup(c);
+  }();
+  return s;
+}
+
+TEST(VerifierEdge, TightGeometryActuallyExercisesFpmPath) {
+  // With a saturated 24-byte filter, the ghost address must hit FPM cases
+  // — i.e. the response must carry SMT absence proofs, proving the
+  // Challenge-2 machinery is genuinely on this code path (not just BF
+  // successes everywhere).
+  ProtocolConfig config{Design::kLvq, BloomGeometry{24, 4}, 16};
+  FullNode full(setup().workload, setup().derived, config);
+  QueryResponse resp = full.query(setup().workload->profiles[1].address);
+  std::size_t absences = 0;
+  for (const SegmentQueryProof& seg : resp.segments) {
+    for (const auto& [height, proof] : seg.block_proofs) {
+      if (proof.kind == BlockProof::Kind::kAbsent) absences++;
+    }
+  }
+  EXPECT_GT(absences, 0u);
+
+  LightNode light(config);
+  light.set_headers(full.headers());
+  EXPECT_TRUE(light.verify(setup().workload->profiles[1].address, resp).ok);
+}
+
+TEST(VerifierEdge, SegmentLengthMismatchRejected) {
+  // Server proves with M=16; a client configured for M=32 derives a
+  // different query forest and must reject the shape.
+  ProtocolConfig server_config{Design::kLvq, BloomGeometry{256, 6}, 16};
+  ProtocolConfig client_config{Design::kLvq, BloomGeometry{256, 6}, 32};
+  FullNode full(setup().workload, setup().derived, server_config);
+  QueryResponse resp = full.query(setup().workload->profiles[0].address);
+
+  // The client's headers come from a chain built with ITS config — same
+  // bodies, different commitments where M differs.
+  FullNode client_view(setup().workload, setup().derived, client_config);
+  LightNode light(client_config);
+  light.set_headers(client_view.headers());
+  VerifyOutcome out = light.verify(setup().workload->profiles[0].address, resp);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(VerifierEdge, BloomGeometryMismatchRejected) {
+  // Server built 128-byte filters; client expects 256-byte ones. At the
+  // object level the endpoint geometry check must fire.
+  ProtocolConfig server_config{Design::kLvq, BloomGeometry{128, 6}, 16};
+  ProtocolConfig client_config{Design::kLvq, BloomGeometry{256, 6}, 16};
+  FullNode full(setup().workload, setup().derived, server_config);
+  QueryResponse resp = full.query(setup().workload->profiles[0].address);
+
+  FullNode client_view(setup().workload, setup().derived, client_config);
+  LightNode light(client_config);
+  light.set_headers(client_view.headers());
+  VerifyOutcome out = light.verify(setup().workload->profiles[0].address, resp);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(VerifierEdge, TipHeightMismatchRejected) {
+  ProtocolConfig config{Design::kLvq, BloomGeometry{256, 6}, 16};
+  FullNode full(setup().workload, setup().derived, config);
+  QueryResponse resp = full.query(setup().workload->profiles[0].address);
+  resp.tip_height += 1;
+  LightNode light(config);
+  light.set_headers(full.headers());
+  VerifyOutcome out = light.verify(setup().workload->profiles[0].address, resp);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, VerifyError::kShapeMismatch);
+}
+
+TEST(VerifierEdge, EmptyHeaderSetRejected) {
+  ProtocolConfig config{Design::kLvq, BloomGeometry{256, 6}, 16};
+  FullNode full(setup().workload, setup().derived, config);
+  QueryResponse resp = full.query(setup().workload->profiles[0].address);
+  LightNode light(config);  // never synced
+  VerifyOutcome out = light.verify(setup().workload->profiles[0].address, resp);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(VerifierEdge, PositionTableAgreesWithFilters) {
+  // check_fails (binary-searched positions) must equal a literal check
+  // against the materialized filter for every block and many probes.
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 6}, 16};
+  ChainContext ctx(setup().workload, setup().derived, config);
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    BloomKey probe{rng.next_u64(), rng.next_u64() | 1};
+    auto cbp = config.bloom.positions(probe);
+    for (std::uint64_t h = 1; h <= ctx.tip_height(); ++h) {
+      EXPECT_EQ(ctx.positions().check_fails(h, cbp),
+                ctx.positions().block_bf(h).possibly_contains(probe))
+          << "h=" << h;
+    }
+  }
+}
+
+TEST(VerifierEdge, EveryProfileQueryCoversEveryHeightExactlyOnce) {
+  // Soundness bookkeeping: in a verified LVQ response, each height in
+  // [1, tip] is covered either by an inexistent endpoint's subtree or by
+  // exactly one block proof. We check the complement: the number of block
+  // proofs equals the number of failed leaves, and no height repeats.
+  ProtocolConfig config{Design::kLvq, BloomGeometry{64, 5}, 8};
+  FullNode full(setup().workload, setup().derived, config);
+  for (const AddressProfile& p : setup().workload->profiles) {
+    QueryResponse resp = full.query(p.address);
+    std::set<std::uint64_t> heights;
+    for (const SegmentQueryProof& seg : resp.segments) {
+      EndpointStats stats = seg.tree.endpoints();
+      EXPECT_EQ(stats.failed_leaves, seg.block_proofs.size());
+      for (const auto& [height, proof] : seg.block_proofs) {
+        EXPECT_TRUE(heights.insert(height).second) << "duplicate " << height;
+        EXPECT_GE(height, 1u);
+        EXPECT_LE(height, resp.tip_height);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lvq

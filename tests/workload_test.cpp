@@ -1,0 +1,149 @@
+// Tests for the synthetic workload generator: Table III profile fidelity,
+// determinism, and chain statistics in the calibrated range.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "chain/block.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig c;
+  c.seed = 99;
+  c.num_blocks = 64;
+  c.background_txs_per_block = 12;
+  c.profiles = {
+      {"A0", 0, 0}, {"A1", 1, 1}, {"A2", 6, 3}, {"A3", 20, 15},
+  };
+  return c;
+}
+
+TEST(Workload, ProfileGroundTruthMatchesScan) {
+  Workload w = generate_workload(small_config());
+  ASSERT_EQ(w.profiles.size(), 4u);
+  for (const AddressProfile& p : w.profiles) {
+    GroundTruth gt = scan_ground_truth(w, p.address);
+    EXPECT_EQ(gt.txs.size(), p.total_txs) << p.label;
+    EXPECT_EQ(gt.block_count, p.total_blocks) << p.label;
+    // The per-height schedule matches the actual placement.
+    std::map<std::uint64_t, std::uint32_t> per_height;
+    for (const auto& [height, txid] : gt.txs) per_height[height]++;
+    ASSERT_EQ(per_height.size(), p.heights.size());
+    for (std::size_t i = 0; i < p.heights.size(); ++i) {
+      EXPECT_EQ(per_height[p.heights[i]], p.txs_per_height[i]) << p.label;
+    }
+  }
+}
+
+TEST(Workload, Table3ProfilesAreDefault) {
+  auto profiles = table3_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].target_txs, 0u);
+  EXPECT_EQ(profiles[4].target_txs, 324u);
+  EXPECT_EQ(profiles[4].target_blocks, 289u);
+  EXPECT_EQ(profiles[5].target_txs, 929u);
+  EXPECT_EQ(profiles[5].target_blocks, 410u);
+}
+
+TEST(Workload, DeterministicForEqualSeeds) {
+  Workload a = generate_workload(small_config());
+  Workload b = generate_workload(small_config());
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    ASSERT_EQ(a.blocks[i].size(), b.blocks[i].size());
+    for (std::size_t t = 0; t < a.blocks[i].size(); ++t) {
+      EXPECT_EQ(a.blocks[i][t].txid(), b.blocks[i][t].txid());
+    }
+  }
+  EXPECT_EQ(a.profiles[2].address, b.profiles[2].address);
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadConfig c = small_config();
+  Workload a = generate_workload(c);
+  c.seed = 100;
+  Workload b = generate_workload(c);
+  EXPECT_NE(a.blocks[0][0].txid(), b.blocks[0][0].txid());
+}
+
+TEST(Workload, ProfileAddressesNeverLeakIntoBackground) {
+  Workload w = generate_workload(small_config());
+  // The zero-tx profile must appear nowhere at all.
+  GroundTruth gt = scan_ground_truth(w, w.profiles[0].address);
+  EXPECT_TRUE(gt.txs.empty());
+  // For every profile, appearances must be exactly the injected ones (the
+  // ground-truth scan already proved counts match; also check disjoint
+  // distinct profile addresses).
+  std::set<Address> addrs;
+  for (const AddressProfile& p : w.profiles) addrs.insert(p.address);
+  EXPECT_EQ(addrs.size(), w.profiles.size());
+}
+
+TEST(Workload, EveryBlockHasCoinbaseAndBackgroundTxs) {
+  WorkloadConfig c = small_config();
+  Workload w = generate_workload(c);
+  ASSERT_EQ(w.blocks.size(), c.num_blocks);
+  for (const auto& txs : w.blocks) {
+    ASSERT_GE(txs.size(), 1u + c.background_txs_per_block);
+    EXPECT_TRUE(txs[0].is_coinbase());
+    for (std::size_t i = 1; i < txs.size(); ++i) {
+      EXPECT_FALSE(txs[i].is_coinbase());
+    }
+  }
+}
+
+TEST(Workload, ValueConservationOnNonMintTxs) {
+  // Zero fees: inputs == outputs for every non-coinbase transaction.
+  Workload w = generate_workload(small_config());
+  for (const auto& txs : w.blocks) {
+    for (const Transaction& tx : txs) {
+      if (tx.is_coinbase()) continue;
+      Amount in = 0, out = 0;
+      for (const TxInput& i : tx.inputs) in += i.value;
+      for (const TxOutput& o : tx.outputs) out += o.value;
+      EXPECT_EQ(in, out);
+    }
+  }
+}
+
+TEST(Workload, UniqueAddressDensityInCalibratedRange) {
+  // With the default era parameters we expect a few hundred unique
+  // addresses per block (2012-era mainnet shape; DESIGN.md §2).
+  WorkloadConfig c;
+  c.num_blocks = 40;
+  c.profiles.clear();  // Table III defaults need a 4096-block chain
+  Workload w = generate_workload(c);
+  // Skip the warm-up prefix: while the address pool is still small, reuse
+  // dominates and blocks carry fewer unique addresses.
+  for (std::size_t i = 20; i < w.blocks.size(); ++i) {
+    Block b;
+    b.txs = w.blocks[i];
+    std::size_t unique = b.address_counts().size();
+    EXPECT_GT(unique, 150u) << "block " << (i + 1);
+    EXPECT_LT(unique, 700u) << "block " << (i + 1);
+  }
+}
+
+TEST(Workload, ProfileBalanceIsNonNegative) {
+  // Profiles alternate receive/spend and can never overdraw.
+  Workload w = generate_workload(small_config());
+  for (const AddressProfile& p : w.profiles) {
+    GroundTruth gt = scan_ground_truth(w, p.address);
+    EXPECT_GE(gt.balance, 0) << p.label;
+  }
+}
+
+TEST(Workload, RejectsImpossibleProfiles) {
+  WorkloadConfig c = small_config();
+  c.profiles = {{"bad", 5, 100}};  // more blocks than txs
+  EXPECT_THROW(generate_workload(c), std::logic_error);
+  c.profiles = {{"bad2", 200, 100}};  // more blocks than the chain
+  EXPECT_THROW(generate_workload(c), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lvq

@@ -1,0 +1,328 @@
+// lvqtool — command-line front end for the LVQ stack.
+//
+//   lvqtool gen    --out=chain.dat [--blocks=512] [--txs-per-block=40]
+//                  [--seed=1] [--design=lvq] [--bf-kb=8] [--bf-hashes=10]
+//                  [--segment-length=128]
+//   lvqtool info   --chain=chain.dat
+//   lvqtool query  --chain=chain.dat --address=1ABC... [design flags]
+//   lvqtool query  --connect=PORT    --address=1ABC... [design flags]
+//   lvqtool proof  --chain=chain.dat --address=1ABC... --out=proof.bin
+//   lvqtool verify --chain=chain.dat --address=1ABC... --proof=proof.bin
+//   lvqtool serve  --chain=chain.dat [--seconds=N] [design flags]
+//
+// `gen` builds a synthetic ledger (with the Table III profile addresses
+// printed for querying) and persists it; the other commands load that
+// ledger, rebuild the authenticated context, and run the full-node /
+// light-node pipeline offline. `proof`+`verify` demonstrate that a query
+// result is a self-contained artifact: it can be saved, shipped, and
+// verified later against headers alone.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "chain/chain_io.hpp"
+#include "net/tcp_transport.hpp"
+#include "node/session.hpp"
+#include "util/flags.hpp"
+#include "util/format.hpp"
+#include "workload/workload.hpp"
+
+using namespace lvq;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lvqtool <gen|info|query|proof|verify> [--flags]\n"
+               "  gen    --out=FILE [--blocks=N --txs-per-block=N --seed=N]\n"
+               "  info   --chain=FILE\n"
+               "  query  --chain=FILE|--connect=PORT --address=ADDR\n"
+               "  proof  --chain=FILE --address=ADDR --out=FILE\n"
+               "  verify --chain=FILE --address=ADDR --proof=FILE\n"
+               "  serve  --chain=FILE [--seconds=N]\n"
+               "design flags (gen/query/proof/verify): --design=lvq|"
+               "lvq-no-bmt|lvq-no-smt|strawman|strawman-variant\n"
+               "  --bf-kb=K --bf-hashes=K --segment-length=M\n");
+  return 2;
+}
+
+std::map<std::string, Design> design_names() {
+  return {
+      {"strawman", Design::kStrawman},
+      {"strawman-variant", Design::kStrawmanVariant},
+      {"lvq-no-bmt", Design::kLvqNoBmt},
+      {"lvq-no-smt", Design::kLvqNoSmt},
+      {"lvq", Design::kLvq},
+  };
+}
+
+ProtocolConfig config_from_flags(const Flags& flags) {
+  ProtocolConfig config;
+  std::string name = flags.get_str("design", "lvq");
+  auto names = design_names();
+  auto it = names.find(name);
+  if (it == names.end()) {
+    std::fprintf(stderr, "unknown design '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  config.design = it->second;
+  config.bloom.size_bytes =
+      static_cast<std::uint32_t>(flags.get_u64("bf-kb", 8)) * 1024;
+  config.bloom.hash_count =
+      static_cast<std::uint32_t>(flags.get_u64("bf-hashes", 10));
+  config.segment_length =
+      static_cast<std::uint32_t>(flags.get_u64("segment-length", 128));
+  return config;
+}
+
+ExperimentSetup load_setup(const std::string& path) {
+  ChainStore chain = load_chain(path);
+  std::vector<std::vector<Transaction>> bodies;
+  bodies.reserve(chain.tip_height());
+  for (const Block& b : chain.blocks()) bodies.push_back(b.txs);
+  return make_setup_from_blocks(std::move(bodies));
+}
+
+Address parse_address(const Flags& flags) {
+  std::string text = flags.get_str("address", "");
+  auto addr = Address::from_string(text);
+  if (!addr) {
+    std::fprintf(stderr, "bad or missing --address\n");
+    std::exit(2);
+  }
+  return *addr;
+}
+
+Bytes read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes data(static_cast<std::size_t>(size));
+  if (!data.empty() && std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    std::fprintf(stderr, "short read from %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fclose(f);
+  return data;
+}
+
+void write_file(const std::string& path, ByteSpan data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f || std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fclose(f);
+}
+
+int cmd_gen(const Flags& flags) {
+  std::string out = flags.get_str("out", "");
+  if (out.empty()) return usage();
+  WorkloadConfig wc;
+  wc.seed = flags.get_u64("seed", 1);
+  wc.num_blocks = static_cast<std::uint32_t>(flags.get_u64("blocks", 512));
+  wc.background_txs_per_block =
+      static_cast<std::uint32_t>(flags.get_u64("txs-per-block", 40));
+  // Scale the Table III profiles to the chain length.
+  double scale = static_cast<double>(wc.num_blocks) / 4096.0;
+  wc.profiles.clear();
+  for (ProfileSpec p : table3_profiles()) {
+    p.target_blocks = static_cast<std::uint32_t>(p.target_blocks * scale);
+    p.target_txs = static_cast<std::uint32_t>(p.target_txs * scale);
+    if (p.target_txs > 0 && p.target_blocks == 0) p.target_blocks = 1;
+    if (p.target_txs < p.target_blocks) p.target_txs = p.target_blocks;
+    wc.profiles.push_back(p);
+  }
+
+  ProtocolConfig config = config_from_flags(flags);
+  ExperimentSetup setup = make_setup(wc);
+  ChainContext ctx(setup.workload, setup.derived, config);
+  save_chain(ctx.chain(), out);
+
+  std::printf("wrote %llu blocks (%s) to %s [scheme %s]\n",
+              static_cast<unsigned long long>(ctx.tip_height()),
+              human_bytes([&] {
+                std::uint64_t n = 0;
+                for (const Block& b : ctx.chain().blocks()) n += b.serialized_size();
+                return n;
+              }()).c_str(),
+              out.c_str(), header_scheme_name(config.scheme()));
+  std::printf("interesting addresses:\n");
+  for (const AddressProfile& p : setup.workload->profiles) {
+    std::printf("  %-6s %s  (%u txs, %u blocks)\n", p.label.c_str(),
+                p.address.to_string().c_str(), p.total_txs, p.total_blocks);
+  }
+  return 0;
+}
+
+int cmd_info(const Flags& flags) {
+  std::string path = flags.get_str("chain", "");
+  if (path.empty()) return usage();
+  ChainStore chain = load_chain(path);
+  std::uint64_t txs = 0, bytes = 0, addrs = 0;
+  for (const Block& b : chain.blocks()) {
+    txs += b.txs.size();
+    bytes += b.serialized_size();
+    addrs += b.address_counts().size();
+  }
+  std::printf("chain    : %llu blocks, %llu txs, %s\n",
+              static_cast<unsigned long long>(chain.tip_height()),
+              static_cast<unsigned long long>(txs),
+              human_bytes(bytes).c_str());
+  std::printf("scheme   : %s\n",
+              header_scheme_name(chain.at_height(1).header.scheme));
+  std::printf("avg/block: %.1f txs, %.1f unique addresses, %s\n",
+              static_cast<double>(txs) / static_cast<double>(chain.tip_height()),
+              static_cast<double>(addrs) / static_cast<double>(chain.tip_height()),
+              human_bytes(bytes / chain.tip_height()).c_str());
+  std::printf("tip hash : %s\n",
+              chain.at_height(chain.tip_height()).header.hash().hex().c_str());
+  return 0;
+}
+
+int print_query_result(const Address& address,
+                       const LightNode::QueryResult& result) {
+  if (!result.outcome.ok) {
+    std::printf("verification FAILED: %s (%s)\n",
+                verify_error_name(result.outcome.error),
+                result.outcome.detail.c_str());
+    return 1;
+  }
+  const VerifiedHistory& h = result.outcome.history;
+  std::printf("address  : %s\n", address.to_string().c_str());
+  std::printf("verified : %llu txs in %zu blocks (complete: %s)\n",
+              static_cast<unsigned long long>(h.total_txs()), h.blocks.size(),
+              h.fully_complete() ? "yes" : "no");
+  std::printf("balance  : %s\n", format_amount(h.balance()).c_str());
+  std::printf("proof    : %s over the wire\n",
+              human_bytes(result.response_bytes).c_str());
+  return 0;
+}
+
+int cmd_query(const Flags& flags, bool save_proof) {
+  Address address = parse_address(flags);
+  ProtocolConfig config = config_from_flags(flags);
+
+  std::uint64_t port = flags.get_u64("connect", 0);
+  if (port != 0 && !save_proof) {
+    // Remote mode: sync headers and query over a real socket.
+    TcpTransport transport(static_cast<std::uint16_t>(port));
+    LightNode light(config);
+    if (!light.sync_headers(transport)) {
+      std::fprintf(stderr, "header sync failed (design flags must match the "
+                           "server's)\n");
+      return 1;
+    }
+    std::printf("synced   : %llu headers (%s)\n",
+                static_cast<unsigned long long>(light.tip_height()),
+                human_bytes(light.header_storage_bytes()).c_str());
+    return print_query_result(address, light.query(transport, address));
+  }
+
+  std::string path = flags.get_str("chain", "");
+  if (path.empty()) return usage();
+  ExperimentSetup setup = load_setup(path);
+  QuerySession session(setup, config);
+
+  if (save_proof) {
+    std::string out = flags.get_str("out", "");
+    if (out.empty()) return usage();
+    QueryResponse resp = session.full_node().query(address);
+    Writer w;
+    resp.serialize(w);
+    write_file(out, ByteSpan{w.data().data(), w.data().size()});
+    std::printf("wrote %s proof (%s) to %s\n", design_name(config.design),
+                human_bytes(w.size()).c_str(), out.c_str());
+    return 0;
+  }
+
+  return print_query_result(address, session.query(address));
+}
+
+int cmd_serve(const Flags& flags) {
+  std::string path = flags.get_str("chain", "");
+  if (path.empty()) return usage();
+  ProtocolConfig config = config_from_flags(flags);
+  ExperimentSetup setup = load_setup(path);
+  FullNode full(setup.workload, setup.derived, config);
+  TcpServer server([&](ByteSpan req) { return full.handle_message(req); });
+  std::printf("serving %llu blocks [%s] on 127.0.0.1:%u\n",
+              static_cast<unsigned long long>(full.tip_height()),
+              design_name(config.design), server.port());
+  std::fflush(stdout);
+  std::uint64_t seconds = flags.get_u64("seconds", 0);
+  if (seconds == 0) {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  server.stop();
+  return 0;
+}
+
+int cmd_verify(const Flags& flags) {
+  std::string path = flags.get_str("chain", "");
+  std::string proof_path = flags.get_str("proof", "");
+  if (path.empty() || proof_path.empty()) return usage();
+  Address address = parse_address(flags);
+  ProtocolConfig config = config_from_flags(flags);
+
+  // The light node only needs headers; derive them from the ledger here
+  // (a deployed client would have synced them long ago).
+  ExperimentSetup setup = load_setup(path);
+  FullNode full(setup.workload, setup.derived, config);
+  LightNode light(config);
+  light.set_headers(full.headers());
+
+  Bytes blob = read_file(proof_path);
+  try {
+    Reader r(ByteSpan{blob.data(), blob.size()});
+    QueryResponse resp = QueryResponse::deserialize(r, config);
+    VerifyOutcome out = light.verify(address, resp);
+    if (!out.ok) {
+      std::printf("REJECTED: %s (%s)\n", verify_error_name(out.error),
+                  out.detail.c_str());
+      return 1;
+    }
+    std::printf("OK: %llu txs in %zu blocks, balance %s, complete: %s\n",
+                static_cast<unsigned long long>(out.history.total_txs()),
+                out.history.blocks.size(),
+                format_amount(out.history.balance()).c_str(),
+                out.history.fully_complete() ? "yes" : "no");
+    return 0;
+  } catch (const SerializeError& e) {
+    std::printf("REJECTED: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  Flags flags(argc, argv);
+  try {
+    if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "info") return cmd_info(flags);
+    if (cmd == "query") return cmd_query(flags, /*save_proof=*/false);
+    if (cmd == "proof") return cmd_query(flags, /*save_proof=*/true);
+    if (cmd == "verify") return cmd_verify(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+  } catch (const std::runtime_error& e) {  // includes SerializeError
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::logic_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

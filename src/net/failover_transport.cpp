@@ -1,0 +1,37 @@
+#include "net/failover_transport.hpp"
+
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace lvq {
+
+FailoverTransport::FailoverTransport(std::vector<Transport*> peers)
+    : peers_(std::move(peers)) {
+  LVQ_CHECK_MSG(!peers_.empty(), "failover needs at least one peer");
+  for (Transport* p : peers_) LVQ_CHECK_MSG(p != nullptr, "null peer");
+}
+
+Bytes FailoverTransport::round_trip(ByteSpan request) {
+  std::optional<TransportError> last;
+  for (std::size_t tried = 0; tried < peers_.size(); ++tried) {
+    try {
+      Bytes reply = peers_[current_]->round_trip(request);
+      bytes_sent_ += request.size();
+      bytes_received_ += reply.size();
+      return reply;
+    } catch (const TransportError& e) {
+      last = e;
+      ++failovers_;
+      current_ = (current_ + 1) % peers_.size();
+    }
+  }
+  throw *last;
+}
+
+void FailoverTransport::report_failure() {
+  ++failovers_;
+  current_ = (current_ + 1) % peers_.size();
+}
+
+}  // namespace lvq

@@ -1,0 +1,48 @@
+// Multi-peer failover.
+//
+// LVQ's verifiability makes failover cheap: any full node's response is
+// independently checkable against the light node's headers, so a byzantine
+// or broken peer costs liveness, never safety — just ask the next one.
+// FailoverTransport holds an ordered list of peers (non-owning; typically
+// TcpTransports, optionally wrapped in RetryTransport) and rotates to the
+// next on any transport error. Callers that detect a *semantic* failure —
+// a proof that decodes but does not verify — report it via
+// `report_failure()` so the liar is skipped on subsequent round trips.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "net/transport_error.hpp"
+
+namespace lvq {
+
+class FailoverTransport final : public Transport {
+ public:
+  /// Peers are tried in order starting from the current one; the list must
+  /// be non-empty and outlive this object.
+  explicit FailoverTransport(std::vector<Transport*> peers);
+
+  /// Sends via the current peer; on TransportError rotates and retries the
+  /// next peer, at most once around the ring. Throws the last peer's error
+  /// if every peer fails.
+  Bytes round_trip(ByteSpan request) override;
+
+  /// Caller-reported invalid proof (verification failed): rotate away from
+  /// the current peer without a transport-level error.
+  void report_failure();
+
+  std::size_t peer_count() const { return peers_.size(); }
+  std::size_t current_peer() const { return current_; }
+  /// Total rotations, transport-triggered or caller-reported.
+  std::uint64_t failovers() const { return failovers_; }
+
+ private:
+  std::vector<Transport*> peers_;
+  std::size_t current_ = 0;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace lvq

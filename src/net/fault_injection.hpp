@@ -1,0 +1,132 @@
+// Deterministic fault injection for the query transport.
+//
+// Two layers, covering the same fault taxonomy:
+//
+//  * `FaultInjectingTransport` — an in-process Transport decorator. Faults
+//    are drawn from a scripted per-call schedule first, then from seeded
+//    per-mode probabilities, so every test replays bit-for-bit. Transport-
+//    level faults (timeout, disconnect) surface as typed TransportErrors;
+//    payload-level faults (truncate, corrupt, garbage) deliver damaged
+//    bytes the caller's decoder must survive.
+//
+//  * `FlakyServer` — a real-socket harness shaped like TcpServer whose
+//    responses misbehave at the *frame* layer: stall past the client's
+//    deadline, disconnect before replying, truncate a frame mid-payload,
+//    claim an oversize length, or frame garbage. This exercises the
+//    hardened TcpTransport paths that an in-process decorator cannot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_transport.hpp"
+#include "net/transport.hpp"
+#include "net/transport_error.hpp"
+#include "util/rng.hpp"
+
+namespace lvq {
+
+enum class FaultMode : std::uint8_t {
+  kNone = 0,       // serve normally
+  kTimeout,        // transport: deadline expiry / server: stall past it
+  kDisconnect,     // drop the connection instead of replying
+  kTruncateReply,  // deliver only a prefix of the reply
+  kCorruptReply,   // flip bits in the reply payload
+  kGarbageReply,   // replace the reply payload with random bytes
+  kDelayReply,     // deliver the correct reply late (but within reason)
+  kOversizeReply,  // FlakyServer only: frame header claims > cap bytes
+};
+
+const char* fault_mode_name(FaultMode m);
+
+struct FaultPlan {
+  /// Consumed one entry per request, across connections; after the script
+  /// runs out, faults are drawn from the probabilities below.
+  std::vector<FaultMode> script;
+  double timeout_prob = 0.0;
+  double disconnect_prob = 0.0;
+  double truncate_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double garbage_prob = 0.0;
+  /// Sleep for kDelayReply (and the in-process kTimeout simulation cost is
+  /// zero — it throws immediately).
+  std::uint32_t delay_ms = 5;
+  /// FlakyServer: how long a kTimeout stall holds the reply back before
+  /// giving up on the connection. Must exceed the client's deadline.
+  std::uint32_t stall_ms = 1'000;
+  /// Transport decorator: once this many total bytes have crossed the
+  /// decorator, every further call throws kDisconnect (models a peer with
+  /// a byte budget / mid-stream cut). 0 = disabled.
+  std::uint64_t disconnect_after_bytes = 0;
+  std::uint64_t seed = 1;
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(Transport& inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  Bytes round_trip(ByteSpan request) override;
+
+  std::uint64_t calls() const { return calls_; }
+  std::uint64_t faults_injected() const { return faults_; }
+
+ private:
+  FaultMode next_mode();
+
+  Transport& inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::size_t script_pos_ = 0;
+  std::uint64_t calls_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+class FlakyServer {
+ public:
+  /// Binds 127.0.0.1 on an ephemeral port, like TcpServer. The script is
+  /// shared across connections (a client that reconnects after a fault
+  /// continues the schedule where it left off).
+  FlakyServer(TcpServer::Handler handler, FaultPlan plan,
+              TcpServerOptions options = {});
+  ~FlakyServer();
+
+  FlakyServer(const FlakyServer&) = delete;
+  FlakyServer& operator=(const FlakyServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_seen() const { return requests_seen_.load(); }
+
+  void stop();
+
+ private:
+  struct Worker {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Worker* worker);
+  FaultMode next_mode();
+
+  TcpServer::Handler handler_;
+  FaultPlan plan_;
+  TcpServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_seen_{0};
+  std::thread acceptor_;
+  std::mutex mu_;  // guards workers_, script_pos_, rng_
+  std::list<std::unique_ptr<Worker>> workers_;
+  Rng rng_;
+  std::size_t script_pos_ = 0;
+};
+
+}  // namespace lvq

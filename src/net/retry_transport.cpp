@@ -1,0 +1,57 @@
+#include "net/retry_transport.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <thread>
+
+namespace lvq {
+
+bool RetryTransport::should_retry(TransportError::Kind kind) const {
+  switch (kind) {
+    case TransportError::kTimeout: return policy_.retry_timeouts;
+    case TransportError::kDisconnect:
+    case TransportError::kConnect: return policy_.retry_disconnects;
+    case TransportError::kMalformedFrame: return policy_.retry_malformed;
+    case TransportError::kOversize: return false;
+  }
+  return false;
+}
+
+std::uint32_t RetryTransport::backoff_ms(std::uint32_t attempt) {
+  double base = static_cast<double>(policy_.initial_backoff_ms) *
+                std::pow(policy_.backoff_multiplier, attempt);
+  double capped = std::min(base, static_cast<double>(policy_.max_backoff_ms));
+  // Jitter spreads retries of many clients hammering one recovering peer.
+  double spread = capped * policy_.jitter;
+  double jittered = capped - spread + 2.0 * spread * rng_.uniform();
+  return jittered < 0 ? 0 : static_cast<std::uint32_t>(jittered);
+}
+
+Bytes RetryTransport::round_trip(ByteSpan request) {
+  const std::uint32_t attempts = policy_.max_attempts == 0
+                                     ? 1
+                                     : policy_.max_attempts;
+  std::optional<TransportError> last;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      std::uint32_t sleep = backoff_ms(attempt - 1);
+      if (sleep > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep));
+      }
+    }
+    try {
+      Bytes reply = inner_.round_trip(request);
+      bytes_sent_ += request.size();
+      bytes_received_ += reply.size();
+      return reply;
+    } catch (const TransportError& e) {
+      if (!should_retry(e.kind())) throw;
+      last = e;
+    }
+  }
+  throw *last;
+}
+
+}  // namespace lvq

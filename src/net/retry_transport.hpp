@@ -1,0 +1,57 @@
+// Bounded retries with exponential backoff + jitter.
+//
+// Every LVQ request is an idempotent read (headers, proofs) — repeating one
+// can never double-apply anything — so retrying a failed round trip is
+// always safe. RetryTransport wraps any Transport and re-issues the request
+// on retryable TransportErrors (timeout, disconnect, malformed frame; an
+// oversize request will not shrink by retrying). Backoff doubles per
+// attempt with deterministic seeded jitter so tests replay exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "net/transport.hpp"
+#include "net/transport_error.hpp"
+#include "util/rng.hpp"
+
+namespace lvq {
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  std::uint32_t max_attempts = 3;
+  std::uint32_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  std::uint32_t max_backoff_ms = 2'000;
+  /// Fraction of the backoff randomized: sleep in [b*(1-j), b*(1+j)].
+  double jitter = 0.5;
+  /// Seed for the jitter RNG — retries are reproducible like everything
+  /// else in this repo.
+  std::uint64_t seed = 1;
+  bool retry_timeouts = true;
+  bool retry_disconnects = true;  // also covers reconnect failures
+  bool retry_malformed = true;
+};
+
+class RetryTransport final : public Transport {
+ public:
+  RetryTransport(Transport& inner, RetryPolicy policy = {})
+      : inner_(inner), policy_(policy), rng_(policy.seed) {}
+
+  /// Forwards to the inner transport, retrying per policy. Throws the last
+  /// TransportError once attempts are exhausted (or immediately for a
+  /// non-retryable kind).
+  Bytes round_trip(ByteSpan request) override;
+
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  bool should_retry(TransportError::Kind kind) const;
+  std::uint32_t backoff_ms(std::uint32_t attempt);
+
+  Transport& inner_;
+  RetryPolicy policy_;
+  Rng rng_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace lvq

@@ -1,86 +1,48 @@
 #include "net/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
-#include <stdexcept>
+
+#include "net/frame.hpp"
 
 namespace lvq {
 
 namespace {
 
-constexpr std::uint32_t kMaxFrame = 1u << 30;  // 1 GiB guard
-
-[[noreturn]] void fail(const char* what) {
-  throw std::runtime_error(std::string("tcp: ") + what + ": " +
-                           std::strerror(errno));
+[[noreturn]] void fail_connect(const char* what) {
+  throw TransportError(TransportError::kConnect,
+                       std::string(what) + ": " + std::strerror(errno));
 }
 
-/// Reads exactly n bytes; false on orderly EOF at a frame boundary.
-bool read_full(int fd, std::uint8_t* out, std::size_t n) {
-  std::size_t off = 0;
-  while (off < n) {
-    ssize_t got = ::read(fd, out + off, n - off);
-    if (got == 0) return false;
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-bool write_full(int fd, const std::uint8_t* data, std::size_t n) {
-  std::size_t off = 0;
-  while (off < n) {
-    ssize_t put = ::write(fd, data + off, n - off);
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(put);
-  }
-  return true;
-}
-
-bool write_frame(int fd, ByteSpan payload) {
-  std::uint8_t len[4];
-  std::uint32_t n = static_cast<std::uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) len[i] = static_cast<std::uint8_t>(n >> (8 * i));
-  return write_full(fd, len, 4) && write_full(fd, payload.data(), payload.size());
-}
-
-bool read_frame(int fd, Bytes& out) {
-  std::uint8_t len[4];
-  if (!read_full(fd, len, 4)) return false;
-  std::uint32_t n = 0;
-  for (int i = 0; i < 4; ++i) n |= std::uint32_t{len[i]} << (8 * i);
-  if (n > kMaxFrame) return false;
-  out.resize(n);
-  return n == 0 || read_full(fd, out.data(), n);
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
 }
 
 }  // namespace
 
-TcpServer::TcpServer(Handler handler) : handler_(std::move(handler)) {
+TcpServer::TcpServer(Handler handler, TcpServerOptions options)
+    : handler_(std::move(handler)), options_(options) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) fail("socket");
+  if (listen_fd_ < 0) fail_connect("socket");
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
+  sockaddr_in addr = loopback_addr(0);  // ephemeral
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
-    fail("bind");
-  if (::listen(listen_fd_, 16) < 0) fail("listen");
+    fail_connect("bind");
+  if (::listen(listen_fd_, 16) < 0) fail_connect("listen");
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
-    fail("getsockname");
+    fail_connect("getsockname");
   port_ = ntohs(addr.sin_port);
   acceptor_ = std::thread([this] { accept_loop(); });
 }
@@ -93,12 +55,40 @@ void TcpServer::stop() {
     // Closing the listener unblocks accept().
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
+    // Unblock every worker parked in poll()/read() on a live connection.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& w : workers_) {
+      if (w->fd >= 0) ::shutdown(w->fd, SHUT_RDWR);
+    }
   }
   if (acceptor_.joinable()) acceptor_.join();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
+  // Drain under the lock, join outside it: workers take mu_ to close
+  // their fd on exit, so joining while holding it would deadlock.
+  std::list<std::unique_ptr<Worker>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(workers_);
   }
-  workers_.clear();
+  for (auto& w : drained) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void TcpServer::reap_finished_locked() {
+  for (auto it = workers_.begin(); it != workers_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t TcpServer::active_workers() {
+  std::lock_guard<std::mutex> lock(mu_);
+  reap_finished_locked();
+  return workers_.size();
 }
 
 void TcpServer::accept_loop() {
@@ -108,41 +98,143 @@ void TcpServer::accept_loop() {
       if (errno == EINTR) continue;
       break;  // listener closed
     }
-    workers_.emplace_back([this, fd] { serve_connection(fd); });
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    // Reap connections that have since closed — without this the worker
+    // list grows with every connection ever accepted until stop().
+    reap_finished_locked();
+    workers_.push_back(std::make_unique<Worker>());
+    Worker* w = workers_.back().get();
+    w->fd = fd;
+    w->thread = std::thread([this, w] { serve_connection(w); });
   }
 }
 
-void TcpServer::serve_connection(int fd) {
+void TcpServer::serve_connection(Worker* worker) {
+  const int fd = worker->fd;
   Bytes request;
-  while (read_frame(fd, request)) {
+  for (;;) {
+    // The idle deadline covers waiting for a request to start; once bytes
+    // flow, frame.cpp's per-operation polling enforces the same deadline
+    // for the remainder of the frame.
+    netio::Deadline deadline = netio::deadline_after_ms(
+        options_.idle_timeout_ms);
+    netio::FrameResult r =
+        netio::read_frame(fd, request, options_.max_frame_bytes, deadline);
+    if (r != netio::FrameResult::kOk) break;
     Bytes response = handler_(ByteSpan{request.data(), request.size()});
-    if (!write_frame(fd, ByteSpan{response.data(), response.size()})) break;
+    netio::Deadline write_deadline =
+        netio::deadline_after_ms(options_.io_timeout_ms);
+    if (netio::write_frame(fd, ByteSpan{response.data(), response.size()},
+                           options_.max_frame_bytes,
+                           write_deadline) != netio::FrameResult::kOk) {
+      break;
+    }
   }
-  ::close(fd);
+  // Close under the lock so stop() never shutdown()s a recycled fd number.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ::close(fd);
+    worker->fd = -1;
+  }
+  worker->done.store(true);
 }
 
-TcpTransport::TcpTransport(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) fail("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd_);
-    fail("connect");
-  }
+TcpTransport::TcpTransport(std::uint16_t port, TcpTransportOptions options)
+    : port_(port), options_(options) {
+  connect_with_deadline();
 }
 
 TcpTransport::~TcpTransport() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void TcpTransport::connect_with_deadline() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail_connect("socket");
+  // Non-blocking connect so the deadline governs establishment too. The
+  // socket stays non-blocking afterwards: frame.cpp polls before every
+  // read/write, so EAGAIN is handled there.
+  int fl = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  sockaddr_in addr = loopback_addr(port_);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    pollfd p{fd, POLLOUT, 0};
+    int timeout = options_.connect_timeout_ms == 0
+                      ? -1
+                      : static_cast<int>(options_.connect_timeout_ms);
+    rc = ::poll(&p, 1, timeout);
+    if (rc == 0) {
+      ::close(fd);
+      throw TransportError(TransportError::kTimeout, "connect timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (rc < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      errno = err != 0 ? err : errno;
+      fail_connect("connect");
+    }
+  } else if (rc < 0) {
+    ::close(fd);
+    fail_connect("connect");
+  }
+  fd_ = fd;
+}
+
 Bytes TcpTransport::round_trip(ByteSpan request) {
-  if (!write_frame(fd_, request)) throw std::runtime_error("tcp: send failed");
+  if (request.size() > options_.max_frame_bytes) {
+    throw TransportError(TransportError::kOversize,
+                         "request exceeds frame cap");
+  }
+  if (fd_ < 0) {
+    if (!options_.auto_reconnect) {
+      throw TransportError(TransportError::kDisconnect, "not connected");
+    }
+    connect_with_deadline();
+    ++reconnects_;
+  }
+  netio::Deadline deadline = netio::deadline_after_ms(options_.io_timeout_ms);
+  auto broke = [this](TransportError::Kind kind,
+                      const char* what) -> TransportError {
+    ::close(fd_);
+    fd_ = -1;
+    return TransportError(kind, what);
+  };
+  netio::FrameResult r = netio::write_frame(
+      fd_, request, options_.max_frame_bytes, deadline);
+  switch (r) {
+    case netio::FrameResult::kOk: break;
+    case netio::FrameResult::kTimeout:
+      throw broke(TransportError::kTimeout, "send timed out");
+    case netio::FrameResult::kOversize:
+      throw TransportError(TransportError::kOversize,
+                           "request exceeds frame cap");
+    default:
+      throw broke(TransportError::kDisconnect, "send failed");
+  }
   bytes_sent_ += request.size();
   Bytes response;
-  if (!read_frame(fd_, response)) throw std::runtime_error("tcp: recv failed");
+  r = netio::read_frame(fd_, response, options_.max_frame_bytes, deadline);
+  switch (r) {
+    case netio::FrameResult::kOk: break;
+    case netio::FrameResult::kTimeout:
+      throw broke(TransportError::kTimeout, "recv timed out");
+    case netio::FrameResult::kEof:
+      throw broke(TransportError::kDisconnect, "peer closed the connection");
+    case netio::FrameResult::kTruncated:
+      throw broke(TransportError::kMalformedFrame,
+                  "connection lost mid-frame");
+    case netio::FrameResult::kOversize:
+      throw broke(TransportError::kOversize, "response exceeds frame cap");
+    case netio::FrameResult::kError:
+      throw broke(TransportError::kDisconnect, "recv failed");
+  }
   bytes_received_ += response.size();
   return response;
 }

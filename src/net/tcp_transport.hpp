@@ -7,27 +7,47 @@
 // `TcpTransport` is a drop-in `Transport` speaking length-prefixed frames
 // over a persistent socket. Every test/bench works with either transport.
 //
-// Framing per direction: u32 little-endian payload length, then payload.
+// Framing per direction: u32 little-endian payload length, then payload
+// (see net/frame.hpp). Both ends are hardened against hostile or broken
+// peers: every blocking socket operation is governed by a deadline, frame
+// sizes are capped, failures surface as typed `TransportError`s, and the
+// client transparently reconnects on the next round trip after a
+// disconnect.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <thread>
-#include <vector>
 
 #include "net/transport.hpp"
+#include "net/transport_error.hpp"
 #include "util/bytes.hpp"
 
 namespace lvq {
+
+struct TcpServerOptions {
+  /// Largest frame accepted or produced; incoming claims above this close
+  /// the connection without allocating.
+  std::uint32_t max_frame_bytes = 1u << 30;
+  /// Deadline for reading one complete request once its first byte arrived
+  /// and for writing one reply. 0 = unlimited.
+  std::uint32_t io_timeout_ms = 30'000;
+  /// How long a connection may sit idle between requests before the server
+  /// closes it. 0 = unlimited (stop() still unblocks workers).
+  std::uint32_t idle_timeout_ms = 60'000;
+};
 
 class TcpServer {
  public:
   using Handler = std::function<Bytes(ByteSpan)>;
 
   /// Binds 127.0.0.1 on an ephemeral port and starts the accept loop.
-  /// Throws std::runtime_error if the socket cannot be set up.
-  explicit TcpServer(Handler handler);
+  /// Throws TransportError if the socket cannot be set up.
+  explicit TcpServer(Handler handler, TcpServerOptions options = {});
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -35,35 +55,83 @@ class TcpServer {
 
   std::uint16_t port() const { return port_; }
 
-  /// Stops accepting, closes the listener, and joins all workers.
-  /// Idempotent; also called by the destructor.
+  /// Stops accepting, closes the listener, unblocks every in-flight
+  /// connection, and joins all workers. Idempotent; also called by the
+  /// destructor.
   void stop();
 
+  /// Reaps finished connection threads and returns how many are still
+  /// live. The accept loop also reaps on every new connection, so the
+  /// worker list stays proportional to *open* connections, not to the
+  /// total ever accepted.
+  std::size_t active_workers();
+
  private:
+  struct Worker {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(Worker* worker);
+  void reap_finished_locked();
 
   Handler handler_;
+  TcpServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::vector<std::thread> workers_;
+  std::mutex mu_;  // guards workers_ and each worker's fd lifetime
+  std::list<std::unique_ptr<Worker>> workers_;
+};
+
+struct TcpTransportOptions {
+  /// Deadline for establishing (or re-establishing) the connection.
+  std::uint32_t connect_timeout_ms = 5'000;
+  /// Deadline for one complete round trip (send + receive). 0 = unlimited.
+  std::uint32_t io_timeout_ms = 30'000;
+  /// Largest frame sent or accepted. Checked against the payload's size_t
+  /// length before any narrowing cast, so >4 GiB payloads are rejected
+  /// explicitly instead of framed with a wrapped length.
+  std::uint32_t max_frame_bytes = 1u << 30;
+  /// Reconnect transparently at the start of a round trip when a previous
+  /// failure closed the socket.
+  bool auto_reconnect = true;
 };
 
 class TcpTransport final : public Transport {
  public:
-  /// Connects to 127.0.0.1:port; throws std::runtime_error on failure.
-  explicit TcpTransport(std::uint16_t port);
+  /// Connects to 127.0.0.1:port; throws TransportError(kConnect) on
+  /// failure (including a connect that exceeds the deadline).
+  explicit TcpTransport(std::uint16_t port, TcpTransportOptions options = {});
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
+  /// One request/response exchange under options.io_timeout_ms. On any
+  /// failure the socket is closed (so the next call reconnects) and a
+  /// typed TransportError is thrown:
+  ///   kOversize        request or response exceeds max_frame_bytes
+  ///   kTimeout         deadline expired
+  ///   kDisconnect      peer closed/reset the connection
+  ///   kMalformedFrame  peer died mid-frame / violated the length prefix
+  ///   kConnect         auto-reconnect failed
   Bytes round_trip(ByteSpan request) override;
 
+  bool connected() const { return fd_ >= 0; }
+  /// Times a broken connection was transparently re-established.
+  std::uint64_t reconnects() const { return reconnects_; }
+
  private:
+  void connect_with_deadline();
+
   int fd_ = -1;
+  std::uint16_t port_ = 0;
+  TcpTransportOptions options_;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace lvq

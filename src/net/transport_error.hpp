@@ -1,0 +1,48 @@
+// Typed transport failures.
+//
+// A full node that stalls, drops the connection, or frames garbage is
+// expected input for a light client, not a bug — so every transport error
+// carries a machine-readable kind the caller can dispatch on (retry a
+// timeout, fail over on a disconnect, give up on an oversize request).
+// TransportError derives from std::runtime_error so callers that only
+// care about "the wire broke" keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lvq {
+
+class TransportError : public std::runtime_error {
+ public:
+  enum Kind : std::uint8_t {
+    kConnect,         // could not establish (or re-establish) a connection
+    kTimeout,         // deadline expired mid round trip
+    kDisconnect,      // peer closed or reset the connection
+    kMalformedFrame,  // frame truncated / violated the length prefix
+    kOversize,        // frame length exceeds the configured cap (either
+                      // direction); retrying will not help
+  };
+
+  TransportError(Kind kind, const std::string& what)
+      : std::runtime_error("transport: " + what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+inline const char* transport_error_kind_name(TransportError::Kind k) {
+  switch (k) {
+    case TransportError::kConnect: return "connect";
+    case TransportError::kTimeout: return "timeout";
+    case TransportError::kDisconnect: return "disconnect";
+    case TransportError::kMalformedFrame: return "malformed-frame";
+    case TransportError::kOversize: return "oversize";
+  }
+  return "unknown";
+}
+
+}  // namespace lvq

@@ -1,6 +1,9 @@
 #include "node/light_node.hpp"
 
+#include <optional>
+
 #include "net/message.hpp"
+#include "net/transport_error.hpp"
 #include "util/check.hpp"
 
 namespace lvq {
@@ -17,8 +20,9 @@ void LightNode::set_headers(std::vector<BlockHeader> headers) {
 }
 
 bool LightNode::sync_headers(Transport& transport) {
-  Bytes reply = transport.round_trip(encode_envelope(MsgType::kHeadersRequest, {}));
   try {
+    Bytes reply =
+        transport.round_trip(encode_envelope(MsgType::kHeadersRequest, {}));
     auto [type, payload] = decode_envelope(ByteSpan{reply.data(), reply.size()});
     if (type != MsgType::kHeaders) return false;
     Reader r(payload);
@@ -34,6 +38,8 @@ bool LightNode::sync_headers(Transport& transport) {
     return true;
   } catch (const SerializeError&) {
     return false;
+  } catch (const TransportError&) {
+    return false;  // wire broke mid-sync; local headers untouched
   }
 }
 
@@ -49,12 +55,12 @@ void LightNode::append_headers(const std::vector<BlockHeader>& more) {
 }
 
 bool LightNode::sync_new_headers(Transport& transport) {
-  Writer req;
-  req.varint(tip_height());
-  Bytes reply = transport.round_trip(encode_envelope(
-      MsgType::kHeadersSinceRequest,
-      ByteSpan{req.data().data(), req.data().size()}));
   try {
+    Writer req;
+    req.varint(tip_height());
+    Bytes reply = transport.round_trip(encode_envelope(
+        MsgType::kHeadersSinceRequest,
+        ByteSpan{req.data().data(), req.data().size()}));
     auto [type, payload] = decode_envelope(ByteSpan{reply.data(), reply.size()});
     if (type != MsgType::kHeaders) return false;
     Reader r(payload);
@@ -70,6 +76,8 @@ bool LightNode::sync_new_headers(Transport& transport) {
     return true;
   } catch (const SerializeError&) {
     return false;
+  } catch (const TransportError&) {
+    return false;  // wire broke mid-sync; local headers untouched
   } catch (const std::logic_error&) {
     return false;  // peer sent headers that do not extend our chain
   }
@@ -235,6 +243,36 @@ LightNode::QueryResult LightNode::query(Transport& transport,
     result.outcome = VerifyOutcome::failure(VerifyError::kBadEncoding, e.what());
   }
   return result;
+}
+
+LightNode::PeerQueryResult LightNode::query_any(
+    const std::vector<Transport*>& peers, const Address& address) const {
+  LVQ_CHECK_MSG(!peers.empty(), "query_any needs at least one peer");
+  PeerQueryResult out;
+  std::optional<PeerQueryResult> last_rejected;
+  std::optional<TransportError> last_error;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    ++out.peers_tried;
+    try {
+      out.result = query(*peers[i], address);
+      out.peer_index = i;
+      if (out.result.outcome.ok) return out;
+      // Decoded but failed verification: a lying (or stale) peer. The
+      // proof system already told us it is wrong — just ask the next one.
+      ++out.rejected_proofs;
+      last_rejected = out;
+    } catch (const TransportError& e) {
+      ++out.transport_failures;
+      last_error = e;
+    }
+  }
+  if (last_rejected) {
+    last_rejected->peers_tried = out.peers_tried;
+    last_rejected->transport_failures = out.transport_failures;
+    last_rejected->rejected_proofs = out.rejected_proofs;
+    return *last_rejected;
+  }
+  throw *last_error;
 }
 
 }  // namespace lvq

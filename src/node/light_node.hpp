@@ -24,7 +24,9 @@ class LightNode {
   void set_headers(std::vector<BlockHeader> headers);
 
   /// Fetches and installs headers from a full node over `transport`.
-  /// Returns false (and keeps the old headers) on a malformed reply.
+  /// Returns false (and keeps the old headers) on a malformed reply or a
+  /// transport failure (timeout, disconnect, truncated frame) — sync is
+  /// best-effort and never corrupts local state.
   bool sync_headers(Transport& transport);
 
   /// Appends headers on top of the current tip after validating linkage.
@@ -32,8 +34,8 @@ class LightNode {
   void append_headers(const std::vector<BlockHeader>& more);
 
   /// Incremental sync: fetches only headers above the current tip.
-  /// Returns false (keeping local state) on a malformed reply or a peer
-  /// whose headers do not extend our chain.
+  /// Returns false (keeping local state) on a malformed reply, a transport
+  /// failure mid-sync, or a peer whose headers do not extend our chain.
   bool sync_new_headers(Transport& transport);
 
   /// Chain reorganization: replaces headers from `first_replaced` (1-based)
@@ -66,8 +68,29 @@ class LightNode {
     SizeBreakdown breakdown;
   };
 
-  /// Full RPC round trip: request -> wire -> decode -> verify.
+  /// Full RPC round trip: request -> wire -> decode -> verify. A bad
+  /// *proof* yields a failed outcome; a broken *wire* (timeout,
+  /// disconnect) propagates as TransportError so callers can retry or
+  /// fail over.
   QueryResult query(Transport& transport, const Address& address) const;
+
+  struct PeerQueryResult {
+    QueryResult result;
+    std::size_t peer_index = 0;   // peer that produced `result`
+    std::size_t peers_tried = 0;  // peers contacted, including failures
+    std::size_t transport_failures = 0;
+    std::size_t rejected_proofs = 0;
+  };
+
+  /// Multi-peer failover query (the paper's verifiability turned into
+  /// liveness): tries peers in order, moving to the next on a transport
+  /// error OR on a response that decodes but fails verification — any
+  /// single honest peer in the list suffices for a verified answer.
+  /// Returns the first verified result; otherwise the last rejected
+  /// result. Throws the last TransportError only if every peer failed at
+  /// the transport level.
+  PeerQueryResult query_any(const std::vector<Transport*>& peers,
+                            const Address& address) const;
 
   /// Height-range round trip: verified history for blocks [from, to]
   /// only. For BMT designs the cost scales with the range's aligned cover

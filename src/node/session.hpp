@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "node/full_node.hpp"
 #include "node/light_node.hpp"
@@ -38,6 +39,45 @@ inline ExperimentSetup make_setup_from_blocks(
   s.derived = std::make_shared<const WorkloadDerived>(*workload);
   return s;
 }
+
+/// Multi-peer harness: one honest full node behind any number of peer
+/// transports (honest loopbacks plus whatever byzantine or faulty
+/// decorators a test adds), queried through LightNode::query_any. This is
+/// the convenience wiring for the fault-tolerance tests and examples: the
+/// paper's verifiability means one honest peer in the list is enough.
+class MultiPeerSession {
+ public:
+  MultiPeerSession(const ExperimentSetup& setup, const ProtocolConfig& config)
+      : full_(setup.workload, setup.derived, config), light_(config) {
+    light_.set_headers(full_.headers());
+  }
+
+  /// Adds a well-behaved loopback peer to the honest full node.
+  Transport& add_honest_peer() {
+    owned_.push_back(std::make_unique<LoopbackTransport>(
+        [this](ByteSpan req) { return full_.handle_message(req); }));
+    peers_.push_back(owned_.back().get());
+    return *owned_.back();
+  }
+
+  /// Adds an externally-owned peer (fault decorator, byzantine wrapper,
+  /// real TcpTransport...). Must outlive the session.
+  void add_peer(Transport& peer) { peers_.push_back(&peer); }
+
+  LightNode::PeerQueryResult query_any(const Address& address) const {
+    return light_.query_any(peers_, address);
+  }
+
+  const FullNode& full_node() const { return full_; }
+  const LightNode& light_node() const { return light_; }
+  const std::vector<Transport*>& peers() const { return peers_; }
+
+ private:
+  FullNode full_;
+  LightNode light_;
+  std::vector<std::unique_ptr<LoopbackTransport>> owned_;
+  std::vector<Transport*> peers_;
+};
 
 class QuerySession {
  public:

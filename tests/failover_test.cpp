@@ -1,0 +1,277 @@
+// Multi-peer failover: the paper's verifiability turns byzantine peers
+// into a liveness problem, not a safety one. These tests run the
+// acceptance scenario from the fault-tolerance issue — a stalled peer, a
+// forging peer, and one honest peer — plus transport-failure coverage for
+// the incremental sync and reorg paths.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/query.hpp"
+#include "net/failover_transport.hpp"
+#include "net/fault_injection.hpp"
+#include "net/retry_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "node/attack.hpp"
+#include "node/session.hpp"
+#include "util/serialize.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ExperimentSetup& setup() {
+  static ExperimentSetup s = [] {
+    WorkloadConfig c;
+    c.seed = 818;
+    c.num_blocks = 32;
+    c.background_txs_per_block = 8;
+    c.profiles = {{"a", 6, 5}, {"ghost", 0, 0}};
+    return make_setup(c);
+  }();
+  return s;
+}
+
+constexpr BloomGeometry kGeom{256, 6};
+const ProtocolConfig kConfig{Design::kLvq, kGeom, 8};
+
+Bytes echo(ByteSpan req) { return Bytes(req.begin(), req.end()); }
+
+/// Chain equality via size + tip hash: the hash chain makes the tip hash
+/// commit to every earlier header.
+bool same_chain(const std::vector<BlockHeader>& a,
+                const std::vector<BlockHeader>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() || a.back().hash() == b.back().hash();
+}
+
+/// A full node that forges the SMT-proved appearance count on every query
+/// response (attacks::forge_count) but serves everything else honestly.
+TcpServer::Handler forging_handler(const FullNode& full) {
+  return [&full](ByteSpan req) -> Bytes {
+    try {
+      auto [type, payload] = decode_envelope(req);
+      if (type == MsgType::kQueryRequest) {
+        Reader r(payload);
+        QueryRequest q = QueryRequest::deserialize(r);
+        QueryResponse resp = full.query(q.address);
+        attacks::forge_count(resp);
+        Writer w;
+        resp.serialize(w);
+        return encode_envelope(MsgType::kQueryResponse,
+                               ByteSpan{w.data().data(), w.data().size()});
+      }
+    } catch (const SerializeError&) {
+    }
+    return full.handle_message(req);
+  };
+}
+
+TEST(Failover, RotatesPastDeadPeers) {
+  LoopbackTransport dead1(echo), dead2(echo), alive(echo);
+  FaultPlan always_down;
+  always_down.disconnect_prob = 1.0;
+  FaultInjectingTransport faulty1(dead1, always_down);
+  FaultInjectingTransport faulty2(dead2, always_down);
+  FailoverTransport failover({&faulty1, &faulty2, &alive});
+  Bytes msg = {1, 2};
+  EXPECT_EQ(failover.round_trip(ByteSpan{msg.data(), msg.size()}), msg);
+  EXPECT_EQ(failover.current_peer(), 2u);
+  EXPECT_EQ(failover.failovers(), 2u);
+  // Sticky: subsequent round trips go straight to the live peer.
+  failover.round_trip(ByteSpan{msg.data(), msg.size()});
+  EXPECT_EQ(failover.failovers(), 2u);
+}
+
+TEST(Failover, AllPeersDeadThrowsLastTypedError) {
+  LoopbackTransport inner(echo);
+  FaultPlan down;
+  down.timeout_prob = 1.0;
+  FaultInjectingTransport faulty(inner, down);
+  FailoverTransport failover({&faulty});
+  Bytes msg = {3};
+  try {
+    failover.round_trip(ByteSpan{msg.data(), msg.size()});
+    FAIL() << "expected failure with no live peers";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::kTimeout);
+  }
+}
+
+TEST(Failover, ReportFailureRotatesAwayFromLiar) {
+  LoopbackTransport a(echo), b(echo);
+  FailoverTransport failover({&a, &b});
+  EXPECT_EQ(failover.current_peer(), 0u);
+  failover.report_failure();  // caller-side: peer 0's proof did not verify
+  EXPECT_EQ(failover.current_peer(), 1u);
+  Bytes msg = {9};
+  failover.round_trip(ByteSpan{msg.data(), msg.size()});
+  EXPECT_EQ(b.bytes_sent(), 1u);
+  EXPECT_EQ(a.bytes_sent(), 0u);
+}
+
+// The issue's acceptance scenario: peer A stalls past the deadline, peer B
+// returns a forged proof, peer C is honest — query_any still verifies.
+TEST(Failover, QueryAnySurvivesStallAndForgedProof) {
+  FullNode full(setup().workload, setup().derived, kConfig);
+
+  // Peer A: a real socket server that stalls every request.
+  FaultPlan stall;
+  stall.timeout_prob = 1.0;
+  stall.stall_ms = 5'000;
+  FlakyServer stalling_server(
+      [&](ByteSpan req) { return full.handle_message(req); }, stall);
+  TcpTransportOptions copts;
+  copts.io_timeout_ms = 200;
+  TcpTransport peer_a(stalling_server.port(), copts);
+
+  // Peer B: answers promptly but forges the appearance count.
+  LoopbackTransport peer_b(forging_handler(full));
+
+  // Peer C: honest.
+  LoopbackTransport peer_c(
+      [&](ByteSpan req) { return full.handle_message(req); });
+
+  LightNode light(kConfig);
+  light.set_headers(full.headers());
+  const Address& addr = setup().workload->profiles[0].address;
+
+  auto start = std::chrono::steady_clock::now();
+  auto res = light.query_any({&peer_a, &peer_b, &peer_c}, addr);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_TRUE(res.result.outcome.ok) << res.result.outcome.detail;
+  EXPECT_EQ(res.peer_index, 2u);
+  EXPECT_EQ(res.peers_tried, 3u);
+  EXPECT_EQ(res.transport_failures, 1u);  // peer A timed out
+  EXPECT_EQ(res.rejected_proofs, 1u);     // peer B's forgery rejected
+  EXPECT_LT(elapsed, std::chrono::milliseconds(3'000));  // no hang
+
+  GroundTruth gt = scan_ground_truth(*setup().workload, addr);
+  EXPECT_EQ(res.result.outcome.history.total_txs(), gt.txs.size());
+}
+
+// Same stalled peer, no failover and no retries: the query must fail with
+// a typed timeout within the deadline, not hang.
+TEST(Failover, StalledPeerAloneFailsFastWithTypedTimeout) {
+  FullNode full(setup().workload, setup().derived, kConfig);
+  FaultPlan stall;
+  stall.timeout_prob = 1.0;
+  stall.stall_ms = 5'000;
+  FlakyServer stalling_server(
+      [&](ByteSpan req) { return full.handle_message(req); }, stall);
+  TcpTransportOptions copts;
+  copts.io_timeout_ms = 200;
+  TcpTransport peer(stalling_server.port(), copts);
+
+  LightNode light(kConfig);
+  light.set_headers(full.headers());
+  const Address& addr = setup().workload->profiles[0].address;
+
+  auto start = std::chrono::steady_clock::now();
+  try {
+    light.query(peer, addr);
+    FAIL() << "expected typed timeout";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::kTimeout);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(2'000));
+}
+
+TEST(Failover, OnlyForgersLeftReturnsRejectedOutcome) {
+  FullNode full(setup().workload, setup().derived, kConfig);
+  LoopbackTransport liar1(forging_handler(full));
+  LoopbackTransport liar2(forging_handler(full));
+  LightNode light(kConfig);
+  light.set_headers(full.headers());
+  const Address& addr = setup().workload->profiles[0].address;
+  auto res = light.query_any({&liar1, &liar2}, addr);
+  EXPECT_FALSE(res.result.outcome.ok);
+  EXPECT_EQ(res.rejected_proofs, 2u);
+  EXPECT_EQ(res.peers_tried, 2u);
+}
+
+TEST(Failover, MultiPeerSessionConvenienceWiring) {
+  MultiPeerSession session(setup(), kConfig);
+  FaultPlan down;
+  down.disconnect_prob = 1.0;
+  LoopbackTransport dead_inner(echo);
+  FaultInjectingTransport dead(dead_inner, down);
+  session.add_peer(dead);          // peer 0: always down
+  session.add_honest_peer();       // peer 1: honest loopback
+  const Address& addr = setup().workload->profiles[0].address;
+  auto res = session.query_any(addr);
+  EXPECT_TRUE(res.result.outcome.ok) << res.result.outcome.detail;
+  EXPECT_EQ(res.peer_index, 1u);
+  EXPECT_EQ(res.transport_failures, 1u);
+}
+
+// ---- satellite: sync paths keep local state intact through faults ----
+
+TEST(SyncRobustness, MidSyncDisconnectKeepsHeaders) {
+  FullNode full(setup().workload, setup().derived, kConfig);
+  LoopbackTransport inner(
+      [&](ByteSpan req) { return full.handle_message(req); });
+  LightNode light(kConfig);
+  ASSERT_TRUE(light.sync_headers(inner));
+  std::vector<BlockHeader> before = light.headers();
+
+  FaultPlan plan;
+  plan.script = {FaultMode::kDisconnect, FaultMode::kTimeout};
+  FaultInjectingTransport faulty(inner, plan);
+  EXPECT_FALSE(light.sync_new_headers(faulty));  // disconnect mid-sync
+  EXPECT_TRUE(same_chain(light.headers(), before));
+  EXPECT_FALSE(light.sync_new_headers(faulty));  // timeout mid-sync
+  EXPECT_TRUE(same_chain(light.headers(), before));
+  // Transport recovered: the same call now succeeds (no new blocks).
+  EXPECT_TRUE(light.sync_new_headers(faulty));
+  EXPECT_TRUE(same_chain(light.headers(), before));
+}
+
+TEST(SyncRobustness, TruncatedHeaderReplyKeepsState) {
+  FullNode full(setup().workload, setup().derived, kConfig);
+  LoopbackTransport inner(
+      [&](ByteSpan req) { return full.handle_message(req); });
+  FaultPlan plan;
+  plan.script = {FaultMode::kTruncateReply, FaultMode::kGarbageReply};
+  FaultInjectingTransport faulty(inner, plan);
+
+  LightNode light(kConfig);
+  EXPECT_FALSE(light.sync_headers(faulty));  // truncated reply
+  EXPECT_EQ(light.tip_height(), 0u);
+  EXPECT_FALSE(light.sync_headers(faulty));  // garbage reply
+  EXPECT_EQ(light.tip_height(), 0u);
+  EXPECT_TRUE(light.sync_headers(faulty));   // script exhausted: honest
+  EXPECT_EQ(light.tip_height(), 32u);
+}
+
+TEST(SyncRobustness, FailedReorgKeepsStateThroughFlakyTransport) {
+  FullNode full(setup().workload, setup().derived, kConfig);
+  LoopbackTransport inner(
+      [&](ByteSpan req) { return full.handle_message(req); });
+  LightNode light(kConfig);
+  ASSERT_TRUE(light.sync_headers(inner));
+  std::vector<BlockHeader> before = light.headers();
+  std::uint64_t tip = light.tip_height();
+
+  // A reorg announcement that does not link / is not longer must leave
+  // state untouched even when interleaved with transport failures.
+  std::vector<BlockHeader> bogus = {before[0]};  // links at genesis, shorter
+  EXPECT_FALSE(light.replace_headers_from(1, bogus));
+  EXPECT_TRUE(same_chain(light.headers(), before));
+
+  std::vector<BlockHeader> unlinked(before.end() - 2, before.end());
+  EXPECT_FALSE(light.replace_headers_from(2, unlinked));  // wrong parent
+  EXPECT_TRUE(same_chain(light.headers(), before));
+
+  FaultPlan plan;
+  plan.script = {FaultMode::kDisconnect};
+  FaultInjectingTransport faulty(inner, plan);
+  EXPECT_FALSE(light.sync_new_headers(faulty));
+  EXPECT_EQ(light.tip_height(), tip);
+  EXPECT_TRUE(same_chain(light.headers(), before));
+}
+
+}  // namespace
+}  // namespace lvq

@@ -10,6 +10,7 @@
 #include "core/query.hpp"
 #include "core/range_query.hpp"
 #include "merkle/sorted_merkle_tree.hpp"
+#include "net/frame.hpp"
 #include "net/message.hpp"
 #include "node/session.hpp"
 #include "util/rng.hpp"
@@ -173,6 +174,99 @@ TEST(FuzzDecode, MutatedRealRangeResponses) {
     expect_no_crash(data, [](const Bytes& d) {
       Reader r(ByteSpan{d.data(), d.size()});
       (void)RangeQueryResponse::deserialize(r, kConfig);
+    });
+  }
+}
+
+TEST(FuzzFrame, RandomBytesThroughFrameParser) {
+  constexpr std::uint32_t kCap = 1u << 20;
+  Rng rng(201);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Bytes data = random_bytes(rng, 128);
+    ByteSpan payload;
+    std::size_t frame_len = 0;
+    netio::ParseStatus s = netio::parse_frame(
+        ByteSpan{data.data(), data.size()}, kCap, &payload, &frame_len);
+    if (s == netio::ParseStatus::kOk) {
+      // Parsed payload must lie inside the buffer and match the prefix.
+      ASSERT_LE(frame_len, data.size());
+      ASSERT_EQ(payload.size() + 4, frame_len);
+      // A parsed frame's payload feeds the envelope decoder: error or
+      // clean decode, never a crash.
+      expect_no_crash(Bytes(payload.begin(), payload.end()),
+                      [](const Bytes& d) {
+                        (void)decode_envelope(ByteSpan{d.data(), d.size()});
+                      });
+    }
+  }
+}
+
+TEST(FuzzFrame, RandomLengthPrefixesIncludingOverCap) {
+  constexpr std::uint32_t kCap = 4096;
+  Rng rng(202);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::uint32_t claimed = static_cast<std::uint32_t>(rng.next_u64());
+    Bytes data(4);
+    for (int i = 0; i < 4; ++i)
+      data[i] = static_cast<std::uint8_t>(claimed >> (8 * i));
+    Bytes tail = random_bytes(rng, 64);
+    data.insert(data.end(), tail.begin(), tail.end());
+    netio::ParseStatus s = netio::parse_frame(
+        ByteSpan{data.data(), data.size()}, kCap, nullptr, nullptr);
+    if (claimed > kCap) {
+      // Oversize claims must be rejected from the header alone — before
+      // any allocation the length prefix could force.
+      EXPECT_EQ(s, netio::ParseStatus::kOversize);
+    } else if (tail.size() < claimed) {
+      EXPECT_EQ(s, netio::ParseStatus::kNeedMore);
+    } else {
+      EXPECT_EQ(s, netio::ParseStatus::kOk);
+    }
+  }
+}
+
+TEST(FuzzFrame, TruncatedFramesAtEveryPrefix) {
+  // A real envelope, framed, then truncated at every length: only the
+  // complete frame parses; every prefix reports kNeedMore, never a crash.
+  Bytes envelope = encode_envelope(MsgType::kHeadersRequest, {});
+  Bytes frame = netio::encode_frame(ByteSpan{envelope.data(), envelope.size()});
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    netio::ParseStatus s = netio::parse_frame(
+        ByteSpan{frame.data(), cut}, 1u << 20, nullptr, nullptr);
+    EXPECT_EQ(s, netio::ParseStatus::kNeedMore) << "cut=" << cut;
+  }
+  ByteSpan payload;
+  std::size_t frame_len = 0;
+  ASSERT_EQ(netio::parse_frame(ByteSpan{frame.data(), frame.size()}, 1u << 20,
+                               &payload, &frame_len),
+            netio::ParseStatus::kOk);
+  EXPECT_EQ(frame_len, frame.size());
+  EXPECT_NO_THROW(decode_envelope(payload));
+}
+
+TEST(FuzzFrame, GarbagePayloadsThroughEnvelopeDecoder) {
+  // Well-framed garbage: the frame layer accepts it (framing is honest),
+  // the envelope/decoder layer must reject it cleanly.
+  Rng rng(203);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes garbage = random_bytes(rng, 200);
+    Bytes frame = netio::encode_frame(ByteSpan{garbage.data(), garbage.size()});
+    ByteSpan payload;
+    ASSERT_EQ(netio::parse_frame(ByteSpan{frame.data(), frame.size()},
+                                 1u << 20, &payload, nullptr),
+              netio::ParseStatus::kOk);
+    expect_no_crash(Bytes(payload.begin(), payload.end()), [](const Bytes& d) {
+      auto [type, body] = decode_envelope(ByteSpan{d.data(), d.size()});
+      Reader r(body);
+      switch (type) {
+        case MsgType::kQueryResponse:
+          (void)QueryResponse::deserialize(r, kConfig);
+          break;
+        case MsgType::kHeaders:
+          (void)BlockHeader::deserialize(r);
+          break;
+        default: break;
+      }
     });
   }
 }

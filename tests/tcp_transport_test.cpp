@@ -2,9 +2,12 @@
 // genuine sockets, concurrent clients, and failure handling.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <thread>
 
 #include "net/tcp_transport.hpp"
+#include "net/transport_error.hpp"
 #include "node/session.hpp"
 #include "workload/workload.hpp"
 
@@ -132,6 +135,104 @@ TEST(TcpTransport, ConnectToClosedPortThrows) {
     dead_port = tmp.port();
   }  // server torn down; port released
   EXPECT_THROW(TcpTransport t(dead_port), std::runtime_error);
+  try {
+    TcpTransport t(dead_port);
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::kConnect);
+  }
+}
+
+TEST(TcpTransport, StalledHandlerHitsDeadlineNotHang) {
+  TcpServer server([](ByteSpan req) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    return Bytes(req.begin(), req.end());
+  });
+  TcpTransportOptions opts;
+  opts.io_timeout_ms = 100;
+  TcpTransport client(server.port(), opts);
+  Bytes msg = {1};
+  auto start = std::chrono::steady_clock::now();
+  try {
+    client.round_trip(ByteSpan{msg.data(), msg.size()});
+    FAIL() << "expected timeout";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::kTimeout);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(500));
+}
+
+TEST(TcpTransport, OversizeRequestRejectedBeforeSend) {
+  TcpServer server([](ByteSpan req) { return Bytes(req.begin(), req.end()); });
+  TcpTransportOptions opts;
+  opts.max_frame_bytes = 1024;
+  TcpTransport client(server.port(), opts);
+  Bytes big(2048, 0x55);
+  try {
+    client.round_trip(ByteSpan{big.data(), big.size()});
+    FAIL() << "expected oversize rejection";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::kOversize);
+  }
+  // The connection was never dirtied: a small request still works.
+  Bytes small = {1, 2};
+  EXPECT_EQ(client.round_trip(ByteSpan{small.data(), small.size()}), small);
+}
+
+TEST(TcpTransport, ServerEnforcesItsOwnFrameCap) {
+  TcpServerOptions sopts;
+  sopts.max_frame_bytes = 64;
+  TcpServer server([](ByteSpan req) { return Bytes(req.begin(), req.end()); },
+                   sopts);
+  TcpTransportOptions copts;
+  copts.io_timeout_ms = 1'000;
+  TcpTransport client(server.port(), copts);
+  Bytes big(256, 0x77);
+  // The server refuses to read past the cap and closes; the client sees a
+  // typed error, never a hang.
+  EXPECT_THROW(client.round_trip(ByteSpan{big.data(), big.size()}),
+               TransportError);
+}
+
+TEST(TcpTransport, RoundTripAfterServerStopFailsTyped) {
+  auto server = std::make_unique<TcpServer>(
+      [](ByteSpan req) { return Bytes(req.begin(), req.end()); });
+  TcpTransportOptions opts;
+  opts.io_timeout_ms = 500;
+  opts.connect_timeout_ms = 500;
+  TcpTransport client(server->port(), opts);
+  Bytes msg = {3};
+  EXPECT_EQ(client.round_trip(ByteSpan{msg.data(), msg.size()}), msg);
+  server->stop();
+  server.reset();
+  // First call notices the dead connection; a follow-up reconnect attempt
+  // to the released port fails with a typed error too. Nothing hangs.
+  for (int i = 0; i < 2; ++i) {
+    try {
+      client.round_trip(ByteSpan{msg.data(), msg.size()});
+      FAIL() << "expected failure against stopped server";
+    } catch (const TransportError&) {
+    }
+  }
+}
+
+TEST(TcpServer, ReapsFinishedConnectionWorkers) {
+  TcpServer server([](ByteSpan req) { return Bytes(req.begin(), req.end()); });
+  for (int i = 0; i < 16; ++i) {
+    TcpTransport client(server.port());
+    Bytes msg = {static_cast<std::uint8_t>(i)};
+    client.round_trip(ByteSpan{msg.data(), msg.size()});
+  }  // each client disconnects here
+  // Workers notice the close and mark themselves done; active_workers()
+  // reaps them. Without reaping this would report 16.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::size_t live = 16;
+  while (std::chrono::steady_clock::now() < deadline) {
+    live = server.active_workers();
+    if (live == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(live, 0u);
 }
 
 TEST(TcpTransport, BatchQueryOverSockets) {

@@ -6,6 +6,7 @@
 //   lvqtool info   --chain=chain.dat
 //   lvqtool query  --chain=chain.dat --address=1ABC... [design flags]
 //   lvqtool query  --connect=PORT    --address=1ABC... [design flags]
+//                  [--peers=P1,P2,..] [--timeout-ms=N] [--retries=N]
 //   lvqtool proof  --chain=chain.dat --address=1ABC... --out=proof.bin
 //   lvqtool verify --chain=chain.dat --address=1ABC... --proof=proof.bin
 //   lvqtool serve  --chain=chain.dat [--seconds=N] [design flags]
@@ -19,11 +20,17 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <thread>
 
+#include <memory>
+#include <vector>
+
 #include "chain/chain_io.hpp"
+#include "net/failover_transport.hpp"
+#include "net/retry_transport.hpp"
 #include "net/tcp_transport.hpp"
 #include "node/session.hpp"
 #include "util/flags.hpp"
@@ -40,6 +47,7 @@ int usage() {
                "  gen    --out=FILE [--blocks=N --txs-per-block=N --seed=N]\n"
                "  info   --chain=FILE\n"
                "  query  --chain=FILE|--connect=PORT --address=ADDR\n"
+               "         [--peers=P1,P2,.. --timeout-ms=N --retries=N]\n"
                "  proof  --chain=FILE --address=ADDR --out=FILE\n"
                "  verify --chain=FILE --address=ADDR --proof=FILE\n"
                "  serve  --chain=FILE [--seconds=N]\n"
@@ -213,19 +221,75 @@ int cmd_query(const Flags& flags, bool save_proof) {
   ProtocolConfig config = config_from_flags(flags);
 
   std::uint64_t port = flags.get_u64("connect", 0);
-  if (port != 0 && !save_proof) {
-    // Remote mode: sync headers and query over a real socket.
-    TcpTransport transport(static_cast<std::uint16_t>(port));
-    LightNode light(config);
-    if (!light.sync_headers(transport)) {
-      std::fprintf(stderr, "header sync failed (design flags must match the "
-                           "server's)\n");
+  std::string peers_csv = flags.get_str("peers", "");
+  if ((port != 0 || !peers_csv.empty()) && !save_proof) {
+    // Remote mode: sync headers and query over real sockets, with
+    // per-round-trip deadlines, bounded retries, and multi-peer failover.
+    std::vector<std::uint16_t> ports;
+    if (port != 0) ports.push_back(static_cast<std::uint16_t>(port));
+    for (std::size_t pos = 0; pos < peers_csv.size();) {
+      std::size_t comma = peers_csv.find(',', pos);
+      if (comma == std::string::npos) comma = peers_csv.size();
+      std::string tok = peers_csv.substr(pos, comma - pos);
+      if (!tok.empty()) {
+        char* end = nullptr;
+        unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0' || v == 0 || v > 65535) {
+          std::fprintf(stderr, "bad --peers entry '%s' (want a port 1-65535)\n",
+                       tok.c_str());
+          return 1;
+        }
+        ports.push_back(static_cast<std::uint16_t>(v));
+      }
+      pos = comma + 1;
+    }
+
+    TcpTransportOptions topts;
+    topts.io_timeout_ms =
+        static_cast<std::uint32_t>(flags.get_u64("timeout-ms", 5'000));
+    RetryPolicy policy;
+    policy.max_attempts =
+        static_cast<std::uint32_t>(flags.get_u64("retries", 2)) + 1;
+
+    std::vector<std::unique_ptr<TcpTransport>> sockets;
+    std::vector<std::unique_ptr<RetryTransport>> retriers;
+    std::vector<Transport*> peers;
+    for (std::uint16_t p : ports) {
+      try {
+        sockets.push_back(std::make_unique<TcpTransport>(p, topts));
+        retriers.push_back(
+            std::make_unique<RetryTransport>(*sockets.back(), policy));
+        peers.push_back(retriers.back().get());
+      } catch (const TransportError& e) {
+        std::fprintf(stderr, "peer 127.0.0.1:%u unreachable (%s), skipping\n",
+                     p, e.what());
+      }
+    }
+    if (peers.empty()) {
+      std::fprintf(stderr, "no reachable peers\n");
       return 1;
     }
-    std::printf("synced   : %llu headers (%s)\n",
+
+    FailoverTransport failover(peers);
+    LightNode light(config);
+    if (!light.sync_headers(failover)) {
+      std::fprintf(stderr, "header sync failed: every peer timed out, "
+                           "disconnected, or replied with headers that do not "
+                           "verify (design flags must match the server's)\n");
+      return 1;
+    }
+    std::printf("synced   : %llu headers (%s) from %zu peer%s\n",
                 static_cast<unsigned long long>(light.tip_height()),
-                human_bytes(light.header_storage_bytes()).c_str());
-    return print_query_result(address, light.query(transport, address));
+                human_bytes(light.header_storage_bytes()).c_str(),
+                peers.size(), peers.size() == 1 ? "" : "s");
+    auto res = light.query_any(peers, address);
+    if (peers.size() > 1) {
+      std::printf("peer     : #%zu answered (%zu tried, %zu wire failures, "
+                  "%zu proofs rejected)\n",
+                  res.peer_index, res.peers_tried, res.transport_failures,
+                  res.rejected_proofs);
+    }
+    return print_query_result(address, res.result);
   }
 
   std::string path = flags.get_str("chain", "");

@@ -1,0 +1,202 @@
+// Closed-loop throughput/latency benchmark for the serving engine
+// (supplementary to §VII: the paper reports proof sizes; a node operator
+// cares how many verifiable queries a box can answer per second).
+//
+// A fixed set of client threads issues repeated-address kQueryRequest
+// traffic against a ServingEngine in two regimes per worker count:
+//
+//   cold  — caches disabled: every request regenerates its proof.
+//   warm  — caches enabled and pre-warmed: repeats are served from the
+//           response cache (with the BMT segment sub-cache underneath).
+//
+// Results go to stdout and to BENCH_server.json (--out=...) so CI can
+// track the serving-path perf trajectory. Extra knobs on top of the
+// shared bench flags: --clients (8), --measure-ms (400), --out.
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "server/serving_engine.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+namespace {
+
+struct CellResult {
+  std::uint32_t workers = 0;
+  bool warm = false;
+  std::uint64_t requests = 0;
+  double qps = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double cache_hit_rate = 0;
+};
+
+double percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  std::size_t i = static_cast<std::size_t>(q * (sorted_us.size() - 1));
+  return sorted_us[i];
+}
+
+CellResult run_cell(const FullNode& full, const std::vector<Address>& addrs,
+                    std::uint32_t workers, bool warm, std::uint32_t clients,
+                    std::uint64_t measure_ms, std::uint64_t cache_bytes) {
+  ServingEngineOptions opts;
+  opts.workers = workers;
+  opts.queue_depth = clients;  // closed loop: nothing is ever shed
+  opts.cache_bytes = warm ? cache_bytes : 0;
+  ServingEngine engine(full, opts);
+
+  std::vector<Bytes> requests;
+  for (const Address& a : addrs) {
+    Writer w;
+    QueryRequest{a}.serialize(w);
+    requests.push_back(encode_envelope(MsgType::kQueryRequest,
+                                       ByteSpan{w.data().data(), w.data().size()}));
+  }
+  if (warm) {  // one pass fills response + segment caches
+    for (const Bytes& r : requests) {
+      engine.handle(ByteSpan{r.data(), r.size()});
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> done{0};
+  std::vector<std::vector<double>> lat_us(clients);
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::uint64_t i = c;  // stagger the address cycle across clients
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Bytes& req = requests[i++ % requests.size()];
+        Timer t;
+        Bytes reply = engine.handle(ByteSpan{req.data(), req.size()});
+        lat_us[c].push_back(t.seconds() * 1e6);
+        if (reply.empty() ||
+            reply[0] != static_cast<std::uint8_t>(MsgType::kQueryResponse)) {
+          std::fprintf(stderr, "unexpected reply type\n");
+          std::abort();
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(measure_ms));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  double elapsed = wall.seconds();
+
+  std::vector<double> all;
+  for (const auto& v : lat_us) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  MetricsSnapshot snap = engine.snapshot();
+  CellResult r;
+  r.workers = workers;
+  r.warm = warm;
+  r.requests = done.load();
+  r.qps = static_cast<double>(r.requests) / elapsed;
+  r.p50_us = percentile(all, 0.50);
+  r.p90_us = percentile(all, 0.90);
+  r.p99_us = percentile(all, 0.99);
+  const std::uint64_t lookups = snap.cache_hits + snap.cache_misses;
+  r.cache_hit_rate =
+      lookups == 0 ? 0 : static_cast<double>(snap.cache_hits) / lookups;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Serving-engine throughput — cold vs warm cache",
+              "supplementary to §VII (paper reports sizes only)");
+
+  const std::uint32_t clients =
+      static_cast<std::uint32_t>(env.flags.get_u64("clients", 8));
+  const std::uint64_t measure_ms = env.flags.get_u64("measure-ms", 400);
+  // Whole-profile responses grow with the chain; the per-shard budget must
+  // hold the largest one or heavy addresses never cache (see
+  // ShardedByteCache::put's oversize rule).
+  const std::uint64_t cache_bytes = env.flags.get_u64("cache-mb", 256) << 20;
+  const std::string out_path =
+      env.flags.get_str("out", "BENCH_server.json");
+
+  const std::uint32_t k = env.bf_hashes;
+  ProtocolConfig config{Design::kLvq, BloomGeometry{30 * 1024, k}, 8};
+  FullNode full(env.setup.workload, env.setup.derived, config);
+  std::vector<Address> addrs;
+  for (const AddressProfile& p : env.setup.workload->profiles) {
+    addrs.push_back(p.address);
+  }
+
+  std::printf("%8s %6s %10s %12s %10s %10s %10s %8s\n", "workers", "cache",
+              "requests", "qps", "p50-us", "p90-us", "p99-us", "hit%");
+  std::vector<CellResult> results;
+  for (std::uint32_t workers : {1u, 4u, 16u}) {
+    for (bool warm : {false, true}) {
+      CellResult r = run_cell(full, addrs, workers, warm, clients, measure_ms,
+                              cache_bytes);
+      results.push_back(r);
+      std::printf("%8u %6s %10llu %12.1f %10.1f %10.1f %10.1f %8.1f\n",
+                  r.workers, r.warm ? "warm" : "cold",
+                  static_cast<unsigned long long>(r.requests), r.qps, r.p50_us,
+                  r.p90_us, r.p99_us, r.cache_hit_rate * 100.0);
+      std::fflush(stdout);
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"server_throughput\",\n");
+  std::fprintf(f, "  \"blocks\": %llu,\n",
+               static_cast<unsigned long long>(env.workload_config.num_blocks));
+  std::fprintf(f, "  \"clients\": %u,\n", clients);
+  std::fprintf(f, "  \"measure_ms\": %llu,\n",
+               static_cast<unsigned long long>(measure_ms));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"workers\": %u, \"cache\": \"%s\", \"requests\": %llu, "
+                 "\"qps\": %.1f, \"p50_us\": %.1f, \"p90_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"cache_hit_rate\": %.4f}%s\n",
+                 r.workers, r.warm ? "warm" : "cold",
+                 static_cast<unsigned long long>(r.requests), r.qps, r.p50_us,
+                 r.p90_us, r.p99_us, r.cache_hit_rate,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup_warm_over_cold\": {");
+  bool first = true;
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const CellResult& cold = results[i];
+    const CellResult& warm = results[i + 1];
+    std::fprintf(f, "%s\"workers_%u\": %.2f", first ? "" : ", ", cold.workers,
+                 cold.qps > 0 ? warm.qps / cold.qps : 0.0);
+    first = false;
+  }
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // The warm cache exists to make repeated-address queries cheap; fail
+  // loudly if it ever stops paying for itself.
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    if (results[i + 1].qps < 5.0 * results[i].qps) {
+      std::fprintf(stderr,
+                   "FAIL: warm cache speedup below 5x at %u workers "
+                   "(cold %.1f qps, warm %.1f qps)\n",
+                   results[i].workers, results[i].qps, results[i + 1].qps);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -92,6 +92,25 @@ BlockProof build_block_proof(const ChainContext& ctx, std::uint64_t height,
   return proof;
 }
 
+SegmentQueryProof build_segment_proof(const ChainContext& ctx,
+                                      const Address& address,
+                                      const std::vector<std::uint64_t>& cbp,
+                                      const SubSegment& range) {
+  const SegmentBmt& bmt = ctx.bmt_for_height(range.first);
+  BmtCheckMasks masks = bmt.check_masks(cbp);
+  std::uint32_t root_level = static_cast<std::uint32_t>(
+      std::countr_zero(range.length()));
+  std::uint64_t local_first = range.first - bmt.first_height();
+  std::uint64_t root_j = local_first >> root_level;
+
+  SegmentQueryProof seg;
+  seg.tree = build_bmt_proof(bmt, masks, root_level, root_j);
+
+  // Per-block proofs for every failed leaf, ascending height.
+  collect_failed_blocks(seg, ctx, bmt, masks, root_level, root_j, address);
+  return seg;
+}
+
 QueryResponse build_query_response(const ChainContext& ctx,
                                    const Address& address) {
   const ProtocolConfig& config = ctx.config();
@@ -107,19 +126,7 @@ QueryResponse build_query_response(const ChainContext& ctx,
     std::vector<SubSegment> forest =
         query_forest(resp.tip_height, config.segment_length);
     for (const SubSegment& range : forest) {
-      const SegmentBmt& bmt = ctx.bmt_for_height(range.first);
-      BmtCheckMasks masks = bmt.check_masks(cbp);
-      std::uint32_t root_level = static_cast<std::uint32_t>(
-          std::countr_zero(range.length()));
-      std::uint64_t local_first = range.first - bmt.first_height();
-      std::uint64_t root_j = local_first >> root_level;
-
-      SegmentQueryProof seg;
-      seg.tree = build_bmt_proof(bmt, masks, root_level, root_j);
-
-      // Per-block proofs for every failed leaf, ascending height.
-      collect_failed_blocks(seg, ctx, bmt, masks, root_level, root_j, address);
-      resp.segments.push_back(std::move(seg));
+      resp.segments.push_back(build_segment_proof(ctx, address, cbp, range));
     }
     return resp;
   }

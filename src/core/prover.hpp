@@ -5,6 +5,7 @@
 #include "chain/address.hpp"
 #include "core/chain_context.hpp"
 #include "core/query.hpp"
+#include "core/segments.hpp"
 
 namespace lvq {
 
@@ -13,6 +14,18 @@ namespace lvq {
 /// only headers can verify it with `verify_response`.
 QueryResponse build_query_response(const ChainContext& ctx,
                                    const Address& address);
+
+/// Merged proof for ONE query-forest range (BMT designs): the BmtNodeProof
+/// rooted at the range plus per-block proofs for its failed leaves, in
+/// ascending height order. `cbp` is the address's checked bit positions
+/// under the context's Bloom geometry. A full query response is exactly
+/// these proofs concatenated over query_forest(tip, M) — exposed so the
+/// serving engine's segment cache can build and reuse individual segments
+/// (a range that ended before the tip never changes as the chain grows).
+SegmentQueryProof build_segment_proof(const ChainContext& ctx,
+                                      const Address& address,
+                                      const std::vector<std::uint64_t>& cbp,
+                                      const SubSegment& range);
 
 /// The per-block proof a design produces when the block's BF check failed
 /// (exposed separately for tests and the malicious-node harness).

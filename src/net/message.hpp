@@ -34,6 +34,14 @@ enum class MsgType : std::uint8_t {
   /// shared BMT structure plus per-address block proofs.
   kMultiQueryRequest = 11,
   kMultiQueryResponse = 12,
+  /// Server metrics snapshot: empty request payload; the reply payload is
+  /// a serialized MetricsSnapshot (src/server/metrics.hpp).
+  kStatsRequest = 13,
+  kStatsResponse = 14,
+  /// Backpressure: the serving engine's request queue is full. Payload is
+  /// empty. RetryTransport treats this reply as retryable (the condition
+  /// is transient by construction), unlike kError which is final.
+  kBusy = 15,
 };
 
 inline Bytes encode_envelope(MsgType type, ByteSpan payload) {
@@ -49,8 +57,14 @@ inline Bytes encode_envelope(MsgType type, ByteSpan payload) {
 inline std::pair<MsgType, ByteSpan> decode_envelope(ByteSpan msg) {
   if (msg.empty()) throw SerializeError("empty message");
   std::uint8_t type = msg[0];
-  if (type < 1 || type > 12) throw SerializeError("unknown message type");
+  if (type < 1 || type > 15) throw SerializeError("unknown message type");
   return {static_cast<MsgType>(type), msg.subspan(1)};
+}
+
+/// True iff `msg` is a kBusy envelope — checked on the hot retry path
+/// without a full decode (a busy reply is exactly one type byte).
+inline bool is_busy_envelope(ByteSpan msg) {
+  return !msg.empty() && msg[0] == static_cast<std::uint8_t>(MsgType::kBusy);
 }
 
 }  // namespace lvq

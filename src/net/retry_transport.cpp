@@ -5,6 +5,8 @@
 #include <optional>
 #include <thread>
 
+#include "net/message.hpp"
+
 namespace lvq {
 
 bool RetryTransport::should_retry(TransportError::Kind kind) const {
@@ -14,6 +16,7 @@ bool RetryTransport::should_retry(TransportError::Kind kind) const {
     case TransportError::kConnect: return policy_.retry_disconnects;
     case TransportError::kMalformedFrame: return policy_.retry_malformed;
     case TransportError::kOversize: return false;
+    case TransportError::kBusy: return policy_.retry_busy;
   }
   return false;
 }
@@ -43,6 +46,15 @@ Bytes RetryTransport::round_trip(ByteSpan request) {
     }
     try {
       Bytes reply = inner_.round_trip(request);
+      if (is_busy_envelope(ByteSpan{reply.data(), reply.size()})) {
+        // The wire worked but the server shed the request. Treated exactly
+        // like a retryable transport fault: back off, try again, and
+        // surface kBusy if every attempt is shed.
+        ++busy_rejections_;
+        last = TransportError(TransportError::kBusy, "peer busy");
+        if (!should_retry(TransportError::kBusy)) throw *last;
+        continue;
+      }
       bytes_sent_ += request.size();
       bytes_received_ += reply.size();
       return reply;

@@ -30,6 +30,11 @@ struct RetryPolicy {
   bool retry_timeouts = true;
   bool retry_disconnects = true;  // also covers reconnect failures
   bool retry_malformed = true;
+  /// Re-issue requests answered with a kBusy envelope (server-side load
+  /// shedding). The backoff gives the serving engine's queue time to
+  /// drain; once attempts are exhausted the busy reply surfaces as a
+  /// TransportError(kBusy) so failover can rotate to another peer.
+  bool retry_busy = true;
 };
 
 class RetryTransport final : public Transport {
@@ -43,6 +48,9 @@ class RetryTransport final : public Transport {
   Bytes round_trip(ByteSpan request) override;
 
   std::uint64_t retries() const { return retries_; }
+  /// Round trips that completed at the wire level but carried a kBusy
+  /// envelope (each one either triggered a retry or exhausted the budget).
+  std::uint64_t busy_rejections() const { return busy_rejections_; }
 
  private:
   bool should_retry(TransportError::Kind kind) const;
@@ -52,6 +60,7 @@ class RetryTransport final : public Transport {
   RetryPolicy policy_;
   Rng rng_;
   std::uint64_t retries_ = 0;
+  std::uint64_t busy_rejections_ = 0;
 };
 
 }  // namespace lvq

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "net/frame.hpp"
+#include "net/message.hpp"
 
 namespace lvq {
 
@@ -106,6 +107,20 @@ void TcpServer::accept_loop() {
     // Reap connections that have since closed — without this the worker
     // list grows with every connection ever accepted until stop().
     reap_finished_locked();
+    if (options_.max_connections != 0 &&
+        workers_.size() >= options_.max_connections) {
+      // Shed: one best-effort kBusy frame under a short deadline (the
+      // 5-byte frame fits any socket buffer, so a healthy client gets it
+      // instantly; a hostile one cannot wedge the accept loop), then
+      // close without spawning a worker.
+      Bytes busy = encode_envelope(MsgType::kBusy, {});
+      netio::write_frame(fd, ByteSpan{busy.data(), busy.size()},
+                         options_.max_frame_bytes,
+                         netio::deadline_after_ms(100));
+      ::close(fd);
+      shed_.fetch_add(1);
+      continue;
+    }
     workers_.push_back(std::make_unique<Worker>());
     Worker* w = workers_.back().get();
     w->fd = fd;

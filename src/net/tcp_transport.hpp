@@ -39,6 +39,12 @@ struct TcpServerOptions {
   /// How long a connection may sit idle between requests before the server
   /// closes it. 0 = unlimited (stop() still unblocks workers).
   std::uint32_t idle_timeout_ms = 60'000;
+  /// Open-connection cap; 0 = unlimited. A connection accepted past the
+  /// cap is shed: the server best-effort writes one kBusy frame (so a
+  /// well-behaved client backs off instead of diagnosing a mystery
+  /// disconnect) and closes without spawning a worker — a connection
+  /// flood can no longer spawn threads without limit.
+  std::uint32_t max_connections = 0;
 };
 
 class TcpServer {
@@ -66,6 +72,9 @@ class TcpServer {
   /// total ever accepted.
   std::size_t active_workers();
 
+  /// Connections shed by the max_connections cap.
+  std::uint64_t connections_shed() const { return shed_.load(); }
+
  private:
   struct Worker {
     std::thread thread;
@@ -82,6 +91,7 @@ class TcpServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> shed_{0};
   std::thread acceptor_;
   std::mutex mu_;  // guards workers_ and each worker's fd lifetime
   std::list<std::unique_ptr<Worker>> workers_;

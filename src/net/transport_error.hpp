@@ -23,6 +23,8 @@ class TransportError : public std::runtime_error {
     kMalformedFrame,  // frame truncated / violated the length prefix
     kOversize,        // frame length exceeds the configured cap (either
                       // direction); retrying will not help
+    kBusy,            // peer shed the request (queue full / connection cap);
+                      // transient by construction — retry after backoff
   };
 
   TransportError(Kind kind, const std::string& what)
@@ -41,6 +43,7 @@ inline const char* transport_error_kind_name(TransportError::Kind k) {
     case TransportError::kDisconnect: return "disconnect";
     case TransportError::kMalformedFrame: return "malformed-frame";
     case TransportError::kOversize: return "oversize";
+    case TransportError::kBusy: return "busy";
   }
   return "unknown";
 }

@@ -1,0 +1,141 @@
+// Server metrics registry.
+//
+// Lock-free counters and a fixed-bucket latency histogram for the serving
+// engine, snapshotted into a wire-serializable `MetricsSnapshot` so
+// benchmarks, soak tests, and `lvqtool stats` read real numbers from a
+// running server instead of guessing from wall clocks. Everything is
+// relaxed atomics: metrics never order anything, they only count.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+/// Latency histogram: bucket i counts requests whose total service time
+/// (queue wait + execution) fell in [2^i, 2^{i+1}) microseconds; bucket 0
+/// also absorbs sub-microsecond requests and the last bucket absorbs
+/// everything slower (2^21 µs ≈ 2.1 s).
+constexpr std::size_t kLatencyBucketCount = 22;
+
+/// Per-envelope-type request counters, indexed by the raw MsgType byte;
+/// slot 0 counts requests too short to carry a type byte.
+constexpr std::size_t kMsgTypeSlots = 16;
+
+/// Point-in-time copy of every counter plus the engine's gauges. This is
+/// the kStatsResponse payload; the wire format is documented in
+/// docs/PROTOCOL.md.
+struct MetricsSnapshot {
+  // Counters.
+  std::uint64_t requests_total = 0;
+  std::uint64_t responses_error = 0;  // kError envelopes returned
+  std::uint64_t rejected_busy = 0;    // kBusy envelopes returned (queue full)
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  // Response proof cache (encoded replies keyed by request + epoch).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_evictions = 0;
+
+  // BMT segment sub-cache (hot merged segment proofs).
+  std::uint64_t segment_hits = 0;
+  std::uint64_t segment_misses = 0;
+  std::uint64_t segment_entries = 0;
+  std::uint64_t segment_bytes = 0;
+  std::uint64_t segment_evictions = 0;
+
+  // Gauges at snapshot time.
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t workers = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t epoch_tip = 0;
+  std::uint64_t epoch_generation = 0;
+
+  std::array<std::uint64_t, kMsgTypeSlots> requests_by_type{};
+
+  std::array<std::uint64_t, kLatencyBucketCount> latency_buckets{};
+  std::uint64_t latency_count = 0;
+  std::uint64_t latency_total_us = 0;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  void serialize(Writer& w) const;
+  /// Throws SerializeError on a malformed payload.
+  static MetricsSnapshot deserialize(Reader& r);
+
+  double mean_latency_us() const {
+    return latency_count == 0 ? 0.0
+                              : static_cast<double>(latency_total_us) /
+                                    static_cast<double>(latency_count);
+  }
+
+  /// Upper-bound estimate of the q-quantile (0 < q <= 1) from the
+  /// histogram: the upper edge of the bucket where the cumulative count
+  /// crosses q. Returns 0 with no samples.
+  double latency_quantile_us(double q) const;
+
+  /// Multi-line human rendering (what `lvqtool stats` prints).
+  std::string to_text() const;
+};
+
+/// The live registry the engine writes into. All methods are thread-safe
+/// and wait-free.
+class ServerMetrics {
+ public:
+  void on_request(std::uint8_t type_slot, std::uint64_t request_bytes) {
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_.fetch_add(request_bytes, std::memory_order_relaxed);
+    by_type_[type_slot < kMsgTypeSlots ? type_slot : 0].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  void on_reply(std::uint64_t reply_bytes, bool error_reply,
+                std::uint64_t latency_us) {
+    bytes_out_.fetch_add(reply_bytes, std::memory_order_relaxed);
+    if (error_reply) responses_error_.fetch_add(1, std::memory_order_relaxed);
+    latency_buckets_[bucket_for(latency_us)].fetch_add(
+        1, std::memory_order_relaxed);
+    latency_count_.fetch_add(1, std::memory_order_relaxed);
+    latency_total_us_.fetch_add(latency_us, std::memory_order_relaxed);
+  }
+
+  /// A shed request: counted separately and kept out of the latency
+  /// histogram, which covers served requests only.
+  void on_busy(std::uint64_t reply_bytes) {
+    bytes_out_.fetch_add(reply_bytes, std::memory_order_relaxed);
+    rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Copies the counter/histogram half into `out` (the engine fills the
+  /// gauges and cache stats).
+  void fill(MetricsSnapshot& out) const;
+
+  static std::size_t bucket_for(std::uint64_t latency_us) {
+    if (latency_us <= 1) return 0;
+    std::size_t b = 0;
+    while (latency_us >>= 1) ++b;
+    return b < kLatencyBucketCount ? b : kLatencyBucketCount - 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> responses_error_{0};
+  std::atomic<std::uint64_t> rejected_busy_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::array<std::atomic<std::uint64_t>, kMsgTypeSlots> by_type_{};
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketCount>
+      latency_buckets_{};
+  std::atomic<std::uint64_t> latency_count_{0};
+  std::atomic<std::uint64_t> latency_total_us_{0};
+};
+
+}  // namespace lvq

@@ -1,0 +1,119 @@
+#include "server/proof_cache.hpp"
+
+namespace lvq {
+
+namespace {
+
+/// FNV-1a 64. Proof cache keys are trusted bytes built by the engine (the
+/// attacker-controlled request is only a suffix), so a seedless hash is
+/// fine here; flooding one shard costs the attacker nothing more than
+/// flooding the whole cache.
+std::uint64_t fnv1a(ByteSpan data) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string_view as_view(ByteSpan s) {
+  return {reinterpret_cast<const char*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+ShardedByteCache::ShardedByteCache(std::uint64_t capacity_bytes,
+                                   std::size_t shards)
+    : capacity_bytes_(capacity_bytes) {
+  if (shards == 0) shards = 1;
+  shard_capacity_ = capacity_bytes_ / shards;
+  if (capacity_bytes_ > 0 && shard_capacity_ == 0) shard_capacity_ = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedByteCache::Shard& ShardedByteCache::shard_for(ByteSpan key,
+                                                     std::uint64_t* hash_out) {
+  std::uint64_t h = fnv1a(key);
+  if (hash_out) *hash_out = h;
+  return *shards_[h % shards_.size()];
+}
+
+bool ShardedByteCache::get(ByteSpan key, Bytes* out) {
+  if (!enabled()) return false;
+  Shard& shard = shard_for(key, nullptr);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(as_view(key));
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (out) *out = it->second->value;
+  return true;
+}
+
+void ShardedByteCache::put(ByteSpan key, ByteSpan value) {
+  if (!enabled()) return;
+  const std::uint64_t cost = entry_cost(key.size(), value.size());
+  if (cost > shard_capacity_) return;  // would evict the whole shard
+  Shard& shard = shard_for(key, nullptr);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(as_view(key));
+  if (it != shard.index.end()) {
+    // Refresh in place; responses are deterministic so the value can only
+    // change across epochs, where the key changes too — but stay correct
+    // if a caller overwrites anyway.
+    shard.bytes -= entry_cost(it->second->key.size(), it->second->value.size());
+    it->second->value.assign(value.begin(), value.end());
+    shard.bytes += cost;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{std::string(as_view(key)),
+                               Bytes(value.begin(), value.end())});
+    shard.index.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+    shard.bytes += cost;
+    ++shard.insertions;
+  }
+  evict_to_fit_locked(shard);
+}
+
+void ShardedByteCache::evict_to_fit_locked(Shard& shard) {
+  while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= entry_cost(victim.key.size(), victim.value.size());
+    shard.index.erase(std::string_view(victim.key));
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ShardedByteCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+ShardedByteCache::Stats ShardedByteCache::stats() const {
+  Stats s;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.insertions += shard->insertions;
+    s.evictions += shard->evictions;
+    s.entries += shard->lru.size();
+    s.bytes += shard->bytes;
+  }
+  return s;
+}
+
+}  // namespace lvq

@@ -1,0 +1,95 @@
+// Sharded LRU byte cache for proof serving.
+//
+// Proofs are immutable for a fixed (address, tip, config): the serving
+// engine exploits that with two instances of this cache — whole encoded
+// responses keyed by (epoch, request bytes), and merged BMT segment proofs
+// keyed by (address, range, last-header hash). Sharding keeps the lock a
+// per-bucket detail: 16 worker threads hitting one global LRU mutex would
+// serialize exactly the path the cache exists to speed up.
+//
+// Values are opaque byte strings. Capacity is a byte budget (keys + values
+// + a fixed per-entry overhead), split evenly across shards; each shard
+// evicts from its own LRU tail. A capacity of 0 disables the cache: get()
+// always misses and put() is a no-op, so callers need no special casing.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+class ShardedByteCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// `capacity_bytes` 0 disables the cache; `shards` is clamped to >= 1.
+  explicit ShardedByteCache(std::uint64_t capacity_bytes,
+                            std::size_t shards = 8);
+
+  bool enabled() const { return capacity_bytes_ > 0; }
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Copies the cached value into `*out` and marks the entry most recently
+  /// used. Returns false (and counts a miss) when absent or disabled.
+  bool get(ByteSpan key, Bytes* out);
+
+  /// Inserts or refreshes key -> value, evicting least-recently-used
+  /// entries until the shard fits its budget. Values too large for one
+  /// shard's entire budget are not stored.
+  void put(ByteSpan key, ByteSpan value);
+
+  /// Drops every entry (epoch invalidation). Counters survive.
+  void clear();
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    Bytes value;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // Views point at the stable `key` strings owned by the list nodes.
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::uint64_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// Budgeted footprint of one entry; the constant approximates list/map
+  /// node overhead so the byte cap tracks real memory, not just payload.
+  static std::uint64_t entry_cost(std::size_t key_size,
+                                  std::size_t value_size) {
+    return key_size + value_size + 96;
+  }
+
+  Shard& shard_for(ByteSpan key, std::uint64_t* hash_out);
+  void evict_to_fit_locked(Shard& shard);
+
+  std::uint64_t capacity_bytes_;
+  std::uint64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace lvq

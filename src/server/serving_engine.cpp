@@ -1,0 +1,304 @@
+#include "server/serving_engine.hpp"
+
+#include "core/prover.hpp"
+#include "core/segments.hpp"
+
+namespace lvq {
+
+namespace {
+
+Bytes busy_reply() { return encode_envelope(MsgType::kBusy, {}); }
+
+std::uint64_t micros_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const FullNode& node, ServingEngineOptions options)
+    : node_(&node),
+      options_(options),
+      response_cache_(options.cache_bytes - options.cache_bytes / 4,
+                      options.cache_shards),
+      segment_cache_(options.cache_bytes / 4, options.cache_shards) {
+  backend_ = [this](ByteSpan req) { return node_->handle_message(req); };
+  epoch_tip_ = node.tip_height();
+  start_workers();
+}
+
+ServingEngine::ServingEngine(Handler backend, ServingEngineOptions options)
+    : backend_(std::move(backend)),
+      node_(nullptr),
+      options_(options),
+      response_cache_(options.cache_bytes - options.cache_bytes / 4,
+                      options.cache_shards),
+      segment_cache_(0, 1) {
+  start_workers();
+}
+
+ServingEngine::~ServingEngine() { stop(); }
+
+void ServingEngine::start_workers() {
+  if (options_.workers == 0) options_.workers = 1;
+  threads_.reserve(options_.workers);
+  for (std::uint32_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ServingEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  // Unblock callers whose jobs never reached a worker.
+  std::deque<std::unique_ptr<Job>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (auto& job : leftover) job->promise.set_value(busy_reply());
+}
+
+bool ServingEngine::cacheable_request(std::uint8_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kQueryRequest:
+    case MsgType::kHeadersRequest:
+    case MsgType::kHeadersSinceRequest:
+    case MsgType::kBatchQueryRequest:
+    case MsgType::kRangeQueryRequest:
+    case MsgType::kMultiQueryRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Bytes ServingEngine::response_cache_key_locked(ByteSpan request) const {
+  Writer w;
+  w.u8('R');
+  w.varint(epoch_generation_);
+  w.varint(epoch_tip_);
+  w.raw(request);
+  return w.take();
+}
+
+Bytes ServingEngine::response_cache_key(ByteSpan request) const {
+  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+  return response_cache_key_locked(request);
+}
+
+Bytes ServingEngine::handle(ByteSpan request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint8_t type = request.empty() ? 0 : request[0];
+  metrics_.on_request(type, request.size());
+
+  auto finish = [&](Bytes reply) {
+    const bool error =
+        !reply.empty() && reply[0] == static_cast<std::uint8_t>(MsgType::kError);
+    metrics_.on_reply(reply.size(), error, micros_since(t0));
+    return reply;
+  };
+
+  if (type == static_cast<std::uint8_t>(MsgType::kStatsRequest)) {
+    Writer w;
+    snapshot().serialize(w);
+    return finish(encode_envelope(
+        MsgType::kStatsResponse, ByteSpan{w.data().data(), w.data().size()}));
+  }
+
+  if (response_cache_.enabled() && cacheable_request(type)) {
+    Bytes key = response_cache_key(request);
+    Bytes hit;
+    if (response_cache_.get(ByteSpan{key.data(), key.size()}, &hit)) {
+      return finish(std::move(hit));
+    }
+  }
+
+  std::future<Bytes> result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_ ||
+        (queue_.size() >= options_.queue_depth && idle_workers_ == 0)) {
+      lock.unlock();
+      Bytes busy = busy_reply();
+      metrics_.on_busy(busy.size());
+      return busy;
+    }
+    auto job = std::make_unique<Job>();
+    job->request.assign(request.begin(), request.end());
+    result = job->promise.get_future();
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return finish(result.get());
+}
+
+void ServingEngine::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++idle_workers_;
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      --idle_workers_;
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    Bytes reply;
+    try {
+      reply = process(ByteSpan{job->request.data(), job->request.size()});
+    } catch (...) {
+      // The FullNode handler already converts malformed input into kError;
+      // anything escaping here is a server-side defect, answered as an
+      // error envelope rather than a hung client.
+      reply = encode_envelope(MsgType::kError, {});
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    job->promise.set_value(std::move(reply));
+  }
+}
+
+Bytes ServingEngine::process(ByteSpan request) {
+  // Shared-held across execution: rebind() cannot swap the node or epoch
+  // under a request that is mid-proof.
+  std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  const std::uint8_t type = request.empty() ? 0 : request[0];
+
+  if (node_ != nullptr &&
+      type == static_cast<std::uint8_t>(MsgType::kQueryRequest) &&
+      response_cache_.enabled() && node_->config().has_bmt()) {
+    if (std::optional<Bytes> fast = fast_query(request)) {
+      return std::move(*fast);
+    }
+  }
+
+  Bytes reply = backend_(request);
+  if (response_cache_.enabled() && cacheable_request(type) && !reply.empty() &&
+      reply[0] != static_cast<std::uint8_t>(MsgType::kError) &&
+      reply[0] != static_cast<std::uint8_t>(MsgType::kBusy)) {
+    Bytes key = response_cache_key_locked(request);
+    response_cache_.put(ByteSpan{key.data(), key.size()},
+                        ByteSpan{reply.data(), reply.size()});
+  }
+  return reply;
+}
+
+std::optional<Bytes> ServingEngine::fast_query(ByteSpan request) {
+  Address address;
+  try {
+    Reader r(request.subspan(1));
+    address = QueryRequest::deserialize(r).address;
+    r.expect_done();
+  } catch (const SerializeError&) {
+    return std::nullopt;  // let the backend produce the kError reply
+  }
+  const ChainContext& ctx = node_->context();
+  const ProtocolConfig& config = ctx.config();
+  const std::uint64_t tip = ctx.tip_height();
+  if (tip == 0) return std::nullopt;
+
+  BloomKey bloom_key = BloomKey::from_bytes(address.span());
+  std::vector<std::uint64_t> cbp = config.bloom.positions(bloom_key);
+
+  // Byte-identical reassembly of FullNode's kQueryResponse: the response
+  // serialization is a flat concatenation of segment proofs after a fixed
+  // prefix, so cached segment bytes splice in directly.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(config.design));
+  w.varint(tip);
+  std::vector<SubSegment> forest = query_forest(tip, config.segment_length);
+  w.varint(forest.size());
+  for (const SubSegment& range : forest) {
+    // The last-header hash commits to every block in the range (and the
+    // whole prefix chain), so a reorged chain can never hit a stale entry
+    // while an appended chain keeps hitting the segments it kept.
+    Writer kw;
+    kw.u8('S');
+    kw.raw(address.span());
+    kw.varint(range.first);
+    kw.varint(range.last);
+    kw.raw(ctx.chain().at_height(range.last).header.hash().bytes);
+    const Bytes key = kw.take();
+
+    Bytes seg_bytes;
+    if (!segment_cache_.get(ByteSpan{key.data(), key.size()}, &seg_bytes)) {
+      SegmentQueryProof seg = build_segment_proof(ctx, address, cbp, range);
+      Writer sw;
+      seg.serialize(sw);
+      seg_bytes = sw.take();
+      segment_cache_.put(ByteSpan{key.data(), key.size()},
+                         ByteSpan{seg_bytes.data(), seg_bytes.size()});
+    }
+    w.raw(ByteSpan{seg_bytes.data(), seg_bytes.size()});
+  }
+
+  Bytes reply = encode_envelope(MsgType::kQueryResponse,
+                                ByteSpan{w.data().data(), w.data().size()});
+  Bytes rkey = response_cache_key_locked(request);
+  response_cache_.put(ByteSpan{rkey.data(), rkey.size()},
+                      ByteSpan{reply.data(), reply.size()});
+  return reply;
+}
+
+void ServingEngine::rebind(const FullNode& node) {
+  {
+    std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+    node_ = &node;
+    epoch_tip_ = node.tip_height();
+    ++epoch_generation_;
+  }
+  // Stale keys are unreachable after the epoch bump; clearing just
+  // returns their memory immediately instead of waiting for LRU churn.
+  response_cache_.clear();
+}
+
+void ServingEngine::invalidate() {
+  {
+    std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+    ++epoch_generation_;
+  }
+  response_cache_.clear();
+}
+
+MetricsSnapshot ServingEngine::snapshot() const {
+  MetricsSnapshot s;
+  metrics_.fill(s);
+  const ShardedByteCache::Stats rc = response_cache_.stats();
+  s.cache_hits = rc.hits;
+  s.cache_misses = rc.misses;
+  s.cache_entries = rc.entries;
+  s.cache_bytes = rc.bytes;
+  s.cache_evictions = rc.evictions;
+  const ShardedByteCache::Stats sc = segment_cache_.stats();
+  s.segment_hits = sc.hits;
+  s.segment_misses = sc.misses;
+  s.segment_entries = sc.entries;
+  s.segment_bytes = sc.bytes;
+  s.segment_evictions = sc.evictions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+  }
+  s.queue_capacity = options_.queue_depth;
+  s.workers = threads_.size();
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+    s.epoch_tip = epoch_tip_;
+    s.epoch_generation = epoch_generation_;
+  }
+  return s;
+}
+
+}  // namespace lvq

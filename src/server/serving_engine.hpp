@@ -1,0 +1,152 @@
+// Query-serving engine: the layer between a TcpServer (or any transport
+// front end) and a FullNode.
+//
+// Three concerns, each missing from the bare thread-per-connection server:
+//
+//  * Bounded concurrency — a fixed-size worker pool executes requests; a
+//    bounded queue absorbs bursts; past that the engine sheds load with a
+//    kBusy envelope instead of stacking up threads or latency without
+//    limit. RetryTransport treats kBusy as retryable, so well-behaved
+//    clients back off and come back.
+//
+//  * Proof reuse — proofs are immutable for a fixed (address, tip,
+//    config), so the engine keeps a sharded LRU of whole encoded replies
+//    keyed by (epoch, request bytes), plus a sub-cache of merged BMT
+//    segment proofs keyed by (address, range, last-header hash). The
+//    segment keys commit to chain content through the header hash, so a
+//    reorg can never resurface a stale proof, and segments that ended
+//    before the tip stay valid as the chain grows — the LVQ forest
+//    structure is exactly what makes that reuse legal.
+//
+//  * Observability — every request feeds a ServerMetrics registry
+//    (counters + latency histogram) served inline via the kStats RPC and
+//    `lvqtool stats`.
+//
+// Cached and freshly built replies are byte-identical by construction
+// (responses are deterministic and the fast path serializes through the
+// same code paths); tests assert it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "net/message.hpp"
+#include "node/full_node.hpp"
+#include "server/metrics.hpp"
+#include "server/proof_cache.hpp"
+
+namespace lvq {
+
+struct ServingEngineOptions {
+  /// Worker threads executing requests. Clamped to >= 1.
+  std::uint32_t workers = 4;
+  /// Requests allowed to wait beyond the ones being executed. A request
+  /// arriving with the queue full and no idle worker is shed with kBusy.
+  /// 0 means "no waiting": at most `workers` requests in flight.
+  std::uint32_t queue_depth = 64;
+  /// Total cache budget in bytes; 0 disables both caches. A quarter goes
+  /// to the BMT segment sub-cache, the rest to whole encoded responses.
+  std::uint64_t cache_bytes = 64ull << 20;
+  /// Lock shards per cache.
+  std::uint32_t cache_shards = 8;
+};
+
+class ServingEngine {
+ public:
+  using Handler = std::function<Bytes(ByteSpan)>;
+
+  /// Serves `node` (non-owning; must outlive the engine or be swapped out
+  /// via rebind before destruction). Enables the BMT segment fast path.
+  explicit ServingEngine(const FullNode& node,
+                         ServingEngineOptions options = {});
+
+  /// Generic mode: pool + queue + metrics + response cache over an
+  /// arbitrary handler (tests, non-FullNode backends). No segment cache.
+  explicit ServingEngine(Handler backend, ServingEngineOptions options = {});
+
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// RPC entry point, safe to call from any number of threads (TcpServer
+  /// connection workers, loopback transports). kStats requests and
+  /// response-cache hits are answered inline; everything else runs on the
+  /// worker pool, or comes back as a kBusy envelope when the queue is
+  /// full. After stop(), every request is answered kBusy.
+  Bytes handle(ByteSpan request);
+
+  /// Points the engine at a new chain state (tip advanced, reorg, or an
+  /// entirely different node). Waits for in-flight requests to drain,
+  /// bumps the cache epoch — every cached response keys on the epoch, so
+  /// the whole response cache is invalidated atomically — and clears it.
+  /// Segment-cache entries key on header hashes and simply become
+  /// unreachable when their chain prefix did not survive.
+  void rebind(const FullNode& node);
+
+  /// Epoch bump without changing nodes (manual invalidation).
+  void invalidate();
+
+  /// Full metrics snapshot, including gauges and cache stats. This is the
+  /// kStatsResponse payload.
+  MetricsSnapshot snapshot() const;
+
+  /// Stops workers and unblocks queued callers with kBusy. Idempotent;
+  /// also called by the destructor.
+  void stop();
+
+  const ServingEngineOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    Bytes request;
+    std::promise<Bytes> promise;
+  };
+
+  void start_workers();
+  void worker_loop();
+  /// Executes one request on a worker: fast path, backend, cache fill.
+  Bytes process(ByteSpan request);
+  /// BMT segment-splicing fast path; nullopt falls back to the backend.
+  /// Caller holds epoch_mu_ (shared).
+  std::optional<Bytes> fast_query(ByteSpan request);
+  /// Response-cache key: epoch prefix + raw request bytes. The `_locked`
+  /// variant requires epoch_mu_ held (shared or unique).
+  Bytes response_cache_key(ByteSpan request) const;
+  Bytes response_cache_key_locked(ByteSpan request) const;
+  static bool cacheable_request(std::uint8_t type);
+
+  Handler backend_;
+  const FullNode* node_;  // null in generic mode
+  ServingEngineOptions options_;
+  ShardedByteCache response_cache_;
+  ShardedByteCache segment_cache_;
+  ServerMetrics metrics_;
+
+  /// Guards node_ and the cache epoch. Shared-held for the duration of
+  /// request execution, so rebind() (unique) doubles as a drain barrier.
+  mutable std::shared_mutex epoch_mu_;
+  std::uint64_t epoch_tip_ = 0;
+  std::uint64_t epoch_generation_ = 0;
+
+  mutable std::mutex mu_;  // guards queue_, idle_workers_, stopping_
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  std::size_t idle_workers_ = 0;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lvq

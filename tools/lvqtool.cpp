@@ -10,13 +10,18 @@
 //   lvqtool proof  --chain=chain.dat --address=1ABC... --out=proof.bin
 //   lvqtool verify --chain=chain.dat --address=1ABC... --proof=proof.bin
 //   lvqtool serve  --chain=chain.dat [--seconds=N] [design flags]
+//                  [--workers=N] [--queue-depth=N] [--cache-mb=N]
+//                  [--max-conns=N]
+//   lvqtool stats  --connect=PORT
 //
 // `gen` builds a synthetic ledger (with the Table III profile addresses
 // printed for querying) and persists it; the other commands load that
 // ledger, rebuild the authenticated context, and run the full-node /
 // light-node pipeline offline. `proof`+`verify` demonstrate that a query
 // result is a self-contained artifact: it can be saved, shipped, and
-// verified later against headers alone.
+// verified later against headers alone. `serve` fronts the full node with
+// the serving engine (worker pool, proof cache, kBusy backpressure);
+// `stats` queries a running server's metrics over the kStats RPC.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -33,6 +38,7 @@
 #include "net/retry_transport.hpp"
 #include "net/tcp_transport.hpp"
 #include "node/session.hpp"
+#include "server/serving_engine.hpp"
 #include "util/flags.hpp"
 #include "util/format.hpp"
 #include "workload/workload.hpp"
@@ -43,14 +49,18 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lvqtool <gen|info|query|proof|verify> [--flags]\n"
+               "usage: lvqtool <gen|info|query|proof|verify|serve|stats> "
+               "[--flags]\n"
                "  gen    --out=FILE [--blocks=N --txs-per-block=N --seed=N]\n"
                "  info   --chain=FILE\n"
                "  query  --chain=FILE|--connect=PORT --address=ADDR\n"
                "         [--peers=P1,P2,.. --timeout-ms=N --retries=N]\n"
                "  proof  --chain=FILE --address=ADDR --out=FILE\n"
                "  verify --chain=FILE --address=ADDR --proof=FILE\n"
-               "  serve  --chain=FILE [--seconds=N]\n"
+               "  serve  --chain=FILE [--seconds=N --workers=N "
+               "--queue-depth=N\n"
+               "         --cache-mb=N --max-conns=N]\n"
+               "  stats  --connect=PORT\n"
                "design flags (gen/query/proof/verify): --design=lvq|"
                "lvq-no-bmt|lvq-no-smt|strawman|strawman-variant\n"
                "  --bf-kb=K --bf-hashes=K --segment-length=M\n");
@@ -318,10 +328,23 @@ int cmd_serve(const Flags& flags) {
   ProtocolConfig config = config_from_flags(flags);
   ExperimentSetup setup = load_setup(path);
   FullNode full(setup.workload, setup.derived, config);
-  TcpServer server([&](ByteSpan req) { return full.handle_message(req); });
-  std::printf("serving %llu blocks [%s] on 127.0.0.1:%u\n",
+
+  ServingEngineOptions eopts;
+  eopts.workers = static_cast<std::uint32_t>(flags.get_u64("workers", 4));
+  eopts.queue_depth =
+      static_cast<std::uint32_t>(flags.get_u64("queue-depth", 64));
+  eopts.cache_bytes = flags.get_u64("cache-mb", 64) << 20;
+  ServingEngine engine(full, eopts);
+
+  TcpServerOptions sopts;
+  sopts.max_connections =
+      static_cast<std::uint32_t>(flags.get_u64("max-conns", 0));
+  TcpServer server([&](ByteSpan req) { return engine.handle(req); }, sopts);
+  std::printf("serving %llu blocks [%s] on 127.0.0.1:%u "
+              "(%u workers, queue %u, cache %s)\n",
               static_cast<unsigned long long>(full.tip_height()),
-              design_name(config.design), server.port());
+              design_name(config.design), server.port(), eopts.workers,
+              eopts.queue_depth, human_bytes(eopts.cache_bytes).c_str());
   std::fflush(stdout);
   std::uint64_t seconds = flags.get_u64("seconds", 0);
   if (seconds == 0) {
@@ -329,6 +352,29 @@ int cmd_serve(const Flags& flags) {
   }
   std::this_thread::sleep_for(std::chrono::seconds(seconds));
   server.stop();
+  return 0;
+}
+
+int cmd_stats(const Flags& flags) {
+  std::uint64_t port = flags.get_u64("connect", 0);
+  if (port == 0 || port > 65535) return usage();
+  TcpTransportOptions topts;
+  topts.io_timeout_ms =
+      static_cast<std::uint32_t>(flags.get_u64("timeout-ms", 5'000));
+  TcpTransport transport(static_cast<std::uint16_t>(port), topts);
+  Bytes req = encode_envelope(MsgType::kStatsRequest, {});
+  Bytes reply = transport.round_trip(ByteSpan{req.data(), req.size()});
+  auto [type, payload] = decode_envelope(ByteSpan{reply.data(), reply.size()});
+  if (type != MsgType::kStatsResponse) {
+    std::fprintf(stderr, "peer does not speak kStats (reply type %u) — "
+                         "is it running behind the serving engine?\n",
+                 static_cast<unsigned>(type));
+    return 1;
+  }
+  Reader r(payload);
+  MetricsSnapshot snap = MetricsSnapshot::deserialize(r);
+  r.expect_done();
+  std::printf("%s", snap.to_text().c_str());
   return 0;
 }
 
@@ -381,6 +427,7 @@ int main(int argc, char** argv) {
     if (cmd == "proof") return cmd_query(flags, /*save_proof=*/true);
     if (cmd == "verify") return cmd_verify(flags);
     if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "stats") return cmd_stats(flags);
   } catch (const std::runtime_error& e) {  // includes SerializeError
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

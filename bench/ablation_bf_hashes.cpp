@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
   for (std::uint32_t k : {2u, 4u, 6u, 10u, 16u, 24u}) {
     ProtocolConfig config{Design::kLvq, BloomGeometry{bf_kb * 1024, k}, m};
     QuerySession session(env.setup, config);
-    const ChainContext& ctx = session.full_node().context();
+    const std::shared_ptr<const ChainContext> snapshot =
+        session.full_node().context();
+    const ChainContext& ctx = *snapshot;
     std::printf("%-6u", k);
     for (const AddressProfile& p : env.setup.workload->profiles) {
       LightNode::QueryResult result = session.query(p.address);

@@ -1,0 +1,148 @@
+// Ingestion benchmark: what the ChainBuilder redesign buys.
+//
+// Two comparisons, both on the kLvq design:
+//
+//   cold  — full build of the whole chain, serial (--threads=1) vs the
+//           shared thread pool. The per-block derivation (txids, Merkle,
+//           SMT, Bloom positions) is embarrassingly parallel; the speedup
+//           should track core count.
+//   append — extending an already-built context by a few blocks
+//           (ChainContext::extend) vs rebuilding the whole chain from
+//           scratch. Extend touches only the new heights plus the open
+//           tail BMT segment, so the ratio grows with chain length.
+//
+// Results go to stdout and BENCH_build.json (--out=...). Geometry is
+// picked so derivation dominates: smallish BFs, segment length 64, and an
+// append base that ends mid-segment (the honest worst case: the tail
+// segment must be partially rebuilt).
+//
+// Acceptance thresholds (enforced here so CI tracks them):
+//   * extend of a small batch >= 10x faster than a cold rebuild — always.
+//   * parallel cold build >= 3x faster than serial — only on machines
+//     with >= 8 hardware threads (meaningless on the 1-2 core case).
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/chain_builder.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Chain ingestion — parallel build and incremental append",
+              "infrastructure; supplementary to §VII");
+
+  const std::uint32_t append_blocks =
+      static_cast<std::uint32_t>(env.flags.get_u64("append-blocks", 8));
+  const std::string out_path = env.flags.get_str("out", "BENCH_build.json");
+  const std::uint32_t hw = std::thread::hardware_concurrency();
+
+  ProtocolConfig config{Design::kLvq,
+                        BloomGeometry{4 * 1024, env.bf_hashes}, 64};
+
+  // Base chain ends mid-segment so extend honestly rebuilds a partial
+  // tail segment instead of starting a fresh (cheap, tiny) one.
+  const auto& bodies = env.setup.workload->blocks;
+  LVQ_CHECK_MSG(bodies.size() > append_blocks + 32,
+                "--blocks too small for the append comparison");
+  auto base_workload = std::make_shared<Workload>();
+  base_workload->blocks.assign(bodies.begin(), bodies.end() - 32);
+  std::vector<std::vector<Transaction>> tail(
+      bodies.end() - 32, bodies.end() - 32 + append_blocks);
+
+  ChainBuildOptions serial;
+  serial.threads = 1;
+
+  std::printf("%-28s %12s\n", "phase", "seconds");
+
+  Timer t_serial;
+  auto serial_ctx = ChainBuilder::build(env.setup.workload, config, serial);
+  const double cold_serial_s = t_serial.seconds();
+  std::printf("%-28s %12.3f\n", "cold build, serial", cold_serial_s);
+
+  Timer t_parallel;
+  auto parallel_ctx = ChainBuilder::build(env.setup.workload, config);
+  const double cold_parallel_s = t_parallel.seconds();
+  std::printf("%-28s %12.3f   (%u hw threads)\n", "cold build, shared pool",
+              cold_parallel_s, hw);
+
+  // Sanity: thread count must never change the produced bytes.
+  if (serial_ctx->chain().at_height(serial_ctx->tip_height()).header.hash() !=
+      parallel_ctx->chain()
+          .at_height(parallel_ctx->tip_height())
+          .header.hash()) {
+    std::fprintf(stderr, "FAIL: serial and parallel builds diverge\n");
+    return 1;
+  }
+
+  Timer t_base;
+  auto base_ctx = ChainBuilder::build(base_workload, config);
+  const double base_build_s = t_base.seconds();
+  std::printf("%-28s %12.3f   (%zu blocks)\n", "append base build",
+              base_build_s, base_workload->blocks.size());
+
+  Timer t_extend;
+  auto extended = base_ctx->extend(tail);
+  const double extend_s = t_extend.seconds();
+  std::printf("%-28s %12.3f   (+%u blocks)\n", "incremental extend", extend_s,
+              append_blocks);
+
+  // Rebuild-from-scratch cost of reaching the same tip.
+  auto rebuilt_workload = std::make_shared<Workload>();
+  rebuilt_workload->blocks.assign(bodies.begin(),
+                                  bodies.end() - 32 + append_blocks);
+  Timer t_rebuild;
+  auto rebuilt = ChainBuilder::build(rebuilt_workload, config);
+  const double rebuild_s = t_rebuild.seconds();
+  std::printf("%-28s %12.3f\n", "equivalent full rebuild", rebuild_s);
+
+  if (extended->chain().at_height(extended->tip_height()).header.hash() !=
+      rebuilt->chain().at_height(rebuilt->tip_height()).header.hash()) {
+    std::fprintf(stderr, "FAIL: extend and rebuild diverge\n");
+    return 1;
+  }
+
+  const double build_speedup =
+      cold_parallel_s > 0 ? cold_serial_s / cold_parallel_s : 0;
+  const double extend_speedup = extend_s > 0 ? rebuild_s / extend_s : 0;
+  std::printf("\nparallel build speedup : %.2fx over serial\n", build_speedup);
+  std::printf("incremental speedup    : %.2fx over rebuild\n", extend_speedup);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"chain_build\",\n");
+  std::fprintf(f, "  \"blocks\": %llu,\n",
+               static_cast<unsigned long long>(env.workload_config.num_blocks));
+  std::fprintf(f, "  \"append_blocks\": %u,\n", append_blocks);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  std::fprintf(f, "  \"cold_serial_s\": %.4f,\n", cold_serial_s);
+  std::fprintf(f, "  \"cold_parallel_s\": %.4f,\n", cold_parallel_s);
+  std::fprintf(f, "  \"parallel_speedup\": %.2f,\n", build_speedup);
+  std::fprintf(f, "  \"base_build_s\": %.4f,\n", base_build_s);
+  std::fprintf(f, "  \"extend_s\": %.4f,\n", extend_s);
+  std::fprintf(f, "  \"rebuild_s\": %.4f,\n", rebuild_s);
+  std::fprintf(f, "  \"extend_speedup\": %.2f\n}\n", extend_speedup);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (extend_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: incremental extend only %.1fx faster than rebuild "
+                 "(need >= 10x)\n",
+                 extend_speedup);
+    return 1;
+  }
+  if (hw >= 8 && build_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: parallel build only %.1fx faster than serial on %u "
+                 "hardware threads (need >= 3x)\n",
+                 build_speedup, hw);
+    return 1;
+  }
+  return 0;
+}

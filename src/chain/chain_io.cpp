@@ -26,7 +26,7 @@ void save_chain(const ChainStore& chain, const std::string& path) {
   w.raw(as_bytes(kMagic, sizeof(kMagic)));
   w.u32(kFormatVersion);
   w.varint(chain.tip_height());
-  for (const Block& b : chain.blocks()) b.serialize(w);
+  for (const auto& b : chain.blocks()) b->serialize(w);
 
   // Write to a temp file and rename, so a crash never leaves a torn file.
   std::string tmp = path + ".tmp";

@@ -2,9 +2,14 @@
 //
 // Heights are 1-based, matching the paper's block indexing ("blocks are
 // indexed from 1", Table II). Block 1's prev_hash is all-zeroes.
+//
+// Blocks are held behind shared_ptr slices so a successor chain (see
+// ChainContext::extend) can alias its whole prefix instead of copying
+// block bodies; copying a ChainStore copies pointers, never blocks.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "chain/block.hpp"
@@ -18,8 +23,14 @@ class ChainStore {
 
   /// Appends the next block; validates the prev_hash link.
   void append(Block block) {
+    append(std::make_shared<const Block>(std::move(block)));
+  }
+
+  /// Appends an externally owned (shared) block; validates the link.
+  void append(std::shared_ptr<const Block> block) {
+    LVQ_CHECK(block != nullptr);
     if (!blocks_.empty()) {
-      LVQ_CHECK_MSG(block.header.prev_hash == blocks_.back().header.hash(),
+      LVQ_CHECK_MSG(block->header.prev_hash == blocks_.back()->header.hash(),
                     "appended block must link to current tip");
     }
     blocks_.push_back(std::move(block));
@@ -30,13 +41,15 @@ class ChainStore {
 
   const Block& at_height(std::uint64_t h) const {
     LVQ_CHECK_MSG(h >= 1 && h <= blocks_.size(), "height out of range");
-    return blocks_[h - 1];
+    return *blocks_[h - 1];
   }
 
-  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<std::shared_ptr<const Block>>& blocks() const {
+    return blocks_;
+  }
 
  private:
-  std::vector<Block> blocks_;
+  std::vector<std::shared_ptr<const Block>> blocks_;
 };
 
 }  // namespace lvq

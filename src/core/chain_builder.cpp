@@ -1,0 +1,254 @@
+#include "core/chain_builder.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace lvq {
+
+namespace detail {
+ThreadPool* resolve_build_pool(const ChainBuildOptions& options,
+                               std::unique_ptr<ThreadPool>& owned);
+}  // namespace detail
+
+namespace {
+
+/// Builds one segment tree whose supplier owns shared slices of exactly
+/// its own leaves' position lists — the segment stays valid no matter
+/// which context generation (or none) is still alive.
+std::shared_ptr<const SegmentBmt> make_segment(
+    const BloomPositionTable& positions, std::uint64_t first_height,
+    std::uint32_t segment_length, std::uint64_t available,
+    const BloomGeometry& geom) {
+  std::vector<std::shared_ptr<const std::vector<std::uint32_t>>> slices;
+  slices.reserve(available);
+  for (std::uint64_t h = first_height; h < first_height + available; ++h) {
+    slices.push_back(positions.slice(h));
+  }
+  auto supplier = [slices = std::move(slices), first_height](
+                      std::uint64_t height)
+      -> const std::vector<std::uint32_t>& {
+    LVQ_CHECK(height >= first_height &&
+              height - first_height < slices.size());
+    return *slices[height - first_height];
+  };
+  return std::make_shared<const SegmentBmt>(first_height, segment_length,
+                                            available, geom,
+                                            std::move(supplier));
+}
+
+/// Stage 4: appends headers+bodies for heights (first_new, tip] onto
+/// `chain`, hash-chained from `prev`. Per-block BFs for schemes that
+/// commit to them are precomputed in parallel (the chain hash itself is
+/// inherently serial).
+void assemble_blocks(const ChainContext& ctx, ChainStore& chain,
+                     const std::vector<std::vector<Transaction>>& bodies,
+                     std::uint64_t bodies_first_height, std::uint64_t first_new,
+                     std::uint64_t tip, Hash256 prev, ThreadPool* pool) {
+  const ProtocolConfig& config = ctx.config();
+  const HeaderScheme scheme = config.scheme();
+  const std::uint64_t count = tip - first_new;
+
+  std::vector<std::optional<BloomFilter>> bfs;
+  if (scheme_has_embedded_bf(scheme) || scheme_has_bf_hash(scheme)) {
+    bfs.resize(count);
+    parallel_for_each(pool, count, [&](std::uint64_t i) {
+      bfs[i] = ctx.positions().block_bf(first_new + 1 + i);
+    });
+  }
+
+  for (std::uint64_t h = first_new + 1; h <= tip; ++h) {
+    const BlockDerived& d = ctx.derived().at(h);
+    Block block;
+    block.txs = bodies[h - bodies_first_height];
+    BlockHeader& hd = block.header;
+    hd.version = 2;
+    hd.prev_hash = prev;
+    hd.merkle_root = d.merkle_root;
+    hd.time = 1'353'000'000u + static_cast<std::uint32_t>(h) * 600u;
+    hd.nonce = static_cast<std::uint32_t>(h);
+    hd.scheme = scheme;
+    if (scheme_has_embedded_bf(scheme)) {
+      hd.embedded_bf = std::move(*bfs[h - first_new - 1]);
+    }
+    if (scheme_has_bf_hash(scheme)) {
+      hd.bf_hash = bfs[h - first_new - 1]->content_hash();
+    }
+    if (scheme_has_bmt(scheme)) {
+      hd.bmt_root = ctx.bmt_for_height(h).root_for_block(h);
+    }
+    if (scheme_has_smt(scheme)) {
+      hd.smt_commitment = d.smt_commitment;
+    }
+    prev = hd.hash();
+    chain.append(std::make_shared<const Block>(std::move(block)));
+  }
+}
+
+}  // namespace
+
+ChainBuilder::ChainBuilder(const ProtocolConfig& config,
+                           ChainBuildOptions options)
+    : config_(config), options_(options) {}
+
+ChainBuilder& ChainBuilder::append(std::vector<Transaction> txs) {
+  blocks_.push_back(std::move(txs));
+  return *this;
+}
+
+ChainBuilder& ChainBuilder::add_blocks(
+    std::span<const std::vector<Transaction>> blocks) {
+  blocks_.insert(blocks_.end(), blocks.begin(), blocks.end());
+  return *this;
+}
+
+ChainBuilder& ChainBuilder::add_blocks(
+    std::vector<std::vector<Transaction>>&& blocks) {
+  if (blocks_.empty()) {
+    blocks_ = std::move(blocks);
+  } else {
+    blocks_.insert(blocks_.end(), std::make_move_iterator(blocks.begin()),
+                   std::make_move_iterator(blocks.end()));
+  }
+  return *this;
+}
+
+std::shared_ptr<const ChainContext> ChainBuilder::freeze() {
+  auto workload = std::make_shared<Workload>();
+  workload->blocks = std::move(blocks_);
+  blocks_.clear();
+  return build(std::move(workload), config_, options_);
+}
+
+std::shared_ptr<const ChainContext> ChainBuilder::build(
+    std::shared_ptr<const Workload> workload, const ProtocolConfig& config,
+    ChainBuildOptions options) {
+  LVQ_CHECK(workload != nullptr);
+  auto derived = std::make_shared<const WorkloadDerived>(*workload, options);
+  return build(std::move(workload), std::move(derived), config, options);
+}
+
+std::shared_ptr<const ChainContext> ChainBuilder::build(
+    std::shared_ptr<const Workload> workload,
+    std::shared_ptr<const WorkloadDerived> derived,
+    const ProtocolConfig& config, ChainBuildOptions options) {
+  LVQ_CHECK(workload != nullptr && derived != nullptr);
+  return std::shared_ptr<const ChainContext>(new ChainContext(
+      assemble(workload->blocks, std::move(derived), config, options)));
+}
+
+ChainContext ChainBuilder::assemble(
+    const std::vector<std::vector<Transaction>>& bodies,
+    std::shared_ptr<const WorkloadDerived> derived,
+    const ProtocolConfig& config, const ChainBuildOptions& options) {
+  LVQ_CHECK(is_power_of_two(config.segment_length));
+  ChainContext ctx;
+  ctx.derived_ = std::move(derived);
+  ctx.config_ = config;
+
+  const std::uint64_t tip = ctx.derived_->tip_height();
+  LVQ_CHECK(tip >= 1);
+  LVQ_CHECK_MSG(bodies.size() == tip, "bodies and derived caches disagree");
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = detail::resolve_build_pool(options, owned);
+  ChainBuildOptions stage_options;
+  stage_options.pool = pool;
+  stage_options.threads = pool == nullptr ? 1 : 0;
+
+  ctx.positions_ = std::make_shared<const BloomPositionTable>(
+      *ctx.derived_, config.bloom, stage_options);
+
+  if (config.has_bmt()) {
+    const std::uint64_t m = config.segment_length;
+    const std::uint64_t num_segments = (tip + m - 1) / m;
+    ctx.bmts_.resize(num_segments);
+    parallel_for_each(pool, num_segments, [&](std::uint64_t s) {
+      const std::uint64_t seg_first = s * m + 1;
+      const std::uint64_t available =
+          std::min<std::uint64_t>(m, tip - seg_first + 1);
+      ctx.bmts_[s] =
+          make_segment(*ctx.positions_, seg_first,
+                       config.segment_length, available, config.bloom);
+    });
+  }
+
+  assemble_blocks(ctx, ctx.chain_, bodies, /*bodies_first_height=*/1,
+                  /*first_new=*/0, tip, Hash256{}, pool);
+  return ctx;
+}
+
+std::shared_ptr<const ChainContext> ChainBuilder::extend_impl(
+    const ChainContext& base,
+    std::vector<std::vector<Transaction>> new_blocks,
+    const ChainBuildOptions& options) {
+  LVQ_CHECK_MSG(!new_blocks.empty(), "extend needs at least one block");
+  const ProtocolConfig& config = base.config_;
+  const std::uint64_t old_tip = base.tip_height();
+  const std::uint64_t tip = old_tip + new_blocks.size();
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = detail::resolve_build_pool(options, owned);
+
+  std::shared_ptr<ChainContext> ctx(new ChainContext());
+  ctx->config_ = config;
+
+  // Stage 1: derived caches — prefix aliased, new heights derived.
+  auto derived = std::shared_ptr<WorkloadDerived>(new WorkloadDerived());
+  derived->per_block_ = base.derived_->slices();
+  derived->per_block_.resize(tip);
+  parallel_for_each(pool, new_blocks.size(), [&](std::uint64_t i) {
+    derived->per_block_[old_tip + i] =
+        std::make_shared<const BlockDerived>(derive_block(new_blocks[i]));
+  });
+  ctx->derived_ = derived;
+
+  // Stage 2: position lists — prefix aliased likewise.
+  auto positions =
+      std::shared_ptr<BloomPositionTable>(new BloomPositionTable(config.bloom));
+  positions->per_block_ = base.positions_->per_block_;
+  positions->per_block_.resize(tip);
+  parallel_for_each(pool, new_blocks.size(), [&](std::uint64_t i) {
+    positions->per_block_[old_tip + i] =
+        std::make_shared<const std::vector<std::uint32_t>>(
+            BloomPositionTable::derive(ctx->derived_->at(old_tip + i + 1),
+                                       config.bloom));
+  });
+  ctx->positions_ = positions;
+
+  // Stage 3: BMT forest — sealed segments shared by pointer; only the open
+  // tail segment (incomplete nodes gain leaves) and brand-new segments are
+  // built.
+  if (config.has_bmt()) {
+    const std::uint64_t m = config.segment_length;
+    const std::uint64_t num_segments = (tip + m - 1) / m;
+    const std::uint64_t first_dirty =
+        (old_tip % m == 0) ? old_tip / m : (old_tip - 1) / m;
+    ctx->bmts_.resize(num_segments);
+    for (std::uint64_t s = 0; s < first_dirty; ++s) {
+      ctx->bmts_[s] = base.bmts_[s];
+    }
+    parallel_for_each(pool, num_segments - first_dirty, [&](std::uint64_t i) {
+      const std::uint64_t s = first_dirty + i;
+      const std::uint64_t seg_first = s * m + 1;
+      const std::uint64_t available =
+          std::min<std::uint64_t>(m, tip - seg_first + 1);
+      ctx->bmts_[s] =
+          make_segment(*ctx->positions_, seg_first, config.segment_length,
+                       available, config.bloom);
+    });
+  }
+
+  // Stage 4: chain — prefix blocks aliased, new headers chained from the
+  // old tip hash.
+  ctx->chain_ = base.chain_;
+  assemble_blocks(*ctx, ctx->chain_, new_blocks,
+                  /*bodies_first_height=*/old_tip + 1,
+                  /*first_new=*/old_tip, tip,
+                  base.chain_.at_height(old_tip).header.hash(), pool);
+  return ctx;
+}
+
+}  // namespace lvq

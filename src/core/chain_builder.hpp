@@ -1,0 +1,85 @@
+// Staged ingestion API — the one place chain state is derived.
+//
+//   ChainBuilder b(config);          // pick thread count via options
+//   b.add_blocks(bodies);            // stage bodies (span copies, && moves)
+//   b.append(std::move(txs));        // ...or one block at a time
+//   auto ctx = b.freeze();           // fan out derivation, assemble
+//
+//   auto ctx2 = ctx->extend(more);   // successor: O(new blocks) work
+//
+// freeze() runs the pipeline in four stages:
+//   1. per-block derivation (txids, Merkle root, SMT leaves/commitment,
+//      Bloom keys)            — parallel_for over blocks
+//   2. BF position lists for the config's geometry
+//                             — parallel_for over blocks
+//   3. segment BMT forest     — parallel_for over segments
+//   4. header assembly        — serial (hash-chained), with per-block BFs
+//                               for embedded/bf-hash schemes precomputed
+//                               in parallel
+// Stage outputs land in index-addressed shared_ptr slices, so thread
+// count never changes the produced bytes, and successors can alias any
+// prefix of them. ChainContext/WorkloadDerived constructors remain as
+// thin one-shot wrappers over this class.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/chain_context.hpp"
+
+namespace lvq {
+
+class ChainBuilder {
+ public:
+  explicit ChainBuilder(const ProtocolConfig& config,
+                        ChainBuildOptions options = {});
+
+  /// Stages one block's transactions as the next height.
+  ChainBuilder& append(std::vector<Transaction> txs);
+
+  /// Stages a run of blocks (copied from the span).
+  ChainBuilder& add_blocks(std::span<const std::vector<Transaction>> blocks);
+  /// Stages a run of blocks, taking ownership.
+  ChainBuilder& add_blocks(std::vector<std::vector<Transaction>>&& blocks);
+
+  std::uint64_t pending_blocks() const { return blocks_.size(); }
+  const ProtocolConfig& config() const { return config_; }
+
+  /// Derives everything staged so far and assembles the context. The
+  /// builder is spent afterwards (staged blocks are consumed).
+  std::shared_ptr<const ChainContext> freeze();
+
+  /// One-shot build from existing workload bodies (derives per-block
+  /// caches internally).
+  static std::shared_ptr<const ChainContext> build(
+      std::shared_ptr<const Workload> workload, const ProtocolConfig& config,
+      ChainBuildOptions options = {});
+
+  /// One-shot build reusing an already-derived workload (the legacy
+  /// ChainContext constructor path).
+  static std::shared_ptr<const ChainContext> build(
+      std::shared_ptr<const Workload> workload,
+      std::shared_ptr<const WorkloadDerived> derived,
+      const ProtocolConfig& config, ChainBuildOptions options = {});
+
+ private:
+  friend class ChainContext;  // legacy ctor + extend() reuse the stages
+
+  static ChainContext assemble(
+      const std::vector<std::vector<Transaction>>& bodies,
+      std::shared_ptr<const WorkloadDerived> derived,
+      const ProtocolConfig& config, const ChainBuildOptions& options);
+
+  static std::shared_ptr<const ChainContext> extend_impl(
+      const ChainContext& base,
+      std::vector<std::vector<Transaction>> new_blocks,
+      const ChainBuildOptions& options);
+
+  ProtocolConfig config_;
+  ChainBuildOptions options_;
+  std::vector<std::vector<Transaction>> blocks_;
+};
+
+}  // namespace lvq

@@ -2,46 +2,78 @@
 
 #include <algorithm>
 
-#include "core/segments.hpp"
+#include "core/chain_builder.hpp"
 #include "merkle/merkle_tree.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lvq {
 
-WorkloadDerived::WorkloadDerived(const Workload& workload) {
+namespace detail {
+
+ThreadPool* resolve_build_pool(const ChainBuildOptions& options,
+                               std::unique_ptr<ThreadPool>& owned) {
+  if (options.pool != nullptr) return options.pool;
+  if (options.threads == 1) return nullptr;  // serial reference path
+  if (options.threads == 0) return &ThreadPool::shared();
+  owned = std::make_unique<ThreadPool>(options.threads);
+  return owned.get();
+}
+
+}  // namespace detail
+
+BlockDerived derive_block(const std::vector<Transaction>& txs) {
+  BlockDerived d;
+  Block tmp;  // borrow Block helpers without copying txs twice
+  tmp.txs = txs;
+  d.txids = tmp.txids();
+  d.merkle_root = MerkleTree::compute_root(d.txids);
+  d.smt_leaves = tmp.address_counts();
+  d.smt_commitment = SortedMerkleTree(d.smt_leaves).commitment();
+  d.bloom_keys.reserve(d.smt_leaves.size());
+  for (const SmtLeaf& leaf : d.smt_leaves) {
+    d.bloom_keys.push_back(BloomKey::from_bytes(leaf.address.span()));
+  }
+  return d;
+}
+
+WorkloadDerived::WorkloadDerived(const Workload& workload,
+                                 const ChainBuildOptions& options) {
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = detail::resolve_build_pool(options, owned);
   per_block_.resize(workload.blocks.size());
-  for (std::size_t b = 0; b < workload.blocks.size(); ++b) {
-    BlockDerived& d = per_block_[b];
-    Block tmp;  // borrow Block helpers without copying txs twice
-    tmp.txs = workload.blocks[b];
-    d.txids = tmp.txids();
-    d.merkle_root = MerkleTree::compute_root(d.txids);
-    d.smt_leaves = tmp.address_counts();
-    d.smt_commitment = SortedMerkleTree(d.smt_leaves).commitment();
-    d.bloom_keys.reserve(d.smt_leaves.size());
-    for (const SmtLeaf& leaf : d.smt_leaves) {
-      d.bloom_keys.push_back(BloomKey::from_bytes(leaf.address.span()));
+  parallel_for_each(pool, workload.blocks.size(), [&](std::uint64_t b) {
+    per_block_[b] =
+        std::make_shared<const BlockDerived>(derive_block(workload.blocks[b]));
+  });
+}
+
+std::vector<std::uint32_t> BloomPositionTable::derive(const BlockDerived& d,
+                                                      const BloomGeometry& geom) {
+  std::vector<std::uint32_t> out;
+  out.reserve(d.bloom_keys.size() * geom.hash_count);
+  std::uint64_t pos[64];
+  for (const BloomKey& key : d.bloom_keys) {
+    geom.positions(key, pos);
+    for (std::uint32_t i = 0; i < geom.hash_count; ++i) {
+      out.push_back(static_cast<std::uint32_t>(pos[i]));
     }
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 BloomPositionTable::BloomPositionTable(const WorkloadDerived& derived,
-                                       BloomGeometry geom)
+                                       BloomGeometry geom,
+                                       const ChainBuildOptions& options)
     : geom_(geom) {
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = detail::resolve_build_pool(options, owned);
   per_block_.resize(derived.tip_height());
-  std::uint64_t pos[64];
-  for (std::uint64_t h = 1; h <= derived.tip_height(); ++h) {
-    const BlockDerived& d = derived.at(h);
-    std::vector<std::uint32_t>& out = per_block_[h - 1];
-    out.reserve(d.bloom_keys.size() * geom.hash_count);
-    for (const BloomKey& key : d.bloom_keys) {
-      geom.positions(key, pos);
-      for (std::uint32_t i = 0; i < geom.hash_count; ++i) {
-        out.push_back(static_cast<std::uint32_t>(pos[i]));
-      }
-    }
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-  }
+  parallel_for_each(pool, derived.tip_height(), [&](std::uint64_t b) {
+    per_block_[b] = std::make_shared<const std::vector<std::uint32_t>>(
+        derive(derived.at(b + 1), geom_));
+  });
 }
 
 bool BloomPositionTable::check_fails(
@@ -64,65 +96,17 @@ BloomFilter BloomPositionTable::block_bf(std::uint64_t height) const {
 
 ChainContext::ChainContext(std::shared_ptr<const Workload> workload,
                            std::shared_ptr<const WorkloadDerived> derived,
-                           const ProtocolConfig& config)
-    : workload_(std::move(workload)),
-      derived_(std::move(derived)),
-      config_(config) {
-  LVQ_CHECK(workload_ && derived_);
-  LVQ_CHECK(is_power_of_two(config_.segment_length));
-  std::uint64_t tip = derived_->tip_height();
-  LVQ_CHECK(tip >= 1);
-
-  positions_ = std::make_unique<BloomPositionTable>(*derived_, config_.bloom);
-
-  if (config_.has_bmt()) {
-    const BloomPositionTable* table = positions_.get();
-    auto supplier = [table](std::uint64_t height)
-        -> const std::vector<std::uint32_t>& { return table->positions(height); };
-    std::uint64_t seg_first = 1;
-    while (seg_first <= tip) {
-      std::uint64_t available =
-          std::min<std::uint64_t>(config_.segment_length, tip - seg_first + 1);
-      bmts_.emplace_back(seg_first, config_.segment_length, available,
-                         config_.bloom, supplier);
-      seg_first += config_.segment_length;
-    }
-  }
-
-  // Assemble headers and blocks.
-  Hash256 prev{};  // zero hash before block 1
-  for (std::uint64_t h = 1; h <= tip; ++h) {
-    const BlockDerived& d = derived_->at(h);
-    Block block;
-    block.txs = workload_->blocks[h - 1];
-    BlockHeader& hd = block.header;
-    hd.version = 2;
-    hd.prev_hash = prev;
-    hd.merkle_root = d.merkle_root;
-    hd.time = 1'353'000'000u + static_cast<std::uint32_t>(h) * 600u;
-    hd.nonce = static_cast<std::uint32_t>(h);
-    hd.scheme = config_.scheme();
-    if (scheme_has_embedded_bf(hd.scheme)) {
-      hd.embedded_bf = positions_->block_bf(h);
-    }
-    if (scheme_has_bf_hash(hd.scheme)) {
-      hd.bf_hash = positions_->block_bf(h).content_hash();
-    }
-    if (scheme_has_bmt(hd.scheme)) {
-      hd.bmt_root = bmt_for_height(h).root_for_block(h);
-    }
-    if (scheme_has_smt(hd.scheme)) {
-      hd.smt_commitment = d.smt_commitment;
-    }
-    prev = hd.hash();
-    chain_.append(std::move(block));
-  }
+                           const ProtocolConfig& config,
+                           const ChainBuildOptions& options) {
+  LVQ_CHECK(workload && derived);
+  *this = ChainBuilder::assemble(workload->blocks, std::move(derived), config,
+                                 options);
 }
 
 std::vector<BlockHeader> ChainContext::headers() const {
   std::vector<BlockHeader> out;
   out.reserve(chain_.tip_height());
-  for (const Block& b : chain_.blocks()) out.push_back(b.header);
+  for (const auto& b : chain_.blocks()) out.push_back(b->header);
   return out;
 }
 
@@ -131,7 +115,13 @@ const SegmentBmt& ChainContext::bmt_for_height(std::uint64_t height) const {
   LVQ_CHECK(height >= 1 && height <= chain_.tip_height() + config_.segment_length);
   std::size_t idx = static_cast<std::size_t>((height - 1) / config_.segment_length);
   LVQ_CHECK(idx < bmts_.size());
-  return bmts_[idx];
+  return *bmts_[idx];
+}
+
+std::shared_ptr<const ChainContext> ChainContext::extend(
+    std::vector<std::vector<Transaction>> new_blocks,
+    const ChainBuildOptions& options) const {
+  return ChainBuilder::extend_impl(*this, std::move(new_blocks), options);
 }
 
 }  // namespace lvq

@@ -10,6 +10,16 @@
 //                      materialized on demand without storing any filter.
 //   ChainContext     — headers for one ProtocolConfig (scheme commitments
 //                      wired in) plus the segment BMT forest.
+//
+// Every per-block datum (derived block, position list, chain block,
+// sealed BMT segment) is held behind a shared_ptr slice. That makes the
+// whole stack append-friendly: `ChainContext::extend(new_blocks)` builds
+// a successor context that aliases the entire immutable prefix and only
+// derives the new heights (plus the open tail BMT segment, whose
+// incomplete nodes are the only authenticated state that can change).
+// Construction fans the per-block derivation across a ThreadPool — see
+// core/chain_builder.hpp for the staged ingestion API; the constructors
+// here remain as thin one-shot wrappers over it.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +33,20 @@
 
 namespace lvq {
 
+class ThreadPool;
+class ChainBuilder;
+
+/// How a build (or extend) distributes per-block derivation work.
+struct ChainBuildOptions {
+  /// 0 = use the process-wide shared pool (hardware-sized); 1 = serial,
+  /// fully inline; N > 1 = a dedicated pool of N threads for this build.
+  /// Thread count never changes the produced bytes — parallel derivation
+  /// writes into index-addressed slots, so every setting is bit-identical.
+  std::uint32_t threads = 0;
+  /// Externally owned pool; overrides `threads` when set.
+  ThreadPool* pool = nullptr;
+};
+
 struct BlockDerived {
   std::vector<Hash256> txids;
   Hash256 merkle_root;
@@ -31,28 +55,50 @@ struct BlockDerived {
   std::vector<BloomKey> bloom_keys;  // one per unique address
 };
 
+/// Geometry-independent derivation of one block's caches.
+BlockDerived derive_block(const std::vector<Transaction>& txs);
+
 class WorkloadDerived {
  public:
-  explicit WorkloadDerived(const Workload& workload);
+  explicit WorkloadDerived(const Workload& workload,
+                           const ChainBuildOptions& options = {});
 
   std::uint64_t tip_height() const { return per_block_.size(); }
   const BlockDerived& at(std::uint64_t height) const {
     LVQ_CHECK(height >= 1 && height <= per_block_.size());
-    return per_block_[height - 1];
+    return *per_block_[height - 1];
+  }
+
+  /// Per-block shared slices; successor instances alias the prefix.
+  const std::vector<std::shared_ptr<const BlockDerived>>& slices() const {
+    return per_block_;
   }
 
  private:
-  std::vector<BlockDerived> per_block_;
+  friend class ChainBuilder;
+  WorkloadDerived() = default;
+
+  std::vector<std::shared_ptr<const BlockDerived>> per_block_;
 };
 
 class BloomPositionTable {
  public:
-  BloomPositionTable(const WorkloadDerived& derived, BloomGeometry geom);
+  BloomPositionTable(const WorkloadDerived& derived, BloomGeometry geom,
+                     const ChainBuildOptions& options = {});
 
   const BloomGeometry& geometry() const { return geom_; }
+  std::uint64_t tip_height() const { return per_block_.size(); }
 
   /// Sorted unique BF bit positions of the block's address set.
   const std::vector<std::uint32_t>& positions(std::uint64_t height) const {
+    LVQ_CHECK(height >= 1 && height <= per_block_.size());
+    return *per_block_[height - 1];
+  }
+
+  /// Shared slice of one block's position list — what SegmentBmt suppliers
+  /// capture so sealed segments stay valid across context generations.
+  std::shared_ptr<const std::vector<std::uint32_t>> slice(
+      std::uint64_t height) const {
     LVQ_CHECK(height >= 1 && height <= per_block_.size());
     return per_block_[height - 1];
   }
@@ -65,18 +111,27 @@ class BloomPositionTable {
   BloomFilter block_bf(std::uint64_t height) const;
 
  private:
+  friend class ChainBuilder;
+  explicit BloomPositionTable(BloomGeometry geom) : geom_(geom) {}
+
+  /// One block's sorted unique BF bit positions for `geom`.
+  static std::vector<std::uint32_t> derive(const BlockDerived& d,
+                                           const BloomGeometry& geom);
+
   BloomGeometry geom_;
-  std::vector<std::vector<std::uint32_t>> per_block_;
+  std::vector<std::shared_ptr<const std::vector<std::uint32_t>>> per_block_;
 };
 
 class ChainContext {
  public:
+  /// One-shot wrapper over ChainBuilder: derives positions, the BMT
+  /// forest, and headers for `config` (in parallel per `options`).
   ChainContext(std::shared_ptr<const Workload> workload,
                std::shared_ptr<const WorkloadDerived> derived,
-               const ProtocolConfig& config);
+               const ProtocolConfig& config,
+               const ChainBuildOptions& options = {});
 
   const ProtocolConfig& config() const { return config_; }
-  const Workload& workload() const { return *workload_; }
   const WorkloadDerived& derived() const { return *derived_; }
   const BloomPositionTable& positions() const { return *positions_; }
   const ChainStore& chain() const { return chain_; }
@@ -87,14 +142,30 @@ class ChainContext {
 
   /// Segment BMT containing `height` (designs with BMT only).
   const SegmentBmt& bmt_for_height(std::uint64_t height) const;
-  const std::vector<SegmentBmt>& bmts() const { return bmts_; }
+  const std::vector<std::shared_ptr<const SegmentBmt>>& bmts() const {
+    return bmts_;
+  }
+
+  /// Successor context with `new_blocks` appended. Shares every immutable
+  /// per-block slice of this context by pointer (derived blocks, position
+  /// lists, chain blocks, sealed BMT segments) and derives only the new
+  /// heights; of the existing forest only the open tail segment — the one
+  /// whose incomplete nodes gain leaves — is recomputed. Headers of the
+  /// prefix are bit-identical (append-only by construction). Cost is
+  /// O(new blocks + tail segment), not O(chain). This context is
+  /// untouched and remains fully usable.
+  std::shared_ptr<const ChainContext> extend(
+      std::vector<std::vector<Transaction>> new_blocks,
+      const ChainBuildOptions& options = {}) const;
 
  private:
-  std::shared_ptr<const Workload> workload_;
+  friend class ChainBuilder;
+  ChainContext() = default;
+
   std::shared_ptr<const WorkloadDerived> derived_;
   ProtocolConfig config_;
-  std::unique_ptr<BloomPositionTable> positions_;
-  std::vector<SegmentBmt> bmts_;
+  std::shared_ptr<const BloomPositionTable> positions_;
+  std::vector<std::shared_ptr<const SegmentBmt>> bmts_;
   ChainStore chain_;
 };
 

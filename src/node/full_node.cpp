@@ -1,15 +1,53 @@
 #include "node/full_node.hpp"
 
+#include "core/chain_builder.hpp"
+
 namespace lvq {
 
+FullNode::FullNode(std::shared_ptr<const Workload> workload,
+                   std::shared_ptr<const WorkloadDerived> derived,
+                   const ProtocolConfig& config,
+                   const ChainBuildOptions& options)
+    : FullNode(ChainBuilder::build(std::move(workload), std::move(derived),
+                                   config, options)) {}
+
+FullNode::FullNode(std::shared_ptr<const ChainContext> context)
+    : ctx_(std::move(context)) {
+  LVQ_CHECK(ctx_ != nullptr);
+  config_ = ctx_->config();
+}
+
+std::shared_ptr<const ChainContext> FullNode::context() const {
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  return ctx_;
+}
+
+void FullNode::append_blocks(std::vector<std::vector<Transaction>> new_blocks,
+                             const ChainBuildOptions& options) {
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  // extend() runs outside ctx_mu_: readers keep snapshotting the old tip
+  // while the successor is assembled, then observe it atomically.
+  std::shared_ptr<const ChainContext> next =
+      context()->extend(std::move(new_blocks), options);
+  std::lock_guard<std::mutex> lock(ctx_mu_);
+  ctx_ = std::move(next);
+}
+
 Bytes FullNode::handle_message(ByteSpan request) const {
+  // One snapshot per request: every case below reads `ctx`, never ctx_.
+  std::shared_ptr<const ChainContext> snapshot = context();
+  return dispatch(*snapshot, request);
+}
+
+Bytes FullNode::dispatch(const ChainContext& ctx, ByteSpan request) const {
+  const std::uint64_t tip = ctx.tip_height();
   try {
     auto [type, payload] = decode_envelope(request);
     switch (type) {
       case MsgType::kHeadersRequest: {
         Writer w;
-        w.varint(tip_height());
-        for (const Block& b : ctx_.chain().blocks()) b.header.serialize(w);
+        w.varint(tip);
+        for (const auto& b : ctx.chain().blocks()) b->header.serialize(w);
         return encode_envelope(MsgType::kHeaders,
                                ByteSpan{w.data().data(), w.data().size()});
       }
@@ -17,11 +55,11 @@ Bytes FullNode::handle_message(ByteSpan request) const {
         Reader r(payload);
         std::uint64_t from = r.varint();
         r.expect_done();
-        std::uint64_t first = std::min(from + 1, tip_height() + 1);
+        std::uint64_t first = std::min(from + 1, tip + 1);
         Writer w;
-        w.varint(tip_height() - (first - 1));
-        for (std::uint64_t h = first; h <= tip_height(); ++h) {
-          ctx_.chain().at_height(h).header.serialize(w);
+        w.varint(tip - (first - 1));
+        for (std::uint64_t h = first; h <= tip; ++h) {
+          ctx.chain().at_height(h).header.serialize(w);
         }
         return encode_envelope(MsgType::kHeaders,
                                ByteSpan{w.data().data(), w.data().size()});
@@ -30,7 +68,7 @@ Bytes FullNode::handle_message(ByteSpan request) const {
         Reader r(payload);
         QueryRequest req = QueryRequest::deserialize(r);
         r.expect_done();
-        QueryResponse resp = query(req.address);
+        QueryResponse resp = build_query_response(ctx, req.address);
         Writer w;
         resp.serialize(w);
         return encode_envelope(MsgType::kQueryResponse,
@@ -40,8 +78,9 @@ Bytes FullNode::handle_message(ByteSpan request) const {
         Reader r(payload);
         RangeQueryRequest req = RangeQueryRequest::deserialize(r);
         r.expect_done();
-        if (req.to > tip_height()) break;  // error reply
-        RangeQueryResponse resp = range_query(req.address, req.from, req.to);
+        if (req.to > tip) break;  // error reply
+        RangeQueryResponse resp =
+            build_range_response(ctx, req.address, req.from, req.to);
         Writer w;
         resp.serialize(w);
         return encode_envelope(MsgType::kRangeQueryResponse,
@@ -58,7 +97,7 @@ Bytes FullNode::handle_message(ByteSpan request) const {
         }
         r.expect_done();
         Writer w;
-        multi_query(addresses).serialize(w);
+        build_multi_response(ctx, addresses).serialize(w);
         return encode_envelope(MsgType::kMultiQueryResponse,
                                ByteSpan{w.data().data(), w.data().size()});
       }
@@ -74,7 +113,9 @@ Bytes FullNode::handle_message(ByteSpan request) const {
         r.expect_done();
         Writer w;
         w.varint(addresses.size());
-        for (const Address& addr : addresses) query(addr).serialize(w);
+        for (const Address& addr : addresses) {
+          build_query_response(ctx, addr).serialize(w);
+        }
         return encode_envelope(MsgType::kBatchQueryResponse,
                                ByteSpan{w.data().data(), w.data().size()});
       }
@@ -88,8 +129,9 @@ Bytes FullNode::handle_message(ByteSpan request) const {
 }
 
 std::uint64_t FullNode::storage_bytes() const {
+  std::shared_ptr<const ChainContext> snapshot = context();
   std::uint64_t n = 0;
-  for (const Block& b : ctx_.chain().blocks()) n += b.serialized_size();
+  for (const auto& b : snapshot->chain().blocks()) n += b->serialized_size();
   return n;
 }
 

@@ -1,8 +1,25 @@
 // Full node: stores complete blocks, serves headers and verifiable query
-// responses over the RPC envelope protocol.
+// responses over the RPC envelope protocol, and grows its chain in place.
+//
+// Snapshot rule
+// -------------
+// The node's chain state is one immutable ChainContext behind a
+// shared_ptr. `append_blocks()` never mutates the current context: it
+// builds a successor via ChainContext::extend (sharing every per-block
+// slice, deriving only the new heights) and swaps the pointer. Readers
+// therefore follow one rule: take ONE snapshot via context() at entry and
+// execute the whole operation against it — handle_message and every query
+// helper pass that snapshot down explicitly, so no code path can read the
+// pointer twice and observe two different chain states (let alone a
+// half-extended one; a half-extended context is unrepresentable, it is
+// published only after assembly completes). Snapshots remain fully usable
+// after a swap for as long as the caller holds them.
+//
+// Appends are serialized against each other; they never block readers.
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "core/chain_context.hpp"
 #include "core/multi_query.hpp"
@@ -14,32 +31,49 @@ namespace lvq {
 
 class FullNode {
  public:
+  /// One-shot wrapper: assembles the context via ChainBuilder (parallel
+  /// per `options`; thread count never changes the produced bytes).
   FullNode(std::shared_ptr<const Workload> workload,
            std::shared_ptr<const WorkloadDerived> derived,
-           const ProtocolConfig& config)
-      : ctx_(std::move(workload), std::move(derived), config) {}
+           const ProtocolConfig& config, const ChainBuildOptions& options = {});
 
-  const ChainContext& context() const { return ctx_; }
-  const ProtocolConfig& config() const { return ctx_.config(); }
-  std::uint64_t tip_height() const { return ctx_.tip_height(); }
+  /// Adopts an already-built context (ChainBuilder::freeze result).
+  explicit FullNode(std::shared_ptr<const ChainContext> context);
 
-  std::vector<BlockHeader> headers() const { return ctx_.headers(); }
+  /// Current chain snapshot (see the snapshot rule above). Hold the
+  /// returned pointer for the duration of one logical operation.
+  std::shared_ptr<const ChainContext> context() const;
+
+  /// Fixed at construction; appends never change the protocol config.
+  const ProtocolConfig& config() const { return config_; }
+
+  std::uint64_t tip_height() const { return context()->tip_height(); }
+  std::vector<BlockHeader> headers() const { return context()->headers(); }
+
+  /// Extends the chain by `new_blocks` and publishes the successor
+  /// context. Cost is O(new blocks + open tail segment), not O(chain).
+  /// Concurrent appends are serialized; concurrent readers keep serving
+  /// their snapshots. A ServingEngine bound to this node should call
+  /// rebind() afterwards to bump its cache epoch.
+  void append_blocks(std::vector<std::vector<Transaction>> new_blocks,
+                     const ChainBuildOptions& options = {});
 
   QueryResponse query(const Address& address) const {
-    return build_query_response(ctx_, address);
+    return build_query_response(*context(), address);
   }
 
   RangeQueryResponse range_query(const Address& address, std::uint64_t from,
                                  std::uint64_t to) const {
-    return build_range_response(ctx_, address, from, to);
+    return build_range_response(*context(), address, from, to);
   }
 
   MultiQueryResponse multi_query(const std::vector<Address>& addresses) const {
-    return build_multi_response(ctx_, addresses);
+    return build_multi_response(*context(), addresses);
   }
 
-  /// RPC server entry point: decodes an envelope, dispatches, encodes the
-  /// reply. Malformed requests yield a kError envelope, never a crash.
+  /// RPC server entry point: decodes an envelope, dispatches against one
+  /// context snapshot, encodes the reply. Malformed requests yield a
+  /// kError envelope, never a crash.
   Bytes handle_message(ByteSpan request) const;
 
   /// Serialized size of the complete ledger (headers + bodies) — the full
@@ -47,7 +81,13 @@ class FullNode {
   std::uint64_t storage_bytes() const;
 
  private:
-  ChainContext ctx_;
+  /// All RPC cases execute against the explicit snapshot `ctx`.
+  Bytes dispatch(const ChainContext& ctx, ByteSpan request) const;
+
+  mutable std::mutex ctx_mu_;   // guards ctx_ (pointer swap only)
+  std::mutex append_mu_;        // serializes append_blocks
+  std::shared_ptr<const ChainContext> ctx_;
+  ProtocolConfig config_;
 };
 
 }  // namespace lvq

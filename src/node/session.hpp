@@ -20,24 +20,34 @@ struct ExperimentSetup {
   std::shared_ptr<const WorkloadDerived> derived;
 };
 
-inline ExperimentSetup make_setup(const WorkloadConfig& config) {
+/// The single derivation entry point: every setup path (generated
+/// workloads, ledgers loaded from disk, hand-built block lists) funnels
+/// through here, so per-block caches are always produced by the same
+/// (parallel, byte-deterministic) ChainBuilder pipeline.
+inline ExperimentSetup make_setup_from_workload(
+    std::shared_ptr<const Workload> workload,
+    const ChainBuildOptions& options = {}) {
   ExperimentSetup s;
-  s.workload = std::make_shared<const Workload>(generate_workload(config));
-  s.derived = std::make_shared<const WorkloadDerived>(*s.workload);
+  s.workload = std::move(workload);
+  s.derived = std::make_shared<const WorkloadDerived>(*s.workload, options);
   return s;
+}
+
+inline ExperimentSetup make_setup(const WorkloadConfig& config,
+                                  const ChainBuildOptions& options = {}) {
+  return make_setup_from_workload(
+      std::make_shared<const Workload>(generate_workload(config)), options);
 }
 
 /// Wraps existing block bodies (e.g. a ledger loaded from disk via
 /// chain_io) for querying. No profiles; headers are (re)derived by the
 /// ChainContext for whatever ProtocolConfig the caller picks.
 inline ExperimentSetup make_setup_from_blocks(
-    std::vector<std::vector<Transaction>> blocks) {
+    std::vector<std::vector<Transaction>> blocks,
+    const ChainBuildOptions& options = {}) {
   auto workload = std::make_shared<Workload>();
   workload->blocks = std::move(blocks);
-  ExperimentSetup s;
-  s.workload = workload;
-  s.derived = std::make_shared<const WorkloadDerived>(*workload);
-  return s;
+  return make_setup_from_workload(std::move(workload), options);
 }
 
 /// Multi-peer harness: one honest full node behind any number of peer

@@ -203,7 +203,11 @@ std::optional<Bytes> ServingEngine::fast_query(ByteSpan request) {
   } catch (const SerializeError&) {
     return std::nullopt;  // let the backend produce the kError reply
   }
-  const ChainContext& ctx = node_->context();
+  // One context snapshot for the whole proof assembly (snapshot rule in
+  // full_node.hpp): a concurrent append_blocks must not move the tip
+  // between the forest computation and the per-segment proofs.
+  const std::shared_ptr<const ChainContext> snapshot = node_->context();
+  const ChainContext& ctx = *snapshot;
   const ProtocolConfig& config = ctx.config();
   const std::uint64_t tip = ctx.tip_height();
   if (tip == 0) return std::nullopt;
@@ -260,6 +264,16 @@ void ServingEngine::rebind(const FullNode& node) {
   }
   // Stale keys are unreachable after the epoch bump; clearing just
   // returns their memory immediately instead of waiting for LRU churn.
+  response_cache_.clear();
+}
+
+void ServingEngine::rebind() {
+  LVQ_CHECK_MSG(node_ != nullptr, "rebind() without a node requires FullNode mode");
+  {
+    std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+    epoch_tip_ = node_->tip_height();
+    ++epoch_generation_;
+  }
   response_cache_.clear();
 }
 

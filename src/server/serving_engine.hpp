@@ -95,6 +95,12 @@ class ServingEngine {
   /// unreachable when their chain prefix did not survive.
   void rebind(const FullNode& node);
 
+  /// Re-reads the bound node's current tip after it grew in place (e.g.
+  /// FullNode::append_blocks). Same epoch/drain semantics as rebind(node);
+  /// requires FullNode mode. Cost is O(1) plus the drain — the node's
+  /// append already did the incremental derivation.
+  void rebind();
+
   /// Epoch bump without changing nodes (manual invalidation).
   void invalidate();
 

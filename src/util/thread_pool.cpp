@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace lvq {
+
+struct ThreadPool::ForState {
+  std::uint64_t n = 0;
+  std::uint64_t grain = 1;
+  const std::function<void(std::uint64_t)>* fn = nullptr;
+
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint32_t outstanding = 0;  // helper tasks not yet finished
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::uint32_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  size_ = threads;
+  workers_.reserve(threads - 1);
+  for (std::uint32_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping, queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run_chunks(ForState& st) {
+  for (;;) {
+    if (st.failed.load(std::memory_order_relaxed)) return;
+    std::uint64_t begin = st.next.fetch_add(st.grain, std::memory_order_relaxed);
+    if (begin >= st.n) return;
+    std::uint64_t end = std::min(st.n, begin + st.grain);
+    try {
+      for (std::uint64_t i = begin; i < end; ++i) (*st.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st.mu);
+      if (!st.error) st.error = std::current_exception();
+      st.failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::uint64_t n,
+                              const std::function<void(std::uint64_t)>& fn) {
+  if (n == 0) return;
+  const std::uint32_t helpers = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      workers_.size(), n > 1 ? n - 1 : 0));
+  if (helpers == 0) {
+    for (std::uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto st = std::make_shared<ForState>();
+  st->n = n;
+  // ~8 chunks per thread balances load without contending on the counter.
+  st->grain = std::max<std::uint64_t>(1, n / (std::uint64_t{helpers + 1} * 8));
+  st->fn = &fn;  // caller outlives every helper (it waits below)
+  st->outstanding = helpers;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t i = 0; i < helpers; ++i) {
+      tasks_.emplace_back([st] {
+        run_chunks(*st);
+        {
+          std::lock_guard<std::mutex> slock(st->mu);
+          --st->outstanding;
+        }
+        st->cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  run_chunks(*st);
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->cv.wait(lock, [&] { return st->outstanding == 0; });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace lvq

@@ -1,0 +1,73 @@
+// Reusable worker pool for data-parallel derivation work.
+//
+// The only primitive is `parallel_for(n, fn)`: fn(i) is invoked exactly
+// once for every i in [0, n), distributed over the pool's workers in
+// contiguous chunks, with the calling thread participating. Results are
+// byte-identical to a serial loop by construction because callers write
+// into preallocated, index-addressed slots — the pool adds no ordering of
+// its own. The first exception thrown by any fn is rethrown on the caller
+// after the loop quiesces; remaining chunks are abandoned.
+//
+// parallel_for may be invoked concurrently from any number of caller
+// threads (each call has its own completion state), but must NOT be
+// called from inside a task running on the same pool — the caller would
+// wait on workers that may all be occupied by callers doing the same.
+// The ingestion pipeline only fans out from non-pool threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lvq {
+
+class ThreadPool {
+ public:
+  /// `threads` counts the caller as one worker: a pool of size N runs
+  /// parallel_for on N threads total (N-1 pool workers + the caller).
+  /// 0 means hardware_concurrency; 1 spawns nothing and runs inline.
+  explicit ThreadPool(std::uint32_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t size() const { return size_; }
+
+  void parallel_for(std::uint64_t n,
+                    const std::function<void(std::uint64_t)>& fn);
+
+  /// Process-wide default pool, sized to the hardware. Lazily constructed;
+  /// workers idle on a condition variable when unused.
+  static ThreadPool& shared();
+
+ private:
+  struct ForState;
+
+  void worker_loop();
+  static void run_chunks(ForState& st);
+
+  std::uint32_t size_ = 1;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// `pool->parallel_for` when `pool` is set, a plain serial loop otherwise.
+/// The serial loop is the reference semantics the pool must reproduce.
+inline void parallel_for_each(ThreadPool* pool, std::uint64_t n,
+                              const std::function<void(std::uint64_t)>& fn) {
+  if (pool == nullptr) {
+    for (std::uint64_t i = 0; i < n; ++i) fn(i);
+  } else {
+    pool->parallel_for(n, fn);
+  }
+}
+
+}  // namespace lvq

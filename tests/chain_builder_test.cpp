@@ -1,0 +1,300 @@
+// ChainBuilder / ThreadPool tests.
+//
+// The load-bearing property: HOW a context is built — serially, fanned
+// out across a pool, or grown incrementally through extend() — must never
+// change a single produced byte. Headers, commitments, and whole wire
+// responses are compared across all three paths for every Design; the
+// golden tests pin the absolute bytes, these pin the equivalences.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "core/chain_builder.hpp"
+#include "core/prover.hpp"
+#include "node/session.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kN = 10'000;
+  std::vector<std::atomic<std::uint32_t>> hits(kN);
+  pool.parallel_for(kN, [&](std::uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.parallel_for(64, [&](std::uint64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [&](std::uint64_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&](std::uint64_t i) {
+                                   if (i == 137) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after a failed run.
+  std::atomic<std::uint64_t> n{0};
+  pool.parallel_for(100, [&](std::uint64_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 100u);
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+// ---------------------------------------------------------------------------
+
+ExperimentSetup test_setup(std::uint32_t blocks, std::uint64_t seed = 77) {
+  WorkloadConfig c;
+  c.seed = seed;
+  c.num_blocks = blocks;
+  c.background_txs_per_block = 6;
+  c.profiles = {{"p", 8, 6}, {"q", 3, 2}};
+  return make_setup(c);
+}
+
+Bytes query_bytes(const ChainContext& ctx, const Address& addr) {
+  Writer w;
+  build_query_response(ctx, addr).serialize(w);
+  return w.take();
+}
+
+/// Serial, parallel, and extend-grown contexts must be byte-identical:
+/// same header bytes at every height, same wire bytes for every profile
+/// query. Exercised for every Design because each scheme commits to a
+/// different subset of the derived state.
+TEST(ChainBuilder, SerialParallelAndExtendAreByteIdentical) {
+  const ExperimentSetup setup = test_setup(22);
+  ThreadPool pool(4);
+
+  for (Design design : {Design::kStrawman, Design::kStrawmanVariant,
+                        Design::kLvqNoBmt, Design::kLvqNoSmt, Design::kLvq}) {
+    ProtocolConfig config{design, BloomGeometry{128, 4}, 4};
+
+    ChainBuildOptions serial;
+    serial.threads = 1;
+    ChainBuildOptions parallel;
+    parallel.pool = &pool;
+
+    auto serial_ctx = ChainBuilder::build(setup.workload, config, serial);
+    auto parallel_ctx = ChainBuilder::build(setup.workload, config, parallel);
+
+    // Extend-grown: first 15 blocks cold, remaining 7 appended in two
+    // uneven batches (one crossing a segment boundary).
+    auto base_workload = std::make_shared<Workload>();
+    base_workload->blocks.assign(setup.workload->blocks.begin(),
+                                 setup.workload->blocks.begin() + 15);
+    auto grown = ChainBuilder::build(std::move(base_workload), config, serial);
+    grown = grown->extend({setup.workload->blocks.begin() + 15,
+                           setup.workload->blocks.begin() + 18},
+                          parallel);
+    grown = grown->extend({setup.workload->blocks.begin() + 18,
+                           setup.workload->blocks.end()},
+                          serial);
+
+    ASSERT_EQ(parallel_ctx->tip_height(), 22u);
+    ASSERT_EQ(grown->tip_height(), 22u);
+    for (std::uint64_t h = 1; h <= 22; ++h) {
+      Writer a, b, c;
+      serial_ctx->chain().at_height(h).header.serialize(a);
+      parallel_ctx->chain().at_height(h).header.serialize(b);
+      grown->chain().at_height(h).header.serialize(c);
+      ASSERT_EQ(a.data(), b.data())
+          << design_name(design) << " height " << h << " serial vs parallel";
+      ASSERT_EQ(a.data(), c.data())
+          << design_name(design) << " height " << h << " serial vs extend";
+    }
+    for (const AddressProfile& p : setup.workload->profiles) {
+      Bytes want = query_bytes(*serial_ctx, p.address);
+      EXPECT_EQ(want, query_bytes(*parallel_ctx, p.address))
+          << design_name(design) << " " << p.label;
+      EXPECT_EQ(want, query_bytes(*grown, p.address))
+          << design_name(design) << " " << p.label;
+    }
+  }
+}
+
+TEST(ChainBuilder, StagedApiMatchesOneShotBuild) {
+  const ExperimentSetup setup = test_setup(10);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+
+  ChainBuilder b(config);
+  b.append(setup.workload->blocks[0]);
+  b.add_blocks(std::span<const std::vector<Transaction>>(
+      setup.workload->blocks.data() + 1, 4));
+  b.add_blocks(std::vector<std::vector<Transaction>>(
+      setup.workload->blocks.begin() + 5, setup.workload->blocks.end()));
+  EXPECT_EQ(b.pending_blocks(), 10u);
+  auto staged = b.freeze();
+  EXPECT_EQ(b.pending_blocks(), 0u) << "freeze consumes the staged blocks";
+
+  auto oneshot = ChainBuilder::build(setup.workload, config);
+  ASSERT_EQ(staged->tip_height(), oneshot->tip_height());
+  EXPECT_EQ(staged->chain().at_height(10).header.hash(),
+            oneshot->chain().at_height(10).header.hash());
+}
+
+/// extend() must alias the prefix, not recompute it: derived blocks,
+/// position lists, chain blocks, and sealed BMT segments are the same
+/// heap objects; only the open tail segment is rebuilt.
+TEST(ChainBuilder, ExtendSharesThePrefixByPointer) {
+  const ExperimentSetup setup = test_setup(11);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  auto base = ChainBuilder::build(setup.workload, config);
+
+  WorkloadConfig extra_c;
+  extra_c.seed = 991;
+  extra_c.num_blocks = 2;
+  extra_c.background_txs_per_block = 5;
+  extra_c.profiles.clear();
+  Workload extra = generate_workload(extra_c);
+  auto grown = base->extend(std::move(extra.blocks));
+
+  ASSERT_EQ(grown->tip_height(), 13u);
+  for (std::uint64_t h = 1; h <= 11; ++h) {
+    EXPECT_EQ(grown->derived().slices()[h - 1], base->derived().slices()[h - 1]);
+    EXPECT_EQ(grown->positions().slice(h), base->positions().slice(h));
+    EXPECT_EQ(grown->chain().blocks()[h - 1], base->chain().blocks()[h - 1]);
+  }
+  // 11 blocks at M=4: segments [1..4][5..8] sealed, [9..11] open. After
+  // +2 blocks the open segment grew to [9..12] and [13] started.
+  ASSERT_EQ(base->bmts().size(), 3u);
+  ASSERT_EQ(grown->bmts().size(), 4u);
+  EXPECT_EQ(grown->bmts()[0], base->bmts()[0]) << "sealed segment shared";
+  EXPECT_EQ(grown->bmts()[1], base->bmts()[1]) << "sealed segment shared";
+  EXPECT_NE(grown->bmts()[2], base->bmts()[2]) << "open tail rebuilt";
+
+  // A base whose tail segment is exactly full seals it: nothing rebuilt.
+  auto full_workload = std::make_shared<Workload>();
+  full_workload->blocks.assign(setup.workload->blocks.begin(),
+                               setup.workload->blocks.begin() + 8);
+  auto sealed = ChainBuilder::build(std::move(full_workload), config);
+  auto sealed_grown =
+      sealed->extend({setup.workload->blocks.begin() + 8,
+                      setup.workload->blocks.begin() + 9});
+  ASSERT_EQ(sealed->bmts().size(), 2u);
+  EXPECT_EQ(sealed_grown->bmts()[0], sealed->bmts()[0]);
+  EXPECT_EQ(sealed_grown->bmts()[1], sealed->bmts()[1])
+      << "a full tail segment is sealed and must be reused";
+}
+
+/// The base context must stay fully queryable after (and independent of)
+/// any number of extensions — including after the base is destroyed.
+TEST(ChainBuilder, BaseSurvivesExtendAndExtensionSurvivesBase) {
+  const ExperimentSetup setup = test_setup(9);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  const Address addr = setup.workload->profiles[0].address;
+
+  auto base = ChainBuilder::build(setup.workload, config);
+  Bytes before = query_bytes(*base, addr);
+
+  WorkloadConfig extra_c;
+  extra_c.seed = 17;
+  extra_c.num_blocks = 3;
+  extra_c.background_txs_per_block = 4;
+  extra_c.profiles.clear();
+  auto grown = base->extend(generate_workload(extra_c).blocks);
+
+  EXPECT_EQ(query_bytes(*base, addr), before) << "base untouched by extend";
+  Bytes grown_bytes = query_bytes(*grown, addr);
+  base.reset();  // successor must not dangle into the dead base
+  EXPECT_EQ(query_bytes(*grown, addr), grown_bytes);
+}
+
+TEST(ChainBuilder, ExtendRejectsEmptyBatch) {
+  const ExperimentSetup setup = test_setup(8);
+  auto ctx = ChainBuilder::build(setup.workload,
+                                 ProtocolConfig{Design::kLvq, {128, 4}, 4});
+  EXPECT_THROW(ctx->extend({}), std::logic_error);
+}
+
+TEST(FullNode, AppendBlocksMatchesFromScratchRebuild) {
+  const ExperimentSetup setup = test_setup(18, /*seed=*/5);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+
+  auto base_workload = std::make_shared<Workload>();
+  base_workload->blocks.assign(setup.workload->blocks.begin(),
+                               setup.workload->blocks.begin() + 12);
+  FullNode appended(ChainBuilder::build(std::move(base_workload), config));
+  appended.append_blocks({setup.workload->blocks.begin() + 12,
+                          setup.workload->blocks.end()});
+
+  FullNode rebuilt(ChainBuilder::build(setup.workload, config));
+  ASSERT_EQ(appended.tip_height(), rebuilt.tip_height());
+
+  auto ah = appended.headers();
+  auto rh = rebuilt.headers();
+  for (std::size_t i = 0; i < ah.size(); ++i) {
+    ASSERT_EQ(ah[i].hash(), rh[i].hash()) << "height " << i + 1;
+  }
+  for (const AddressProfile& p : setup.workload->profiles) {
+    Writer w;
+    QueryRequest{p.address}.serialize(w);
+    Bytes req = encode_envelope(MsgType::kQueryRequest,
+                                ByteSpan{w.data().data(), w.data().size()});
+    EXPECT_EQ(appended.handle_message(ByteSpan{req.data(), req.size()}),
+              rebuilt.handle_message(ByteSpan{req.data(), req.size()}))
+        << p.label;
+  }
+}
+
+/// End-to-end across the dedup'd session path: a light node that synced
+/// against the extended node verifies queries exactly as if the chain had
+/// been built whole.
+TEST(FullNode, AppendedChainVerifiesEndToEnd) {
+  const ExperimentSetup setup = test_setup(16, /*seed=*/31);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{256, 4}, 4};
+
+  auto base_workload = std::make_shared<Workload>();
+  base_workload->blocks.assign(setup.workload->blocks.begin(),
+                               setup.workload->blocks.begin() + 10);
+  FullNode full(ChainBuilder::build(std::move(base_workload), config));
+  full.append_blocks({setup.workload->blocks.begin() + 10,
+                      setup.workload->blocks.end()});
+
+  LightNode light(config);
+  LoopbackTransport transport(
+      [&](ByteSpan req) { return full.handle_message(req); });
+  ASSERT_TRUE(light.sync_headers(transport));
+  ASSERT_EQ(light.tip_height(), 16u);
+
+  for (const AddressProfile& p : setup.workload->profiles) {
+    auto result = light.query(transport, p.address);
+    ASSERT_TRUE(result.outcome.ok)
+        << p.label << ": " << verify_error_name(result.outcome.error);
+    GroundTruth gt = scan_ground_truth(*setup.workload, p.address);
+    std::set<std::pair<std::uint64_t, Hash256>> expect(gt.txs.begin(),
+                                                       gt.txs.end());
+    std::set<std::pair<std::uint64_t, Hash256>> got;
+    for (const VerifiedBlockTxs& b : result.outcome.history.blocks) {
+      for (const Transaction& tx : b.txs) got.emplace(b.height, tx.txid());
+    }
+    EXPECT_EQ(got, expect) << p.label;
+  }
+}
+
+}  // namespace
+}  // namespace lvq

@@ -17,7 +17,7 @@
 namespace lvq {
 namespace {
 
-const ChainContext& golden_context() {
+const ExperimentSetup& golden_setup() {
   static ExperimentSetup setup = [] {
     WorkloadConfig c;
     c.seed = 123;
@@ -26,12 +26,16 @@ const ChainContext& golden_context() {
     c.profiles = {{"p", 4, 3}};
     return make_setup(c);
   }();
-  static ChainContext ctx(setup.workload, setup.derived,
+  return setup;
+}
+
+const ChainContext& golden_context() {
+  static ChainContext ctx(golden_setup().workload, golden_setup().derived,
                           ProtocolConfig{Design::kLvq, BloomGeometry{64, 4}, 8});
   return ctx;
 }
 
-const Workload& golden_workload() { return golden_context().workload(); }
+const Workload& golden_workload() { return *golden_setup().workload; }
 
 TEST(Golden, TipHeaderHash) {
   EXPECT_EQ(golden_context().chain().at_height(16).header.hash().hex(),

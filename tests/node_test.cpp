@@ -47,7 +47,7 @@ TEST(LightNode, SyncsHeadersOverRpc) {
   ASSERT_TRUE(light.sync_headers(transport));
   EXPECT_EQ(light.tip_height(), 40u);
   EXPECT_EQ(light.headers().back().hash(),
-            full.context().chain().at_height(40).header.hash());
+            full.context()->chain().at_height(40).header.hash());
 }
 
 TEST(LightNode, RejectsBrokenHeaderChain) {

@@ -205,7 +205,7 @@ TEST(Protocol, FragmentShapeFollowsEq4) {
   ASSERT_EQ(resp.fragments.size(), resp.tip_height);
   for (std::uint64_t h = 1; h <= resp.tip_height; ++h) {
     const BlockProof& frag = resp.fragments[h - 1];
-    bool fails = full.context().positions().check_fails(h, cbp);
+    bool fails = full.context()->positions().check_fails(h, cbp);
     if (!fails) {
       EXPECT_EQ(frag.kind, BlockProof::Kind::kEmpty);
       EXPECT_FALSE(tx_heights.count(h));

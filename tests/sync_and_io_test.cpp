@@ -133,7 +133,7 @@ class ChainIoTest : public ::testing::Test {
     ExperimentSetup s = make_setup(c);
     ChainContext ctx(s.workload, s.derived, ProtocolConfig{Design::kLvq, kGeom, 8});
     ChainStore copy;
-    for (const Block& b : ctx.chain().blocks()) copy.append(b);
+    for (const auto& b : ctx.chain().blocks()) copy.append(b);
     return copy;
   }
 };

@@ -13,6 +13,8 @@
 //                  [--workers=N] [--queue-depth=N] [--cache-mb=N]
 //                  [--max-conns=N]
 //   lvqtool stats  --connect=PORT
+//   lvqtool append --chain=chain.dat [--blocks=N] [--txs-per-block=N]
+//                  [--seed=N] [design flags]
 //
 // `gen` builds a synthetic ledger (with the Table III profile addresses
 // printed for querying) and persists it; the other commands load that
@@ -22,6 +24,12 @@
 // verified later against headers alone. `serve` fronts the full node with
 // the serving engine (worker pool, proof cache, kBusy backpressure);
 // `stats` queries a running server's metrics over the kStats RPC.
+// `append` grows an existing ledger in place through the incremental
+// ChainBuilder path (ChainContext::extend) and reports how long the
+// extend took versus the cold rebuild it replaced; a running `serve`
+// picks the new blocks up on SIGHUP without restarting — it extends its
+// live context by the file's new tail and rebinds the engine's caches,
+// reporting the rebind latency.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -49,8 +57,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lvqtool <gen|info|query|proof|verify|serve|stats> "
-               "[--flags]\n"
+               "usage: lvqtool <gen|info|query|proof|verify|serve|stats|"
+               "append> [--flags]\n"
                "  gen    --out=FILE [--blocks=N --txs-per-block=N --seed=N]\n"
                "  info   --chain=FILE\n"
                "  query  --chain=FILE|--connect=PORT --address=ADDR\n"
@@ -61,6 +69,9 @@ int usage() {
                "--queue-depth=N\n"
                "         --cache-mb=N --max-conns=N]\n"
                "  stats  --connect=PORT\n"
+               "  append --chain=FILE [--blocks=N --txs-per-block=N "
+               "--seed=N]\n"
+               "         (SIGHUP a running serve to pick the new tail up)\n"
                "design flags (gen/query/proof/verify): --design=lvq|"
                "lvq-no-bmt|lvq-no-smt|strawman|strawman-variant\n"
                "  --bf-kb=K --bf-hashes=K --segment-length=M\n");
@@ -100,7 +111,7 @@ ExperimentSetup load_setup(const std::string& path) {
   ChainStore chain = load_chain(path);
   std::vector<std::vector<Transaction>> bodies;
   bodies.reserve(chain.tip_height());
-  for (const Block& b : chain.blocks()) bodies.push_back(b.txs);
+  for (const auto& b : chain.blocks()) bodies.push_back(b->txs);
   return make_setup_from_blocks(std::move(bodies));
 }
 
@@ -170,7 +181,7 @@ int cmd_gen(const Flags& flags) {
               static_cast<unsigned long long>(ctx.tip_height()),
               human_bytes([&] {
                 std::uint64_t n = 0;
-                for (const Block& b : ctx.chain().blocks()) n += b.serialized_size();
+                for (const auto& b : ctx.chain().blocks()) n += b->serialized_size();
                 return n;
               }()).c_str(),
               out.c_str(), header_scheme_name(config.scheme()));
@@ -187,10 +198,10 @@ int cmd_info(const Flags& flags) {
   if (path.empty()) return usage();
   ChainStore chain = load_chain(path);
   std::uint64_t txs = 0, bytes = 0, addrs = 0;
-  for (const Block& b : chain.blocks()) {
-    txs += b.txs.size();
-    bytes += b.serialized_size();
-    addrs += b.address_counts().size();
+  for (const auto& b : chain.blocks()) {
+    txs += b->txs.size();
+    bytes += b->serialized_size();
+    addrs += b->address_counts().size();
   }
   std::printf("chain    : %llu blocks, %llu txs, %s\n",
               static_cast<unsigned long long>(chain.tip_height()),
@@ -322,6 +333,62 @@ int cmd_query(const Flags& flags, bool save_proof) {
   return print_query_result(address, session.query(address));
 }
 
+double millis_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+volatile std::sig_atomic_t g_sighup = 0;
+void on_sighup(int) { g_sighup = 1; }
+
+/// SIGHUP refresh for `serve`: reloads the ledger file, verifies it is a
+/// strict extension of what is being served, extends the live context by
+/// the new tail (O(new blocks)), and rebinds the engine's caches.
+void refresh_from_file(const std::string& path, FullNode& full,
+                       ServingEngine& engine) {
+  ChainStore reloaded = load_chain(path);
+  const std::uint64_t tip = full.tip_height();
+  if (reloaded.tip_height() < tip) {
+    std::fprintf(stderr, "refresh: %s has %llu blocks, serving %llu — "
+                         "not an extension, ignoring\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(reloaded.tip_height()),
+                 static_cast<unsigned long long>(tip));
+    return;
+  }
+  // The merkle root is scheme-independent, so it checks body identity even
+  // when the file was generated under different design flags.
+  if (reloaded.at_height(tip).header.merkle_root !=
+      full.context()->chain().at_height(tip).header.merkle_root) {
+    std::fprintf(stderr, "refresh: %s diverges from the served chain at "
+                         "height %llu, ignoring\n",
+                 path.c_str(), static_cast<unsigned long long>(tip));
+    return;
+  }
+  if (reloaded.tip_height() == tip) {
+    std::printf("refresh: no new blocks in %s\n", path.c_str());
+    std::fflush(stdout);
+    return;
+  }
+  std::vector<std::vector<Transaction>> tail;
+  tail.reserve(reloaded.tip_height() - tip);
+  for (std::uint64_t h = tip + 1; h <= reloaded.tip_height(); ++h) {
+    tail.push_back(reloaded.at_height(h).txs);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  full.append_blocks(std::move(tail));
+  const double extend_ms = millis_since(t0);
+  const auto t1 = std::chrono::steady_clock::now();
+  engine.rebind();
+  std::printf("refresh: extended %llu -> %llu (extend %.2f ms, "
+              "rebind %.2f ms)\n",
+              static_cast<unsigned long long>(tip),
+              static_cast<unsigned long long>(full.tip_height()), extend_ms,
+              millis_since(t1));
+  std::fflush(stdout);
+}
+
 int cmd_serve(const Flags& flags) {
   std::string path = flags.get_str("chain", "");
   if (path.empty()) return usage();
@@ -341,17 +408,73 @@ int cmd_serve(const Flags& flags) {
       static_cast<std::uint32_t>(flags.get_u64("max-conns", 0));
   TcpServer server([&](ByteSpan req) { return engine.handle(req); }, sopts);
   std::printf("serving %llu blocks [%s] on 127.0.0.1:%u "
-              "(%u workers, queue %u, cache %s)\n",
+              "(%u workers, queue %u, cache %s; SIGHUP reloads %s)\n",
               static_cast<unsigned long long>(full.tip_height()),
               design_name(config.design), server.port(), eopts.workers,
-              eopts.queue_depth, human_bytes(eopts.cache_bytes).c_str());
+              eopts.queue_depth, human_bytes(eopts.cache_bytes).c_str(),
+              path.c_str());
   std::fflush(stdout);
+  std::signal(SIGHUP, on_sighup);
+
   std::uint64_t seconds = flags.get_u64("seconds", 0);
-  if (seconds == 0) {
-    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (g_sighup) {
+      g_sighup = 0;
+      try {
+        refresh_from_file(path, full, engine);
+      } catch (const std::runtime_error& e) {
+        std::fprintf(stderr, "refresh failed: %s\n", e.what());
+      }
+    }
+    if (seconds != 0 && std::chrono::steady_clock::now() >= deadline) break;
   }
-  std::this_thread::sleep_for(std::chrono::seconds(seconds));
   server.stop();
+  return 0;
+}
+
+int cmd_append(const Flags& flags) {
+  std::string path = flags.get_str("chain", "");
+  if (path.empty()) return usage();
+  ProtocolConfig config = config_from_flags(flags);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ExperimentSetup setup = load_setup(path);
+  FullNode full(setup.workload, setup.derived, config);
+  const double build_ms = millis_since(t0);
+  const std::uint64_t old_tip = full.tip_height();
+
+  WorkloadConfig wc;
+  // Offset the seed by the tip so successive appends produce fresh blocks.
+  wc.seed = flags.get_u64("seed", 1) + old_tip;
+  wc.num_blocks = static_cast<std::uint32_t>(flags.get_u64("blocks", 16));
+  wc.background_txs_per_block =
+      static_cast<std::uint32_t>(flags.get_u64("txs-per-block", 40));
+  wc.profiles.clear();
+  Workload extra = generate_workload(wc);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  full.append_blocks(std::move(extra.blocks));
+  const double extend_ms = millis_since(t1);
+  save_chain(full.context()->chain(), path);
+
+  std::printf("appended %llu blocks: tip %llu -> %llu [%s]\n",
+              static_cast<unsigned long long>(full.tip_height() - old_tip),
+              static_cast<unsigned long long>(old_tip),
+              static_cast<unsigned long long>(full.tip_height()),
+              design_name(config.design));
+  std::printf("extend   : %.2f ms incremental (cold rebuild of the %llu-"
+              "block base took %.2f ms)\n",
+              extend_ms, static_cast<unsigned long long>(old_tip), build_ms);
+  std::printf("tip hash : %s\n",
+              full.context()
+                  ->chain()
+                  .at_height(full.tip_height())
+                  .header.hash()
+                  .hex()
+                  .c_str());
   return 0;
 }
 
@@ -428,6 +551,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(flags);
     if (cmd == "serve") return cmd_serve(flags);
     if (cmd == "stats") return cmd_stats(flags);
+    if (cmd == "append") return cmd_append(flags);
   } catch (const std::runtime_error& e) {  // includes SerializeError
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

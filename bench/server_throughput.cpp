@@ -10,8 +10,10 @@
 //           response cache (with the BMT segment sub-cache underneath).
 //
 // Results go to stdout and to BENCH_server.json (--out=...) so CI can
-// track the serving-path perf trajectory. Extra knobs on top of the
-// shared bench flags: --clients (8), --measure-ms (400), --out.
+// track the serving-path perf trajectory (tools/bench_check.py gates on
+// it). Extra knobs on top of the shared bench flags: --clients (8),
+// --measure-ms (400), --out, --proof-index (1; 0 rebuilds the tree-walk
+// cold path for comparison).
 #include <algorithm>
 #include <atomic>
 #include <thread>
@@ -129,7 +131,9 @@ int main(int argc, char** argv) {
 
   const std::uint32_t k = env.bf_hashes;
   ProtocolConfig config{Design::kLvq, BloomGeometry{30 * 1024, k}, 8};
-  FullNode full(env.setup.workload, env.setup.derived, config);
+  ChainBuildOptions build_opts;
+  build_opts.proof_index = env.flags.get_bool("proof-index", true);
+  FullNode full(env.setup.workload, env.setup.derived, config, build_opts);
   std::vector<Address> addrs;
   for (const AddressProfile& p : env.setup.workload->profiles) {
     addrs.push_back(p.address);
@@ -187,12 +191,14 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
 
-  // The warm cache exists to make repeated-address queries cheap; fail
-  // loudly if it ever stops paying for itself.
+  // The warm cache must never cost throughput. It used to be gated at a
+  // 5x speedup, but the proof index made the cold path fast enough that a
+  // fixed multiple over it is meaningless — regression tracking of the
+  // absolute cold/warm numbers lives in tools/bench_check.py instead.
   for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
-    if (results[i + 1].qps < 5.0 * results[i].qps) {
+    if (results[i + 1].qps < results[i].qps) {
       std::fprintf(stderr,
-                   "FAIL: warm cache speedup below 5x at %u workers "
+                   "FAIL: warm cache slower than cold at %u workers "
                    "(cold %.1f qps, warm %.1f qps)\n",
                    results[i].workers, results[i].qps, results[i + 1].qps);
       return 1;

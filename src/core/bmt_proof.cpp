@@ -1,5 +1,6 @@
 #include "core/bmt_proof.hpp"
 
+#include "core/proof_index.hpp"
 #include "util/check.hpp"
 
 namespace lvq {
@@ -132,11 +133,18 @@ std::size_t BmtNodeProof::serialized_size() const {
 }
 
 BmtNodeProof build_bmt_proof(const SegmentBmt& bmt, const BmtCheckMasks& masks,
-                             std::uint32_t root_level, std::uint64_t root_j) {
+                             std::uint32_t root_level, std::uint64_t root_j,
+                             const SegmentProofIndex* index) {
+  // Endpoint BFs come from the precomputed array when one is present;
+  // otherwise they are re-materialized from the leaf position lists. Both
+  // construct the same bits, so proofs are byte-identical either way.
+  auto node_bf = [&](std::uint32_t level, std::uint64_t j) {
+    return index ? index->bf(level, j) : bmt.node_bf(level, j);
+  };
   BmtNodeProof p;
   if (!masks.fails(root_level, root_j)) {
     p.kind = BmtNodeProof::Kind::kInexistentEndpoint;
-    p.bf = bmt.node_bf(root_level, root_j);
+    p.bf = node_bf(root_level, root_j);
     if (root_level > 0) {
       p.child_hashes = std::make_pair(bmt.node_hash(root_level - 1, 2 * root_j),
                                       bmt.node_hash(root_level - 1, 2 * root_j + 1));
@@ -145,14 +153,14 @@ BmtNodeProof build_bmt_proof(const SegmentBmt& bmt, const BmtCheckMasks& masks,
   }
   if (root_level == 0) {
     p.kind = BmtNodeProof::Kind::kFailedLeaf;
-    p.bf = bmt.node_bf(0, root_j);
+    p.bf = node_bf(0, root_j);
     return p;
   }
   p.kind = BmtNodeProof::Kind::kInterior;
   p.left = std::make_unique<BmtNodeProof>(
-      build_bmt_proof(bmt, masks, root_level - 1, 2 * root_j));
+      build_bmt_proof(bmt, masks, root_level - 1, 2 * root_j, index));
   p.right = std::make_unique<BmtNodeProof>(
-      build_bmt_proof(bmt, masks, root_level - 1, 2 * root_j + 1));
+      build_bmt_proof(bmt, masks, root_level - 1, 2 * root_j + 1, index));
   return p;
 }
 

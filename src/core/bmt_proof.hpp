@@ -67,10 +67,16 @@ struct BmtNodeProof {
   std::size_t serialized_size() const;
 };
 
+class SegmentProofIndex;
+
 /// Builds the proof for the query tree rooted at (root_level, root_j) of
-/// `bmt`, using precomputed per-node check masks.
+/// `bmt`, using precomputed per-node check masks. When `index` (the
+/// segment's precomputed node-BF array, core/proof_index.hpp) is non-null,
+/// endpoint BFs are copied out of it instead of re-materialized from
+/// position lists — byte-identical output either way.
 BmtNodeProof build_bmt_proof(const SegmentBmt& bmt, const BmtCheckMasks& masks,
-                             std::uint32_t root_level, std::uint64_t root_j);
+                             std::uint32_t root_level, std::uint64_t root_j,
+                             const SegmentProofIndex* index = nullptr);
 
 struct BmtProofOutcome {
   bool ok = false;

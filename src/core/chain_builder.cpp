@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/proof_index.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lvq {
@@ -37,6 +38,34 @@ std::shared_ptr<const SegmentBmt> make_segment(
   return std::make_shared<const SegmentBmt>(first_height, segment_length,
                                             available, geom,
                                             std::move(supplier));
+}
+
+/// Block tables for one height, or nullptr for designs whose per-block
+/// proofs ship whole blocks (kLvqNoSmt needs neither tx branches nor SMT
+/// branches).
+std::shared_ptr<const BlockProofIndex> make_block_index(
+    const std::vector<Transaction>& txs,
+    std::shared_ptr<const BlockDerived> derived, const ProtocolConfig& config) {
+  const bool want_tx = config.design != Design::kLvqNoSmt;
+  const bool want_smt = config.has_smt();
+  if (!want_tx && !want_smt) return nullptr;
+  return std::make_shared<const BlockProofIndex>(txs, std::move(derived),
+                                                 want_tx, want_smt);
+}
+
+/// Segment BF array over shared position-list slices (same slices the
+/// SegmentBmt supplier captures, same lifetime guarantees).
+std::shared_ptr<const SegmentProofIndex> make_segment_index(
+    const BloomPositionTable& positions, std::uint64_t first_height,
+    std::uint32_t segment_length, std::uint64_t available,
+    const BloomGeometry& geom) {
+  std::vector<std::shared_ptr<const std::vector<std::uint32_t>>> slices;
+  slices.reserve(available);
+  for (std::uint64_t h = first_height; h < first_height + available; ++h) {
+    slices.push_back(positions.slice(h));
+  }
+  return std::make_shared<const SegmentProofIndex>(
+      first_height, segment_length, available, geom, std::move(slices));
 }
 
 /// Stage 4: appends headers+bodies for heights (first_new, tip] onto
@@ -175,9 +204,64 @@ ChainContext ChainBuilder::assemble(
     });
   }
 
+  if (options.proof_index) {
+    ctx.proof_index_ = build_proof_index(ctx, bodies, /*bodies_first_height=*/1,
+                                         /*base=*/nullptr,
+                                         options.proof_index_bf_budget, pool);
+  }
+
   assemble_blocks(ctx, ctx.chain_, bodies, /*bodies_first_height=*/1,
                   /*first_new=*/0, tip, Hash256{}, pool);
   return ctx;
+}
+
+std::shared_ptr<const ProofIndex> ChainBuilder::build_proof_index(
+    const ChainContext& ctx,
+    const std::vector<std::vector<Transaction>>& bodies,
+    std::uint64_t bodies_first_height, const ProofIndex* base,
+    std::uint64_t bf_budget, ThreadPool* pool) {
+  const ProtocolConfig& config = ctx.config_;
+  const std::uint64_t tip = ctx.derived_->tip_height();
+  const std::uint64_t old_tip = bodies_first_height - 1;
+
+  auto index = std::make_shared<ProofIndex>();
+  index->per_block_.resize(tip);
+  for (std::uint64_t i = 0; i < old_tip; ++i) {
+    index->per_block_[i] = base->per_block_[i];
+  }
+  parallel_for_each(pool, tip - old_tip, [&](std::uint64_t i) {
+    index->per_block_[old_tip + i] = make_block_index(
+        bodies[i], ctx.derived_->slices()[old_tip + i], config);
+  });
+
+  if (config.has_bmt() &&
+      SegmentProofIndex::estimated_bytes(tip, config.bloom) <= bf_budget) {
+    const std::uint64_t m = config.segment_length;
+    const std::uint64_t num_segments = (tip + m - 1) / m;
+    // Same dirty-segment rule as the BMT forest: sealed segments alias the
+    // base; only the open tail (and brand-new segments) are rebuilt. A
+    // base without a segment part (over budget at its tip, or non-BMT
+    // never happens here) rebuilds from scratch.
+    const std::uint64_t first_dirty =
+        (base == nullptr || base->per_segment_.empty())
+            ? 0
+            : ((old_tip % m == 0) ? old_tip / m : (old_tip - 1) / m);
+    index->segment_length_ = config.segment_length;
+    index->per_segment_.resize(num_segments);
+    for (std::uint64_t s = 0; s < first_dirty; ++s) {
+      index->per_segment_[s] = base->per_segment_[s];
+    }
+    parallel_for_each(pool, num_segments - first_dirty, [&](std::uint64_t i) {
+      const std::uint64_t s = first_dirty + i;
+      const std::uint64_t seg_first = s * m + 1;
+      const std::uint64_t available =
+          std::min<std::uint64_t>(m, tip - seg_first + 1);
+      index->per_segment_[s] = make_segment_index(
+          *ctx.positions_, seg_first, config.segment_length, available,
+          config.bloom);
+    });
+  }
+  return index;
 }
 
 std::shared_ptr<const ChainContext> ChainBuilder::extend_impl(
@@ -241,7 +325,16 @@ std::shared_ptr<const ChainContext> ChainBuilder::extend_impl(
     });
   }
 
-  // Stage 4: chain — prefix blocks aliased, new headers chained from the
+  // Stage 4: proof index — kept iff the base had one (an extend must stay
+  // O(new blocks); deriving an index for an unindexed prefix would be
+  // O(chain)). Sealed per-block tables and segments alias the base.
+  if (options.proof_index && base.proof_index_ != nullptr) {
+    ctx->proof_index_ = build_proof_index(
+        *ctx, new_blocks, /*bodies_first_height=*/old_tip + 1,
+        base.proof_index_.get(), options.proof_index_bf_budget, pool);
+  }
+
+  // Stage 5: chain — prefix blocks aliased, new headers chained from the
   // old tip hash.
   ctx->chain_ = base.chain_;
   assemble_blocks(*ctx, ctx->chain_, new_blocks,

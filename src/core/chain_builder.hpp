@@ -13,7 +13,9 @@
 //   2. BF position lists for the config's geometry
 //                             — parallel_for over blocks
 //   3. segment BMT forest     — parallel_for over segments
-//   4. header assembly        — serial (hash-chained), with per-block BFs
+//   4. proof index (optional) — parallel_for over blocks + segments; the
+//                               cold-query fast path (core/proof_index.hpp)
+//   5. header assembly        — serial (hash-chained), with per-block BFs
 //                               for embedded/bf-hash schemes precomputed
 //                               in parallel
 // Stage outputs land in index-addressed shared_ptr slices, so thread
@@ -76,6 +78,16 @@ class ChainBuilder {
       const ChainContext& base,
       std::vector<std::vector<Transaction>> new_blocks,
       const ChainBuildOptions& options);
+
+  /// Stage 4: proof-assembly sidecar for heights (bodies_first_height - 1,
+  /// tip]. `base` (nullable) supplies sealed-prefix slices to alias —
+  /// per-block tables by pointer, per-segment BF arrays up to the first
+  /// dirty segment.
+  static std::shared_ptr<const ProofIndex> build_proof_index(
+      const ChainContext& ctx,
+      const std::vector<std::vector<Transaction>>& bodies,
+      std::uint64_t bodies_first_height, const ProofIndex* base,
+      std::uint64_t bf_budget, ThreadPool* pool);
 
   ProtocolConfig config_;
   ChainBuildOptions options_;

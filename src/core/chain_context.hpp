@@ -35,6 +35,7 @@ namespace lvq {
 
 class ThreadPool;
 class ChainBuilder;
+class ProofIndex;
 
 /// How a build (or extend) distributes per-block derivation work.
 struct ChainBuildOptions {
@@ -45,6 +46,20 @@ struct ChainBuildOptions {
   std::uint32_t threads = 0;
   /// Externally owned pool; overrides `threads` when set.
   ThreadPool* pool = nullptr;
+  /// Build the proof-assembly sidecar (core/proof_index.hpp) as an extra
+  /// pipeline stage. The index never changes produced proof bytes — the
+  /// prover falls back to the tree walk wherever a table is absent — so
+  /// this only trades ingest time + memory for cold-query latency. On
+  /// extend(), the successor keeps an index iff the base had one (the
+  /// sealed prefix is aliased; only new heights and the open tail segment
+  /// are derived).
+  bool proof_index = true;
+  /// Byte cap for the per-segment node-BF arrays (~2 filters per block).
+  /// When a build's estimate exceeds it, the segment part is skipped —
+  /// per-block tables are kept — and BMT endpoint BFs fall back to
+  /// on-demand materialization. Default 512 MiB (~8.7k blocks of 30 KB
+  /// filters).
+  std::uint64_t proof_index_bf_budget = 512ull << 20;
 };
 
 struct BlockDerived {
@@ -146,6 +161,11 @@ class ChainContext {
     return bmts_;
   }
 
+  /// Precomputed proof-assembly tables, or nullptr when the build opted
+  /// out (ChainBuildOptions::proof_index = false). The prover treats a
+  /// missing index — or any missing part of one — as "walk the trees".
+  const ProofIndex* proof_index() const { return proof_index_.get(); }
+
   /// Successor context with `new_blocks` appended. Shares every immutable
   /// per-block slice of this context by pointer (derived blocks, position
   /// lists, chain blocks, sealed BMT segments) and derives only the new
@@ -166,6 +186,7 @@ class ChainContext {
   ProtocolConfig config_;
   std::shared_ptr<const BloomPositionTable> positions_;
   std::vector<std::shared_ptr<const SegmentBmt>> bmts_;
+  std::shared_ptr<const ProofIndex> proof_index_;
   ChainStore chain_;
 };
 

@@ -1,0 +1,200 @@
+#include "core/proof_index.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/chain_context.hpp"
+#include "core/merge_schedule.hpp"
+
+namespace lvq {
+
+namespace {
+
+/// lower_bound rank of `addr` in a sorted leaf list.
+std::uint64_t leaf_lower_bound(const std::vector<SmtLeaf>& leaves,
+                               const Address& addr) {
+  auto it = std::lower_bound(
+      leaves.begin(), leaves.end(), addr,
+      [](const SmtLeaf& l, const Address& a) { return l.address < a; });
+  return static_cast<std::uint64_t>(it - leaves.begin());
+}
+
+}  // namespace
+
+BlockProofIndex::BlockProofIndex(const std::vector<Transaction>& txs,
+                                 std::shared_ptr<const BlockDerived> derived,
+                                 bool want_tx_tables, bool want_smt_tables)
+    : derived_(std::move(derived)) {
+  const std::vector<SmtLeaf>& leaves = derived_->smt_leaves;
+  if (want_tx_tables) {
+    tx_tables_ = true;
+    tx_levels_ = MerkleTree::build_levels(derived_->txids);
+    tx_by_leaf_.resize(leaves.size());
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      // Each address counts once per transaction regardless of how many
+      // inputs/outputs mention it — mirrors Block::address_counts, so
+      // txs_for_leaf(rank).size() equals the leaf's appearance count.
+      std::vector<Address> seen;
+      auto note = [&](const Address& a) {
+        if (std::find(seen.begin(), seen.end(), a) == seen.end())
+          seen.push_back(a);
+      };
+      for (const TxInput& in : txs[i].inputs) note(in.address);
+      for (const TxOutput& out : txs[i].outputs) note(out.address);
+      for (const Address& a : seen) {
+        std::uint64_t rank = leaf_lower_bound(leaves, a);
+        LVQ_CHECK(rank < leaves.size() && leaves[rank].address == a);
+        tx_by_leaf_[rank].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  if (want_smt_tables) {
+    smt_tables_ = true;
+    smt_levels_ = SortedMerkleTree::build_levels(leaves);
+  }
+}
+
+std::optional<std::uint64_t> BlockProofIndex::rank_of(
+    const Address& addr) const {
+  const std::vector<SmtLeaf>& leaves = derived_->smt_leaves;
+  std::uint64_t rank = leaf_lower_bound(leaves, addr);
+  if (rank >= leaves.size() || leaves[rank].address != addr)
+    return std::nullopt;
+  return rank;
+}
+
+MerkleBranch BlockProofIndex::tx_branch(std::uint32_t tx_index) const {
+  LVQ_CHECK_MSG(tx_tables_, "block index has no tx tables");
+  return MerkleTree::branch_from_levels(tx_levels_, tx_index);
+}
+
+const std::vector<std::uint32_t>& BlockProofIndex::txs_for_leaf(
+    std::uint64_t rank) const {
+  LVQ_CHECK_MSG(tx_tables_, "block index has no tx tables");
+  LVQ_CHECK(rank < tx_by_leaf_.size());
+  return tx_by_leaf_[rank];
+}
+
+SmtBranch BlockProofIndex::smt_branch(std::uint64_t rank) const {
+  LVQ_CHECK_MSG(smt_tables_, "block index has no SMT tables");
+  const std::vector<SmtLeaf>& leaves = derived_->smt_leaves;
+  LVQ_CHECK(rank < leaves.size());
+  SmtBranch b;
+  b.leaf = leaves[rank];
+  b.index = rank;
+  b.tree_size = leaves.size();
+  b.path = SortedMerkleTree::path_from_levels(smt_levels_, rank);
+  return b;
+}
+
+SmtAbsenceProof BlockProofIndex::smt_absence(const Address& addr) const {
+  LVQ_CHECK_MSG(smt_tables_, "block index has no SMT tables");
+  const std::vector<SmtLeaf>& leaves = derived_->smt_leaves;
+  SmtAbsenceProof proof;
+  if (leaves.empty()) {
+    proof.kind = SmtAbsenceProof::Kind::kEmptyTree;
+    return proof;
+  }
+  std::uint64_t succ = leaf_lower_bound(leaves, addr);
+  LVQ_CHECK_MSG(succ >= leaves.size() || leaves[succ].address != addr,
+                "absence proof requested for a present address");
+  if (succ == 0) {
+    proof.kind = SmtAbsenceProof::Kind::kBeforeFirst;
+    proof.successor = smt_branch(0);
+  } else if (succ == leaves.size()) {
+    proof.kind = SmtAbsenceProof::Kind::kAfterLast;
+    proof.predecessor = smt_branch(leaves.size() - 1);
+  } else {
+    proof.kind = SmtAbsenceProof::Kind::kBetween;
+    proof.predecessor = smt_branch(succ - 1);
+    proof.successor = smt_branch(succ);
+  }
+  return proof;
+}
+
+SegmentProofIndex::SegmentProofIndex(
+    std::uint64_t first_height, std::uint32_t segment_length,
+    std::uint64_t available, BloomGeometry geom,
+    std::vector<std::shared_ptr<const std::vector<std::uint32_t>>>
+        leaf_positions)
+    : first_height_(first_height),
+      segment_length_(segment_length),
+      available_(available),
+      geom_(geom) {
+  LVQ_CHECK(is_power_of_two(segment_length));
+  LVQ_CHECK(available >= 1 && available <= segment_length);
+  LVQ_CHECK(leaf_positions.size() >= available);
+  depth_ = static_cast<std::uint32_t>(
+      std::countr_zero(std::uint64_t{segment_length}));
+  bfs_.resize(depth_ + 1);
+  for (std::uint32_t l = 0; l <= depth_; ++l) {
+    bfs_[l].resize(segment_length_ >> l);
+  }
+  // Same maximal-complete-subtree decomposition as the SegmentBmt
+  // constructor: every complete node gets its BF, incomplete nodes stay
+  // empty-geometry.
+  std::uint64_t cursor = 0;
+  for (int bit = static_cast<int>(depth_); bit >= 0; --bit) {
+    std::uint64_t piece = std::uint64_t{1} << bit;
+    if (available_ & piece) {
+      build(static_cast<std::uint32_t>(bit), cursor >> bit, leaf_positions);
+      cursor += piece;
+    }
+  }
+}
+
+void SegmentProofIndex::build(
+    std::uint32_t level, std::uint64_t j,
+    const std::vector<std::shared_ptr<const std::vector<std::uint32_t>>>&
+        leaf_positions) {
+  if (level == 0) {
+    BloomFilter bf(geom_);
+    for (std::uint32_t p : *leaf_positions[j]) bf.set_bit(p);
+    bfs_[0][j] = std::move(bf);
+    return;
+  }
+  build(level - 1, 2 * j, leaf_positions);
+  build(level - 1, 2 * j + 1, leaf_positions);
+  // Parent = OR of the two child references (Eq. 3), computed once here
+  // instead of per query.
+  BloomFilter bf = bfs_[level - 1][2 * j];
+  bf.merge(bfs_[level - 1][2 * j + 1]);
+  bfs_[level][j] = std::move(bf);
+}
+
+BmtCheckMasks SegmentProofIndex::check_masks(
+    const std::vector<std::uint64_t>& cbp) const {
+  LVQ_CHECK(cbp.size() >= 1 && cbp.size() <= 64);
+  BmtCheckMasks out;
+  out.full_mask = (cbp.size() == 64) ? ~std::uint64_t{0}
+                                     : ((std::uint64_t{1} << cbp.size()) - 1);
+  out.masks.resize(depth_ + 1);
+  for (std::uint32_t l = 0; l <= depth_; ++l) {
+    out.masks[l].assign(segment_length_ >> l, 0);
+  }
+  for (std::uint64_t leaf = 0; leaf < available_; ++leaf) {
+    const BloomFilter& leaf_bf = bfs_[0][leaf];
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < cbp.size(); ++i) {
+      if (leaf_bf.bit(cbp[i])) mask |= std::uint64_t{1} << i;
+    }
+    out.masks[0][leaf] = mask;
+  }
+  for (std::uint32_t l = 1; l <= depth_; ++l) {
+    for (std::uint64_t j = 0; j < (segment_length_ >> l); ++j) {
+      if (((j + 1) << l) > available_) continue;  // incomplete node
+      out.masks[l][j] = out.masks[l - 1][2 * j] | out.masks[l - 1][2 * j + 1];
+    }
+  }
+  return out;
+}
+
+const BloomFilter& SegmentProofIndex::bf(std::uint32_t level,
+                                         std::uint64_t j) const {
+  LVQ_CHECK(level <= depth_ && j < (segment_length_ >> level));
+  const BloomFilter& out = bfs_[level][j];
+  LVQ_CHECK_MSG(!out.empty_geometry(), "BF requested for incomplete node");
+  return out;
+}
+
+}  // namespace lvq

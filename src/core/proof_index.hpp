@@ -1,0 +1,180 @@
+// Precomputed proof-assembly tables — the cold-query fast path.
+//
+// BENCH_server.json's cold rows showed every uncached query rebuilding the
+// block's tx Merkle tree, rehashing the SMT for each branch, and
+// re-materializing BMT node BFs from position lists — per-query tree-walk
+// work that LVQ's commitments were designed to amortize. The ChainBuilder
+// pipeline already derives every per-block datum once at ingest; this
+// sidecar derives the proof-assembly data there too:
+//
+//   BlockProofIndex   — per block: the tx Merkle tree's full interior
+//                       layers (branch extraction becomes offset lookups),
+//                       the SMT's RFC 6962 level table (count branches and
+//                       predecessor/successor absence branches likewise),
+//                       and the sorted-leaf rank index tx_by_leaf mapping
+//                       each (address, count) leaf to the indices of the
+//                       transactions that involve it (no per-query block
+//                       scan).
+//   SegmentProofIndex — per BMT segment: materialized node BFs for every
+//                       complete node, each parent OR-ed from its two
+//                       children at build time, so assembling a merged
+//                       branch ships O(log M) BF copies instead of
+//                       O(subtree) position-list walks.
+//
+// Both parts live behind the same shared_ptr-slice discipline as every
+// other per-block datum: ChainContext::extend() aliases the sealed prefix
+// (per-block tables and sealed segments are pointer copies) and derives
+// only the new heights plus the open tail segment's BF array.
+//
+// The index is strictly optional. Every prover consumer falls back to the
+// original tree walk when a table is absent (ChainBuildOptions::proof_index
+// = false, a design that needs no table, or the segment-BF part skipped by
+// the byte budget), and tests/proof_index_test.cpp pins byte-identity
+// between the two paths for all five designs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "chain/transaction.hpp"
+#include "core/bmt.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "merkle/sorted_merkle_tree.hpp"
+#include "util/check.hpp"
+
+namespace lvq {
+
+struct BlockDerived;
+
+class BlockProofIndex {
+ public:
+  /// Builds the requested tables for one block. `derived` supplies the
+  /// txids and the sorted (address, count) leaf list; it is retained (the
+  /// same shared slice the context holds, so no bytes are duplicated).
+  BlockProofIndex(const std::vector<Transaction>& txs,
+                  std::shared_ptr<const BlockDerived> derived,
+                  bool want_tx_tables, bool want_smt_tables);
+
+  bool has_tx_tables() const { return tx_tables_; }
+  bool has_smt_tables() const { return smt_tables_; }
+
+  /// Rank of `addr` in the block's sorted leaf list, or nullopt if the
+  /// block does not touch the address.
+  std::optional<std::uint64_t> rank_of(const Address& addr) const;
+
+  /// Merkle branch of transaction `tx_index` under the header merkle_root.
+  MerkleBranch tx_branch(std::uint32_t tx_index) const;
+
+  /// Ascending indices of the transactions involving leaf `rank`'s
+  /// address; size equals the leaf's appearance count by construction.
+  const std::vector<std::uint32_t>& txs_for_leaf(std::uint64_t rank) const;
+
+  /// SMT count branch of leaf `rank` (byte-identical to
+  /// SortedMerkleTree::branch on the block's leaves).
+  SmtBranch smt_branch(std::uint64_t rank) const;
+
+  /// Absence proof for an address not in the block (byte-identical to
+  /// SortedMerkleTree::absence_proof).
+  SmtAbsenceProof smt_absence(const Address& addr) const;
+
+ private:
+  std::shared_ptr<const BlockDerived> derived_;
+  bool tx_tables_ = false;
+  bool smt_tables_ = false;
+  std::vector<std::vector<Hash256>> tx_levels_;   // [0] = txids
+  std::vector<std::vector<Hash256>> smt_levels_;  // RFC 6962 level table
+  std::vector<std::vector<std::uint32_t>> tx_by_leaf_;  // by leaf rank
+};
+
+class SegmentProofIndex {
+ public:
+  /// Materializes the BFs of every complete node of one segment tree.
+  /// `leaf_positions[i]` is the shared slice of block
+  /// (first_height + i)'s sorted BF bit positions — the same slices the
+  /// SegmentBmt supplier captures, so a sealed segment index outlives any
+  /// particular context generation.
+  SegmentProofIndex(
+      std::uint64_t first_height, std::uint32_t segment_length,
+      std::uint64_t available, BloomGeometry geom,
+      std::vector<std::shared_ptr<const std::vector<std::uint32_t>>>
+          leaf_positions);
+
+  std::uint64_t first_height() const { return first_height_; }
+  std::uint64_t available() const { return available_; }
+
+  /// BF of complete node (level, j); indices match SegmentBmt's.
+  const BloomFilter& bf(std::uint32_t level, std::uint64_t j) const;
+
+  /// Check masks for a query's CBPs — identical to SegmentBmt::check_masks
+  /// but leaf masks come from direct bit tests on the stored leaf BFs
+  /// instead of binary searches over the position lists (the leaf BF has
+  /// exactly the list's bits set, so the masks match bit for bit).
+  BmtCheckMasks check_masks(const std::vector<std::uint64_t>& cbp) const;
+
+  /// Bytes the BF arrays of a segment with `available` leaves will hold
+  /// (~2 filters per leaf) — the quantity the build budget caps.
+  static std::uint64_t estimated_bytes(std::uint64_t available,
+                                       const BloomGeometry& geom) {
+    return 2 * available * geom.size_bytes;
+  }
+
+ private:
+  /// Fills bfs_[level][j] and every slot beneath it (children first, so a
+  /// parent is one copy + one OR of already-stored children).
+  void build(std::uint32_t level, std::uint64_t j,
+             const std::vector<
+                 std::shared_ptr<const std::vector<std::uint32_t>>>&
+                 leaf_positions);
+
+  std::uint64_t first_height_;
+  std::uint32_t segment_length_;
+  std::uint64_t available_;
+  std::uint32_t depth_;
+  BloomGeometry geom_;
+  std::vector<std::vector<BloomFilter>> bfs_;  // bfs_[level][j]
+};
+
+/// The whole sidecar: per-block tables plus (for BMT designs, budget
+/// permitting) per-segment BF arrays, both as shared slices.
+class ProofIndex {
+ public:
+  std::uint64_t tip_height() const { return per_block_.size(); }
+
+  /// Block tables for `height`, or nullptr when the design needs none.
+  const BlockProofIndex* block(std::uint64_t height) const {
+    LVQ_CHECK(height >= 1 && height <= per_block_.size());
+    return per_block_[height - 1].get();
+  }
+
+  /// Segment BF array containing `height`, or nullptr when the segment-BF
+  /// part was skipped (non-BMT design or over budget).
+  const SegmentProofIndex* segment_for_height(std::uint64_t height) const {
+    if (per_segment_.empty() || segment_length_ == 0) return nullptr;
+    std::size_t idx = static_cast<std::size_t>((height - 1) / segment_length_);
+    if (idx >= per_segment_.size()) return nullptr;
+    return per_segment_[idx].get();
+  }
+
+  /// Shared slices; successor indexes alias the sealed prefix (tests
+  /// assert the pointer sharing).
+  const std::vector<std::shared_ptr<const BlockProofIndex>>& block_slices()
+      const {
+    return per_block_;
+  }
+  const std::vector<std::shared_ptr<const SegmentProofIndex>>&
+  segment_slices() const {
+    return per_segment_;
+  }
+
+ private:
+  friend class ChainBuilder;
+
+  std::uint32_t segment_length_ = 0;  // 0 = no segment part
+  std::vector<std::shared_ptr<const BlockProofIndex>> per_block_;
+  std::vector<std::shared_ptr<const SegmentProofIndex>> per_segment_;
+};
+
+}  // namespace lvq

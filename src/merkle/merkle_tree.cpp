@@ -12,11 +12,13 @@ Hash256 merkle_parent(const Hash256& left, const Hash256& right) {
   return hash256d(ByteSpan{cat.data(), cat.size()});
 }
 
-MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
+std::vector<std::vector<Hash256>> MerkleTree::build_levels(
+    std::vector<Hash256> leaves) {
   LVQ_CHECK_MSG(!leaves.empty(), "Merkle tree needs at least one leaf");
-  levels_.push_back(std::move(leaves));
-  while (levels_.back().size() > 1) {
-    const auto& prev = levels_.back();
+  std::vector<std::vector<Hash256>> levels;
+  levels.push_back(std::move(leaves));
+  while (levels.back().size() > 1) {
+    const auto& prev = levels.back();
     std::vector<Hash256> next;
     next.reserve((prev.size() + 1) / 2);
     for (std::size_t i = 0; i < prev.size(); i += 2) {
@@ -24,9 +26,13 @@ MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
       const Hash256& r = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
       next.push_back(merkle_parent(l, r));
     }
-    levels_.push_back(std::move(next));
+    levels.push_back(std::move(next));
   }
+  return levels;
 }
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : levels_(build_levels(std::move(leaves))) {}
 
 Hash256 MerkleTree::compute_root(const std::vector<Hash256>& leaves) {
   LVQ_CHECK_MSG(!leaves.empty(), "Merkle tree needs at least one leaf");
@@ -44,14 +50,15 @@ Hash256 MerkleTree::compute_root(const std::vector<Hash256>& leaves) {
   return level.front();
 }
 
-MerkleBranch MerkleTree::branch(std::uint32_t index) const {
-  LVQ_CHECK(index < leaf_count());
+MerkleBranch MerkleTree::branch_from_levels(
+    const std::vector<std::vector<Hash256>>& levels, std::uint32_t index) {
+  LVQ_CHECK(!levels.empty() && index < levels.front().size());
   MerkleBranch out;
-  out.leaf = levels_.front()[index];
+  out.leaf = levels.front()[index];
   out.index = index;
   std::uint32_t i = index;
-  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
-    const auto& nodes = levels_[lvl];
+  for (std::size_t lvl = 0; lvl + 1 < levels.size(); ++lvl) {
+    const auto& nodes = levels[lvl];
     std::uint32_t sib = i ^ 1;
     // Odd level end: Bitcoin duplicates the last node, so the sibling of a
     // final unpaired node is itself.
@@ -60,6 +67,10 @@ MerkleBranch MerkleTree::branch(std::uint32_t index) const {
     i >>= 1;
   }
   return out;
+}
+
+MerkleBranch MerkleTree::branch(std::uint32_t index) const {
+  return branch_from_levels(levels_, index);
 }
 
 Hash256 MerkleBranch::compute_root() const {

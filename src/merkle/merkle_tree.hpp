@@ -55,6 +55,17 @@ class MerkleTree {
   /// Root without building branch-capable state.
   static Hash256 compute_root(const std::vector<Hash256>& leaves);
 
+  /// The branch-capable state itself: every interior layer, with
+  /// levels[0] = leaves. Exposed so a precomputed proof index can build
+  /// the table once per block and extract branches by offset lookup.
+  static std::vector<std::vector<Hash256>> build_levels(
+      std::vector<Hash256> leaves);
+
+  /// Branch extraction from a level table (what branch() runs on its own
+  /// state); byte-identical to rebuilding the tree and calling branch().
+  static MerkleBranch branch_from_levels(
+      const std::vector<std::vector<Hash256>>& levels, std::uint32_t index);
+
  private:
   std::vector<std::vector<Hash256>> levels_;  // levels_[0] = leaves
 };

@@ -74,6 +74,42 @@ void SortedMerkleTree::path_into(std::size_t m, std::size_t lo, std::size_t hi,
   }
 }
 
+std::vector<std::vector<Hash256>> SortedMerkleTree::build_levels(
+    const std::vector<SmtLeaf>& leaves) {
+  std::vector<std::vector<Hash256>> levels;
+  if (leaves.empty()) return levels;
+  std::vector<Hash256> cur;
+  cur.reserve(leaves.size());
+  for (const SmtLeaf& l : leaves) cur.push_back(l.hash());
+  levels.push_back(std::move(cur));
+  while (levels.back().size() > 1) {
+    const auto& prev = levels.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(interior(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promoted
+    levels.push_back(std::move(next));
+  }
+  return levels;
+}
+
+std::vector<Hash256> SortedMerkleTree::path_from_levels(
+    const std::vector<std::vector<Hash256>>& levels, std::uint64_t index) {
+  LVQ_CHECK(!levels.empty() && index < levels.front().size());
+  std::vector<Hash256> path;
+  std::uint64_t i = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels.size(); ++lvl) {
+    std::uint64_t sib = i ^ 1;
+    // A missing sibling means this node is promoted to the next level
+    // unchanged; the path gains nothing here.
+    if (sib < levels[lvl].size()) path.push_back(levels[lvl][sib]);
+    i >>= 1;
+  }
+  return path;
+}
+
 std::optional<std::uint64_t> SortedMerkleTree::find(const Address& addr) const {
   auto it = std::lower_bound(
       leaves_.begin(), leaves_.end(), addr,

@@ -118,6 +118,24 @@ class SortedMerkleTree {
   /// Commitment for an empty tree (used when a block exposes no addresses).
   static Hash256 empty_commitment();
 
+  /// --- precomputed level tables (proof-index fast path) ---
+  ///
+  /// The RFC 6962 tree admits a flat representation: level l node j covers
+  /// leaves [j*2^l, min((j+1)*2^l, n)); a node whose right child does not
+  /// exist is its left child promoted unchanged (no hashing). This is
+  /// exactly the split-at-largest-power-of-two recursion read bottom-up,
+  /// so paths extracted from the table are byte-identical to branch().
+
+  /// Level table over `leaves` (level 0 = leaf hashes, top level = MTH of
+  /// the whole tree). Empty result for an empty leaf set.
+  static std::vector<std::vector<Hash256>> build_levels(
+      const std::vector<SmtLeaf>& leaves);
+
+  /// Inclusion path of leaf `index`, read off a level table by offset
+  /// lookups — byte-identical to branch(index).path.
+  static std::vector<Hash256> path_from_levels(
+      const std::vector<std::vector<Hash256>>& levels, std::uint64_t index);
+
  private:
   Hash256 mth(std::size_t lo, std::size_t hi) const;  // RFC 6962 MTH over [lo,hi)
   void path_into(std::size_t m, std::size_t lo, std::size_t hi,

@@ -1,6 +1,7 @@
 #include "node/full_node.hpp"
 
 #include "core/chain_builder.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lvq {
 
@@ -68,11 +69,15 @@ Bytes FullNode::dispatch(const ChainContext& ctx, ByteSpan request) const {
         Reader r(payload);
         QueryRequest req = QueryRequest::deserialize(r);
         r.expect_done();
-        QueryResponse resp = build_query_response(ctx, req.address);
+        // RPC callers (serving-engine workers, TCP handlers) are never
+        // shared-pool tasks, so fanning the proof assembly across the
+        // shared pool is safe; bytes are unchanged (index-addressed slots).
+        // The envelope type byte is written inline so the proof streams
+        // into its final buffer — no QueryResponse object, no re-copy.
         Writer w;
-        resp.serialize(w);
-        return encode_envelope(MsgType::kQueryResponse,
-                               ByteSpan{w.data().data(), w.data().size()});
+        w.u8(static_cast<std::uint8_t>(MsgType::kQueryResponse));
+        serialize_query_response(w, ctx, req.address, &ThreadPool::shared());
+        return w.take();
       }
       case MsgType::kRangeQueryRequest: {
         Reader r(payload);
@@ -112,12 +117,12 @@ Bytes FullNode::dispatch(const ChainContext& ctx, ByteSpan request) const {
         }
         r.expect_done();
         Writer w;
+        w.u8(static_cast<std::uint8_t>(MsgType::kBatchQueryResponse));
         w.varint(addresses.size());
         for (const Address& addr : addresses) {
-          build_query_response(ctx, addr).serialize(w);
+          serialize_query_response(w, ctx, addr);
         }
-        return encode_envelope(MsgType::kBatchQueryResponse,
-                               ByteSpan{w.data().data(), w.data().size()});
+        return w.take();
       }
       default:
         break;

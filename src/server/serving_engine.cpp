@@ -2,6 +2,7 @@
 
 #include "core/prover.hpp"
 #include "core/segments.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lvq {
 
@@ -175,9 +176,11 @@ Bytes ServingEngine::process(ByteSpan request) {
   std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
   const std::uint8_t type = request.empty() ? 0 : request[0];
 
+  // The fast path no longer requires the caches: with them disabled it is
+  // a pure parallel per-segment assembly (every segment a "miss").
   if (node_ != nullptr &&
       type == static_cast<std::uint8_t>(MsgType::kQueryRequest) &&
-      response_cache_.enabled() && node_->config().has_bmt()) {
+      node_->config().has_bmt()) {
     if (std::optional<Bytes> fast = fast_query(request)) {
       return std::move(*fast);
     }
@@ -218,12 +221,44 @@ std::optional<Bytes> ServingEngine::fast_query(ByteSpan request) {
   // Byte-identical reassembly of FullNode's kQueryResponse: the response
   // serialization is a flat concatenation of segment proofs after a fixed
   // prefix, so cached segment bytes splice in directly.
-  Writer w;
-  w.u8(static_cast<std::uint8_t>(config.design));
-  w.varint(tip);
   std::vector<SubSegment> forest = query_forest(tip, config.segment_length);
-  w.varint(forest.size());
-  for (const SubSegment& range : forest) {
+  const bool seg_cache = segment_cache_.enabled();
+  const bool fan_out = options_.parallel_assembly && forest.size() > 1 &&
+                       ThreadPool::shared().size() > 1;
+
+  if (!seg_cache && !fan_out) {
+    // No cache to fill and no fan-out to stage: stream every segment
+    // straight into the reply buffer — per-segment staging buffers and the
+    // final splice only pay for themselves when something reuses the
+    // per-segment bytes.
+    std::uint64_t total = 0;
+    for (const SubSegment& range : forest) {
+      total += segment_proof_wire_size(ctx, address, cbp, range);
+    }
+    Writer w;
+    w.reserve(static_cast<std::size_t>(2 + varint_size(tip) +
+                                       varint_size(forest.size()) + total));
+    w.u8(static_cast<std::uint8_t>(MsgType::kQueryResponse));
+    w.u8(static_cast<std::uint8_t>(config.design));
+    w.varint(tip);
+    w.varint(forest.size());
+    for (const SubSegment& range : forest) {
+      serialize_segment_proof(w, ctx, address, cbp, range);
+    }
+    Bytes reply = w.take();
+    if (response_cache_.enabled()) {
+      Bytes rkey = response_cache_key_locked(request);
+      response_cache_.put(ByteSpan{rkey.data(), rkey.size()},
+                          ByteSpan{reply.data(), reply.size()});
+    }
+    return reply;
+  }
+
+  std::vector<Bytes> keys(forest.size());
+  std::vector<Bytes> seg_bytes(forest.size());
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < forest.size(); ++i) {
+    const SubSegment& range = forest[i];
     // The last-header hash commits to every block in the range (and the
     // whole prefix chain), so a reorged chain can never hit a stale entry
     // while an appended chain keeps hitting the segments it kept.
@@ -233,25 +268,56 @@ std::optional<Bytes> ServingEngine::fast_query(ByteSpan request) {
     kw.varint(range.first);
     kw.varint(range.last);
     kw.raw(ctx.chain().at_height(range.last).header.hash().bytes);
-    const Bytes key = kw.take();
-
-    Bytes seg_bytes;
-    if (!segment_cache_.get(ByteSpan{key.data(), key.size()}, &seg_bytes)) {
-      SegmentQueryProof seg = build_segment_proof(ctx, address, cbp, range);
-      Writer sw;
-      seg.serialize(sw);
-      seg_bytes = sw.take();
-      segment_cache_.put(ByteSpan{key.data(), key.size()},
-                         ByteSpan{seg_bytes.data(), seg_bytes.size()});
+    keys[i] = kw.take();
+    if (!seg_cache ||
+        !segment_cache_.get(ByteSpan{keys[i].data(), keys[i].size()},
+                            &seg_bytes[i])) {
+      misses.push_back(i);
     }
-    w.raw(ByteSpan{seg_bytes.data(), seg_bytes.size()});
   }
 
-  Bytes reply = encode_envelope(MsgType::kQueryResponse,
-                                ByteSpan{w.data().data(), w.data().size()});
-  Bytes rkey = response_cache_key_locked(request);
-  response_cache_.put(ByteSpan{rkey.data(), rkey.size()},
-                      ByteSpan{reply.data(), reply.size()});
+  // Cold misses are independent proof assemblies over one immutable
+  // snapshot; fan them across the shared pool into index-addressed slots.
+  // Engine workers are plain threads (never pool tasks), so the fan-out
+  // honors the pool's no-nesting rule.
+  auto assemble = [&](std::uint64_t m) {
+    const std::size_t i = misses[m];
+    Writer sw;
+    sw.reserve(static_cast<std::size_t>(
+        segment_proof_wire_size(ctx, address, cbp, forest[i])));
+    serialize_segment_proof(sw, ctx, address, cbp, forest[i]);
+    seg_bytes[i] = sw.take();
+  };
+  if (options_.parallel_assembly && misses.size() > 1) {
+    ThreadPool::shared().parallel_for(misses.size(), assemble);
+  } else {
+    for (std::uint64_t m = 0; m < misses.size(); ++m) assemble(m);
+  }
+  if (seg_cache) {
+    for (std::size_t i : misses) {
+      segment_cache_.put(ByteSpan{keys[i].data(), keys[i].size()},
+                         ByteSpan{seg_bytes[i].data(), seg_bytes[i].size()});
+    }
+  }
+
+  // Envelope type byte written inline: the reply is assembled once, sized
+  // up front, instead of built and then copied by encode_envelope.
+  std::size_t total = 0;
+  for (const Bytes& s : seg_bytes) total += s.size();
+  Writer w;
+  w.reserve(2 + varint_size(tip) + varint_size(forest.size()) + total);
+  w.u8(static_cast<std::uint8_t>(MsgType::kQueryResponse));
+  w.u8(static_cast<std::uint8_t>(config.design));
+  w.varint(tip);
+  w.varint(forest.size());
+  for (const Bytes& s : seg_bytes) w.raw(ByteSpan{s.data(), s.size()});
+
+  Bytes reply = w.take();
+  if (response_cache_.enabled()) {
+    Bytes rkey = response_cache_key_locked(request);
+    response_cache_.put(ByteSpan{rkey.data(), rkey.size()},
+                        ByteSpan{reply.data(), reply.size()});
+  }
   return reply;
 }
 

@@ -60,6 +60,11 @@ struct ServingEngineOptions {
   std::uint64_t cache_bytes = 64ull << 20;
   /// Lock shards per cache.
   std::uint32_t cache_shards = 8;
+  /// Fan the independent per-segment proof assemblies of one cold query
+  /// across the process-wide ThreadPool (engine workers are plain threads,
+  /// never pool tasks, so the fan-out is legal). Results land in
+  /// index-addressed slots — bytes are identical to the serial loop.
+  bool parallel_assembly = true;
 };
 
 class ServingEngine {
@@ -124,8 +129,9 @@ class ServingEngine {
   void worker_loop();
   /// Executes one request on a worker: fast path, backend, cache fill.
   Bytes process(ByteSpan request);
-  /// BMT segment-splicing fast path; nullopt falls back to the backend.
-  /// Caller holds epoch_mu_ (shared).
+  /// BMT segment-splicing fast path (with caches enabled, misses fill the
+  /// segment cache; without, it is a pure parallel assembly); nullopt
+  /// falls back to the backend. Caller holds epoch_mu_ (shared).
   std::optional<Bytes> fast_query(ByteSpan request);
   /// Response-cache key: epoch prefix + raw request bytes. The `_locked`
   /// variant requires epoch_mu_ held (shared or unique).

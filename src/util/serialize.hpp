@@ -61,6 +61,11 @@ class Writer {
   Bytes take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
 
+  /// Pre-allocates for `n` MORE bytes. Only for trusted, locally computed
+  /// sizes (provers sizing a response they are about to emit) — decoders
+  /// must keep using reserve_clamped on attacker-controlled counts.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
  private:
   void put_le(std::uint64_t v, int n) {
     for (int i = 0; i < n; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh bench JSON against a committed
+baseline.
+
+Usage:
+    python3 tools/bench_check.py --baseline BENCH_server.json \
+        --fresh fresh_server.json [--tolerance 0.25]
+
+The "bench" field of the baseline selects the comparison:
+
+  server_throughput  Every (workers, cache) row's qps in the fresh run must
+                     be at least tolerance x the baseline row's qps.
+  chain_build        The fresh extend_speedup must be at least tolerance x
+                     the baseline's (the incremental-append win is the
+                     quantity PR "ChainBuilder ingestion" exists for).
+
+The tolerance is deliberately generous: CI runners differ wildly from the
+machines that produced the committed baselines, and CI runs scaled-down
+workloads (see .github/workflows/ci.yml). The gate exists to catch
+order-of-magnitude regressions — a fast path silently falling back to a
+tree walk, an accidental O(n^2) — not a few percent of noise.
+
+Exits 0 when every check passes, 1 otherwise. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_server(baseline, fresh, tolerance):
+    fresh_rows = {
+        (r["workers"], r["cache"]): r for r in fresh.get("results", [])
+    }
+    failures = 0
+    print(f"{'workers':>8} {'cache':>6} {'baseline-qps':>13} "
+          f"{'fresh-qps':>10} {'floor':>9}  verdict")
+    for row in baseline.get("results", []):
+        key = (row["workers"], row["cache"])
+        floor = tolerance * row["qps"]
+        got = fresh_rows.get(key)
+        if got is None:
+            verdict, qps = "MISSING", float("nan")
+            failures += 1
+        else:
+            qps = got["qps"]
+            ok = qps >= floor
+            verdict = "ok" if ok else "FAIL"
+            failures += 0 if ok else 1
+        print(f"{key[0]:>8} {key[1]:>6} {row['qps']:>13.1f} "
+              f"{qps:>10.1f} {floor:>9.1f}  {verdict}")
+    return failures
+
+
+def check_build(baseline, fresh, tolerance):
+    base = baseline["extend_speedup"]
+    got = fresh.get("extend_speedup")
+    floor = tolerance * base
+    ok = got is not None and got >= floor
+    print(f"{'metric':>16} {'baseline':>9} {'fresh':>8} {'floor':>8}  verdict")
+    shown = float("nan") if got is None else got
+    print(f"{'extend_speedup':>16} {base:>9.2f} {shown:>8.2f} "
+          f"{floor:>8.2f}  {'ok' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+CHECKERS = {
+    "server_throughput": check_server,
+    "chain_build": check_build,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_*.json")
+    ap.add_argument("--fresh", required=True,
+                    help="JSON produced by this run's bench binary")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="fresh metric must be >= tolerance x baseline "
+                         "(default 0.25)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    kind = baseline.get("bench")
+    checker = CHECKERS.get(kind)
+    if checker is None:
+        sys.exit(f"unknown bench kind {kind!r} in {args.baseline}; "
+                 f"expected one of {sorted(CHECKERS)}")
+    if fresh.get("bench") != kind:
+        sys.exit(f"bench kind mismatch: baseline is {kind!r}, "
+                 f"fresh is {fresh.get('bench')!r}")
+
+    print(f"== bench_check: {kind} "
+          f"(tolerance {args.tolerance:g}) ==")
+    failures = checker(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"{failures} check(s) below the regression floor",
+              file=sys.stderr)
+        sys.exit(1)
+    print("all checks passed")
+
+
+if __name__ == "__main__":
+    main()

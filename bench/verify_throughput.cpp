@@ -1,0 +1,195 @@
+// Light-node decode+verify throughput: owned/serial reference vs the
+// zero-copy view pipeline (supplementary to §VII — the paper reports
+// proof *sizes*; a light node on a phone cares how fast it can check
+// them).
+//
+// For each design, the six Table III addresses' responses are serialized
+// once; a measurement pass decodes and verifies all six from those bytes:
+//
+//   owned  — QueryResponse::deserialize (copies every BF) + serial verify.
+//   view   — QueryResponseView::deserialize (aliases the buffer) + serial
+//            verify with a per-pass BfHashMemo, so shipped BFs are
+//            SHA-hashed once per pass instead of once per address.
+//   pool N — the view pipeline with independent units fanned out over an
+//            N-thread pool.
+//
+// Results go to stdout and to BENCH_verify.json (--out=...) for
+// tools/bench_check.py to gate. Extra knobs: --measure-ms (300), --out.
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace lvq;
+using namespace lvq::bench;
+
+namespace {
+
+struct ParallelCell {
+  std::uint32_t threads = 0;
+  double ms = 0;
+  double scaling = 0;  // view_ms / ms
+};
+
+struct DesignResult {
+  Design design = Design::kLvq;
+  std::uint32_t bf_bytes = 0;
+  double owned_ms = 0;
+  double view_ms = 0;
+  double single_speedup = 0;  // owned_ms / view_ms
+  std::vector<ParallelCell> parallel;
+};
+
+/// Repeats `pass` until the measurement window closes; returns ms/pass.
+template <typename Fn>
+double measure_ms_per_pass(std::uint64_t window_ms, Fn&& pass) {
+  pass();  // warmup (also primes page cache / branch predictors)
+  std::uint64_t passes = 0;
+  Timer t;
+  do {
+    pass();
+    ++passes;
+  } while (t.seconds() * 1000.0 < static_cast<double>(window_ms));
+  return t.seconds() * 1000.0 / static_cast<double>(passes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Env env(argc, argv);
+  print_title("Light-node verification throughput — owned vs zero-copy view",
+              "supplementary to §VII (paper reports sizes only)");
+
+  const std::uint64_t window_ms = env.flags.get_u64("measure-ms", 300);
+  const std::string out_path = env.flags.get_str("out", "BENCH_verify.json");
+  const std::uint32_t k = env.bf_hashes;
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+
+  struct Cfg {
+    Design design;
+    std::uint32_t bf_bytes;
+  };
+  const Cfg configs[] = {
+      {Design::kStrawmanVariant, 10 * 1024},
+      {Design::kLvqNoBmt, 10 * 1024},
+      {Design::kLvqNoSmt, 30 * 1024},
+      {Design::kLvq, 30 * 1024},
+  };
+
+  // The ladder is fixed (not capped to the local core count) so baselines
+  // and fresh runs always share thread counts; on a small box the extra
+  // pools oversubscribe and simply report scaling ~1.
+  const std::vector<std::uint32_t> thread_counts = {2, 4, 8};
+  std::printf("# %u hardware threads\n", hw);
+  std::printf("%18s %10s %10s %10s", "design", "owned-ms", "view-ms",
+              "speedup");
+  for (std::uint32_t n : thread_counts) std::printf("   x%u-scale", n);
+  std::printf("\n");
+
+  std::vector<DesignResult> results;
+  for (const Cfg& cfg : configs) {
+    ProtocolConfig config{cfg.design, BloomGeometry{cfg.bf_bytes, k}, 8};
+    FullNode full(env.setup.workload, env.setup.derived, config);
+    std::vector<BlockHeader> headers = full.headers();
+
+    std::vector<Address> addrs;
+    std::vector<Bytes> frames;
+    for (const AddressProfile& p : env.setup.workload->profiles) {
+      addrs.push_back(p.address);
+      Writer w;
+      full.query(p.address).serialize(w);
+      frames.push_back(w.data());
+    }
+
+    auto expect_ok = [&](const VerifyOutcome& out) {
+      if (!out.ok) {
+        std::fprintf(stderr, "verification unexpectedly failed: %s\n",
+                     out.detail.c_str());
+        std::abort();
+      }
+    };
+
+    auto owned_pass = [&] {
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        Reader r(ByteSpan{frames[i].data(), frames[i].size()});
+        QueryResponse resp = QueryResponse::deserialize(r, config);
+        expect_ok(verify_response(headers, config, addrs[i], resp));
+      }
+    };
+    auto view_pass = [&](ThreadPool* pool) {
+      BfHashMemo memo;
+      VerifyContext ctx{pool, &memo};
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        Reader r(ByteSpan{frames[i].data(), frames[i].size()});
+        QueryResponseView resp = QueryResponseView::deserialize(r, config);
+        expect_ok(verify_response(headers, config, addrs[i], resp, ctx));
+      }
+    };
+
+    DesignResult dr;
+    dr.design = cfg.design;
+    dr.bf_bytes = cfg.bf_bytes;
+    dr.owned_ms = measure_ms_per_pass(window_ms, owned_pass);
+    dr.view_ms =
+        measure_ms_per_pass(window_ms, [&] { view_pass(nullptr); });
+    dr.single_speedup = dr.view_ms > 0 ? dr.owned_ms / dr.view_ms : 0;
+
+    std::printf("%18s %10.3f %10.3f %9.2fx", design_name(cfg.design),
+                dr.owned_ms, dr.view_ms, dr.single_speedup);
+    for (std::uint32_t n : thread_counts) {
+      ThreadPool pool(n);
+      ParallelCell cell;
+      cell.threads = n;
+      cell.ms = measure_ms_per_pass(window_ms, [&] { view_pass(&pool); });
+      cell.scaling = cell.ms > 0 ? dr.view_ms / cell.ms : 0;
+      dr.parallel.push_back(cell);
+      std::printf("%9.2fx", cell.scaling);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    results.push_back(std::move(dr));
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"verify_throughput\",\n");
+  std::fprintf(f, "  \"blocks\": %llu,\n",
+               static_cast<unsigned long long>(env.workload_config.num_blocks));
+  std::fprintf(f, "  \"measure_ms\": %llu,\n",
+               static_cast<unsigned long long>(window_ms));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const DesignResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"design\": \"%s\", \"bf_bytes\": %u, "
+                 "\"owned_ms\": %.3f, \"view_ms\": %.3f, "
+                 "\"single_speedup\": %.2f, \"parallel\": [",
+                 design_name(r.design), r.bf_bytes, r.owned_ms, r.view_ms,
+                 r.single_speedup);
+    for (std::size_t p = 0; p < r.parallel.size(); ++p) {
+      const ParallelCell& c = r.parallel[p];
+      std::fprintf(f, "%s{\"threads\": %u, \"ms\": %.3f, \"scaling\": %.2f}",
+                   p == 0 ? "" : ", ", c.threads, c.ms, c.scaling);
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Hard floor: the zero-copy pipeline must never be slower than the
+  // owned path it replaces.
+  for (const DesignResult& r : results) {
+    if (r.view_ms > r.owned_ms * 1.05) {
+      std::fprintf(stderr, "FAIL: view pipeline slower than owned for %s\n",
+                   design_name(r.design));
+      return 1;
+    }
+  }
+  return 0;
+}

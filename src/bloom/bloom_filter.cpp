@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 namespace lvq {
 
@@ -40,13 +41,32 @@ void BloomFilter::merge(const BloomFilter& other) {
                 "cannot OR-merge Bloom filters with different geometry");
   const std::uint8_t* src = other.bits_.data();
   std::uint8_t* dst = bits_.data();
-  for (std::size_t i = 0; i < bits_.size(); ++i) dst[i] |= src[i];
+  std::size_t n = bits_.size();
+  // OR eight bytes at a time; memcpy in/out keeps this free of alignment
+  // and aliasing assumptions and compiles to plain 64-bit loads/stores.
+  std::size_t words = n / 8;
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t a, b;
+    std::memcpy(&a, dst + i * 8, 8);
+    std::memcpy(&b, src + i * 8, 8);
+    a |= b;
+    std::memcpy(dst + i * 8, &a, 8);
+  }
+  for (std::size_t i = words * 8; i < n; ++i) dst[i] |= src[i];
 }
 
 double BloomFilter::fill_ratio() const {
   if (bits_.empty()) return 0.0;
+  const std::uint8_t* p = bits_.data();
+  std::size_t n = bits_.size();
   std::uint64_t ones = 0;
-  for (std::uint8_t b : bits_) ones += std::popcount(b);
+  std::size_t words = n / 8;
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i * 8, 8);
+    ones += std::popcount(w);
+  }
+  for (std::size_t i = words * 8; i < n; ++i) ones += std::popcount(p[i]);
   return static_cast<double>(ones) / static_cast<double>(geom_.size_bits());
 }
 

@@ -126,8 +126,83 @@ class BloomFilter {
   std::size_t serialized_bits_size() const { return bits_.size(); }
 
  private:
+  friend class BloomFilterView;
+
   BloomGeometry geom_;
   Bytes bits_;
+};
+
+/// Borrowed, read-only Bloom filter: geometry plus a span aliasing the
+/// serialized bit vector (typically a transport reply buffer). Offers the
+/// read-side subset of BloomFilter's API, so verification can probe bits
+/// and hash contents without copying 10–30 KB per filter.
+///
+/// Lifetime rule: a view never owns its bytes. The decode caller must pin
+/// the backing frame for as long as the view (or anything derived from it,
+/// e.g. a BfHashMemo caching its span) is used; copy via to_owned() when a
+/// filter must escape the frame.
+class BloomFilterView {
+ public:
+  BloomFilterView() = default;
+  BloomFilterView(BloomGeometry geom, ByteSpan bits) : geom_(geom), bits_(bits) {
+    LVQ_CHECK(bits.size() == geom.size_bytes);
+  }
+
+  const BloomGeometry& geometry() const { return geom_; }
+  bool empty_geometry() const { return geom_.size_bytes == 0; }
+
+  bool bit(std::uint64_t pos) const {
+    return (bits_[pos >> 3] >> (pos & 7)) & 1;
+  }
+
+  bool possibly_contains(const BloomKey& key) const {
+    LVQ_CHECK(!empty_geometry());
+    std::uint64_t pos[64];
+    geom_.positions(key, pos);
+    for (std::uint32_t i = 0; i < geom_.hash_count; ++i) {
+      if (!bit(pos[i])) return false;
+    }
+    return true;
+  }
+
+  ByteSpan data() const { return bits_; }
+
+  /// Identical to BloomFilter::content_hash over the same bytes.
+  Hash256 content_hash() const {
+    return TaggedHasher("LVQ/BF")
+        .add_u32(geom_.size_bytes)
+        .add_u32(geom_.hash_count)
+        .add(bits_)
+        .finalize();
+  }
+
+  void hash_into(TaggedHasher& h) const {
+    h.add_u32(geom_.size_bytes).add_u32(geom_.hash_count).add(bits_);
+  }
+
+  /// Deep copy into an owned filter (for values escaping the frame).
+  BloomFilter to_owned() const {
+    BloomFilter bf(geom_);
+    std::copy(bits_.begin(), bits_.end(), bf.bits_.begin());
+    return bf;
+  }
+
+  bool same_bits(const BloomFilter& other) const {
+    return geom_ == other.geometry() && bits_.size() == other.data().size() &&
+           std::equal(bits_.begin(), bits_.end(), other.data().begin());
+  }
+
+  std::size_t serialized_bits_size() const { return bits_.size(); }
+
+  /// Borrowing counterpart of BloomFilter::deserialize_bits: consumes the
+  /// same bytes from the reader but aliases them instead of copying.
+  static BloomFilterView deserialize_bits(Reader& r, BloomGeometry geom) {
+    return BloomFilterView(geom, r.raw(geom.size_bytes));
+  }
+
+ private:
+  BloomGeometry geom_;
+  ByteSpan bits_;
 };
 
 }  // namespace lvq

@@ -80,6 +80,27 @@ BlockHeader BlockHeader::deserialize(Reader& r) {
   return h;
 }
 
+void BlockHeader::skip(Reader& r) {
+  r.raw(4 + 32 + 32 + 4 + 4 + 4);
+  std::uint8_t scheme_byte = r.u8();
+  if (scheme_byte > static_cast<std::uint8_t>(HeaderScheme::kLvq))
+    throw SerializeError("bad header scheme");
+  HeaderScheme scheme = static_cast<HeaderScheme>(scheme_byte);
+  if (scheme_has_embedded_bf(scheme)) {
+    BloomGeometry geom;
+    geom.size_bytes = r.u32();
+    geom.hash_count = r.u32();
+    if (geom.size_bytes == 0 || geom.size_bytes > (64u << 20) ||
+        geom.hash_count == 0 || geom.hash_count > 64) {
+      throw SerializeError("implausible Bloom filter geometry");
+    }
+    r.raw(geom.size_bytes);
+  }
+  if (scheme_has_bf_hash(scheme)) r.raw(32);
+  if (scheme_has_bmt(scheme)) r.raw(32);
+  if (scheme_has_smt(scheme)) r.raw(32);
+}
+
 std::size_t BlockHeader::serialized_size() const {
   std::size_t n = 80 + 1;
   if (embedded_bf) n += embedded_bf->serialized_size();
@@ -135,6 +156,13 @@ Block Block::deserialize(Reader& r) {
   reserve_clamped(b.txs, n);
   for (std::uint64_t i = 0; i < n; ++i) b.txs.push_back(Transaction::deserialize(r));
   return b;
+}
+
+void Block::skip(Reader& r) {
+  BlockHeader::skip(r);
+  std::uint64_t n = r.varint();
+  if (n > 1'000'000) throw SerializeError("too many transactions in block");
+  for (std::uint64_t i = 0; i < n; ++i) Transaction::skip(r);
 }
 
 std::size_t Block::serialized_size() const {

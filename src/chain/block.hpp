@@ -77,6 +77,9 @@ struct BlockHeader {
   void serialize(Writer& w) const;
   static BlockHeader deserialize(Reader& r);
   std::size_t serialized_size() const;
+
+  /// Structural validation without materializing; see Transaction::skip.
+  static void skip(Reader& r);
 };
 
 struct Block {
@@ -97,6 +100,9 @@ struct Block {
   void serialize(Writer& w) const;
   static Block deserialize(Reader& r);
   std::size_t serialized_size() const;
+
+  /// Structural validation without materializing; see Transaction::skip.
+  static void skip(Reader& r);
 };
 
 }  // namespace lvq

@@ -65,6 +65,19 @@ Transaction Transaction::deserialize(Reader& r) {
   return tx;
 }
 
+void Transaction::skip(Reader& r) {
+  r.raw(4);  // version
+  std::uint64_t nin = r.varint();
+  if (nin > 100'000) throw SerializeError("too many tx inputs");
+  r.raw(static_cast<std::size_t>(nin) * (32 + 4 + Address::kSerializedSize + 8));
+  std::uint64_t nout = r.varint();
+  if (nout > 100'000) throw SerializeError("too many tx outputs");
+  r.raw(static_cast<std::size_t>(nout) * (Address::kSerializedSize + 8));
+  r.raw(4);  // lock_time
+  ByteSpan padding = r.bytes_view();
+  if (padding.size() > 1'000'000) throw SerializeError("padding too large");
+}
+
 std::size_t Transaction::serialized_size() const {
   std::size_t n = 4 + 4;  // version + lock_time
   n += varint_size(inputs.size());

@@ -59,6 +59,11 @@ struct Transaction {
   void serialize(Writer& w) const;
   static Transaction deserialize(Reader& r);
   std::size_t serialized_size() const;
+
+  /// Structural validation without materializing: consumes exactly the
+  /// bytes deserialize() would and throws the same SerializeError on the
+  /// same malformed input. Zero-copy proof views rely on this equivalence.
+  static void skip(Reader& r);
 };
 
 }  // namespace lvq

@@ -18,8 +18,22 @@ Hash256 bmt_leaf_hash(const BloomFilter& bf) {
   return h.finalize();
 }
 
+Hash256 bmt_leaf_hash(const BloomFilterView& bf) {
+  TaggedHasher h(kLeafTag);
+  bf.hash_into(h);
+  return h.finalize();
+}
+
 Hash256 bmt_node_hash(const Hash256& left, const Hash256& right,
                       const BloomFilter& bf) {
+  TaggedHasher h(kNodeTag);
+  h.add(left).add(right);
+  bf.hash_into(h);
+  return h.finalize();
+}
+
+Hash256 bmt_node_hash(const Hash256& left, const Hash256& right,
+                      const BloomFilterView& bf) {
   TaggedHasher h(kNodeTag);
   h.add(left).add(right);
   bf.hash_into(h);

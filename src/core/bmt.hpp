@@ -30,10 +30,13 @@ namespace lvq {
 
 /// Eq. 2, leaf case: hash over the BF alone (tagged).
 Hash256 bmt_leaf_hash(const BloomFilter& bf);
+Hash256 bmt_leaf_hash(const BloomFilterView& bf);
 
 /// Eq. 2, interior case: hash over child hashes and the node's BF.
 Hash256 bmt_node_hash(const Hash256& left, const Hash256& right,
                       const BloomFilter& bf);
+Hash256 bmt_node_hash(const Hash256& left, const Hash256& right,
+                      const BloomFilterView& bf);
 
 /// Per-query check results for every complete node of one segment tree.
 /// masks[level][j] has bit i set iff bf-position cbp[i] is 1 in node

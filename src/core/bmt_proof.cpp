@@ -7,12 +7,19 @@ namespace lvq {
 
 namespace {
 
-bool bf_check_fails(const BloomFilter& bf, const std::vector<std::uint64_t>& cbp) {
+template <typename Bf>
+bool bf_check_fails(const Bf& bf, const std::vector<std::uint64_t>& cbp) {
   for (std::uint64_t p : cbp) {
     if (!bf.bit(p)) return false;
   }
   return true;
 }
+
+// Owned copy of a node's BF for upward propagation through the fold. The
+// owned tree already copies here (pair construction), so the view path's
+// to_owned() costs the same — hashing, the expensive part, stays zero-copy.
+inline const BloomFilter& owned_bf(const BloomFilter& bf) { return bf; }
+inline BloomFilter owned_bf(const BloomFilterView& bf) { return bf.to_owned(); }
 
 }  // namespace
 
@@ -174,7 +181,10 @@ struct WalkCtx {
 };
 
 /// Returns (hash, bf) of the node, or nullopt with ctx.error set.
-std::optional<std::pair<Hash256, BloomFilter>> walk(const BmtNodeProof& p,
+/// Templated over BmtNodeProof / BmtNodeProofView — identical member names
+/// make the same fold compile for both, so the two paths cannot diverge.
+template <typename Node>
+std::optional<std::pair<Hash256, BloomFilter>> walk(const Node& p,
                                                     std::uint32_t level,
                                                     std::uint64_t local_base,
                                                     WalkCtx& ctx) {
@@ -196,7 +206,7 @@ std::optional<std::pair<Hash256, BloomFilter>> walk(const BmtNodeProof& p,
           ctx.error = "leaf endpoint must not carry child hashes";
           return std::nullopt;
         }
-        return std::make_pair(bmt_leaf_hash(p.bf), p.bf);
+        return std::make_pair(bmt_leaf_hash(p.bf), owned_bf(p.bf));
       }
       if (!p.child_hashes) {
         ctx.error = "non-leaf endpoint missing child hashes";
@@ -204,7 +214,7 @@ std::optional<std::pair<Hash256, BloomFilter>> walk(const BmtNodeProof& p,
       }
       return std::make_pair(
           bmt_node_hash(p.child_hashes->first, p.child_hashes->second, p.bf),
-          p.bf);
+          owned_bf(p.bf));
     }
     case BmtNodeProof::Kind::kFailedLeaf: {
       if (level != 0) {
@@ -224,7 +234,7 @@ std::optional<std::pair<Hash256, BloomFilter>> walk(const BmtNodeProof& p,
         return std::nullopt;
       }
       ctx.failed->push_back(local_base);
-      return std::make_pair(bmt_leaf_hash(p.bf), p.bf);
+      return std::make_pair(bmt_leaf_hash(p.bf), owned_bf(p.bf));
     }
     case BmtNodeProof::Kind::kInterior: {
       if (level == 0) {
@@ -250,12 +260,10 @@ std::optional<std::pair<Hash256, BloomFilter>> walk(const BmtNodeProof& p,
   return std::nullopt;
 }
 
-}  // namespace
-
-BmtOpenOutcome open_bmt_proof(const BmtNodeProof& proof,
-                              const BloomGeometry& geom,
-                              const std::vector<std::uint64_t>& cbp,
-                              std::uint32_t root_level) {
+template <typename Node>
+BmtOpenOutcome open_bmt_proof_impl(const Node& proof, const BloomGeometry& geom,
+                                   const std::vector<std::uint64_t>& cbp,
+                                   std::uint32_t root_level) {
   BmtOpenOutcome out;
   WalkCtx ctx{&geom, &cbp, &out.failed_leaf_locals, {}};
   auto result = walk(proof, root_level, 0, ctx);
@@ -270,13 +278,14 @@ BmtOpenOutcome open_bmt_proof(const BmtNodeProof& proof,
   return out;
 }
 
-BmtProofOutcome verify_bmt_proof(const BmtNodeProof& proof,
-                                 const Hash256& expected_root,
-                                 const BloomGeometry& geom,
-                                 const std::vector<std::uint64_t>& cbp,
-                                 std::uint32_t root_level) {
+template <typename Node>
+BmtProofOutcome verify_bmt_proof_impl(const Node& proof,
+                                      const Hash256& expected_root,
+                                      const BloomGeometry& geom,
+                                      const std::vector<std::uint64_t>& cbp,
+                                      std::uint32_t root_level) {
   BmtProofOutcome out;
-  BmtOpenOutcome open = open_bmt_proof(proof, geom, cbp, root_level);
+  BmtOpenOutcome open = open_bmt_proof_impl(proof, geom, cbp, root_level);
   if (!open.ok) {
     out.error = std::move(open.error);
     return out;
@@ -288,6 +297,71 @@ BmtProofOutcome verify_bmt_proof(const BmtNodeProof& proof,
   out.failed_leaf_locals = std::move(open.failed_leaf_locals);
   out.ok = true;
   return out;
+}
+
+}  // namespace
+
+BmtNodeProofView BmtNodeProofView::deserialize(Reader& r, BloomGeometry geom,
+                                               std::uint32_t max_depth) {
+  BmtNodeProofView p;
+  std::uint8_t kind = r.u8();
+  if (kind > 2) throw SerializeError("bad BMT proof node kind");
+  p.kind = static_cast<BmtNodeProof::Kind>(kind);
+  switch (p.kind) {
+    case BmtNodeProof::Kind::kInexistentEndpoint: {
+      p.bf = BloomFilterView::deserialize_bits(r, geom);
+      std::uint8_t has_children = r.u8();
+      if (has_children > 1) throw SerializeError("bad child-hash flag");
+      if (has_children) {
+        Hash256 h0, h1;
+        h0.bytes = r.arr<32>();
+        h1.bytes = r.arr<32>();
+        p.child_hashes = std::make_pair(h0, h1);
+      }
+      break;
+    }
+    case BmtNodeProof::Kind::kFailedLeaf:
+      p.bf = BloomFilterView::deserialize_bits(r, geom);
+      break;
+    case BmtNodeProof::Kind::kInterior:
+      if (max_depth == 0) throw SerializeError("BMT proof too deep");
+      p.left = std::make_unique<BmtNodeProofView>(
+          deserialize(r, geom, max_depth - 1));
+      p.right = std::make_unique<BmtNodeProofView>(
+          deserialize(r, geom, max_depth - 1));
+      break;
+  }
+  return p;
+}
+
+BmtOpenOutcome open_bmt_proof(const BmtNodeProof& proof,
+                              const BloomGeometry& geom,
+                              const std::vector<std::uint64_t>& cbp,
+                              std::uint32_t root_level) {
+  return open_bmt_proof_impl(proof, geom, cbp, root_level);
+}
+
+BmtOpenOutcome open_bmt_proof(const BmtNodeProofView& proof,
+                              const BloomGeometry& geom,
+                              const std::vector<std::uint64_t>& cbp,
+                              std::uint32_t root_level) {
+  return open_bmt_proof_impl(proof, geom, cbp, root_level);
+}
+
+BmtProofOutcome verify_bmt_proof(const BmtNodeProof& proof,
+                                 const Hash256& expected_root,
+                                 const BloomGeometry& geom,
+                                 const std::vector<std::uint64_t>& cbp,
+                                 std::uint32_t root_level) {
+  return verify_bmt_proof_impl(proof, expected_root, geom, cbp, root_level);
+}
+
+BmtProofOutcome verify_bmt_proof(const BmtNodeProofView& proof,
+                                 const Hash256& expected_root,
+                                 const BloomGeometry& geom,
+                                 const std::vector<std::uint64_t>& cbp,
+                                 std::uint32_t root_level) {
+  return verify_bmt_proof_impl(proof, expected_root, geom, cbp, root_level);
 }
 
 }  // namespace lvq

@@ -67,6 +67,26 @@ struct BmtNodeProof {
   std::size_t serialized_size() const;
 };
 
+/// Borrowed-view counterpart of BmtNodeProof: identical shape and member
+/// names (so verification templates over both), but endpoint BFs alias the
+/// reply buffer via BloomFilterView instead of owning a copy. Move-only;
+/// the frame-pinning rule of BloomFilterView applies to the whole tree.
+struct BmtNodeProofView {
+  BmtNodeProof::Kind kind = BmtNodeProof::Kind::kInexistentEndpoint;
+  BloomFilterView bf;
+  std::optional<std::pair<Hash256, Hash256>> child_hashes;
+  std::unique_ptr<BmtNodeProofView> left, right;
+
+  BmtNodeProofView() = default;
+  BmtNodeProofView(BmtNodeProofView&&) = default;
+  BmtNodeProofView& operator=(BmtNodeProofView&&) = default;
+
+  /// Consumes exactly the bytes BmtNodeProof::deserialize would and throws
+  /// the same SerializeError on the same malformed input.
+  static BmtNodeProofView deserialize(Reader& r, BloomGeometry geom,
+                                      std::uint32_t max_depth);
+};
+
 class SegmentProofIndex;
 
 /// Builds the proof for the query tree rooted at (root_level, root_j) of
@@ -94,6 +114,11 @@ BmtProofOutcome verify_bmt_proof(const BmtNodeProof& proof,
                                  const BloomGeometry& geom,
                                  const std::vector<std::uint64_t>& cbp,
                                  std::uint32_t root_level);
+BmtProofOutcome verify_bmt_proof(const BmtNodeProofView& proof,
+                                 const Hash256& expected_root,
+                                 const BloomGeometry& geom,
+                                 const std::vector<std::uint64_t>& cbp,
+                                 std::uint32_t root_level);
 
 /// Like verify_bmt_proof but without a root expectation: folds the proof
 /// and returns the computed (hash, BF) of its root node, so callers can
@@ -106,6 +131,10 @@ struct BmtOpenOutcome {
   std::vector<std::uint64_t> failed_leaf_locals;
 };
 BmtOpenOutcome open_bmt_proof(const BmtNodeProof& proof,
+                              const BloomGeometry& geom,
+                              const std::vector<std::uint64_t>& cbp,
+                              std::uint32_t root_level);
+BmtOpenOutcome open_bmt_proof(const BmtNodeProofView& proof,
                               const BloomGeometry& geom,
                               const std::vector<std::uint64_t>& cbp,
                               std::uint32_t root_level);

@@ -6,6 +6,7 @@
 #include "core/segments.hpp"
 #include "core/verifier.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lvq {
 
@@ -384,8 +385,8 @@ std::optional<MultiFoldResult> fold_shared(const SharedBmtNodeProof& node,
 
 std::vector<VerifyOutcome> verify_multi_response(
     const std::vector<BlockHeader>& headers, const ProtocolConfig& config,
-    const std::vector<Address>& addresses,
-    const MultiQueryResponse& response) {
+    const std::vector<Address>& addresses, const MultiQueryResponse& response,
+    const VerifyContext& vctx) {
   const std::size_t n_addr = addresses.size();
   std::vector<VerifyOutcome> outcomes(n_addr);
   for (std::size_t a = 0; a < n_addr; ++a) {
@@ -422,58 +423,81 @@ std::vector<VerifyOutcome> verify_multi_response(
       return fail_all(VerifyError::kShapeMismatch,
                       "wrong number of segment proofs");
     }
-    for (std::size_t i = 0; i < forest.size(); ++i) {
+    // Phase 1: fold every segment's shared structure — independent units.
+    // A structural failure poisons every address; the serial reference
+    // returns on the first (lowest-index) failing segment, so the scan
+    // below picks exactly that one.
+    struct SegFoldResult {
+      std::optional<std::pair<VerifyError, std::string>> fail;
+      std::vector<std::vector<std::uint64_t>> failed;  // per address, locals
+    };
+    std::vector<SegFoldResult> folds(forest.size());
+    parallel_for_each(vctx.pool, forest.size(), [&](std::uint64_t i) {
       const SubSegment& range = forest[i];
       const MultiSegmentProof& seg = response.segments[i];
+      SegFoldResult& out = folds[i];
       if (seg.per_address_blocks.size() != n_addr) {
-        return fail_all(VerifyError::kShapeMismatch,
-                        "per-address proof lists missing");
+        out.fail = {VerifyError::kShapeMismatch,
+                    "per-address proof lists missing"};
+        return;
       }
       const BlockHeader& last_hd = headers[range.last - 1];
       if (!last_hd.bmt_root) {
-        return fail_all(VerifyError::kShapeMismatch, "header lacks BMT root");
+        out.fail = {VerifyError::kShapeMismatch, "header lacks BMT root"};
+        return;
       }
       std::uint32_t level =
           static_cast<std::uint32_t>(std::countr_zero(range.length()));
 
-      std::vector<std::vector<std::uint64_t>> failed(n_addr);
-      MultiFoldCtx ctx{&config.bloom, &cbps, &failed, {}, n_addr};
+      out.failed.assign(n_addr, {});
+      MultiFoldCtx ctx{&config.bloom, &cbps, &out.failed, {}, n_addr};
       auto folded = fold_shared(seg.tree, level, 0, ctx);
       if (!folded) {
-        return fail_all(VerifyError::kBmtProofInvalid, ctx.error);
+        out.fail = {VerifyError::kBmtProofInvalid, ctx.error};
+        return;
       }
       if (folded->hash != *last_hd.bmt_root) {
-        return fail_all(VerifyError::kBmtProofInvalid,
-                        "shared proof does not match header commitment");
+        out.fail = {VerifyError::kBmtProofInvalid,
+                    "shared proof does not match header commitment"};
       }
-      // Per-address block proofs; a failure poisons only that address.
-      for (std::size_t a = 0; a < n_addr; ++a) {
-        if (outcomes[a].error != VerifyError::kNone) continue;  // failed earlier
-        const auto& blocks = seg.per_address_blocks[a];
-        if (blocks.size() != failed[a].size()) {
+    });
+    for (const SegFoldResult& f : folds) {
+      if (f.fail) return fail_all(f.fail->first, f.fail->second);
+    }
+
+    // Phase 2: per-address block proofs; a failure poisons only that
+    // address. Each unit owns outcomes[a] and walks its segments
+    // ascending, stopping at the first failure — the same outcome the
+    // serial interleaved loop produces for that address.
+    parallel_for_each(vctx.pool, n_addr, [&](std::uint64_t a) {
+      for (std::size_t i = 0; i < forest.size(); ++i) {
+        const SubSegment& range = forest[i];
+        const auto& blocks = response.segments[i].per_address_blocks[a];
+        const auto& failed = folds[i].failed[a];
+        if (blocks.size() != failed.size()) {
           outcomes[a] = VerifyOutcome::failure(
-              blocks.size() < failed[a].size()
+              blocks.size() < failed.size()
                   ? VerifyError::kBlockProofMissing
                   : VerifyError::kBlockProofUnexpected,
               "failed-leaf set and block-proof set differ");
-          continue;
+          return;
         }
         for (std::size_t k = 0; k < blocks.size(); ++k) {
-          std::uint64_t expect_height = range.first + failed[a][k];
+          std::uint64_t expect_height = range.first + failed[k];
           if (blocks[k].first != expect_height) {
             outcomes[a] = VerifyOutcome::failure(VerifyError::kShapeMismatch,
                                                  "block proof at wrong height");
-            break;
+            return;
           }
           if (auto fail = verify_failed_block_proof(
                   headers, config, addresses[a], expect_height,
                   blocks[k].second, outcomes[a].history)) {
             outcomes[a] = *fail;
-            break;
+            return;
           }
         }
       }
-    }
+    });
     for (std::size_t a = 0; a < n_addr; ++a) {
       if (outcomes[a].error == VerifyError::kNone) outcomes[a].ok = true;
     }
@@ -487,22 +511,40 @@ std::vector<VerifyOutcome> verify_multi_response(
     return fail_all(VerifyError::kShapeMismatch,
                     "fragment lists do not cover the chain");
   }
-  // Validate the shared BFs once.
-  for (std::uint64_t h = 1; ships_bfs && h <= tip; ++h) {
-    const BloomFilter& shipped = response.block_bfs[h - 1];
-    const BlockHeader& hd = headers[h - 1];
-    if (shipped.geometry() != config.bloom || !hd.bf_hash ||
-        shipped.content_hash() != *hd.bf_hash) {
-      return fail_all(VerifyError::kBfHashMismatch,
-                      "shipped BF does not match header H(BF)");
+  // Validate the shared BFs once — independent per height; the failure
+  // message is height-independent so any bad flag yields the serial
+  // outcome. The memo (when provided) lets a batch over one reply frame
+  // hash each shipped BF a single time.
+  if (ships_bfs) {
+    if (vctx.memo) vctx.memo->resize_for(static_cast<std::size_t>(tip));
+    std::vector<std::uint8_t> bad(static_cast<std::size_t>(tip), 0);
+    parallel_for_each(vctx.pool, tip, [&](std::uint64_t idx) {
+      const std::uint64_t h = idx + 1;
+      const BloomFilter& shipped = response.block_bfs[h - 1];
+      const BlockHeader& hd = headers[h - 1];
+      if (shipped.geometry() != config.bloom || !hd.bf_hash) {
+        bad[idx] = 1;
+        return;
+      }
+      Hash256 got = vctx.memo ? vctx.memo->content_hash(h - 1, shipped)
+                              : shipped.content_hash();
+      if (got != *hd.bf_hash) bad[idx] = 1;
+    });
+    for (std::uint64_t idx = 0; idx < tip; ++idx) {
+      if (bad[idx]) {
+        return fail_all(VerifyError::kBfHashMismatch,
+                        "shipped BF does not match header H(BF)");
+      }
     }
   }
-  for (std::size_t a = 0; a < n_addr; ++a) {
+  // Per-address fragment walks — each unit owns outcomes[a] and is the
+  // exact serial per-address body.
+  parallel_for_each(vctx.pool, n_addr, [&](std::uint64_t a) {
     const auto& fragments = response.per_address_fragments[a];
     if (fragments.size() != tip) {
       outcomes[a] = VerifyOutcome::failure(VerifyError::kShapeMismatch,
                                            "fragment list wrong length");
-      continue;
+      return;
     }
     bool failed_addr = false;
     for (std::uint64_t h = 1; h <= tip && !failed_addr; ++h) {
@@ -544,7 +586,7 @@ std::vector<VerifyOutcome> verify_multi_response(
       }
     }
     if (!failed_addr) outcomes[a].ok = true;
-  }
+  });
   return outcomes;
 }
 

@@ -31,6 +31,7 @@
 #include "chain/address.hpp"
 #include "core/chain_context.hpp"
 #include "core/query.hpp"
+#include "core/verifier.hpp"
 #include "core/verify_result.hpp"
 
 namespace lvq {
@@ -86,8 +87,13 @@ MultiQueryResponse build_multi_response(const ChainContext& ctx,
 /// Light-node side: one outcome per address, same order. All share the
 /// structural verification; a failure in the shared structure fails every
 /// address, a failure in one address's per-block proofs fails only it.
+///
+/// With ctx.pool set, the shared-structure folds (per segment) and the
+/// per-address proof walks fan out in two phases; outcomes are identical
+/// to the serial path (see verify_unit.hpp for the determinism rule).
 std::vector<VerifyOutcome> verify_multi_response(
     const std::vector<BlockHeader>& headers, const ProtocolConfig& config,
-    const std::vector<Address>& addresses, const MultiQueryResponse& response);
+    const std::vector<Address>& addresses, const MultiQueryResponse& response,
+    const VerifyContext& ctx = {});
 
 }  // namespace lvq

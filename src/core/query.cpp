@@ -20,6 +20,11 @@ std::size_t TxWithBranch::serialized_size() const {
   return tx.serialized_size() + branch.serialized_size();
 }
 
+void TxWithBranch::skip(Reader& r) {
+  Transaction::skip(r);
+  MerkleBranch::skip(r);
+}
+
 void BlockExistenceProof::serialize(Writer& w) const {
   count_branch.serialize(w);
   w.varint(txs.size());
@@ -41,6 +46,13 @@ std::size_t BlockExistenceProof::serialized_size() const {
   std::size_t n = count_branch.serialized_size() + varint_size(txs.size());
   for (const TxWithBranch& t : txs) n += t.serialized_size();
   return n;
+}
+
+void BlockExistenceProof::skip(Reader& r) {
+  SmtBranch::skip(r);
+  std::uint64_t n = r.varint();
+  if (n > 1'000'000) throw SerializeError("too many txs in existence proof");
+  for (std::uint64_t i = 0; i < n; ++i) TxWithBranch::skip(r);
 }
 
 void BlockProof::serialize(Writer& w) const {
@@ -94,6 +106,30 @@ BlockProof BlockProof::deserialize(Reader& r) {
       break;
   }
   return p;
+}
+
+void BlockProof::skip(Reader& r) {
+  std::uint8_t kind = r.u8();
+  if (kind > 4) throw SerializeError("bad block proof kind");
+  switch (static_cast<Kind>(kind)) {
+    case Kind::kEmpty:
+      break;
+    case Kind::kExistent:
+      BlockExistenceProof::skip(r);
+      break;
+    case Kind::kAbsent:
+      SmtAbsenceProof::skip(r);
+      break;
+    case Kind::kExistentNoCount: {
+      std::uint64_t n = r.varint();
+      if (n > 1'000'000) throw SerializeError("too many plain txs");
+      for (std::uint64_t i = 0; i < n; ++i) TxWithBranch::skip(r);
+      break;
+    }
+    case Kind::kIntegralBlock:
+      Block::skip(r);
+      break;
+  }
 }
 
 std::size_t BlockProof::serialized_size() const {

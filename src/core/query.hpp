@@ -37,6 +37,10 @@ struct TxWithBranch {
   void serialize(Writer& w) const;
   static TxWithBranch deserialize(Reader& r);
   std::size_t serialized_size() const;
+
+  /// Structural validation without materializing; throws exactly as
+  /// deserialize() would on the same malformed input (zero-copy views).
+  static void skip(Reader& r);
 };
 
 /// Existence proof for one block (paper Fig. 10): the SMT branch fixes the
@@ -48,6 +52,9 @@ struct BlockExistenceProof {
   void serialize(Writer& w) const;
   static BlockExistenceProof deserialize(Reader& r);
   std::size_t serialized_size() const;
+
+  /// Structural validation without materializing; see TxWithBranch::skip.
+  static void skip(Reader& r);
 };
 
 /// Per-block proof payload; which kinds are legal depends on the design.
@@ -69,6 +76,9 @@ struct BlockProof {
   void serialize(Writer& w) const;
   static BlockProof deserialize(Reader& r);
   std::size_t serialized_size() const;
+
+  /// Structural validation without materializing; see TxWithBranch::skip.
+  static void skip(Reader& r);
 };
 
 /// Proof for one query-forest tree plus the per-block proofs its failed

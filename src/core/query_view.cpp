@@ -1,0 +1,155 @@
+#include "core/query_view.hpp"
+
+namespace lvq {
+
+BlockProof BlockProofView::decode() const {
+  Reader r(bytes);
+  BlockProof p = BlockProof::deserialize(r);
+  r.expect_done();
+  return p;
+}
+
+BlockProofView BlockProofView::deserialize(Reader& r) {
+  std::size_t start = r.pos();
+  BlockProof::skip(r);
+  return BlockProofView{r.subspan_from(start)};
+}
+
+SegmentQueryProofView SegmentQueryProofView::deserialize(Reader& r,
+                                                         BloomGeometry geom) {
+  SegmentQueryProofView p;
+  std::size_t start = r.pos();
+  p.tree = BmtNodeProofView::deserialize(r, geom, /*max_depth=*/64);
+  p.tree_wire_size = r.pos() - start;
+  std::uint64_t n = r.varint();
+  if (n > 10'000'000) throw SerializeError("too many block proofs");
+  reserve_clamped(p.block_proofs, n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t height = r.varint();
+    p.block_proofs.emplace_back(height, BlockProofView::deserialize(r));
+  }
+  return p;
+}
+
+QueryResponseView QueryResponseView::deserialize(Reader& r,
+                                                 const ProtocolConfig& config,
+                                                 bool expect_end) {
+  QueryResponseView resp;
+  std::size_t start = r.pos();
+  std::uint8_t design = r.u8();
+  if (design > static_cast<std::uint8_t>(Design::kLvq))
+    throw SerializeError("bad design tag");
+  resp.design = static_cast<Design>(design);
+  if (resp.design != config.design)
+    throw SerializeError("response design does not match local config");
+  resp.tip_height = r.varint();
+  if (resp.tip_height > 100'000'000)
+    throw SerializeError("implausible tip height");
+  if (design_has_bmt(resp.design)) {
+    std::uint64_t n = r.varint();
+    if (n > resp.tip_height) throw SerializeError("too many segment proofs");
+    reserve_clamped(resp.segments, n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      resp.segments.push_back(
+          SegmentQueryProofView::deserialize(r, config.bloom));
+    }
+  } else {
+    if (design_ships_block_bfs(resp.design)) {
+      reserve_clamped(resp.block_bfs, resp.tip_height);
+      for (std::uint64_t h = 0; h < resp.tip_height; ++h) {
+        resp.block_bfs.push_back(
+            BloomFilterView::deserialize_bits(r, config.bloom));
+      }
+    }
+    reserve_clamped(resp.fragments, resp.tip_height);
+    for (std::uint64_t h = 0; h < resp.tip_height; ++h) {
+      resp.fragments.push_back(BlockProofView::deserialize(r));
+    }
+  }
+  if (expect_end) r.expect_done();
+  resp.wire_size = r.pos() - start;
+  return resp;
+}
+
+namespace {
+
+/// Re-walks a validated BlockProof span and attributes its bytes to the
+/// SizeBreakdown categories exactly as the owned account_block_proof does
+/// (query.cpp) — each component's wire extent is measured via the skip
+/// parsers, which equals the owned serialized_size by canonical encoding.
+void account_block_proof_view(ByteSpan bytes, SizeBreakdown& b) {
+  Reader r(bytes);
+  std::uint8_t kind = r.u8();
+  b.other_bytes += 1;  // kind tag
+  switch (static_cast<BlockProof::Kind>(kind)) {
+    case BlockProof::Kind::kEmpty:
+      break;
+    case BlockProof::Kind::kExistent: {
+      std::size_t start = r.pos();
+      SmtBranch::skip(r);
+      b.smt_bytes += r.pos() - start;
+      std::uint64_t n = r.varint();
+      b.other_bytes += varint_size(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        start = r.pos();
+        Transaction::skip(r);
+        b.tx_bytes += r.pos() - start;
+        start = r.pos();
+        MerkleBranch::skip(r);
+        b.mt_bytes += r.pos() - start;
+      }
+      break;
+    }
+    case BlockProof::Kind::kAbsent: {
+      std::size_t start = r.pos();
+      SmtAbsenceProof::skip(r);
+      b.smt_bytes += r.pos() - start;
+      break;
+    }
+    case BlockProof::Kind::kExistentNoCount: {
+      std::uint64_t n = r.varint();
+      b.other_bytes += varint_size(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::size_t start = r.pos();
+        Transaction::skip(r);
+        b.tx_bytes += r.pos() - start;
+        start = r.pos();
+        MerkleBranch::skip(r);
+        b.mt_bytes += r.pos() - start;
+      }
+      break;
+    }
+    case BlockProof::Kind::kIntegralBlock: {
+      std::size_t start = r.pos();
+      Block::skip(r);
+      b.block_bytes += r.pos() - start;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+SizeBreakdown QueryResponseView::breakdown() const {
+  SizeBreakdown b;
+  b.other_bytes += 1 + varint_size(tip_height);
+  if (design_has_bmt(design)) {
+    b.other_bytes += varint_size(segments.size());
+    for (const SegmentQueryProofView& s : segments) {
+      b.bmt_bytes += s.tree_wire_size;
+      b.other_bytes += varint_size(s.block_proofs.size());
+      for (const auto& [height, proof] : s.block_proofs) {
+        b.other_bytes += varint_size(height);
+        account_block_proof_view(proof.bytes, b);
+      }
+    }
+  } else {
+    for (const BloomFilterView& bf : block_bfs)
+      b.bf_bytes += bf.serialized_bits_size();
+    for (const BlockProofView& f : fragments)
+      account_block_proof_view(f.bytes, b);
+  }
+  return b;
+}
+
+}  // namespace lvq

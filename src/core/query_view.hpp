@@ -1,0 +1,86 @@
+// Zero-copy (borrowed-view) decode of query responses.
+//
+// The owned QueryResponse::deserialize deep-copies every Bloom filter,
+// transaction, and Merkle branch out of the reply buffer before the
+// verifier reads any of it. For a light node that verifies a response once
+// and discards it, those copies are pure overhead — on the Table III
+// workload they dominate client-side latency. The view decode path below
+// structurally validates the whole reply up front (via the skip parsers,
+// which throw exactly the SerializeErrors the owned decoders throw) and
+// records borrowed spans instead of materializing:
+//
+//   BloomFilterView       geometry + span over the serialized bit vector
+//   BmtNodeProofView      proof tree whose endpoint BFs are views
+//   BlockProofView        one validated span per per-block proof; the
+//                         verifier materializes it lazily via decode()
+//                         only for blocks it actually has to walk into
+//
+// Ownership rule (INTERNALS.md §8): a view NEVER owns its bytes. Whoever
+// decodes must pin the reply frame for as long as the view — or anything
+// derived from it, e.g. a BfHashMemo caching spans — is alive. LightNode
+// keeps the transport frame on its stack across verify; anything escaping
+// the frame (VerifiedHistory transactions) is copied out by decode().
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/query.hpp"
+
+namespace lvq {
+
+/// Borrowed per-block proof: a structurally validated span holding one
+/// serialized BlockProof. decode() materializes the owned form (throws
+/// only if the span was never validated — decode of a validated span
+/// cannot fail).
+struct BlockProofView {
+  ByteSpan bytes;
+
+  BlockProof::Kind kind() const {
+    return static_cast<BlockProof::Kind>(bytes[0]);
+  }
+  std::size_t serialized_size() const { return bytes.size(); }
+
+  BlockProof decode() const;
+
+  /// Validates via BlockProof::skip (same errors as deserialize) and
+  /// records the consumed span.
+  static BlockProofView deserialize(Reader& r);
+};
+
+/// Borrowed counterpart of SegmentQueryProof.
+struct SegmentQueryProofView {
+  BmtNodeProofView tree;
+  std::size_t tree_wire_size = 0;
+  std::vector<std::pair<std::uint64_t, BlockProofView>> block_proofs;
+
+  static SegmentQueryProofView deserialize(Reader& r, BloomGeometry geom);
+};
+
+/// Borrowed counterpart of QueryResponse. Field-for-field the same layout
+/// so verification templates over both representations.
+struct QueryResponseView {
+  Design design = Design::kLvq;
+  std::uint64_t tip_height = 0;
+
+  std::vector<SegmentQueryProofView> segments;
+  std::vector<BloomFilterView> block_bfs;
+  std::vector<BlockProofView> fragments;
+
+  /// Exact wire extent consumed by deserialize(); equals the owned
+  /// QueryResponse::serialized_size() because decoding is canonical.
+  std::size_t wire_size = 0;
+  std::size_t serialized_size() const { return wire_size; }
+
+  /// Consumes exactly the bytes QueryResponse::deserialize would and
+  /// throws the same SerializeError on the same malformed input.
+  static QueryResponseView deserialize(Reader& r, const ProtocolConfig& config,
+                                       bool expect_end = true);
+
+  /// Byte-identical to the owned QueryResponse::breakdown() over the same
+  /// wire bytes (re-walks the spans with the skip parsers).
+  SizeBreakdown breakdown() const;
+};
+
+}  // namespace lvq

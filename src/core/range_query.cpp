@@ -5,7 +5,9 @@
 #include "core/merge_schedule.hpp"
 #include "core/prover.hpp"
 #include "core/verifier.hpp"
+#include "core/verify_unit.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lvq {
 
@@ -263,7 +265,8 @@ RangeQueryResponse build_range_response(const ChainContext& ctx,
 VerifyOutcome verify_range_response(const std::vector<BlockHeader>& headers,
                                     const ProtocolConfig& config,
                                     const Address& address,
-                                    const RangeQueryResponse& response) {
+                                    const RangeQueryResponse& response,
+                                    const VerifyContext& ctx) {
   const std::uint64_t tip = headers.size();
   if (tip == 0 || response.tip_height != tip || response.design != config.design ||
       response.from < 1 || response.from > response.to || response.to > tip) {
@@ -288,18 +291,25 @@ VerifyOutcome verify_range_response(const std::vector<BlockHeader>& headers,
       return VerifyOutcome::failure(VerifyError::kShapeMismatch,
                                     "wrong number of range pieces");
     }
-    for (std::size_t i = 0; i < cover.size(); ++i) {
+    // Each anchored piece is an independent unit: open its proof, fold
+    // the anchor path, walk its per-block proofs. The ascending scan
+    // below returns the lowest-index failure — the serial outcome.
+    std::vector<detail::VerifyUnitResult> results(cover.size());
+    parallel_for_each(ctx.pool, cover.size(), [&](std::uint64_t i) {
+      detail::VerifyUnitResult& result = results[i];
       const RangePiece& piece = cover[i];
       const AnchoredTreeProof& proof = response.pieces[i];
       if (proof.path.size() != piece.path_length()) {
-        return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                      "wrong anchor path length");
+        result.fail = VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                             "wrong anchor path length");
+        return;
       }
       BmtOpenOutcome open =
           open_bmt_proof(proof.tree, config.bloom, cbp, piece.level);
       if (!open.ok) {
-        return VerifyOutcome::failure(VerifyError::kBmtProofInvalid,
-                                      open.error);
+        result.fail = VerifyOutcome::failure(VerifyError::kBmtProofInvalid,
+                                             open.error);
+        return;
       }
       // Fold the anchor path (Eq. 2/3); sidedness follows from j parity.
       Hash256 hash = open.hash;
@@ -307,8 +317,10 @@ VerifyOutcome verify_range_response(const std::vector<BlockHeader>& headers,
       std::uint64_t j = piece.j;
       for (const BmtPathStep& step : proof.path) {
         if (step.sibling_bf.geometry() != config.bloom) {
-          return VerifyOutcome::failure(VerifyError::kBmtProofInvalid,
-                                        "path sibling BF has wrong geometry");
+          result.fail =
+              VerifyOutcome::failure(VerifyError::kBmtProofInvalid,
+                                     "path sibling BF has wrong geometry");
+          return;
         }
         bf.merge(step.sibling_bf);
         hash = (j & 1) ? bmt_node_hash(step.sibling_hash, hash, bf)
@@ -317,31 +329,45 @@ VerifyOutcome verify_range_response(const std::vector<BlockHeader>& headers,
       }
       const BlockHeader& anchor = headers[piece.anchor_height - 1];
       if (!anchor.bmt_root || hash != *anchor.bmt_root) {
-        return VerifyOutcome::failure(
+        result.fail = VerifyOutcome::failure(
             VerifyError::kBmtProofInvalid,
             "anchored proof does not reach the header commitment");
+        return;
       }
       // Failed leaves <-> block proofs, exactly, in order.
       if (proof.block_proofs.size() != open.failed_leaf_locals.size()) {
-        return VerifyOutcome::failure(
+        result.fail = VerifyOutcome::failure(
             proof.block_proofs.size() < open.failed_leaf_locals.size()
                 ? VerifyError::kBlockProofMissing
                 : VerifyError::kBlockProofUnexpected,
             "failed-leaf set and block-proof set differ");
+        return;
       }
+      VerifiedHistory local;
+      local.address = address;
       for (std::size_t k = 0; k < proof.block_proofs.size(); ++k) {
         std::uint64_t expect_height =
             piece.first_height() + open.failed_leaf_locals[k];
         if (proof.block_proofs[k].first != expect_height) {
-          return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                        "block proof at wrong height");
+          result.fail = VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                               "block proof at wrong height");
+          return;
         }
         if (auto fail = verify_failed_block_proof(
                 headers, config, address, expect_height,
-                proof.block_proofs[k].second, outcome.history)) {
-          return *fail;
+                proof.block_proofs[k].second, local)) {
+          result.fail = std::move(*fail);
+          return;
         }
       }
+      result.blocks = std::move(local.blocks);
+    });
+    for (detail::VerifyUnitResult& r : results) {
+      if (r.fail) return std::move(*r.fail);
+    }
+    for (detail::VerifyUnitResult& r : results) {
+      for (VerifiedBlockTxs& b : r.blocks)
+        outcome.history.blocks.push_back(std::move(b));
     }
     outcome.ok = true;
     return outcome;
@@ -355,44 +381,65 @@ VerifyOutcome verify_range_response(const std::vector<BlockHeader>& headers,
     return VerifyOutcome::failure(VerifyError::kShapeMismatch,
                                   "fragment list does not cover the range");
   }
-  for (std::uint64_t h = response.from; h <= response.to; ++h) {
+  // One unit per height; slot `idx` of an optional memo caches the hash
+  // of the BF shipped at range offset idx.
+  if (ctx.memo) ctx.memo->resize_for(static_cast<std::size_t>(count));
+  std::vector<detail::VerifyUnitResult> results(count);
+  parallel_for_each(ctx.pool, count, [&](std::uint64_t idx) {
+    detail::VerifyUnitResult& result = results[idx];
+    const std::uint64_t h = response.from + idx;
     const BlockHeader& hd = headers[h - 1];
     const BloomFilter* bf = nullptr;
     if (config.design == Design::kStrawman) {
       if (!hd.embedded_bf) {
-        return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                      "header lacks embedded BF");
+        result.fail = VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                             "header lacks embedded BF");
+        return;
       }
       bf = &*hd.embedded_bf;
     } else {
-      const BloomFilter& shipped = response.block_bfs[h - response.from];
-      if (shipped.geometry() != config.bloom || !hd.bf_hash ||
-          shipped.content_hash() != *hd.bf_hash) {
-        return VerifyOutcome::failure(VerifyError::kBfHashMismatch,
-                                      "shipped BF does not match header H(BF)");
+      const BloomFilter& shipped = response.block_bfs[idx];
+      if (shipped.geometry() != config.bloom || !hd.bf_hash) {
+        result.fail =
+            VerifyOutcome::failure(VerifyError::kBfHashMismatch,
+                                   "shipped BF does not match header H(BF)");
+        return;
+      }
+      Hash256 got = ctx.memo ? ctx.memo->content_hash(idx, shipped)
+                             : shipped.content_hash();
+      if (got != *hd.bf_hash) {
+        result.fail =
+            VerifyOutcome::failure(VerifyError::kBfHashMismatch,
+                                   "shipped BF does not match header H(BF)");
+        return;
       }
       bf = &shipped;
     }
-    bool failed_check = true;
-    for (std::uint64_t p : cbp) {
-      if (!bf->bit(p)) {
-        failed_check = false;
-        break;
-      }
-    }
-    const BlockProof& frag = response.fragments[h - response.from];
+    bool failed_check = detail::all_bits_set(*bf, cbp);
+    const BlockProof& frag = response.fragments[idx];
     if (!failed_check) {
       if (frag.kind != BlockProof::Kind::kEmpty) {
-        return VerifyOutcome::failure(
+        result.fail = VerifyOutcome::failure(
             VerifyError::kFragmentKindInvalid,
             "BF proves absence but fragment is not empty");
       }
-      continue;
+      return;
     }
+    VerifiedHistory local;
+    local.address = address;
     if (auto fail = verify_failed_block_proof(headers, config, address, h,
-                                              frag, outcome.history)) {
-      return *fail;
+                                              frag, local)) {
+      result.fail = std::move(*fail);
+      return;
     }
+    result.blocks = std::move(local.blocks);
+  });
+  for (detail::VerifyUnitResult& r : results) {
+    if (r.fail) return std::move(*r.fail);
+  }
+  for (detail::VerifyUnitResult& r : results) {
+    for (VerifiedBlockTxs& b : r.blocks)
+      outcome.history.blocks.push_back(std::move(b));
   }
   outcome.ok = true;
   return outcome;

@@ -20,6 +20,7 @@
 #include "core/bmt_proof.hpp"
 #include "core/chain_context.hpp"
 #include "core/query.hpp"
+#include "core/verifier.hpp"
 #include "core/verify_result.hpp"
 
 namespace lvq {
@@ -106,9 +107,14 @@ RangeQueryResponse build_range_response(const ChainContext& ctx,
 /// Light-node side: verifies against local headers. On success, the
 /// history covers exactly the requested range (correct and, for designs
 /// with SMT, complete within it).
+///
+/// With ctx.pool set, independent units — anchored pieces for BMT
+/// designs, heights for non-BMT designs — fan out in parallel with the
+/// serial outcome (see verify_unit.hpp).
 VerifyOutcome verify_range_response(const std::vector<BlockHeader>& headers,
                                     const ProtocolConfig& config,
                                     const Address& address,
-                                    const RangeQueryResponse& response);
+                                    const RangeQueryResponse& response,
+                                    const VerifyContext& ctx = {});
 
 }  // namespace lvq

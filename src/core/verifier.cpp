@@ -1,13 +1,21 @@
 #include "core/verifier.hpp"
 
+#include <algorithm>
 #include <bit>
-#include <set>
 
 #include "core/segments.hpp"
+#include "core/verify_unit.hpp"
+#include "merkle/merkle_tree.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lvq {
 
 namespace {
+
+using detail::all_bits_set;
+using detail::materialize;
+using detail::proof_kind;
+using detail::VerifyUnitResult;
 
 struct BlockVerifier {
   const std::vector<BlockHeader>& headers;
@@ -20,7 +28,8 @@ struct BlockVerifier {
   std::optional<VerifyOutcome> check_txs(const BlockHeader& hd,
                                          const std::vector<TxWithBranch>& txs,
                                          std::vector<Transaction>& out) const {
-    std::set<Hash256> seen;
+    std::vector<Hash256> ids;
+    ids.reserve(txs.size());
     for (const TxWithBranch& t : txs) {
       if (!t.tx.involves(address)) {
         return VerifyOutcome::failure(VerifyError::kTxNotRelevant,
@@ -31,15 +40,20 @@ struct BlockVerifier {
         return VerifyOutcome::failure(VerifyError::kMerkleProofInvalid,
                                       "branch leaf is not the tx hash");
       }
-      if (!seen.insert(id).second) {
-        return VerifyOutcome::failure(VerifyError::kDuplicateTx,
-                                      "same tx presented twice");
-      }
       if (t.branch.compute_root() != hd.merkle_root) {
         return VerifyOutcome::failure(VerifyError::kMerkleProofInvalid,
                                       "Merkle branch does not reach root");
       }
+      ids.push_back(id);
       out.push_back(t.tx);
+    }
+    // Duplicate detection on the already-computed txids: sort a scratch
+    // vector + adjacent_find instead of a std::set, avoiding a node
+    // allocation per transaction on these small lists.
+    std::sort(ids.begin(), ids.end());
+    if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+      return VerifyOutcome::failure(VerifyError::kDuplicateTx,
+                                    "same tx presented twice");
     }
     return std::nullopt;
   }
@@ -128,16 +142,18 @@ struct BlockVerifier {
         const Block& block = *proof.block;
         // Reject duplicate txids before trusting the Merkle root: the
         // duplicate-last-leaf rule (CVE-2012-2459) would otherwise let a
-        // mutated block body match the committed root.
-        std::set<Hash256> ids;
-        for (const Transaction& tx : block.txs) {
-          if (!ids.insert(tx.txid()).second) {
-            return VerifyOutcome::failure(VerifyError::kIntegralBlockInvalid,
-                                          "duplicate tx in integral block");
-          }
+        // mutated block body match the committed root. The txid list is
+        // computed once and shared with the root check below.
+        std::vector<Hash256> ids = block.txids();
+        std::vector<Hash256> sorted_ids = ids;
+        std::sort(sorted_ids.begin(), sorted_ids.end());
+        if (std::adjacent_find(sorted_ids.begin(), sorted_ids.end()) !=
+            sorted_ids.end()) {
+          return VerifyOutcome::failure(VerifyError::kIntegralBlockInvalid,
+                                        "duplicate tx in integral block");
         }
         if (block.txs.empty() ||
-            block.compute_merkle_root() != hd.merkle_root) {
+            MerkleTree::compute_root(ids) != hd.merkle_root) {
           return VerifyOutcome::failure(
               VerifyError::kIntegralBlockInvalid,
               "integral block does not match header Merkle root");
@@ -157,6 +173,199 @@ struct BlockVerifier {
   }
 };
 
+/// One BMT segment: fold the proof tree, then walk its per-block proofs in
+/// order. Independent of every other segment.
+template <typename Seg>
+VerifyUnitResult verify_segment_unit(const std::vector<BlockHeader>& headers,
+                                     const ProtocolConfig& config,
+                                     const Address& address,
+                                     const std::vector<std::uint64_t>& cbp,
+                                     const SubSegment& range, const Seg& seg) {
+  VerifyUnitResult result;
+  const BlockHeader& last_hd = headers[range.last - 1];
+  if (!last_hd.bmt_root) {
+    result.fail = VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                         "header lacks BMT root");
+    return result;
+  }
+  std::uint32_t root_level =
+      static_cast<std::uint32_t>(std::countr_zero(range.length()));
+  BmtProofOutcome bmt = verify_bmt_proof(seg.tree, *last_hd.bmt_root,
+                                         config.bloom, cbp, root_level);
+  if (!bmt.ok) {
+    result.fail =
+        VerifyOutcome::failure(VerifyError::kBmtProofInvalid, bmt.error);
+    return result;
+  }
+  // Every failed leaf needs exactly one per-block proof at its height,
+  // in order; extras and omissions both reject.
+  if (seg.block_proofs.size() != bmt.failed_leaf_locals.size()) {
+    result.fail = VerifyOutcome::failure(
+        seg.block_proofs.size() < bmt.failed_leaf_locals.size()
+            ? VerifyError::kBlockProofMissing
+            : VerifyError::kBlockProofUnexpected,
+        "failed-leaf set and block-proof set differ");
+    return result;
+  }
+  VerifiedHistory local;
+  local.address = address;
+  BlockVerifier bv{headers, config, address, local};
+  for (std::size_t k = 0; k < seg.block_proofs.size(); ++k) {
+    std::uint64_t expect_height = range.first + bmt.failed_leaf_locals[k];
+    if (seg.block_proofs[k].first != expect_height) {
+      result.fail = VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                           "block proof at wrong height");
+      return result;
+    }
+    BlockProof storage;
+    const BlockProof& proof = materialize(seg.block_proofs[k].second, storage);
+    if (auto fail = bv.verify_failed_block(expect_height, proof)) {
+      result.fail = std::move(*fail);
+      return result;
+    }
+  }
+  result.blocks = std::move(local.blocks);
+  return result;
+}
+
+/// One height of a non-BMT design: authenticate the block's BF, test the
+/// address's checked bits, then check the fragment against the verdict.
+template <typename Resp>
+VerifyUnitResult verify_block_unit(const std::vector<BlockHeader>& headers,
+                                   const ProtocolConfig& config,
+                                   const Address& address,
+                                   const std::vector<std::uint64_t>& cbp,
+                                   const VerifyContext& ctx, std::uint64_t h,
+                                   const Resp& response) {
+  VerifyUnitResult result;
+  const BlockHeader& hd = headers[h - 1];
+  bool failed_check;
+  if (config.design == Design::kStrawman) {
+    if (!hd.embedded_bf) {
+      result.fail = VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                           "header lacks embedded BF");
+      return result;
+    }
+    failed_check = all_bits_set(*hd.embedded_bf, cbp);
+  } else {
+    const auto& shipped = response.block_bfs[h - 1];
+    if (shipped.geometry() != config.bloom) {
+      result.fail = VerifyOutcome::failure(VerifyError::kBfHashMismatch,
+                                           "shipped BF has wrong geometry");
+      return result;
+    }
+    if (!hd.bf_hash) {
+      result.fail = VerifyOutcome::failure(
+          VerifyError::kBfHashMismatch,
+          "shipped BF does not match header H(BF)");
+      return result;
+    }
+    Hash256 shipped_hash = ctx.memo ? ctx.memo->content_hash(h - 1, shipped)
+                                    : shipped.content_hash();
+    if (shipped_hash != *hd.bf_hash) {
+      result.fail = VerifyOutcome::failure(
+          VerifyError::kBfHashMismatch,
+          "shipped BF does not match header H(BF)");
+      return result;
+    }
+    failed_check = all_bits_set(shipped, cbp);
+  }
+  const auto& frag = response.fragments[h - 1];
+  if (!failed_check) {
+    // Successful check: the only valid fragment is Ø (paper §IV-A).
+    if (proof_kind(frag) != BlockProof::Kind::kEmpty) {
+      result.fail = VerifyOutcome::failure(
+          VerifyError::kFragmentKindInvalid,
+          "BF proves absence but fragment is not empty");
+    }
+    return result;
+  }
+  VerifiedHistory local;
+  local.address = address;
+  BlockVerifier bv{headers, config, address, local};
+  BlockProof storage;
+  const BlockProof& proof = materialize(frag, storage);
+  if (auto fail = bv.verify_failed_block(h, proof)) {
+    result.fail = std::move(*fail);
+    return result;
+  }
+  result.blocks = std::move(local.blocks);
+  return result;
+}
+
+template <typename Resp>
+VerifyOutcome verify_response_impl(const std::vector<BlockHeader>& headers,
+                                   const ProtocolConfig& config,
+                                   const Address& address,
+                                   const Resp& response,
+                                   const VerifyContext& ctx) {
+  const std::uint64_t tip = headers.size();
+  if (tip == 0 || response.tip_height != tip ||
+      response.design != config.design) {
+    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                  "response does not cover the local chain");
+  }
+  if (headers.front().scheme != config.scheme()) {
+    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                  "header scheme does not match config");
+  }
+
+  // The address's BloomKey and checked bit positions are shared by every
+  // unit — computed once per verify, not per block.
+  BloomKey key = BloomKey::from_bytes(address.span());
+  std::vector<std::uint64_t> cbp = config.bloom.positions(key);
+
+  VerifyOutcome outcome;
+  outcome.history.address = address;
+
+  if (config.has_bmt()) {
+    std::vector<SubSegment> forest = query_forest(tip, config.segment_length);
+    if (response.segments.size() != forest.size()) {
+      return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                    "wrong number of segment proofs");
+    }
+    std::vector<VerifyUnitResult> results(forest.size());
+    parallel_for_each(ctx.pool, forest.size(), [&](std::uint64_t i) {
+      results[i] = verify_segment_unit(headers, config, address, cbp,
+                                       forest[i], response.segments[i]);
+    });
+    for (VerifyUnitResult& r : results) {
+      if (r.fail) return std::move(*r.fail);
+    }
+    for (VerifyUnitResult& r : results) {
+      for (VerifiedBlockTxs& b : r.blocks)
+        outcome.history.blocks.push_back(std::move(b));
+    }
+    outcome.ok = true;
+    return outcome;
+  }
+
+  // Non-BMT designs: one unit per height.
+  const bool ships_bfs = design_ships_block_bfs(config.design);
+  if (response.fragments.size() != tip ||
+      (ships_bfs && response.block_bfs.size() != tip)) {
+    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
+                                  "fragment list does not cover the chain");
+  }
+  // Slot storage must be stable before units touch distinct slots in
+  // parallel.
+  if (ctx.memo) ctx.memo->resize_for(tip);
+  std::vector<VerifyUnitResult> results(tip);
+  parallel_for_each(ctx.pool, tip, [&](std::uint64_t idx) {
+    results[idx] = verify_block_unit(headers, config, address, cbp, ctx,
+                                     idx + 1, response);
+  });
+  for (VerifyUnitResult& r : results) {
+    if (r.fail) return std::move(*r.fail);
+  }
+  for (VerifyUnitResult& r : results) {
+    for (VerifiedBlockTxs& b : r.blocks)
+      outcome.history.blocks.push_back(std::move(b));
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
 }  // namespace
 
 std::optional<VerifyOutcome> verify_failed_block_proof(
@@ -170,120 +379,17 @@ std::optional<VerifyOutcome> verify_failed_block_proof(
 VerifyOutcome verify_response(const std::vector<BlockHeader>& headers,
                               const ProtocolConfig& config,
                               const Address& address,
-                              const QueryResponse& response) {
-  const std::uint64_t tip = headers.size();
-  if (tip == 0 || response.tip_height != tip ||
-      response.design != config.design) {
-    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                  "response does not cover the local chain");
-  }
-  if (headers.front().scheme != config.scheme()) {
-    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                  "header scheme does not match config");
-  }
+                              const QueryResponse& response,
+                              const VerifyContext& ctx) {
+  return verify_response_impl(headers, config, address, response, ctx);
+}
 
-  BloomKey key = BloomKey::from_bytes(address.span());
-  std::vector<std::uint64_t> cbp = config.bloom.positions(key);
-
-  VerifyOutcome outcome;
-  outcome.history.address = address;
-  BlockVerifier bv{headers, config, address, outcome.history};
-
-  if (config.has_bmt()) {
-    std::vector<SubSegment> forest = query_forest(tip, config.segment_length);
-    if (response.segments.size() != forest.size()) {
-      return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                    "wrong number of segment proofs");
-    }
-    for (std::size_t i = 0; i < forest.size(); ++i) {
-      const SubSegment& range = forest[i];
-      const SegmentQueryProof& seg = response.segments[i];
-      const BlockHeader& last_hd = headers[range.last - 1];
-      if (!last_hd.bmt_root) {
-        return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                      "header lacks BMT root");
-      }
-      std::uint32_t root_level =
-          static_cast<std::uint32_t>(std::countr_zero(range.length()));
-      BmtProofOutcome bmt = verify_bmt_proof(seg.tree, *last_hd.bmt_root,
-                                             config.bloom, cbp, root_level);
-      if (!bmt.ok) {
-        return VerifyOutcome::failure(VerifyError::kBmtProofInvalid, bmt.error);
-      }
-      // Every failed leaf needs exactly one per-block proof at its height,
-      // in order; extras and omissions both reject.
-      if (seg.block_proofs.size() != bmt.failed_leaf_locals.size()) {
-        return VerifyOutcome::failure(
-            seg.block_proofs.size() < bmt.failed_leaf_locals.size()
-                ? VerifyError::kBlockProofMissing
-                : VerifyError::kBlockProofUnexpected,
-            "failed-leaf set and block-proof set differ");
-      }
-      for (std::size_t k = 0; k < seg.block_proofs.size(); ++k) {
-        std::uint64_t expect_height = range.first + bmt.failed_leaf_locals[k];
-        if (seg.block_proofs[k].first != expect_height) {
-          return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                        "block proof at wrong height");
-        }
-        if (auto fail =
-                bv.verify_failed_block(expect_height, seg.block_proofs[k].second)) {
-          return *fail;
-        }
-      }
-    }
-    outcome.ok = true;
-    return outcome;
-  }
-
-  // Non-BMT designs.
-  const bool ships_bfs = design_ships_block_bfs(config.design);
-  if (response.fragments.size() != tip ||
-      (ships_bfs && response.block_bfs.size() != tip)) {
-    return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                  "fragment list does not cover the chain");
-  }
-  for (std::uint64_t h = 1; h <= tip; ++h) {
-    const BlockHeader& hd = headers[h - 1];
-    const BloomFilter* bf = nullptr;
-    if (config.design == Design::kStrawman) {
-      if (!hd.embedded_bf) {
-        return VerifyOutcome::failure(VerifyError::kShapeMismatch,
-                                      "header lacks embedded BF");
-      }
-      bf = &*hd.embedded_bf;
-    } else {
-      const BloomFilter& shipped = response.block_bfs[h - 1];
-      if (shipped.geometry() != config.bloom) {
-        return VerifyOutcome::failure(VerifyError::kBfHashMismatch,
-                                      "shipped BF has wrong geometry");
-      }
-      if (!hd.bf_hash || shipped.content_hash() != *hd.bf_hash) {
-        return VerifyOutcome::failure(VerifyError::kBfHashMismatch,
-                                      "shipped BF does not match header H(BF)");
-      }
-      bf = &shipped;
-    }
-    bool failed_check = true;
-    for (std::uint64_t p : cbp) {
-      if (!bf->bit(p)) {
-        failed_check = false;
-        break;
-      }
-    }
-    const BlockProof& frag = response.fragments[h - 1];
-    if (!failed_check) {
-      // Successful check: the only valid fragment is Ø (paper §IV-A).
-      if (frag.kind != BlockProof::Kind::kEmpty) {
-        return VerifyOutcome::failure(
-            VerifyError::kFragmentKindInvalid,
-            "BF proves absence but fragment is not empty");
-      }
-      continue;
-    }
-    if (auto fail = bv.verify_failed_block(h, frag)) return *fail;
-  }
-  outcome.ok = true;
-  return outcome;
+VerifyOutcome verify_response(const std::vector<BlockHeader>& headers,
+                              const ProtocolConfig& config,
+                              const Address& address,
+                              const QueryResponseView& response,
+                              const VerifyContext& ctx) {
+  return verify_response_impl(headers, config, address, response, ctx);
 }
 
 }  // namespace lvq

@@ -6,22 +6,94 @@
 // an untrusted QueryResponse. Output: either the verified transaction
 // history — correct AND complete for designs with SMT — or a precise
 // rejection reason.
+//
+// Both the owned (QueryResponse) and zero-copy (QueryResponseView)
+// representations are accepted; outcomes are byte-identical. Independent
+// verification units (per-segment BMT proofs, per-height BF + fragment
+// checks) optionally fan out over a ThreadPool via VerifyContext, with
+// deterministic first-failure selection — see verify_unit.hpp.
 #pragma once
 
+#include <cstring>
 #include <vector>
 
 #include "chain/block.hpp"
 #include "core/protocol_config.hpp"
 #include "core/query.hpp"
+#include "core/query_view.hpp"
 #include "core/verify_result.hpp"
 
 namespace lvq {
+
+class ThreadPool;
+
+/// Memoizes shipped-BF content hashes across verifies that share one reply
+/// frame. A multi-address batch over the same chain re-ships byte-identical
+/// per-block BFs for every address; with a memo each BF is SHA-hashed once
+/// and subsequent addresses pay a memcmp instead.
+///
+/// Concurrency: distinct slots may be used from different threads at once
+/// (the parallel verify assigns slot i to height i+1); a single slot must
+/// not. Call resize_for() before any parallel use so slot storage is
+/// stable. Cached spans must outlive the memo's use — scope one memo to
+/// one pinned reply frame, as LightNode::query_batch does.
+class BfHashMemo {
+ public:
+  void resize_for(std::size_t n) {
+    if (slots_.size() < n) slots_.resize(n);
+  }
+  std::size_t size() const { return slots_.size(); }
+
+  /// Content hash of `bf`, reusing the cached digest when slot `i` last
+  /// saw byte-identical filter content.
+  template <typename Bf>
+  Hash256 content_hash(std::size_t i, const Bf& bf) {
+    Slot& s = slots_[i];
+    const auto& bits = bf.data();
+    if (s.valid && s.size == bits.size() &&
+        (s.bytes == bits.data() ||
+         std::memcmp(s.bytes, bits.data(), s.size) == 0)) {
+      return s.hash;
+    }
+    s.bytes = bits.data();
+    s.size = bits.size();
+    s.hash = bf.content_hash();
+    s.valid = true;
+    return s.hash;
+  }
+
+ private:
+  struct Slot {
+    const std::uint8_t* bytes = nullptr;
+    std::size_t size = 0;
+    Hash256 hash;
+    bool valid = false;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Optional accelerators for a verify call. Defaults preserve the serial,
+/// unmemoized reference behavior exactly.
+struct VerifyContext {
+  /// Fan independent units out over this pool; null runs them serially.
+  /// Must not be a pool this thread is already running a task on.
+  ThreadPool* pool = nullptr;
+  /// Shipped-BF hash memo scoped to the current reply frame; null hashes
+  /// every BF.
+  BfHashMemo* memo = nullptr;
+};
 
 /// `headers[h-1]` must be the header of height h, 1..tip.
 VerifyOutcome verify_response(const std::vector<BlockHeader>& headers,
                               const ProtocolConfig& config,
                               const Address& address,
-                              const QueryResponse& response);
+                              const QueryResponse& response,
+                              const VerifyContext& ctx = {});
+VerifyOutcome verify_response(const std::vector<BlockHeader>& headers,
+                              const ProtocolConfig& config,
+                              const Address& address,
+                              const QueryResponseView& response,
+                              const VerifyContext& ctx = {});
 
 /// Verifies the per-block proof for a block whose BF check failed, and on
 /// success appends any verified transactions to `history`. Returns

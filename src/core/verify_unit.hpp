@@ -1,0 +1,54 @@
+// Internal helpers shared by the parallel verification pipelines
+// (verifier.cpp, multi_query.cpp, range_query.cpp). Not installed API.
+//
+// The determinism rule (INTERNALS.md §8): independent units — segments,
+// heights, range pieces, addresses — run under parallel_for_each writing
+// into preallocated index-addressed slots, and the caller scans the slots
+// ascending. The lowest-index failure is returned, which is exactly the
+// failure a serial ascending loop would have hit first; VerifyOutcome::
+// failure() discards partial history, so parallel outcomes are
+// byte-identical to the serial reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/query_view.hpp"
+#include "core/verify_result.hpp"
+
+namespace lvq::detail {
+
+/// Result of one independent verification unit.
+struct VerifyUnitResult {
+  std::optional<VerifyOutcome> fail;
+  std::vector<VerifiedBlockTxs> blocks;
+};
+
+/// The paper's "failed check": every checked bit position set. Templated
+/// over BloomFilter / BloomFilterView.
+template <typename Bf>
+bool all_bits_set(const Bf& bf, const std::vector<std::uint64_t>& cbp) {
+  for (std::uint64_t p : cbp) {
+    if (!bf.bit(p)) return false;
+  }
+  return true;
+}
+
+/// Owned access to a per-block proof: pass-through for the owned decode
+/// path, lazy decode into caller-provided storage for the view path. The
+/// view's span was structurally validated at decode time, so decode()
+/// here cannot throw on well-formed input.
+inline const BlockProof& materialize(const BlockProof& p, BlockProof&) {
+  return p;
+}
+inline const BlockProof& materialize(const BlockProofView& v,
+                                     BlockProof& storage) {
+  storage = v.decode();
+  return storage;
+}
+
+inline BlockProof::Kind proof_kind(const BlockProof& p) { return p.kind; }
+inline BlockProof::Kind proof_kind(const BlockProofView& p) { return p.kind(); }
+
+}  // namespace lvq::detail

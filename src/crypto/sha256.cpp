@@ -169,6 +169,24 @@ Sha256Digest Sha256::finalize() {
 }
 
 Sha256Digest Sha256::hash(ByteSpan data) {
+  if (data.size() <= 55) {
+    // Message, the 0x80 terminator, and the 8-byte big-endian bit length
+    // all fit in a single 64-byte block: pad on the stack and compress
+    // once from the fresh init state, skipping the incremental context.
+    // Covers BloomKey derivation (20 B) and Merkle interior nodes.
+    std::uint8_t block[64] = {0};
+    if (!data.empty()) std::memcpy(block, data.data(), data.size());
+    block[data.size()] = 0x80;
+    std::uint64_t bit_len = std::uint64_t{data.size()} * 8;
+    for (int i = 0; i < 8; ++i)
+      block[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    std::uint32_t state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    g_compress(state, block, 1);
+    Sha256Digest out{};
+    for (int i = 0; i < 8; ++i) store_be32(out.data() + 4 * i, state[i]);
+    return out;
+  }
   Sha256 h;
   h.update(data);
   return h.finalize();

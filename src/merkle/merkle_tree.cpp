@@ -109,6 +109,13 @@ MerkleBranch MerkleBranch::deserialize(Reader& r) {
   return b;
 }
 
+void MerkleBranch::skip(Reader& r) {
+  r.raw(32 + 4);  // leaf + index
+  std::uint64_t n = r.varint();
+  if (n > 64) throw SerializeError("Merkle branch too deep");
+  r.raw(static_cast<std::size_t>(n) * 32);
+}
+
 std::size_t MerkleBranch::serialized_size() const {
   return 32 + 4 + varint_size(siblings.size()) + 32 * siblings.size();
 }

@@ -40,6 +40,11 @@ struct MerkleBranch {
   void serialize(Writer& w) const;
   static MerkleBranch deserialize(Reader& r);
   std::size_t serialized_size() const;
+
+  /// Structural validation without materializing: consumes exactly the
+  /// bytes deserialize() would and throws the same SerializeError on the
+  /// same malformed input. Zero-copy proof views rely on this equivalence.
+  static void skip(Reader& r);
 };
 
 class MerkleTree {

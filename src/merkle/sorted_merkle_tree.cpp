@@ -246,6 +246,15 @@ SmtBranch SmtBranch::deserialize(Reader& r) {
   return b;
 }
 
+void SmtBranch::skip(Reader& r) {
+  r.raw(SmtLeaf::kSerializedSize);
+  r.varint();  // index
+  r.varint();  // tree_size
+  std::uint64_t n = r.varint();
+  if (n > 64) throw SerializeError("SMT path too deep");
+  r.raw(static_cast<std::size_t>(n) * 32);
+}
+
 std::size_t SmtBranch::serialized_size() const {
   return SmtLeaf::kSerializedSize + varint_size(index) +
          varint_size(tree_size) + varint_size(path.size()) +
@@ -278,6 +287,25 @@ SmtAbsenceProof SmtAbsenceProof::deserialize(Reader& r) {
       break;
   }
   return p;
+}
+
+void SmtAbsenceProof::skip(Reader& r) {
+  std::uint8_t kind = r.u8();
+  if (kind > 3) throw SerializeError("bad SMT absence proof kind");
+  switch (static_cast<Kind>(kind)) {
+    case Kind::kEmptyTree:
+      break;
+    case Kind::kBeforeFirst:
+      SmtBranch::skip(r);
+      break;
+    case Kind::kAfterLast:
+      SmtBranch::skip(r);
+      break;
+    case Kind::kBetween:
+      SmtBranch::skip(r);
+      SmtBranch::skip(r);
+      break;
+  }
 }
 
 std::size_t SmtAbsenceProof::serialized_size() const {

@@ -61,6 +61,10 @@ struct SmtBranch {
   void serialize(Writer& w) const;
   static SmtBranch deserialize(Reader& r);
   std::size_t serialized_size() const;
+
+  /// Structural validation without materializing; throws exactly as
+  /// deserialize() would on the same malformed input.
+  static void skip(Reader& r);
 };
 
 /// Absence proof for an address (resolves Bloom-filter false positives).
@@ -79,6 +83,10 @@ struct SmtAbsenceProof {
   void serialize(Writer& w) const;
   static SmtAbsenceProof deserialize(Reader& r);
   std::size_t serialized_size() const;
+
+  /// Structural validation without materializing; throws exactly as
+  /// deserialize() would on the same malformed input.
+  static void skip(Reader& r);
 };
 
 class SortedMerkleTree {

@@ -167,12 +167,19 @@ std::vector<LightNode::QueryResult> LightNode::query_batch(
     std::uint64_t n = r.varint();
     if (n != addresses.size()) return fail_all("batch count mismatch");
     std::uint64_t framing = 1 + varint_size(n);
+    // One memo for the whole batch: every per-address response in the
+    // frame re-ships the same per-block BFs, so each is hashed once and
+    // later addresses pay a memcmp. The memo caches spans into `reply`,
+    // which outlives this loop.
+    BfHashMemo memo;
+    VerifyContext ctx{verify_pool_, &memo};
     for (std::size_t i = 0; i < addresses.size(); ++i) {
-      QueryResponse resp =
-          QueryResponse::deserialize(r, config_, /*expect_end=*/false);
+      QueryResponseView resp =
+          QueryResponseView::deserialize(r, config_, /*expect_end=*/false);
       results[i].response_bytes = resp.serialized_size() + (i == 0 ? framing : 0);
       results[i].breakdown = resp.breakdown();
-      results[i].outcome = verify(addresses[i], resp);
+      results[i].outcome =
+          verify_response(headers_, config_, addresses[i], resp, ctx);
     }
     r.expect_done();
   } catch (const SerializeError& e) {
@@ -235,8 +242,10 @@ LightNode::QueryResult LightNode::query(Transport& transport,
                                               "peer returned an error");
       return result;
     }
+    // Zero-copy decode: the view aliases `reply`, which stays alive on
+    // this stack frame until verification completes.
     Reader r(payload);
-    QueryResponse response = QueryResponse::deserialize(r, config_);
+    QueryResponseView response = QueryResponseView::deserialize(r, config_);
     result.breakdown = response.breakdown();
     result.outcome = verify(address, response);
   } catch (const SerializeError& e) {

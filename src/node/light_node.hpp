@@ -18,6 +18,12 @@ class LightNode {
 
   const ProtocolConfig& config() const { return config_; }
 
+  /// Fans independent verification units out over `pool` in every verify
+  /// below (null = serial). Outcomes are identical either way; the pool
+  /// only buys wall-clock. The pool is borrowed, not owned, and must
+  /// outlive the node's verifying calls.
+  void set_verify_pool(ThreadPool* pool) { verify_pool_ = pool; }
+
   /// Installs headers after validating the hash chain and scheme. Throws
   /// std::logic_error on a broken chain (headers come from consensus; a
   /// broken chain is a harness bug, not an untrusted-peer condition).
@@ -55,10 +61,17 @@ class LightNode {
   /// (Challenge 1: strawman headers embed whole BFs; LVQ headers are tiny).
   std::uint64_t header_storage_bytes() const;
 
-  /// Verifies an already-decoded response.
+  /// Verifies an already-decoded response (owned or zero-copy view; the
+  /// view's backing frame must stay alive for the duration of the call).
   VerifyOutcome verify(const Address& address,
                        const QueryResponse& response) const {
-    return verify_response(headers_, config_, address, response);
+    return verify_response(headers_, config_, address, response,
+                           VerifyContext{verify_pool_, nullptr});
+  }
+  VerifyOutcome verify(const Address& address,
+                       const QueryResponseView& response) const {
+    return verify_response(headers_, config_, address, response,
+                           VerifyContext{verify_pool_, nullptr});
   }
 
   struct QueryResult {
@@ -101,7 +114,8 @@ class LightNode {
   /// Verifies an already-decoded range response.
   VerifyOutcome verify_range(const Address& address,
                              const RangeQueryResponse& response) const {
-    return verify_range_response(headers_, config_, address, response);
+    return verify_range_response(headers_, config_, address, response,
+                                 VerifyContext{verify_pool_, nullptr});
   }
 
   /// Batched round trip: all addresses in ONE request/response exchange.
@@ -127,12 +141,14 @@ class LightNode {
   std::vector<VerifyOutcome> verify_multi(
       const std::vector<Address>& addresses,
       const MultiQueryResponse& response) const {
-    return verify_multi_response(headers_, config_, addresses, response);
+    return verify_multi_response(headers_, config_, addresses, response,
+                                 VerifyContext{verify_pool_, nullptr});
   }
 
  private:
   ProtocolConfig config_;
   std::vector<BlockHeader> headers_;
+  ThreadPool* verify_pool_ = nullptr;
 };
 
 }  // namespace lvq

@@ -95,10 +95,16 @@ class Reader {
     return out;
   }
 
-  Bytes bytes() {
+  /// Length-prefixed byte string as a borrowed view into the buffer; the
+  /// zero-copy decode paths use this to avoid materializing payloads.
+  ByteSpan bytes_view() {
     std::uint64_t n = varint();
     if (n > remaining()) throw SerializeError("byte string exceeds buffer");
-    ByteSpan s = take(static_cast<std::size_t>(n));
+    return take(static_cast<std::size_t>(n));
+  }
+
+  Bytes bytes() {
+    ByteSpan s = bytes_view();
     return Bytes(s.begin(), s.end());
   }
 
@@ -109,6 +115,15 @@ class Reader {
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return remaining() == 0; }
+
+  /// Current read offset — pair with subspan_from() so view decoders can
+  /// record the exact wire extent of the structure they just skipped.
+  std::size_t pos() const { return pos_; }
+
+  /// Bytes consumed since `start` (which must be a previous pos() value).
+  ByteSpan subspan_from(std::size_t start) const {
+    return data_.subspan(start, pos_ - start);
+  }
 
   /// Consumes nothing; fails decode if trailing bytes remain. Canonical
   /// decoding matters: otherwise two distinct byte strings could decode to

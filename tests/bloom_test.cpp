@@ -199,5 +199,86 @@ TEST_P(BloomSweep, InsertLookupAtManyGeometries) {
 INSTANTIATE_TEST_SUITE_P(HashCounts, BloomSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 64));
 
+// The word-at-a-time merge/fill_ratio must handle bit vectors whose length
+// is not a multiple of 8: compare against straightforward byte loops at
+// sizes straddling the word boundary on both sides.
+TEST(BloomFilter, MergeMatchesByteLoopAtOddSizes) {
+  Rng rng(77);
+  for (std::uint32_t size_bytes : {1u, 7u, 8u, 9u, 13u, 16u, 23u, 64u, 65u}) {
+    BloomGeometry geom{size_bytes, 4};
+    BloomFilter a(geom), b(geom);
+    for (auto& byte : a.mutable_data())
+      byte = static_cast<std::uint8_t>(rng.next_u64());
+    for (auto& byte : b.mutable_data())
+      byte = static_cast<std::uint8_t>(rng.next_u64());
+    Bytes expect(size_bytes);
+    for (std::uint32_t i = 0; i < size_bytes; ++i) {
+      expect[i] = a.data()[i] | b.data()[i];
+    }
+    BloomFilter merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.data(), expect) << "size_bytes " << size_bytes;
+  }
+}
+
+TEST(BloomFilter, FillRatioMatchesByteLoopAtOddSizes) {
+  Rng rng(78);
+  for (std::uint32_t size_bytes : {1u, 7u, 8u, 9u, 13u, 16u, 23u, 64u, 65u}) {
+    BloomGeometry geom{size_bytes, 4};
+    BloomFilter bf(geom);
+    for (auto& byte : bf.mutable_data())
+      byte = static_cast<std::uint8_t>(rng.next_u64());
+    std::uint64_t set = 0;
+    for (std::uint64_t p = 0; p < geom.size_bits(); ++p) set += bf.bit(p);
+    EXPECT_DOUBLE_EQ(bf.fill_ratio(),
+                     static_cast<double>(set) /
+                         static_cast<double>(geom.size_bits()))
+        << "size_bytes " << size_bytes;
+  }
+}
+
+TEST(BloomFilterView, MatchesOwnedSemantics) {
+  BloomGeometry geom{64, 6};
+  BloomFilter bf(geom);
+  Rng rng(79);
+  std::vector<BloomKey> keys;
+  for (int i = 0; i < 20; ++i) keys.push_back(random_key(rng));
+  for (const auto& key : keys) bf.insert(key);
+
+  Writer w;
+  bf.serialize_bits(w);
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  BloomFilterView view = BloomFilterView::deserialize_bits(r, geom);
+  r.expect_done();
+
+  for (std::uint64_t p = 0; p < geom.size_bits(); ++p) {
+    ASSERT_EQ(view.bit(p), bf.bit(p)) << "bit " << p;
+  }
+  for (const auto& key : keys) {
+    EXPECT_EQ(view.possibly_contains(key), bf.possibly_contains(key));
+  }
+  EXPECT_EQ(view.content_hash(), bf.content_hash());
+  EXPECT_TRUE(view.same_bits(bf));
+  EXPECT_EQ(view.to_owned(), bf);
+  EXPECT_EQ(view.serialized_bits_size(), bf.serialized_bits_size());
+}
+
+TEST(BloomFilterView, HashIntoMatchesOwned) {
+  BloomGeometry geom{24, 4};
+  BloomFilter bf(geom);
+  Rng rng(80);
+  bf.insert(random_key(rng));
+  Writer w;
+  bf.serialize_bits(w);
+  Reader r(ByteSpan{w.data().data(), w.data().size()});
+  BloomFilterView view = BloomFilterView::deserialize_bits(r, geom);
+
+  TaggedHasher owned("LVQ/Test");
+  bf.hash_into(owned);
+  TaggedHasher viewed("LVQ/Test");
+  view.hash_into(viewed);
+  EXPECT_EQ(owned.finalize(), viewed.finalize());
+}
+
 }  // namespace
 }  // namespace lvq

@@ -79,6 +79,21 @@ TEST(Sha256, AllSmallLengthsIncrementalEquivalence) {
   }
 }
 
+// The one-shot fast path covers messages whose padding fits a single
+// compression block (<= 55 bytes); pin the boundary lengths against the
+// incremental path byte-for-byte.
+TEST(Sha256, OneShotSingleBlockBoundary) {
+  Bytes data(64);
+  Rng rng(7);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (std::size_t len : {0u, 1u, 54u, 55u, 56u, 63u, 64u}) {
+    Sha256Digest oneshot = Sha256::hash(ByteSpan{data.data(), len});
+    Sha256 h;
+    h.update(ByteSpan{data.data(), len});
+    ASSERT_EQ(h.finalize(), oneshot) << "length " << len;
+  }
+}
+
 TEST(Sha256, ResetReuses) {
   Sha256 h;
   h.update(str_bytes("garbage"));

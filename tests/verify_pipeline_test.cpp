@@ -1,0 +1,397 @@
+// Differential tests for the zero-copy decode path and the parallel
+// verification pipeline: owned+serial is the reference; view decoding,
+// thread-pool fan-out, and the BF-hash memo must all be byte-identical to
+// it — on honest responses, on every canned attack mutation, and on
+// truncated/corrupted wire bytes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "node/attack.hpp"
+#include "node/session.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ExperimentSetup& setup() {
+  static ExperimentSetup s = [] {
+    WorkloadConfig c;
+    c.seed = 4242;
+    c.num_blocks = 64;
+    c.background_txs_per_block = 10;
+    c.profiles = {
+        {"victim", 30, 18},  // multi-tx blocks exist (18 < 30)
+        {"ghost", 0, 0},
+    };
+    return make_setup(c);
+  }();
+  return s;
+}
+
+const Address& victim() { return setup().workload->profiles[0].address; }
+const Address& ghost() { return setup().workload->profiles[1].address; }
+
+constexpr Design kAllDesigns[] = {Design::kStrawman, Design::kStrawmanVariant,
+                                  Design::kLvqNoBmt, Design::kLvqNoSmt,
+                                  Design::kLvq};
+
+constexpr BloomGeometry kRoomy{512, 6};
+
+Bytes serialize_response(const QueryResponse& resp) {
+  Writer w;
+  resp.serialize(w);
+  return w.data();
+}
+
+void expect_same_outcome(const VerifyOutcome& a, const VerifyOutcome& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.ok, b.ok) << label;
+  EXPECT_EQ(a.error, b.error) << label;
+  EXPECT_EQ(a.detail, b.detail) << label;
+  ASSERT_EQ(a.history.blocks.size(), b.history.blocks.size()) << label;
+  for (std::size_t i = 0; i < a.history.blocks.size(); ++i) {
+    const VerifiedBlockTxs& x = a.history.blocks[i];
+    const VerifiedBlockTxs& y = b.history.blocks[i];
+    EXPECT_EQ(x.height, y.height) << label;
+    EXPECT_EQ(x.count_proven, y.count_proven) << label;
+    ASSERT_EQ(x.txs.size(), y.txs.size()) << label;
+    for (std::size_t t = 0; t < x.txs.size(); ++t) {
+      EXPECT_EQ(x.txs[t].txid(), y.txs[t].txid()) << label;
+    }
+  }
+}
+
+/// Decodes `bytes` both ways and verifies through all the pipelines
+/// (owned/view x serial/parallel, plus view+memo); every outcome must
+/// equal the owned+serial reference.
+struct Paths {
+  const ProtocolConfig& config;
+  const std::vector<BlockHeader>& headers;
+  ThreadPool& pool;
+
+  VerifyOutcome check(ByteSpan bytes, const Address& address,
+                      const std::string& label) const {
+    Reader ro(bytes);
+    QueryResponse owned = QueryResponse::deserialize(ro, config);
+    Reader rv(bytes);
+    QueryResponseView view = QueryResponseView::deserialize(rv, config);
+
+    EXPECT_EQ(view.serialized_size(), owned.serialized_size()) << label;
+    SizeBreakdown ob = owned.breakdown();
+    SizeBreakdown vb = view.breakdown();
+    EXPECT_EQ(ob.bf_bytes, vb.bf_bytes) << label;
+    EXPECT_EQ(ob.bmt_bytes, vb.bmt_bytes) << label;
+    EXPECT_EQ(ob.smt_bytes, vb.smt_bytes) << label;
+    EXPECT_EQ(ob.tx_bytes, vb.tx_bytes) << label;
+    EXPECT_EQ(ob.mt_bytes, vb.mt_bytes) << label;
+    EXPECT_EQ(ob.block_bytes, vb.block_bytes) << label;
+    EXPECT_EQ(ob.other_bytes, vb.other_bytes) << label;
+
+    VerifyOutcome ref = verify_response(headers, config, address, owned);
+    expect_same_outcome(
+        ref, verify_response(headers, config, address, view),
+        label + " [view serial]");
+    expect_same_outcome(
+        ref,
+        verify_response(headers, config, address, owned,
+                        VerifyContext{&pool, nullptr}),
+        label + " [owned parallel]");
+    expect_same_outcome(
+        ref,
+        verify_response(headers, config, address, view,
+                        VerifyContext{&pool, nullptr}),
+        label + " [view parallel]");
+    BfHashMemo memo;
+    expect_same_outcome(
+        ref,
+        verify_response(headers, config, address, view,
+                        VerifyContext{&pool, &memo}),
+        label + " [view parallel memo]");
+    return ref;
+  }
+};
+
+TEST(VerifyPipeline, HonestResponsesIdenticalAcrossAllPaths) {
+  ThreadPool pool(4);
+  for (Design d : kAllDesigns) {
+    ProtocolConfig config{d, kRoomy, 16};
+    FullNode full(setup().workload, setup().derived, config);
+    std::vector<BlockHeader> headers = full.headers();
+    Paths paths{config, headers, pool};
+    for (const Address* addr : {&victim(), &ghost()}) {
+      Bytes bytes = serialize_response(full.query(*addr));
+      VerifyOutcome ref =
+          paths.check(ByteSpan{bytes.data(), bytes.size()}, *addr,
+                      std::string(design_name(d)));
+      EXPECT_TRUE(ref.ok) << design_name(d);
+    }
+  }
+}
+
+TEST(VerifyPipeline, AttackMutationsIdenticalAcrossAllPaths) {
+  using Mutator = bool (*)(QueryResponse&);
+  struct NamedMutator {
+    const char* name;
+    Mutator fn;
+  };
+  const NamedMutator mutators[] = {
+      {"omit_tx_from_existence", attacks::omit_tx_from_existence},
+      {"omit_tx_no_count", attacks::omit_tx_no_count},
+      {"suppress_block_proof", attacks::suppress_block_proof},
+      {"tamper_bmt_bloom_filter", attacks::tamper_bmt_bloom_filter},
+      {"tamper_shipped_bloom_filter", attacks::tamper_shipped_bloom_filter},
+      {"forge_count", attacks::forge_count},
+      {"corrupt_tx", attacks::corrupt_tx},
+      {"drop_segment", attacks::drop_segment},
+  };
+  ThreadPool pool(4);
+  for (Design d : kAllDesigns) {
+    ProtocolConfig config{d, kRoomy, 16};
+    FullNode full(setup().workload, setup().derived, config);
+    std::vector<BlockHeader> headers = full.headers();
+    Paths paths{config, headers, pool};
+    for (const NamedMutator& m : mutators) {
+      QueryResponse resp = full.query(victim());
+      if (!m.fn(resp)) continue;  // shape did not admit this attack
+      Bytes bytes = serialize_response(resp);
+      std::string label =
+          std::string(design_name(d)) + "/" + m.name;
+      paths.check(ByteSpan{bytes.data(), bytes.size()}, victim(), label);
+    }
+  }
+}
+
+// Truncated and bit-flipped wire bytes: the view decoder's structural
+// skip-parsers must accept/reject exactly what the owned decoder does,
+// with the identical error message.
+TEST(VerifyPipeline, MalformedBytesDecodeIdentically) {
+  constexpr BloomGeometry kTight{24, 4};
+  Rng rng(91);
+  for (Design d : kAllDesigns) {
+    ProtocolConfig config{d, kTight, 16};
+    FullNode full(setup().workload, setup().derived, config);
+    Bytes bytes = serialize_response(full.query(victim()));
+
+    auto diff_decode = [&](ByteSpan mutated, const std::string& label) {
+      std::string owned_err, view_err;
+      bool owned_ok = true, view_ok = true;
+      try {
+        Reader r(mutated);
+        (void)QueryResponse::deserialize(r, config);
+      } catch (const SerializeError& e) {
+        owned_ok = false;
+        owned_err = e.what();
+      }
+      try {
+        Reader r(mutated);
+        (void)QueryResponseView::deserialize(r, config);
+      } catch (const SerializeError& e) {
+        view_ok = false;
+        view_err = e.what();
+      }
+      EXPECT_EQ(owned_ok, view_ok) << label;
+      EXPECT_EQ(owned_err, view_err) << label;
+    };
+
+    // Every short prefix, then a sample of longer truncations.
+    std::size_t dense = std::min<std::size_t>(bytes.size(), 96);
+    for (std::size_t len = 0; len < dense; ++len) {
+      diff_decode(ByteSpan{bytes.data(), len},
+                  std::string(design_name(d)) + " truncate " +
+                      std::to_string(len));
+    }
+    for (int i = 0; i < 200; ++i) {
+      std::size_t len = rng.next_u64() % bytes.size();
+      diff_decode(ByteSpan{bytes.data(), len},
+                  std::string(design_name(d)) + " truncate " +
+                      std::to_string(len));
+    }
+    // Random single-byte corruptions.
+    for (int i = 0; i < 200; ++i) {
+      Bytes mutated = bytes;
+      std::size_t at = rng.next_u64() % mutated.size();
+      mutated[at] ^= static_cast<std::uint8_t>(1 + rng.next_u64() % 255);
+      diff_decode(ByteSpan{mutated.data(), mutated.size()},
+                  std::string(design_name(d)) + " flip " + std::to_string(at));
+    }
+  }
+}
+
+// Decode + verify from an exactly-sized heap buffer: under ASan any read
+// past the reply frame (the classic zero-copy lifetime bug) faults.
+TEST(VerifyPipeline, ViewNeverReadsOutsideExactBuffer) {
+  ThreadPool pool(4);
+  for (Design d : kAllDesigns) {
+    ProtocolConfig config{d, kRoomy, 16};
+    FullNode full(setup().workload, setup().derived, config);
+    std::vector<BlockHeader> headers = full.headers();
+    Bytes bytes = serialize_response(full.query(victim()));
+
+    auto frame = std::make_unique<std::uint8_t[]>(bytes.size());
+    std::copy(bytes.begin(), bytes.end(), frame.get());
+    ByteSpan span{frame.get(), bytes.size()};
+
+    Reader r(span);
+    QueryResponseView view = QueryResponseView::deserialize(r, config);
+    (void)view.breakdown();
+    BfHashMemo memo;
+    VerifyOutcome out = verify_response(headers, config, victim(), view,
+                                        VerifyContext{&pool, &memo});
+    EXPECT_TRUE(out.ok) << design_name(d);
+  }
+}
+
+TEST(VerifyPipeline, RangeVerifyParallelMatchesSerial) {
+  ThreadPool pool(4);
+  for (Design d : kAllDesigns) {
+    ProtocolConfig config{d, kRoomy, 16};
+    FullNode full(setup().workload, setup().derived, config);
+    std::vector<BlockHeader> headers = full.headers();
+    for (auto [from, to] : {std::pair<std::uint64_t, std::uint64_t>{1, 64},
+                            {7, 23},
+                            {17, 64},
+                            {5, 5}}) {
+      RangeQueryResponse resp = full.range_query(victim(), from, to);
+      VerifyOutcome serial =
+          verify_range_response(headers, config, victim(), resp);
+      VerifyOutcome parallel = verify_range_response(
+          headers, config, victim(), resp, VerifyContext{&pool, nullptr});
+      expect_same_outcome(serial, parallel,
+                          std::string(design_name(d)) + " range honest");
+      EXPECT_TRUE(serial.ok);
+
+      // Corrupt one fragment / piece and require identical rejections.
+      RangeQueryResponse bad = full.range_query(victim(), from, to);
+      if (!bad.pieces.empty()) {
+        bad.pieces.back().block_proofs.clear();
+      } else if (!bad.fragments.empty()) {
+        bad.fragments.back().kind = BlockProof::Kind::kIntegralBlock;
+        bad.fragments.back().block.reset();
+      }
+      VerifyOutcome bad_serial =
+          verify_range_response(headers, config, victim(), bad);
+      VerifyOutcome bad_parallel = verify_range_response(
+          headers, config, victim(), bad, VerifyContext{&pool, nullptr});
+      expect_same_outcome(bad_serial, bad_parallel,
+                          std::string(design_name(d)) + " range mutated");
+    }
+  }
+}
+
+TEST(VerifyPipeline, MultiVerifyParallelMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<Address> watch = {victim(), ghost(), victim()};
+  for (Design d : kAllDesigns) {
+    ProtocolConfig config{d, kRoomy, 16};
+    FullNode full(setup().workload, setup().derived, config);
+    std::vector<BlockHeader> headers = full.headers();
+    MultiQueryResponse resp = full.multi_query(watch);
+
+    auto expect_same_vec = [&](const std::vector<VerifyOutcome>& a,
+                               const std::vector<VerifyOutcome>& b,
+                               const std::string& label) {
+      ASSERT_EQ(a.size(), b.size()) << label;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        expect_same_outcome(a[i], b[i], label + " addr " + std::to_string(i));
+      }
+    };
+
+    std::vector<VerifyOutcome> serial =
+        verify_multi_response(headers, config, watch, resp);
+    std::vector<VerifyOutcome> parallel = verify_multi_response(
+        headers, config, watch, resp, VerifyContext{&pool, nullptr});
+    expect_same_vec(serial, parallel,
+                    std::string(design_name(d)) + " multi honest");
+    for (const VerifyOutcome& out : serial) EXPECT_TRUE(out.ok);
+    BfHashMemo memo;
+    std::vector<VerifyOutcome> memoized = verify_multi_response(
+        headers, config, watch, resp, VerifyContext{&pool, &memo});
+    expect_same_vec(serial, memoized,
+                    std::string(design_name(d)) + " multi memo");
+
+    // Poison one address's proofs (or a shared BF) and require identical
+    // serial/parallel rejection patterns.
+    MultiQueryResponse bad = full.multi_query(watch);
+    if (!bad.segments.empty()) {
+      for (auto& blocks : bad.segments.front().per_address_blocks) {
+        if (!blocks.empty()) {
+          blocks.pop_back();
+          break;
+        }
+      }
+    } else if (!bad.block_bfs.empty()) {
+      bad.block_bfs.front().mutable_data()[0] ^= 1;
+    } else if (!bad.per_address_fragments.empty() &&
+               !bad.per_address_fragments.front().empty()) {
+      bad.per_address_fragments.front().front().kind =
+          BlockProof::Kind::kIntegralBlock;
+      bad.per_address_fragments.front().front().block.reset();
+    }
+    std::vector<VerifyOutcome> bad_serial =
+        verify_multi_response(headers, config, watch, bad);
+    std::vector<VerifyOutcome> bad_parallel = verify_multi_response(
+        headers, config, watch, bad, VerifyContext{&pool, nullptr});
+    expect_same_vec(bad_serial, bad_parallel,
+                    std::string(design_name(d)) + " multi mutated");
+  }
+}
+
+// End-to-end: LightNode with a verify pool + per-frame memo (query_batch)
+// must agree with pool-less single queries.
+TEST(VerifyPipeline, BatchWithPoolAndMemoMatchesSingleQueries) {
+  ThreadPool pool(4);
+  std::vector<Address> addresses = {victim(), ghost(), victim()};
+  for (Design d : kAllDesigns) {
+    ProtocolConfig config{d, kRoomy, 16};
+    FullNode full(setup().workload, setup().derived, config);
+    LightNode light(config);
+    light.set_headers(full.headers());
+    LoopbackTransport transport(
+        [&](ByteSpan req) { return full.handle_message(req); });
+
+    std::vector<LightNode::QueryResult> plain =
+        light.query_batch(transport, addresses);
+    light.set_verify_pool(&pool);
+    std::vector<LightNode::QueryResult> pooled =
+        light.query_batch(transport, addresses);
+    light.set_verify_pool(nullptr);
+
+    ASSERT_EQ(plain.size(), pooled.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      expect_same_outcome(plain[i].outcome, pooled[i].outcome,
+                          std::string(design_name(d)) + " batch addr " +
+                              std::to_string(i));
+      EXPECT_TRUE(pooled[i].outcome.ok);
+      EXPECT_EQ(plain[i].response_bytes, pooled[i].response_bytes);
+      LightNode::QueryResult single = light.query(transport, addresses[i]);
+      expect_same_outcome(single.outcome, pooled[i].outcome,
+                          std::string(design_name(d)) + " batch-vs-single " +
+                              std::to_string(i));
+    }
+  }
+}
+
+TEST(BfHashMemoTest, ReusesHashForIdenticalBytes) {
+  BloomGeometry geom{64, 4};
+  BloomFilter a(geom);
+  a.set_bit(7);
+  a.set_bit(100);
+  BloomFilter b = a;         // equal bytes, distinct storage
+  BloomFilter c(geom);       // different bytes
+  c.set_bit(8);
+
+  BfHashMemo memo;
+  memo.resize_for(2);
+  Hash256 ha = memo.content_hash(0, a);
+  EXPECT_EQ(ha, a.content_hash());
+  EXPECT_EQ(memo.content_hash(0, b), ha);   // memcmp hit, same digest
+  EXPECT_EQ(memo.content_hash(0, c), c.content_hash());  // invalidated
+  EXPECT_EQ(memo.content_hash(1, c), c.content_hash());  // distinct slot
+  EXPECT_EQ(memo.content_hash(0, a), a.content_hash());  // re-store works
+}
+
+}  // namespace
+}  // namespace lvq

@@ -13,6 +13,14 @@ The "bench" field of the baseline selects the comparison:
   chain_build        The fresh extend_speedup must be at least tolerance x
                      the baseline's (the incremental-append win is the
                      quantity PR "ChainBuilder ingestion" exists for).
+  verify_throughput  Every design's single_speedup (owned/serial decode+verify
+                     over the zero-copy view pipeline) must be at least
+                     tolerance x the baseline's, and likewise the pool
+                     scaling at the highest thread count both runs measured.
+                     Designs that ship whole Bloom filters (strawman-variant,
+                     lvq-no-bmt) are where the view + hash-memo pipeline wins
+                     big; a speedup collapsing toward 1.0 there means the
+                     view path silently fell back to copying.
 
 The tolerance is deliberately generous: CI runners differ wildly from the
 machines that produced the committed baselines, and CI runs scaled-down
@@ -69,9 +77,42 @@ def check_build(baseline, fresh, tolerance):
     return 0 if ok else 1
 
 
+def check_verify(baseline, fresh, tolerance):
+    fresh_rows = {r["design"]: r for r in fresh.get("results", [])}
+    failures = 0
+    print(f"{'design':>18} {'metric':>14} {'baseline':>9} {'fresh':>8} "
+          f"{'floor':>8}  verdict")
+    for row in baseline.get("results", []):
+        got = fresh_rows.get(row["design"])
+        checks = [("single_speedup", row["single_speedup"],
+                   None if got is None else got.get("single_speedup"))]
+        # Compare pool scaling at the highest thread count both runs
+        # measured; a baseline from a small box (scaling ~1) sets a floor
+        # a healthy run trivially clears, which is the intent — the gate
+        # catches collapses, not missing cores on the runner.
+        base_par = {c["threads"]: c for c in row.get("parallel", [])}
+        fresh_par = {} if got is None else {
+            c["threads"]: c for c in got.get("parallel", [])
+        }
+        common = sorted(set(base_par) & set(fresh_par))
+        if common:
+            n = common[-1]
+            checks.append((f"scaling@x{n}", base_par[n]["scaling"],
+                           fresh_par[n]["scaling"]))
+        for name, base, val in checks:
+            floor = tolerance * base
+            ok = val is not None and val >= floor
+            failures += 0 if ok else 1
+            shown = float("nan") if val is None else val
+            print(f"{row['design']:>18} {name:>14} {base:>9.2f} "
+                  f"{shown:>8.2f} {floor:>8.2f}  {'ok' if ok else 'FAIL'}")
+    return failures
+
+
 CHECKERS = {
     "server_throughput": check_server,
     "chain_build": check_build,
+    "verify_throughput": check_verify,
 }
 
 

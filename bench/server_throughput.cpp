@@ -112,6 +112,100 @@ CellResult run_cell(const FullNode& full, const std::vector<Address>& addrs,
   return r;
 }
 
+struct OverloadResult {
+  std::uint32_t workers = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t clients = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t busy = 0;
+  double served_qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double busy_rate = 0;
+};
+
+/// Overload regime: ~4x more closed-loop clients than the engine has
+/// capacity (workers + queue). The engine must shed the excess with kBusy
+/// while the requests it does accept keep a bounded p99 — an overloaded
+/// server that stays honest beats one that serves everything slowly.
+OverloadResult run_overload(const FullNode& full,
+                            const std::vector<Address>& addrs,
+                            std::uint64_t measure_ms) {
+  ServingEngineOptions opts;
+  opts.workers = 4;
+  opts.queue_depth = 8;
+  opts.cache_bytes = 0;  // every served request does real proof assembly
+  ServingEngine engine(full, opts);
+  const std::uint32_t clients = 32;  // ~4x (workers + queue_depth)
+
+  std::vector<Bytes> requests;
+  for (const Address& a : addrs) {
+    Writer w;
+    QueryRequest{a}.serialize(w);
+    requests.push_back(encode_envelope(
+        MsgType::kQueryRequest, ByteSpan{w.data().data(), w.data().size()}));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> offered{0};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::vector<std::vector<double>> lat_us(clients);
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::uint64_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Bytes& req = requests[i++ % requests.size()];
+        Timer t;
+        Bytes reply = engine.handle(ByteSpan{req.data(), req.size()});
+        offered.fetch_add(1, std::memory_order_relaxed);
+        if (!reply.empty() &&
+            reply[0] == static_cast<std::uint8_t>(MsgType::kBusy)) {
+          busy.fetch_add(1, std::memory_order_relaxed);
+          // Minimal client backoff on shed (what RetryTransport does): a
+          // zero-backoff spin would measure admission-lock contention, not
+          // serving capacity.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        if (reply.empty() ||
+            reply[0] != static_cast<std::uint8_t>(MsgType::kQueryResponse)) {
+          std::fprintf(stderr, "unexpected reply type under overload\n");
+          std::abort();
+        }
+        lat_us[c].push_back(t.seconds() * 1e6);
+        served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(measure_ms));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  double elapsed = wall.seconds();
+
+  std::vector<double> all;
+  for (const auto& v : lat_us) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+
+  OverloadResult r;
+  r.workers = opts.workers;
+  r.queue_depth = opts.queue_depth;
+  r.clients = clients;
+  r.offered = offered.load();
+  r.served = served.load();
+  r.busy = busy.load();
+  r.served_qps = static_cast<double>(r.served) / elapsed;
+  r.p50_us = percentile(all, 0.50);
+  r.p99_us = percentile(all, 0.99);
+  r.busy_rate = r.offered == 0
+                    ? 0
+                    : static_cast<double>(r.busy) / static_cast<double>(r.offered);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +249,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  OverloadResult ov = run_overload(full, addrs, measure_ms);
+  std::printf("%8u %6s %10llu %12.1f %10s %10.1f %10.1f %7.1f%%\n", ov.workers,
+              "over", static_cast<unsigned long long>(ov.served), ov.served_qps,
+              "-", ov.p50_us, ov.p99_us, ov.busy_rate * 100.0);
+  std::fflush(stdout);
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -187,7 +287,18 @@ int main(int argc, char** argv) {
                  cold.qps > 0 ? warm.qps / cold.qps : 0.0);
     first = false;
   }
-  std::fprintf(f, "}\n}\n");
+  std::fprintf(f, "},\n");
+  std::fprintf(f,
+               "  \"overload\": {\"workers\": %u, \"queue_depth\": %u, "
+               "\"clients\": %u, \"offered\": %llu, \"served\": %llu, "
+               "\"busy\": %llu, \"served_qps\": %.1f, \"p50_us\": %.1f, "
+               "\"p99_us\": %.1f, \"busy_rate\": %.4f}\n",
+               ov.workers, ov.queue_depth, ov.clients,
+               static_cast<unsigned long long>(ov.offered),
+               static_cast<unsigned long long>(ov.served),
+               static_cast<unsigned long long>(ov.busy), ov.served_qps,
+               ov.p50_us, ov.p99_us, ov.busy_rate);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
 
@@ -203,6 +314,16 @@ int main(int argc, char** argv) {
                    results[i].workers, results[i].qps, results[i + 1].qps);
       return 1;
     }
+  }
+  // Overload sanity: at ~4x capacity the engine must both shed (kBusy) and
+  // keep serving — an engine that does only one of the two is broken.
+  if (ov.served == 0 || ov.busy == 0) {
+    std::fprintf(stderr,
+                 "FAIL: overload cell expected both served and shed traffic "
+                 "(served %llu, busy %llu)\n",
+                 static_cast<unsigned long long>(ov.served),
+                 static_cast<unsigned long long>(ov.busy));
+    return 1;
   }
   return 0;
 }

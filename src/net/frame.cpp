@@ -137,6 +137,10 @@ FrameResult read_frame(int fd, Bytes& out, std::uint32_t cap,
   return map_io(r, /*mid_frame=*/true);
 }
 
+FrameResult wait_readable(int fd, Deadline deadline) {
+  return map_io(wait_fd(fd, POLLIN, deadline), /*mid_frame=*/false);
+}
+
 FrameResult write_raw(int fd, ByteSpan data, Deadline deadline) {
   return map_io(write_full(fd, data.data(), data.size(), deadline),
                 /*mid_frame=*/true);

@@ -49,6 +49,13 @@ FrameResult write_frame(int fd, ByteSpan payload, std::uint32_t cap,
 FrameResult read_frame(int fd, Bytes& out, std::uint32_t cap,
                        Deadline deadline);
 
+/// Polls `fd` for readability without consuming bytes: kOk when at least
+/// one byte (or EOF) is pending, kTimeout at the deadline, kError on a
+/// socket error. Servers use it to split "waiting for a request to start"
+/// (idle timeout) from "finishing a frame that has started" (a tighter
+/// per-frame deadline — the slow-loris guard).
+FrameResult wait_readable(int fd, Deadline deadline);
+
 /// Writes raw bytes with no framing — the fault-injection harness uses
 /// this to emit deliberately broken frames.
 FrameResult write_raw(int fd, ByteSpan data, Deadline deadline);

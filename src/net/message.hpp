@@ -42,6 +42,18 @@ enum class MsgType : std::uint8_t {
   /// empty. RetryTransport treats this reply as retryable (the condition
   /// is transient by construction), unlike kError which is final.
   kBusy = 15,
+  /// Deadline wrapper: `varint budget_ms | inner request envelope`. The
+  /// server peels the wrapper, starts a deadline clock of budget_ms, and
+  /// drops the request with kExpired once it can no longer be answered in
+  /// time (see PROTOCOL.md §7). budget_ms == 0 means "no deadline" (the
+  /// wrapper is then a no-op). Caches key on the inner envelope, so a
+  /// wrapped request is byte-identical in reply to its unwrapped form.
+  kDeadline = 16,
+  /// The server dropped the request because its propagated deadline had
+  /// already expired (in queue, or mid-assembly). Payload is empty.
+  /// Retrying is pointless within the same budget; RetryTransport
+  /// surfaces it as TransportError(kExpired).
+  kExpired = 17,
 };
 
 inline Bytes encode_envelope(MsgType type, ByteSpan payload) {
@@ -57,7 +69,7 @@ inline Bytes encode_envelope(MsgType type, ByteSpan payload) {
 inline std::pair<MsgType, ByteSpan> decode_envelope(ByteSpan msg) {
   if (msg.empty()) throw SerializeError("empty message");
   std::uint8_t type = msg[0];
-  if (type < 1 || type > 15) throw SerializeError("unknown message type");
+  if (type < 1 || type > 17) throw SerializeError("unknown message type");
   return {static_cast<MsgType>(type), msg.subspan(1)};
 }
 
@@ -65,6 +77,46 @@ inline std::pair<MsgType, ByteSpan> decode_envelope(ByteSpan msg) {
 /// without a full decode (a busy reply is exactly one type byte).
 inline bool is_busy_envelope(ByteSpan msg) {
   return !msg.empty() && msg[0] == static_cast<std::uint8_t>(MsgType::kBusy);
+}
+
+/// True iff `msg` is a kExpired envelope (server dropped the request
+/// because its propagated deadline had passed).
+inline bool is_expired_envelope(ByteSpan msg) {
+  return !msg.empty() && msg[0] == static_cast<std::uint8_t>(MsgType::kExpired);
+}
+
+/// Wraps `request` in a kDeadline envelope carrying `budget_ms`.
+inline Bytes encode_deadline_envelope(std::uint64_t budget_ms,
+                                      ByteSpan request) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kDeadline));
+  w.varint(budget_ms);
+  w.raw(request);
+  return w.take();
+}
+
+/// If `request` is a kDeadline wrapper, returns the inner envelope and
+/// writes the budget to `*budget_ms`; otherwise returns `request`
+/// unchanged with `*budget_ms = 0` (no deadline). Throws SerializeError
+/// on a wrapper whose budget varint is malformed or whose inner envelope
+/// is empty. Never recursive: a kDeadline inside a kDeadline is rejected
+/// (one deadline per request).
+inline ByteSpan peel_deadline_envelope(ByteSpan request,
+                                       std::uint64_t* budget_ms) {
+  *budget_ms = 0;
+  if (request.empty() ||
+      request[0] != static_cast<std::uint8_t>(MsgType::kDeadline)) {
+    return request;
+  }
+  Reader r(request.subspan(1));
+  std::uint64_t budget = r.varint();
+  ByteSpan inner = r.raw(r.remaining());
+  if (inner.empty()) throw SerializeError("empty deadline-wrapped request");
+  if (inner[0] == static_cast<std::uint8_t>(MsgType::kDeadline)) {
+    throw SerializeError("nested deadline envelope");
+  }
+  *budget_ms = budget;
+  return inner;
 }
 
 }  // namespace lvq

@@ -1,13 +1,28 @@
 #include "net/retry_transport.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <optional>
 #include <thread>
 
+#include "net/frame.hpp"
 #include "net/message.hpp"
 
 namespace lvq {
+
+namespace {
+
+/// Whole milliseconds left until `deadline`, saturating at 0.
+std::uint32_t remaining_ms(netio::Deadline deadline) {
+  netio::Clock::time_point now = netio::Clock::now();
+  if (now >= deadline) return 0;
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+                .count();
+  return ms > 0xffffffffLL ? 0xffffffffu : static_cast<std::uint32_t>(ms);
+}
+
+}  // namespace
 
 bool RetryTransport::should_retry(TransportError::Kind kind) const {
   switch (kind) {
@@ -17,6 +32,10 @@ bool RetryTransport::should_retry(TransportError::Kind kind) const {
     case TransportError::kMalformedFrame: return policy_.retry_malformed;
     case TransportError::kOversize: return false;
     case TransportError::kBusy: return policy_.retry_busy;
+    // An expired reply means the budget is nearly gone; the retry loop will
+    // notice a spent budget before issuing another attempt, so retrying is
+    // harmless and covers clock skew between client and server.
+    case TransportError::kExpired: return policy_.retry_timeouts;
   }
   return false;
 }
@@ -35,33 +54,73 @@ Bytes RetryTransport::round_trip(ByteSpan request) {
   const std::uint32_t attempts = policy_.max_attempts == 0
                                      ? 1
                                      : policy_.max_attempts;
+  const bool budgeted = policy_.total_budget_ms > 0;
+  // One absolute deadline covers every attempt AND every backoff sleep —
+  // the historical worst case of `max_attempts x per-attempt timeout` is
+  // replaced by ~total_budget_ms.
+  const netio::Deadline deadline =
+      netio::deadline_after_ms(policy_.total_budget_ms);
   std::optional<TransportError> last;
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       ++retries_;
       std::uint32_t sleep = backoff_ms(attempt - 1);
+      if (budgeted) sleep = std::min(sleep, remaining_ms(deadline));
       if (sleep > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(sleep));
       }
     }
+    std::uint32_t budget_left = 0;
+    if (budgeted) {
+      budget_left = remaining_ms(deadline);
+      if (budget_left == 0) break;  // spent: surface the last error below
+    }
     try {
-      Bytes reply = inner_.round_trip(request);
-      if (is_busy_envelope(ByteSpan{reply.data(), reply.size()})) {
+      Bytes reply;
+      if (budgeted && policy_.propagate_deadline) {
+        // Tell the server how long this attempt is worth so it can drop the
+        // request from its queue once an answer can no longer arrive in
+        // time (PROTOCOL.md §7).
+        Bytes wrapped = encode_deadline_envelope(budget_left, request);
+        reply = inner_.round_trip_within(
+            ByteSpan{wrapped.data(), wrapped.size()}, budget_left);
+        bytes_sent_ += wrapped.size();
+      } else if (budgeted) {
+        reply = inner_.round_trip_within(request, budget_left);
+        bytes_sent_ += request.size();
+      } else {
+        reply = inner_.round_trip(request);
+        bytes_sent_ += request.size();
+      }
+      ByteSpan reply_span{reply.data(), reply.size()};
+      if (is_expired_envelope(reply_span)) {
+        ++expired_replies_;
+        bytes_received_ += reply.size();
+        last = TransportError(TransportError::kExpired,
+                              "peer dropped expired request");
+        if (!should_retry(TransportError::kExpired)) throw *last;
+        continue;
+      }
+      if (is_busy_envelope(reply_span)) {
         // The wire worked but the server shed the request. Treated exactly
         // like a retryable transport fault: back off, try again, and
         // surface kBusy if every attempt is shed.
         ++busy_rejections_;
+        bytes_received_ += reply.size();
         last = TransportError(TransportError::kBusy, "peer busy");
         if (!should_retry(TransportError::kBusy)) throw *last;
         continue;
       }
-      bytes_sent_ += request.size();
       bytes_received_ += reply.size();
       return reply;
     } catch (const TransportError& e) {
       if (!should_retry(e.kind())) throw;
       last = e;
     }
+  }
+  if (!last) {
+    last = TransportError(TransportError::kTimeout,
+                          "total retry budget exhausted before first attempt");
   }
   throw *last;
 }

@@ -35,6 +35,19 @@ struct RetryPolicy {
   /// drain; once attempts are exhausted the busy reply surfaces as a
   /// TransportError(kBusy) so failover can rotate to another peer.
   bool retry_busy = true;
+  /// One total latency budget for the whole round trip, spent across ALL
+  /// attempts and backoff sleeps (0 = unlimited, the historical
+  /// behaviour). With a budget, the worst case is ~budget instead of
+  /// `max_attempts x per-attempt timeout`: backoff sleeps are clamped to
+  /// the remaining budget, no new attempt starts once it is spent, and
+  /// each attempt's own wire deadline is clamped via
+  /// Transport::round_trip_within. Exhaustion throws the last error seen
+  /// (or kTimeout if the budget died in backoff).
+  std::uint32_t total_budget_ms = 0;
+  /// With a total budget set, wrap each attempt's request in a kDeadline
+  /// envelope carrying the remaining budget, so the server can drop the
+  /// request once it can no longer be answered in time (PROTOCOL.md §7).
+  bool propagate_deadline = true;
 };
 
 class RetryTransport final : public Transport {
@@ -51,6 +64,9 @@ class RetryTransport final : public Transport {
   /// Round trips that completed at the wire level but carried a kBusy
   /// envelope (each one either triggered a retry or exhausted the budget).
   std::uint64_t busy_rejections() const { return busy_rejections_; }
+  /// Replies where the server reported the propagated deadline had already
+  /// passed (kExpired envelope).
+  std::uint64_t expired_replies() const { return expired_replies_; }
 
  private:
   bool should_retry(TransportError::Kind kind) const;
@@ -61,6 +77,7 @@ class RetryTransport final : public Transport {
   Rng rng_;
   std::uint64_t retries_ = 0;
   std::uint64_t busy_rejections_ = 0;
+  std::uint64_t expired_replies_ = 0;
 };
 
 }  // namespace lvq

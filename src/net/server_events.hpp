@@ -1,0 +1,26 @@
+// Connection-level resilience events emitted by TcpServer.
+//
+// TcpServer lives in net/ and must not depend on server/, but the operator
+// wants socket-layer incidents (slow-loris closes, requests completed
+// during a drain) in the same kStats snapshot as the serving engine's
+// counters. This tiny sink interface breaks the cycle: server/metrics.hpp's
+// ServerMetrics implements it, and TcpServerOptions carries an optional
+// pointer to it.
+#pragma once
+
+namespace lvq {
+
+class TcpServerEvents {
+ public:
+  virtual ~TcpServerEvents() = default;
+
+  /// A connection was closed because the peer started a frame but did not
+  /// finish it within the per-frame read deadline (slow-loris guard).
+  virtual void on_slow_loris_closed() = 0;
+
+  /// A request was fully served — reply flushed to the socket — while the
+  /// server was draining toward shutdown.
+  virtual void on_drain_completed() = 0;
+};
+
+}  // namespace lvq

@@ -7,7 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "net/frame.hpp"
 #include "net/message.hpp"
@@ -50,12 +53,19 @@ TcpServer::TcpServer(Handler handler, TcpServerOptions options)
 
 TcpServer::~TcpServer() { stop(); }
 
-void TcpServer::stop() {
+void TcpServer::close_listener() {
   bool expected = false;
-  if (stopping_.compare_exchange_strong(expected, true)) {
+  if (listener_closed_.compare_exchange_strong(expected, true)) {
     // Closing the listener unblocks accept().
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
+  }
+}
+
+void TcpServer::stop() {
+  bool expected = false;
+  if (stopping_.compare_exchange_strong(expected, true)) {
+    close_listener();
     // Unblock every worker parked in poll()/read() on a live connection.
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& w : workers_) {
@@ -92,6 +102,29 @@ std::size_t TcpServer::active_workers() {
   return workers_.size();
 }
 
+void TcpServer::drain(std::uint32_t grace_ms) {
+  bool expected = false;
+  if (draining_.compare_exchange_strong(expected, true)) {
+    close_listener();
+    // Wake idle workers with a read-side shutdown only: their next
+    // wait_readable sees EOF and the connection winds down cleanly, while
+    // any reply another worker is mid-writing keeps its write half — no
+    // frame is ever abandoned partway.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& w : workers_) {
+      if (w->fd >= 0 && !w->busy.load()) ::shutdown(w->fd, SHUT_RD);
+    }
+  }
+  netio::Deadline deadline = netio::deadline_after_ms(grace_ms);
+  while (active_workers() != 0) {
+    if (netio::Clock::now() >= deadline) break;  // grace exhausted
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Hard-stop stragglers (if any) and join everything. With all workers
+  // already gone this degenerates to closing the listener bookkeeping.
+  stop();
+}
+
 void TcpServer::accept_loop() {
   while (!stopping_.load()) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -116,7 +149,7 @@ void TcpServer::accept_loop() {
       Bytes busy = encode_envelope(MsgType::kBusy, {});
       netio::write_frame(fd, ByteSpan{busy.data(), busy.size()},
                          options_.max_frame_bytes,
-                         netio::deadline_after_ms(100));
+                         netio::deadline_after_ms(options_.busy_write_timeout_ms));
       ::close(fd);
       shed_.fetch_add(1);
       continue;
@@ -132,14 +165,27 @@ void TcpServer::serve_connection(Worker* worker) {
   const int fd = worker->fd;
   Bytes request;
   for (;;) {
-    // The idle deadline covers waiting for a request to start; once bytes
-    // flow, frame.cpp's per-operation polling enforces the same deadline
-    // for the remainder of the frame.
-    netio::Deadline deadline = netio::deadline_after_ms(
-        options_.idle_timeout_ms);
-    netio::FrameResult r =
-        netio::read_frame(fd, request, options_.max_frame_bytes, deadline);
+    // Phase 1: wait (idle, not busy) for the next request to START under
+    // the generous idle deadline. A drain wakes this wait via SHUT_RD.
+    netio::FrameResult r = netio::wait_readable(
+        fd, netio::deadline_after_ms(options_.idle_timeout_ms));
     if (r != netio::FrameResult::kOk) break;
+    if (draining()) break;  // bytes raced the drain sweep; close cleanly
+    worker->busy.store(true);
+    // Phase 2: the frame has started, so it must COMPLETE under the much
+    // tighter per-frame deadline — a peer trickling one byte at a time
+    // (slow loris) can no longer pin a worker for idle_timeout_ms.
+    std::uint32_t frame_ms = options_.frame_read_timeout_ms != 0
+                                 ? options_.frame_read_timeout_ms
+                                 : options_.io_timeout_ms;
+    r = netio::read_frame(fd, request, options_.max_frame_bytes,
+                          netio::deadline_after_ms(frame_ms));
+    if (r != netio::FrameResult::kOk) {
+      if (r == netio::FrameResult::kTimeout && options_.events != nullptr) {
+        options_.events->on_slow_loris_closed();
+      }
+      break;
+    }
     Bytes response = handler_(ByteSpan{request.data(), request.size()});
     netio::Deadline write_deadline =
         netio::deadline_after_ms(options_.io_timeout_ms);
@@ -148,7 +194,16 @@ void TcpServer::serve_connection(Worker* worker) {
                            write_deadline) != netio::FrameResult::kOk) {
       break;
     }
+    worker->busy.store(false);
+    if (draining_.load()) {
+      // The reply above was flushed in full; exit instead of parking for
+      // another request the server will never accept.
+      if (options_.events != nullptr) options_.events->on_drain_completed();
+      break;
+    }
+    if (stopping_.load()) break;
   }
+  worker->busy.store(false);
   // Close under the lock so stop() never shutdown()s a recycled fd number.
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -203,6 +258,19 @@ void TcpTransport::connect_with_deadline() {
 }
 
 Bytes TcpTransport::round_trip(ByteSpan request) {
+  return round_trip_deadline(request, options_.io_timeout_ms);
+}
+
+Bytes TcpTransport::round_trip_within(ByteSpan request,
+                                      std::uint32_t budget_ms) {
+  std::uint32_t io = options_.io_timeout_ms;
+  std::uint32_t effective =
+      budget_ms == 0 ? io : (io == 0 ? budget_ms : std::min(io, budget_ms));
+  return round_trip_deadline(request, effective);
+}
+
+Bytes TcpTransport::round_trip_deadline(ByteSpan request,
+                                        std::uint32_t timeout_ms) {
   if (request.size() > options_.max_frame_bytes) {
     throw TransportError(TransportError::kOversize,
                          "request exceeds frame cap");
@@ -214,7 +282,7 @@ Bytes TcpTransport::round_trip(ByteSpan request) {
     connect_with_deadline();
     ++reconnects_;
   }
-  netio::Deadline deadline = netio::deadline_after_ms(options_.io_timeout_ms);
+  netio::Deadline deadline = netio::deadline_after_ms(timeout_ms);
   auto broke = [this](TransportError::Kind kind,
                       const char* what) -> TransportError {
     ::close(fd_);

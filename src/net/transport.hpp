@@ -21,6 +21,17 @@ class Transport {
   /// account bytes in both directions.
   virtual Bytes round_trip(ByteSpan request) = 0;
 
+  /// Round trip that should complete within `budget_ms` (0 = no budget).
+  /// The default ignores the budget; deadline-aware transports
+  /// (TcpTransport) override it to clamp their per-attempt timeout to the
+  /// remaining budget, so a caller spreading one total budget across
+  /// retries (RetryTransport) never waits a full fresh timeout on an
+  /// attempt whose budget is nearly spent.
+  virtual Bytes round_trip_within(ByteSpan request, std::uint32_t budget_ms) {
+    (void)budget_ms;
+    return round_trip(request);
+  }
+
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
 

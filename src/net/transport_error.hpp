@@ -25,6 +25,9 @@ class TransportError : public std::runtime_error {
                       // direction); retrying will not help
     kBusy,            // peer shed the request (queue full / connection cap);
                       // transient by construction — retry after backoff
+    kExpired,         // peer dropped the request because its propagated
+                      // deadline had already passed; re-sending inside the
+                      // same budget cannot help
   };
 
   TransportError(Kind kind, const std::string& what)
@@ -44,6 +47,7 @@ inline const char* transport_error_kind_name(TransportError::Kind k) {
     case TransportError::kMalformedFrame: return "malformed-frame";
     case TransportError::kOversize: return "oversize";
     case TransportError::kBusy: return "busy";
+    case TransportError::kExpired: return "expired";
   }
   return "unknown";
 }

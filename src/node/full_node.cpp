@@ -43,6 +43,11 @@ Bytes FullNode::handle_message(ByteSpan request) const {
 Bytes FullNode::dispatch(const ChainContext& ctx, ByteSpan request) const {
   const std::uint64_t tip = ctx.tip_height();
   try {
+    // A bare node ignores the budget of a kDeadline wrapper (no queue to
+    // expire from) but must still answer the inner request, so a client
+    // propagating deadlines works against engine-less servers too.
+    std::uint64_t budget_ms = 0;
+    request = peel_deadline_envelope(request, &budget_ms);
     auto [type, payload] = decode_envelope(request);
     switch (type) {
       case MsgType::kHeadersRequest: {

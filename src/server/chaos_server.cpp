@@ -1,0 +1,211 @@
+#include "server/chaos_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "net/frame.hpp"
+#include "net/message.hpp"
+#include "net/transport_error.hpp"
+
+namespace lvq {
+
+const char* chaos_fault_name(ChaosFault f) {
+  switch (f) {
+    case ChaosFault::kNone: return "none";
+    case ChaosFault::kStall: return "stall";
+    case ChaosFault::kTornWrite: return "torn-write";
+    case ChaosFault::kDisconnect: return "disconnect";
+    case ChaosFault::kBusyStorm: return "busy-storm";
+  }
+  return "unknown";
+}
+
+ChaosServer::ChaosServer(TcpServer::Handler handler, ChaosPlan plan,
+                         TcpServerOptions options)
+    : handler_(std::move(handler)),
+      plan_(std::move(plan)),
+      options_(options),
+      rng_(plan_.seed) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw TransportError(TransportError::kConnect, std::strerror(errno));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    throw TransportError(TransportError::kConnect, std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+ChaosServer::~ChaosServer() { stop(); }
+
+void ChaosServer::stop() {
+  bool expected = false;
+  if (stopping_.compare_exchange_strong(expected, true)) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& w : workers_) {
+      if (w->fd >= 0) ::shutdown(w->fd, SHUT_RDWR);
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // Drain under the lock, join outside it: workers take mu_ to close
+  // their fd on exit, so joining while holding it would deadlock.
+  std::list<std::unique_ptr<Worker>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(workers_);
+  }
+  for (auto& w : drained) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ChaosServer::accept_loop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    // Reap finished workers: chaos forces many short-lived reconnects.
+    for (auto it = workers_.begin(); it != workers_.end();) {
+      if ((*it)->done.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = workers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    workers_.push_back(std::make_unique<Worker>());
+    Worker* w = workers_.back().get();
+    w->fd = fd;
+    w->thread = std::thread([this, w] { serve_connection(w); });
+  }
+}
+
+ChaosFault ChaosServer::next_fault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // An active storm swallows the request before any new draw: the storm's
+  // length is part of the deterministic schedule.
+  if (storm_left_ > 0) {
+    --storm_left_;
+    return ChaosFault::kBusyStorm;
+  }
+  ChaosFault f;
+  if (script_pos_ < plan_.script.size()) {
+    f = plan_.script[script_pos_++];
+  } else {
+    f = ChaosFault::kNone;
+    if (plan_.stall_prob > 0 && rng_.chance(plan_.stall_prob)) {
+      f = ChaosFault::kStall;
+    } else if (plan_.torn_write_prob > 0 &&
+               rng_.chance(plan_.torn_write_prob)) {
+      f = ChaosFault::kTornWrite;
+    } else if (plan_.disconnect_prob > 0 &&
+               rng_.chance(plan_.disconnect_prob)) {
+      f = ChaosFault::kDisconnect;
+    } else if (plan_.busy_storm_prob > 0 &&
+               rng_.chance(plan_.busy_storm_prob)) {
+      f = ChaosFault::kBusyStorm;
+    }
+  }
+  if (f == ChaosFault::kBusyStorm && plan_.busy_storm_len > 1) {
+    storm_left_ = plan_.busy_storm_len - 1;  // this request is the first
+  }
+  return f;
+}
+
+void ChaosServer::serve_connection(Worker* worker) {
+  const int fd = worker->fd;
+  const std::uint32_t cap = options_.max_frame_bytes;
+  Bytes request;
+  bool keep_open = true;
+  while (keep_open) {
+    netio::Deadline read_deadline =
+        netio::deadline_after_ms(options_.idle_timeout_ms);
+    if (netio::read_frame(fd, request, cap, read_deadline) !=
+        netio::FrameResult::kOk) {
+      break;
+    }
+    requests_seen_.fetch_add(1);
+    ChaosFault fault = next_fault();
+    if (fault != ChaosFault::kNone) faults_injected_.fetch_add(1);
+    netio::Deadline write_deadline =
+        netio::deadline_after_ms(options_.io_timeout_ms);
+    switch (fault) {
+      case ChaosFault::kDisconnect:
+        // Dropped between frames: the client sees a clean kDisconnect and
+        // retries on a fresh connection.
+        keep_open = false;
+        break;
+      case ChaosFault::kBusyStorm: {
+        Bytes busy = encode_envelope(MsgType::kBusy, {});
+        keep_open = netio::write_frame(fd, ByteSpan{busy.data(), busy.size()},
+                                       cap, write_deadline) ==
+                    netio::FrameResult::kOk;
+        break;
+      }
+      case ChaosFault::kTornWrite: {
+        // The handler runs — state-wise this request WAS served — but the
+        // connection dies partway through the reply frame, so the client
+        // must discard the torn bytes and retry.
+        Bytes reply = handler_(ByteSpan{request.data(), request.size()});
+        Bytes frame =
+            netio::encode_frame(ByteSpan{reply.data(), reply.size()});
+        std::size_t sent = frame.size() > 1 ? frame.size() / 2 : 1;
+        netio::write_raw(fd, ByteSpan{frame.data(), sent}, write_deadline);
+        keep_open = false;
+        break;
+      }
+      case ChaosFault::kStall: {
+        // A wedged worker: hold the request for stall_ms, then serve it
+        // correctly. Clients with slack get late-but-right bytes; tight
+        // deadlines expire and retry elsewhere.
+        auto until = netio::Clock::now() +
+                     std::chrono::milliseconds(plan_.stall_ms);
+        while (!stopping_.load() && netio::Clock::now() < until) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        [[fallthrough]];
+      }
+      case ChaosFault::kNone: {
+        Bytes reply = handler_(ByteSpan{request.data(), request.size()});
+        keep_open = netio::write_frame(fd,
+                                       ByteSpan{reply.data(), reply.size()},
+                                       cap, write_deadline) ==
+                    netio::FrameResult::kOk;
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ::close(fd);
+    worker->fd = -1;
+  }
+  worker->done.store(true);
+}
+
+}  // namespace lvq

@@ -1,0 +1,104 @@
+// Deterministic serving-side chaos harness.
+//
+// FlakyServer (net/fault_injection.hpp) models a *Byzantine* peer: it
+// corrupts, garbles, and lies about frame lengths, and the client's job is
+// to reject the damage. ChaosServer models the other failure family — an
+// honest server under operational stress: workers stall, responses are
+// torn mid-frame by dying connections, the accept path storms kBusy, peers
+// are dropped before a reply starts. Under this harness every query that
+// COMPLETES must still be byte-identical to a fault-free run (the soak
+// test asserts exactly that); the faults only ever cost retries, never
+// correctness.
+//
+// Faults are drawn from a scripted per-request schedule first, then from
+// seeded per-mode probabilities, so a given (plan, seed) replays
+// bit-for-bit — chaos you can put in CI.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_transport.hpp"
+#include "util/rng.hpp"
+
+namespace lvq {
+
+enum class ChaosFault : std::uint8_t {
+  kNone = 0,    // serve normally
+  kStall,       // worker sleeps stall_ms before serving (late but correct)
+  kTornWrite,   // reply frame torn partway through, connection closed
+  kDisconnect,  // connection dropped before any reply byte
+  kBusyStorm,   // this and the next busy_storm_len-1 requests answer kBusy
+};
+
+const char* chaos_fault_name(ChaosFault f);
+
+struct ChaosPlan {
+  /// Consumed one entry per request, across connections; after the script
+  /// runs out, faults are drawn from the probabilities below (in the fixed
+  /// order stall, torn-write, disconnect, busy-storm).
+  std::vector<ChaosFault> script;
+  double stall_prob = 0.0;
+  double torn_write_prob = 0.0;
+  double disconnect_prob = 0.0;
+  double busy_storm_prob = 0.0;
+  /// How long a kStall holds a worker before serving the request anyway.
+  /// Kept bounded (unlike FlakyServer's give-up stall) so a client with a
+  /// generous deadline receives a correct, late reply.
+  std::uint32_t stall_ms = 50;
+  /// Requests answered kBusy per kBusyStorm draw, including the one that
+  /// drew it — models a load-shedding burst an overloaded engine emits.
+  std::uint32_t busy_storm_len = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Real-socket server shaped like TcpServer, wrapping any handler (in
+/// practice ServingEngine::handle or FullNode::handle_message).
+class ChaosServer {
+ public:
+  ChaosServer(TcpServer::Handler handler, ChaosPlan plan,
+              TcpServerOptions options = {});
+  ~ChaosServer();
+
+  ChaosServer(const ChaosServer&) = delete;
+  ChaosServer& operator=(const ChaosServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_seen() const { return requests_seen_.load(); }
+  std::uint64_t faults_injected() const { return faults_injected_.load(); }
+
+  void stop();
+
+ private:
+  struct Worker {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Worker* worker);
+  ChaosFault next_fault();
+
+  TcpServer::Handler handler_;
+  ChaosPlan plan_;
+  TcpServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_seen_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  std::thread acceptor_;
+  std::mutex mu_;  // guards workers_, script_pos_, rng_, storm_left_
+  std::list<std::unique_ptr<Worker>> workers_;
+  Rng rng_;
+  std::size_t script_pos_ = 0;
+  std::uint32_t storm_left_ = 0;
+};
+
+}  // namespace lvq

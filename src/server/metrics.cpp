@@ -8,7 +8,7 @@ namespace lvq {
 
 namespace {
 
-constexpr std::uint8_t kSnapshotVersion = 1;
+constexpr std::uint8_t kSnapshotVersion = 2;
 
 const char* type_slot_name(std::size_t slot) {
   switch (slot) {
@@ -51,6 +51,11 @@ void ServerMetrics::fill(MetricsSnapshot& out) const {
   out.requests_total = requests_total_.load(std::memory_order_relaxed);
   out.responses_error = responses_error_.load(std::memory_order_relaxed);
   out.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+  out.rejected_degraded = rejected_degraded_.load(std::memory_order_relaxed);
+  out.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  out.deadline_aborted = deadline_aborted_.load(std::memory_order_relaxed);
+  out.drain_completed = drain_completed_.load(std::memory_order_relaxed);
+  out.slow_loris_closed = slow_loris_closed_.load(std::memory_order_relaxed);
   out.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   out.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < kMsgTypeSlots; ++i) {
@@ -69,6 +74,11 @@ void MetricsSnapshot::serialize(Writer& w) const {
   w.varint(requests_total);
   w.varint(responses_error);
   w.varint(rejected_busy);
+  w.varint(rejected_degraded);
+  w.varint(expired_in_queue);
+  w.varint(deadline_aborted);
+  w.varint(drain_completed);
+  w.varint(slow_loris_closed);
   w.varint(bytes_in);
   w.varint(bytes_out);
   w.varint(cache_hits);
@@ -103,6 +113,11 @@ MetricsSnapshot MetricsSnapshot::deserialize(Reader& r) {
   s.requests_total = r.varint();
   s.responses_error = r.varint();
   s.rejected_busy = r.varint();
+  s.rejected_degraded = r.varint();
+  s.expired_in_queue = r.varint();
+  s.deadline_aborted = r.varint();
+  s.drain_completed = r.varint();
+  s.slow_loris_closed = r.varint();
   s.bytes_in = r.varint();
   s.bytes_out = r.varint();
   s.cache_hits = r.varint();
@@ -156,6 +171,12 @@ std::string MetricsSnapshot::to_text() const {
   append_line(out, "requests : %" PRIu64 " total, %" PRIu64
                    " error replies, %" PRIu64 " shed busy",
               requests_total, responses_error, rejected_busy);
+  append_line(out, "shedding : %" PRIu64 " degraded bulk, %" PRIu64
+                   " expired in queue, %" PRIu64 " deadline aborted",
+              rejected_degraded, expired_in_queue, deadline_aborted);
+  append_line(out, "drain    : %" PRIu64 " completed in grace, %" PRIu64
+                   " slow-loris closed",
+              drain_completed, slow_loris_closed);
   std::string mix;
   for (std::size_t i = 0; i < requests_by_type.size(); ++i) {
     if (requests_by_type[i] == 0) continue;

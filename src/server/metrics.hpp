@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "net/server_events.hpp"
 #include "util/serialize.hpp"
 
 namespace lvq {
@@ -34,6 +35,14 @@ struct MetricsSnapshot {
   std::uint64_t requests_total = 0;
   std::uint64_t responses_error = 0;  // kError envelopes returned
   std::uint64_t rejected_busy = 0;    // kBusy envelopes returned (queue full)
+
+  // Resilience counters (snapshot v2, PROTOCOL.md §7).
+  std::uint64_t rejected_degraded = 0;  // bulk requests shed early under load
+  std::uint64_t expired_in_queue = 0;   // dropped: deadline passed while queued
+  std::uint64_t deadline_aborted = 0;   // dropped: deadline hit mid-assembly
+  std::uint64_t drain_completed = 0;    // requests finished during drain grace
+  std::uint64_t slow_loris_closed = 0;  // connections closed mid-frame timeout
+
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
 
@@ -87,8 +96,9 @@ struct MetricsSnapshot {
 };
 
 /// The live registry the engine writes into. All methods are thread-safe
-/// and wait-free.
-class ServerMetrics {
+/// and wait-free. Implements TcpServerEvents so the socket layer's
+/// resilience incidents land in the same snapshot.
+class ServerMetrics final : public TcpServerEvents {
  public:
   void on_request(std::uint8_t type_slot, std::uint64_t request_bytes) {
     requests_total_.fetch_add(1, std::memory_order_relaxed);
@@ -114,6 +124,39 @@ class ServerMetrics {
     rejected_busy_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// A bulk request shed before the queue was full — priority-aware
+  /// degradation under load (also counted in rejected_busy because the
+  /// client sees the same kBusy envelope).
+  void on_degraded(std::uint64_t reply_bytes) {
+    on_busy(reply_bytes);
+    rejected_degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A queued request dropped because its propagated deadline had already
+  /// passed when a worker picked it up (kExpired reply).
+  void on_expired_in_queue(std::uint64_t reply_bytes) {
+    bytes_out_.fetch_add(reply_bytes, std::memory_order_relaxed);
+    expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// An in-progress cold assembly abandoned because its deadline expired
+  /// between stages (kExpired reply).
+  void on_deadline_aborted(std::uint64_t reply_bytes) {
+    bytes_out_.fetch_add(reply_bytes, std::memory_order_relaxed);
+    deadline_aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A request fully served while the server was draining.
+  void on_drain_completed() override {
+    drain_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A connection closed because the peer started a frame but never
+  /// finished it within the per-frame read deadline.
+  void on_slow_loris_closed() override {
+    slow_loris_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Copies the counter/histogram half into `out` (the engine fills the
   /// gauges and cache stats).
   void fill(MetricsSnapshot& out) const;
@@ -129,6 +172,11 @@ class ServerMetrics {
   std::atomic<std::uint64_t> requests_total_{0};
   std::atomic<std::uint64_t> responses_error_{0};
   std::atomic<std::uint64_t> rejected_busy_{0};
+  std::atomic<std::uint64_t> rejected_degraded_{0};
+  std::atomic<std::uint64_t> expired_in_queue_{0};
+  std::atomic<std::uint64_t> deadline_aborted_{0};
+  std::atomic<std::uint64_t> drain_completed_{0};
+  std::atomic<std::uint64_t> slow_loris_closed_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
   std::array<std::atomic<std::uint64_t>, kMsgTypeSlots> by_type_{};

@@ -1,5 +1,7 @@
 #include "server/serving_engine.hpp"
 
+#include <algorithm>
+
 #include "core/prover.hpp"
 #include "core/segments.hpp"
 #include "util/thread_pool.hpp"
@@ -10,11 +12,17 @@ namespace {
 
 Bytes busy_reply() { return encode_envelope(MsgType::kBusy, {}); }
 
+Bytes expired_reply() { return encode_envelope(MsgType::kExpired, {}); }
+
 std::uint64_t micros_since(std::chrono::steady_clock::time_point t0) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+}
+
+bool past(netio::Deadline deadline) {
+  return deadline != netio::kNoDeadline && netio::Clock::now() >= deadline;
 }
 
 }  // namespace
@@ -97,9 +105,39 @@ Bytes ServingEngine::response_cache_key(ByteSpan request) const {
   return response_cache_key_locked(request);
 }
 
+bool ServingEngine::bulk_request(std::uint8_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHeadersRequest:  // full header sync
+    case MsgType::kBatchQueryRequest:
+    case MsgType::kRangeQueryRequest:
+    case MsgType::kMultiQueryRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Bytes ServingEngine::handle(ByteSpan request) {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint8_t type = request.empty() ? 0 : request[0];
+
+  // Peel an optional kDeadline wrapper FIRST: everything downstream —
+  // per-type counters, cache keys, the dispatched job — sees only the
+  // inner request, so a wrapped query and its bare form share cache
+  // entries and return byte-identical replies.
+  std::uint64_t budget_ms = 0;
+  ByteSpan inner;
+  try {
+    inner = peel_deadline_envelope(request, &budget_ms);
+  } catch (const SerializeError&) {
+    metrics_.on_request(request.empty() ? 0 : request[0], request.size());
+    Bytes err = encode_envelope(MsgType::kError, {});
+    metrics_.on_reply(err.size(), /*error_reply=*/true, micros_since(t0));
+    return err;
+  }
+  const netio::Deadline deadline = netio::deadline_after_ms(
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(budget_ms, 0xffffffffu)));
+
+  const std::uint8_t type = inner.empty() ? 0 : inner[0];
   metrics_.on_request(type, request.size());
 
   auto finish = [&](Bytes reply) {
@@ -117,7 +155,7 @@ Bytes ServingEngine::handle(ByteSpan request) {
   }
 
   if (response_cache_.enabled() && cacheable_request(type)) {
-    Bytes key = response_cache_key(request);
+    Bytes key = response_cache_key(inner);
     Bytes hit;
     if (response_cache_.get(ByteSpan{key.data(), key.size()}, &hit)) {
       return finish(std::move(hit));
@@ -127,20 +165,42 @@ Bytes ServingEngine::handle(ByteSpan request) {
   std::future<Bytes> result;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (stopping_ ||
-        (queue_.size() >= options_.queue_depth && idle_workers_ == 0)) {
+    bool shed = stopping_ ||
+                (queue_.size() >= options_.queue_depth && idle_workers_ == 0);
+    bool degraded = false;
+    if (!shed && idle_workers_ == 0 && options_.bulk_shed_fraction < 1.0 &&
+        bulk_request(type)) {
+      // Under pressure the expensive bulk traffic is shed before the queue
+      // is full, keeping the remaining slots for interactive requests.
+      const std::size_t threshold = std::max<std::size_t>(
+          1, static_cast<std::size_t>(options_.bulk_shed_fraction *
+                                      static_cast<double>(options_.queue_depth)));
+      if (queue_.size() >= threshold) shed = degraded = true;
+    }
+    if (shed) {
       lock.unlock();
       Bytes busy = busy_reply();
-      metrics_.on_busy(busy.size());
+      if (degraded) {
+        metrics_.on_degraded(busy.size());
+      } else {
+        metrics_.on_busy(busy.size());
+      }
       return busy;
     }
     auto job = std::make_unique<Job>();
-    job->request.assign(request.begin(), request.end());
+    job->request.assign(inner.begin(), inner.end());
+    job->deadline = deadline;
     result = job->promise.get_future();
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
-  return finish(result.get());
+  Bytes reply = result.get();
+  if (is_expired_envelope(ByteSpan{reply.data(), reply.size()})) {
+    // Counted at the drop site (expired_in_queue / deadline_aborted), and
+    // kept out of the served-latency histogram.
+    return reply;
+  }
+  return finish(std::move(reply));
 }
 
 void ServingEngine::worker_loop() {
@@ -155,10 +215,20 @@ void ServingEngine::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (past(job->deadline)) {
+      // The client's budget ran out while the job sat queued — the reply
+      // could only arrive dead. Drop it for a cheap kExpired instead of
+      // burning a worker on proof assembly nobody will read.
+      Bytes expired = expired_reply();
+      metrics_.on_expired_in_queue(expired.size());
+      job->promise.set_value(std::move(expired));
+      continue;
+    }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     Bytes reply;
     try {
-      reply = process(ByteSpan{job->request.data(), job->request.size()});
+      reply = process(ByteSpan{job->request.data(), job->request.size()},
+                      job->deadline);
     } catch (...) {
       // The FullNode handler already converts malformed input into kError;
       // anything escaping here is a server-side defect, answered as an
@@ -170,7 +240,7 @@ void ServingEngine::worker_loop() {
   }
 }
 
-Bytes ServingEngine::process(ByteSpan request) {
+Bytes ServingEngine::process(ByteSpan request, netio::Deadline deadline) {
   // Shared-held across execution: rebind() cannot swap the node or epoch
   // under a request that is mid-proof.
   std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
@@ -181,7 +251,7 @@ Bytes ServingEngine::process(ByteSpan request) {
   if (node_ != nullptr &&
       type == static_cast<std::uint8_t>(MsgType::kQueryRequest) &&
       node_->config().has_bmt()) {
-    if (std::optional<Bytes> fast = fast_query(request)) {
+    if (std::optional<Bytes> fast = fast_query(request, deadline)) {
       return std::move(*fast);
     }
   }
@@ -189,7 +259,8 @@ Bytes ServingEngine::process(ByteSpan request) {
   Bytes reply = backend_(request);
   if (response_cache_.enabled() && cacheable_request(type) && !reply.empty() &&
       reply[0] != static_cast<std::uint8_t>(MsgType::kError) &&
-      reply[0] != static_cast<std::uint8_t>(MsgType::kBusy)) {
+      reply[0] != static_cast<std::uint8_t>(MsgType::kBusy) &&
+      reply[0] != static_cast<std::uint8_t>(MsgType::kExpired)) {
     Bytes key = response_cache_key_locked(request);
     response_cache_.put(ByteSpan{key.data(), key.size()},
                         ByteSpan{reply.data(), reply.size()});
@@ -197,7 +268,8 @@ Bytes ServingEngine::process(ByteSpan request) {
   return reply;
 }
 
-std::optional<Bytes> ServingEngine::fast_query(ByteSpan request) {
+std::optional<Bytes> ServingEngine::fast_query(ByteSpan request,
+                                               netio::Deadline deadline) {
   Address address;
   try {
     Reader r(request.subspan(1));
@@ -243,6 +315,13 @@ std::optional<Bytes> ServingEngine::fast_query(ByteSpan request) {
     w.varint(tip);
     w.varint(forest.size());
     for (const SubSegment& range : forest) {
+      // Between-segment deadline check: a budget that died mid-assembly
+      // stops burning CPU on proof bytes nobody will read.
+      if (past(deadline)) {
+        Bytes expired = expired_reply();
+        metrics_.on_deadline_aborted(expired.size());
+        return expired;
+      }
       serialize_segment_proof(w, ctx, address, cbp, range);
     }
     Bytes reply = w.take();
@@ -279,8 +358,16 @@ std::optional<Bytes> ServingEngine::fast_query(ByteSpan request) {
   // Cold misses are independent proof assemblies over one immutable
   // snapshot; fan them across the shared pool into index-addressed slots.
   // Engine workers are plain threads (never pool tasks), so the fan-out
-  // honors the pool's no-nesting rule.
+  // honors the pool's no-nesting rule. The abort flag lets a mid-assembly
+  // deadline expiry stop the remaining stages (already-running segments
+  // finish; none start after the flag is set).
+  std::atomic<bool> aborted{false};
   auto assemble = [&](std::uint64_t m) {
+    if (aborted.load(std::memory_order_relaxed)) return;
+    if (past(deadline)) {
+      aborted.store(true, std::memory_order_relaxed);
+      return;
+    }
     const std::size_t i = misses[m];
     Writer sw;
     sw.reserve(static_cast<std::size_t>(
@@ -292,6 +379,13 @@ std::optional<Bytes> ServingEngine::fast_query(ByteSpan request) {
     ThreadPool::shared().parallel_for(misses.size(), assemble);
   } else {
     for (std::uint64_t m = 0; m < misses.size(); ++m) assemble(m);
+  }
+  if (aborted.load(std::memory_order_relaxed)) {
+    // Partially assembled segments are discarded uncached: a cache must
+    // only ever hold complete, correct proof bytes.
+    Bytes expired = expired_reply();
+    metrics_.on_deadline_aborted(expired.size());
+    return expired;
   }
   if (seg_cache) {
     for (std::size_t i : misses) {

@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/frame.hpp"
 #include "net/message.hpp"
 #include "node/full_node.hpp"
 #include "server/metrics.hpp"
@@ -65,6 +66,13 @@ struct ServingEngineOptions {
   /// never pool tasks, so the fan-out is legal). Results land in
   /// index-addressed slots — bytes are identical to the serial loop.
   bool parallel_assembly = true;
+  /// Priority-aware degradation: once no worker is idle and the queue is
+  /// at least this fraction full, bulk requests (batch/range/multi/full
+  /// header sync) are shed with kBusy while interactive traffic (single
+  /// queries, headers-since, stats) keeps the remaining queue space — under
+  /// overload the cheap latency-sensitive requests survive longest.
+  /// >= 1.0 disables the early shedding.
+  double bulk_shed_fraction = 0.5;
 };
 
 class ServingEngine {
@@ -90,6 +98,13 @@ class ServingEngine {
   /// response-cache hits are answered inline; everything else runs on the
   /// worker pool, or comes back as a kBusy envelope when the queue is
   /// full. After stop(), every request is answered kBusy.
+  ///
+  /// A request wrapped in a kDeadline envelope (PROTOCOL.md §7) is peeled
+  /// before caching/dispatch — cache keys and replies depend only on the
+  /// inner request, so wrapped and bare forms are byte-identical — and the
+  /// budget becomes a server-side deadline: a job still queued past it is
+  /// dropped with kExpired, and a cold assembly checks it between segment
+  /// stages.
   Bytes handle(ByteSpan request);
 
   /// Points the engine at a new chain state (tip advanced, reorg, or an
@@ -113,6 +128,11 @@ class ServingEngine {
   /// kStatsResponse payload.
   MetricsSnapshot snapshot() const;
 
+  /// The live registry — also a TcpServerEvents sink, so a fronting
+  /// TcpServer can report slow-loris closes and drain completions into the
+  /// same snapshot (wire it via TcpServerOptions::events).
+  ServerMetrics& metrics() { return metrics_; }
+
   /// Stops workers and unblocks queued callers with kBusy. Idempotent;
   /// also called by the destructor.
   void stop();
@@ -121,18 +141,22 @@ class ServingEngine {
 
  private:
   struct Job {
-    Bytes request;
+    Bytes request;  // inner request, deadline wrapper already peeled
+    netio::Deadline deadline = netio::kNoDeadline;
     std::promise<Bytes> promise;
   };
 
   void start_workers();
   void worker_loop();
   /// Executes one request on a worker: fast path, backend, cache fill.
-  Bytes process(ByteSpan request);
+  /// Returns a kExpired envelope if `deadline` passes mid-assembly.
+  Bytes process(ByteSpan request, netio::Deadline deadline);
   /// BMT segment-splicing fast path (with caches enabled, misses fill the
   /// segment cache; without, it is a pure parallel assembly); nullopt
-  /// falls back to the backend. Caller holds epoch_mu_ (shared).
-  std::optional<Bytes> fast_query(ByteSpan request);
+  /// falls back to the backend; a kExpired envelope when the deadline hit
+  /// between segment stages. Caller holds epoch_mu_ (shared).
+  std::optional<Bytes> fast_query(ByteSpan request, netio::Deadline deadline);
+  static bool bulk_request(std::uint8_t type);
   /// Response-cache key: epoch prefix + raw request bytes. The `_locked`
   /// variant requires epoch_mu_ held (shared or unique).
   Bytes response_cache_key(ByteSpan request) const;

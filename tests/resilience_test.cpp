@@ -1,0 +1,715 @@
+// Server-side resilience: deadline propagation end to end (RetryTransport
+// budget -> kDeadline wrapper -> queue expiry / mid-assembly abort ->
+// kExpired), priority-aware overload shedding, the TcpServer slow-loris
+// guard and SIGTERM drain path, and the deterministic chaos soak — every
+// query that completes under injected faults must be byte-identical to a
+// fault-free run. The ChaosSoak suite is re-run with LVQ_CHAOS_SOAK_MS
+// raised in the sanitizer CI jobs.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/retry_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "node/session.hpp"
+#include "server/chaos_server.hpp"
+#include "server/metrics.hpp"
+#include "server/serving_engine.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+const ExperimentSetup& setup() {
+  static ExperimentSetup s = [] {
+    WorkloadConfig c;
+    c.seed = 1207;
+    c.num_blocks = 32;
+    c.background_txs_per_block = 8;
+    c.profiles = {{"busy", 12, 8}, {"rare", 2, 2}, {"ghost", 0, 0}};
+    return make_setup(c);
+  }();
+  return s;
+}
+
+constexpr BloomGeometry kGeom{256, 6};
+const ProtocolConfig kConfig{Design::kLvq, kGeom, 8};
+
+Bytes span_copy(ByteSpan s) { return Bytes(s.begin(), s.end()); }
+
+ByteSpan as_span(const Bytes& b) { return ByteSpan{b.data(), b.size()}; }
+
+Bytes make_query_request(const Address& a) {
+  Writer w;
+  QueryRequest{a}.serialize(w);
+  return encode_envelope(MsgType::kQueryRequest, as_span(w.data()));
+}
+
+std::uint32_t soak_ms() {
+  if (const char* env = std::getenv("LVQ_CHAOS_SOAK_MS")) {
+    return static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 400;
+}
+
+/// Inner transport that always times out, after a fixed per-attempt stall —
+/// the shape of the worst case the total budget exists to bound.
+class StallingTransport final : public Transport {
+ public:
+  explicit StallingTransport(std::uint32_t stall_ms) : stall_ms_(stall_ms) {}
+
+  Bytes round_trip(ByteSpan request) override {
+    return round_trip_within(request, 0);
+  }
+
+  Bytes round_trip_within(ByteSpan, std::uint32_t budget_ms) override {
+    attempts_.fetch_add(1);
+    std::uint32_t sleep_ms = stall_ms_;
+    if (budget_ms != 0 && budget_ms < sleep_ms) sleep_ms = budget_ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    throw TransportError(TransportError::kTimeout, "stalled peer");
+  }
+
+  std::uint64_t attempts() const { return attempts_.load(); }
+
+ private:
+  std::uint32_t stall_ms_;
+  std::atomic<std::uint64_t> attempts_{0};
+};
+
+// ---- satellite (a): total retry budget bounds worst-case latency ----
+
+TEST(RetryBudget, TotalBudgetClampsWorstCaseLatency) {
+  // Without a budget this policy would burn ~ max_attempts x stall plus
+  // ~2.5 s of backoff; the budget must cap the whole round trip near
+  // total_budget_ms regardless.
+  StallingTransport inner(40);
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_ms = 20;
+  policy.max_backoff_ms = 100;
+  policy.total_budget_ms = 150;
+  RetryTransport retrier(inner, policy);
+
+  Bytes req = {1, 2, 3};
+  auto start = std::chrono::steady_clock::now();
+  try {
+    retrier.round_trip(as_span(req));
+    FAIL() << "expected TransportError once the budget is spent";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::kTimeout);
+  }
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // Generous ceiling for sanitizer runners — the point is that 50 attempts
+  // x 40 ms stalls plus exponential backoff collapsed to ~the budget.
+  EXPECT_LT(elapsed.count(), 1'500);
+  EXPECT_LT(inner.attempts(), 50u);
+  EXPECT_GE(inner.attempts(), 1u);
+}
+
+TEST(RetryBudget, PropagatesShrinkingDeadlineWrapper) {
+  // Two busy replies force retries; every attempt must arrive wrapped in a
+  // kDeadline envelope whose remaining budget only shrinks.
+  std::mutex mu;
+  std::vector<std::uint64_t> budgets;
+  std::vector<Bytes> inners;
+  int calls = 0;
+  LoopbackTransport inner([&](ByteSpan req) -> Bytes {
+    std::uint64_t budget = 0;
+    ByteSpan peeled = peel_deadline_envelope(req, &budget);
+    std::lock_guard<std::mutex> lock(mu);
+    budgets.push_back(budget);
+    inners.push_back(span_copy(peeled));
+    if (++calls <= 2) return encode_envelope(MsgType::kBusy, {});
+    return span_copy(peeled);
+  });
+
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 15;
+  policy.max_backoff_ms = 30;
+  policy.total_budget_ms = 2'000;
+  RetryTransport retrier(inner, policy);
+
+  Bytes req = {9, 8, 7};
+  EXPECT_EQ(retrier.round_trip(as_span(req)), req);
+  ASSERT_EQ(budgets.size(), 3u);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    EXPECT_GT(budgets[i], 0u) << "attempt " << i << " arrived unwrapped";
+    EXPECT_LE(budgets[i], policy.total_budget_ms);
+    EXPECT_EQ(inners[i], req);
+    // The backoff sleeps between attempts make the budget strictly shrink.
+    if (i > 0) {
+      EXPECT_LT(budgets[i], budgets[i - 1]);
+    }
+  }
+  EXPECT_EQ(retrier.busy_rejections(), 2u);
+}
+
+TEST(RetryBudget, ExpiredReplySurfacesTypedError) {
+  // A peer that always reports the deadline as already passed: retries are
+  // allowed (another attempt may carry enough budget), but exhaustion must
+  // surface the typed kExpired error, not a raw envelope.
+  LoopbackTransport inner(
+      [](ByteSpan) { return encode_envelope(MsgType::kExpired, {}); });
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  policy.total_budget_ms = 5'000;
+  RetryTransport retrier(inner, policy);
+  Bytes req = {4};
+  try {
+    retrier.round_trip(as_span(req));
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::kExpired);
+  }
+  EXPECT_EQ(retrier.expired_replies(), 3u);
+}
+
+// ---- tentpole: deadline propagation through the serving engine ----
+
+TEST(Deadline, WrappedAndBareRequestsAreByteIdenticalAndShareCache) {
+  FullNode full(setup().workload, setup().derived, kConfig);
+  ServingEngineOptions opts;
+  opts.workers = 2;
+  ServingEngine engine(full, opts);
+
+  const Address& addr = setup().workload->profiles[0].address;
+  Bytes bare = make_query_request(addr);
+  Bytes wrapped = encode_deadline_envelope(60'000, as_span(bare));
+  Bytes direct = full.handle_message(as_span(bare));
+
+  // Cache keys depend only on the inner request: the bare reply fills the
+  // cache, the wrapped request hits it, and all three byte-match.
+  EXPECT_EQ(engine.handle(as_span(bare)), direct);
+  EXPECT_EQ(engine.handle(as_span(wrapped)), direct);
+  EXPECT_EQ(engine.handle(as_span(wrapped)), direct);
+  MetricsSnapshot snap = engine.snapshot();
+  EXPECT_GE(snap.cache_hits, 2u);
+  EXPECT_EQ(snap.expired_in_queue, 0u);
+  EXPECT_EQ(snap.deadline_aborted, 0u);
+}
+
+TEST(Deadline, ExpiredInQueueIsDroppedAndCounted) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServingEngineOptions opts;
+  opts.workers = 1;
+  opts.queue_depth = 1;
+  opts.cache_bytes = 0;
+  ServingEngine engine(
+      [&](ByteSpan req) {
+        entered.fetch_add(1);
+        gate.wait();
+        return span_copy(req);
+      },
+      opts);
+
+  Bytes bare = {42, 7};
+  // Pin the one worker, then queue a request whose 30 ms budget will be
+  // long gone by the time the worker frees up.
+  auto pinned = std::async(std::launch::async,
+                           [&] { return engine.handle(as_span(bare)); });
+  while (entered.load() == 0) std::this_thread::yield();
+  Bytes wrapped = encode_deadline_envelope(30, as_span(bare));
+  auto queued = std::async(std::launch::async,
+                           [&] { return engine.handle(as_span(wrapped)); });
+  while (engine.snapshot().queue_depth == 0) std::this_thread::yield();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  release.set_value();
+
+  EXPECT_EQ(pinned.get(), bare);
+  Bytes reply = queued.get();
+  EXPECT_TRUE(is_expired_envelope(as_span(reply)));
+  MetricsSnapshot snap = engine.snapshot();
+  EXPECT_EQ(snap.expired_in_queue, 1u);
+  // The dequeued-but-dropped request never enters the latency histogram;
+  // the long-standing accounting invariant must still hold.
+  EXPECT_EQ(snap.rejected_busy + snap.expired_in_queue + snap.latency_count,
+            snap.requests_total);
+}
+
+TEST(Deadline, TightBudgetNeverYieldsWrongBytes) {
+  // With a 1 ms budget the engine may or may not make it — machine and
+  // sanitizer dependent — but the reply is only ever the exact fault-free
+  // bytes or kExpired, and every expiry is attributed to exactly one
+  // counter (queue drop or mid-assembly abort).
+  FullNode full(setup().workload, setup().derived, kConfig);
+  ServingEngineOptions opts;
+  opts.workers = 2;
+  opts.cache_bytes = 0;
+  ServingEngine engine(full, opts);
+
+  std::uint64_t expired_seen = 0;
+  std::uint64_t total = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (const AddressProfile& p : setup().workload->profiles) {
+      Bytes bare = make_query_request(p.address);
+      Bytes direct = full.handle_message(as_span(bare));
+      Bytes wrapped = encode_deadline_envelope(1, as_span(bare));
+      Bytes reply = engine.handle(as_span(wrapped));
+      ++total;
+      if (is_expired_envelope(as_span(reply))) {
+        ++expired_seen;
+      } else {
+        EXPECT_EQ(reply, direct) << "late reply must still be exact";
+      }
+    }
+  }
+  MetricsSnapshot snap = engine.snapshot();
+  EXPECT_EQ(snap.expired_in_queue + snap.deadline_aborted, expired_seen);
+  EXPECT_EQ(snap.requests_total, total);
+}
+
+// ---- tentpole: priority-aware degradation under queue pressure ----
+
+TEST(Shedding, BulkShedsBeforeInteractiveUnderPressure) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> entered{0};
+  ServingEngineOptions opts;
+  opts.workers = 1;
+  opts.queue_depth = 4;
+  opts.cache_bytes = 0;
+  opts.bulk_shed_fraction = 0.5;  // bulk is shed once 2 of 4 slots fill
+  ServingEngine engine(
+      [&](ByteSpan req) {
+        entered.fetch_add(1);
+        gate.wait();
+        return span_copy(req);
+      },
+      opts);
+
+  Bytes interactive = {static_cast<std::uint8_t>(MsgType::kQueryRequest), 1};
+  Bytes bulk = {static_cast<std::uint8_t>(MsgType::kBatchQueryRequest), 1};
+
+  auto pinned = std::async(std::launch::async, [&] {
+    return engine.handle(as_span(interactive));
+  });
+  while (entered.load() == 0) std::this_thread::yield();
+
+  std::vector<std::future<Bytes>> queued;
+  for (int i = 0; i < 2; ++i) {
+    queued.push_back(std::async(std::launch::async, [&] {
+      return engine.handle(as_span(interactive));
+    }));
+  }
+  while (engine.snapshot().queue_depth < 2) std::this_thread::yield();
+
+  // Queue half full, no idle worker: bulk is degraded away...
+  Bytes shed_bulk = engine.handle(as_span(bulk));
+  EXPECT_TRUE(is_busy_envelope(as_span(shed_bulk)));
+  // ...while interactive traffic still gets the remaining slots.
+  for (int i = 0; i < 2; ++i) {
+    queued.push_back(std::async(std::launch::async, [&] {
+      return engine.handle(as_span(interactive));
+    }));
+  }
+  while (engine.snapshot().queue_depth < 4) std::this_thread::yield();
+  // Queue truly full: now even interactive requests shed.
+  Bytes shed_any = engine.handle(as_span(interactive));
+  EXPECT_TRUE(is_busy_envelope(as_span(shed_any)));
+
+  release.set_value();
+  EXPECT_EQ(pinned.get(), interactive);
+  for (auto& f : queued) EXPECT_EQ(f.get(), interactive);
+
+  MetricsSnapshot snap = engine.snapshot();
+  EXPECT_EQ(snap.rejected_degraded, 1u);
+  EXPECT_EQ(snap.rejected_busy, 2u);  // the degraded shed counts as busy too
+  EXPECT_EQ(snap.rejected_busy + snap.latency_count, snap.requests_total);
+}
+
+// ---- tentpole: TcpServer slow-loris guard and drain path ----
+
+TEST(TcpServerResilience, SlowLorisConnectionClosedAndCounted) {
+  ServerMetrics metrics;
+  TcpServerOptions sopts;
+  sopts.frame_read_timeout_ms = 50;
+  sopts.events = &metrics;
+  TcpServer server(
+      [](ByteSpan req) { return Bytes(req.begin(), req.end()); }, sopts);
+
+  // A client that starts a frame and then trickles nothing: two bytes of
+  // the four-byte length prefix, then silence.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::uint8_t partial[2] = {8, 0};
+  ASSERT_EQ(::send(fd, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  auto loris_count = [&] {
+    MetricsSnapshot snap;
+    metrics.fill(snap);
+    return snap.slow_loris_closed;
+  };
+  while (loris_count() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(loris_count(), 1u);
+
+  // The server actually dropped the connection, not just counted it.
+  char buf[8];
+  ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_LE(n, 0);
+  ::close(fd);
+
+  // A well-behaved client on a fresh connection is unaffected.
+  TcpTransport ok(server.port());
+  Bytes msg = {5, 6};
+  EXPECT_EQ(ok.round_trip(as_span(msg)), msg);
+}
+
+TEST(TcpServerResilience, DrainCompletesInFlightFrameExactly) {
+  ServerMetrics metrics;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> entered{0};
+  TcpServerOptions sopts;
+  sopts.events = &metrics;
+  TcpServer server(
+      [&](ByteSpan req) {
+        entered.fetch_add(1);
+        gate.wait();
+        return Bytes(req.begin(), req.end());
+      },
+      sopts);
+  const std::uint16_t port = server.port();
+
+  // One request in flight when the drain starts; a large payload so a torn
+  // write would be detectable as a short or mangled reply.
+  Bytes msg(4096, 0);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  TcpTransport client(port);
+  auto in_flight = std::async(std::launch::async,
+                              [&] { return client.round_trip(as_span(msg)); });
+  while (entered.load() == 0) std::this_thread::yield();
+
+  std::thread drainer([&] { server.drain(10'000); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.set_value();
+
+  // The in-flight request finishes its full frame — byte-exact, never torn.
+  EXPECT_EQ(in_flight.get(), msg);
+  drainer.join();
+  MetricsSnapshot drained;
+  metrics.fill(drained);
+  EXPECT_GE(drained.drain_completed, 1u);
+
+  // Post-drain the listener is gone: new connections are refused.
+  TcpTransportOptions copts;
+  copts.connect_timeout_ms = 500;
+  copts.auto_reconnect = false;
+  EXPECT_THROW(
+      {
+        TcpTransport late(port, copts);
+        late.round_trip(as_span(msg));
+      },
+      TransportError);
+}
+
+// ---- satellite (b): the new counters travel through the snapshot wire ----
+
+TEST(Metrics, SnapshotV2RoundTripsResilienceCounters) {
+  MetricsSnapshot s;
+  s.requests_total = 1000;
+  s.rejected_busy = 40;
+  s.rejected_degraded = 25;
+  s.expired_in_queue = 9;
+  s.deadline_aborted = 4;
+  s.drain_completed = 3;
+  s.slow_loris_closed = 2;
+  s.latency_count = 951;
+  s.latency_total_us = 123456;
+  s.latency_buckets[5] = 951;
+
+  Writer w;
+  s.serialize(w);
+  Reader r(as_span(w.data()));
+  MetricsSnapshot back = MetricsSnapshot::deserialize(r);
+  r.expect_done();
+  EXPECT_EQ(s, back);
+  EXPECT_EQ(back.rejected_degraded, 25u);
+  EXPECT_EQ(back.expired_in_queue, 9u);
+  EXPECT_EQ(back.deadline_aborted, 4u);
+  EXPECT_EQ(back.drain_completed, 3u);
+  EXPECT_EQ(back.slow_loris_closed, 2u);
+  // The human rendering mentions the new failure families.
+  std::string text = s.to_text();
+  EXPECT_NE(text.find("shedding"), std::string::npos);
+  EXPECT_NE(text.find("drain"), std::string::npos);
+}
+
+// ---- tentpole: deterministic chaos soak ----
+//
+// An engine serving a growing chain behind a ChaosServer that stalls
+// workers, tears reply frames, drops connections, and storms kBusy.
+// Retrying clients with total budgets hammer it across an append+rebind.
+// Acceptance: every round trip that COMPLETES returns bytes identical to a
+// fault-free reference for one of the published chain states.
+
+struct SoakRecord {
+  std::size_t addr_index;
+  Bytes reply;
+};
+
+TEST(ChaosSoak, CompletedQueriesVerifyByteIdenticalAcrossAppend) {
+  const auto& bodies = setup().workload->blocks;
+  std::vector<std::vector<Transaction>> prefix(bodies.begin(),
+                                               bodies.end() - 8);
+  std::vector<std::vector<Transaction>> tail(bodies.end() - 8, bodies.end());
+
+  ExperimentSetup s_old = make_setup_from_blocks(prefix);
+  ExperimentSetup s_new = make_setup_from_blocks(bodies);
+  FullNode ref_old(s_old.workload, s_old.derived, kConfig);
+  FullNode ref_new(s_new.workload, s_new.derived, kConfig);
+
+  std::vector<Bytes> requests, old_replies, new_replies;
+  for (const AddressProfile& p : setup().workload->profiles) {
+    requests.push_back(make_query_request(p.address));
+    old_replies.push_back(ref_old.handle_message(as_span(requests.back())));
+    new_replies.push_back(ref_new.handle_message(as_span(requests.back())));
+  }
+
+  FullNode live(s_old.workload, s_old.derived, kConfig);
+  ServingEngineOptions eopts;
+  eopts.workers = 2;
+  eopts.queue_depth = 16;
+  ServingEngine engine(live, eopts);
+
+  ChaosPlan plan;
+  // A scripted prefix guarantees every fault family fires at least once
+  // even in the shortest CI run; after that, seeded probabilities.
+  plan.script = {ChaosFault::kStall, ChaosFault::kTornWrite,
+                 ChaosFault::kDisconnect, ChaosFault::kBusyStorm};
+  plan.stall_prob = 0.05;
+  plan.torn_write_prob = 0.08;
+  plan.disconnect_prob = 0.08;
+  plan.busy_storm_prob = 0.04;
+  plan.stall_ms = 20;
+  plan.busy_storm_len = 3;
+  plan.seed = 20'260'808;
+  ChaosServer chaos([&](ByteSpan req) { return engine.handle(req); }, plan);
+
+  const std::uint32_t half = soak_ms() / 2;
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::vector<SoakRecord> completed;
+  std::atomic<std::uint64_t> transport_failures{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      TcpTransportOptions copts;
+      copts.io_timeout_ms = 2'000;
+      TcpTransport tcp(chaos.port(), copts);
+      RetryPolicy policy;
+      policy.max_attempts = 8;
+      policy.initial_backoff_ms = 2;
+      policy.max_backoff_ms = 20;
+      policy.total_budget_ms = 2'000;
+      policy.seed = 100 + static_cast<std::uint64_t>(c);
+      RetryTransport retrier(tcp, policy);
+      std::size_t i = static_cast<std::size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t a = i++ % requests.size();
+        try {
+          Bytes reply = retrier.round_trip(as_span(requests[a]));
+          std::lock_guard<std::mutex> lock(mu);
+          completed.push_back({a, std::move(reply)});
+        } catch (const TransportError&) {
+          // Budget spent or every retry lost to chaos: liveness cost only.
+          transport_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(half));
+  live.append_blocks(std::move(tail));
+  engine.rebind();
+  std::this_thread::sleep_for(std::chrono::milliseconds(half));
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  chaos.stop();
+
+  ASSERT_GT(completed.size(), 0u);
+  EXPECT_GE(chaos.requests_seen(), completed.size());
+  EXPECT_GE(chaos.faults_injected(), plan.script.size());
+
+  // Byte-exactness: every completed reply IS a fault-free reply for one of
+  // the two published chain states. No torn, stale, or hybrid bytes.
+  std::uint64_t mismatches = 0;
+  std::uint64_t old_hits = 0, new_hits = 0;
+  for (const SoakRecord& rec : completed) {
+    if (rec.reply == old_replies[rec.addr_index]) {
+      ++old_hits;
+    } else if (rec.reply == new_replies[rec.addr_index]) {
+      ++new_hits;
+    } else {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_GT(old_hits + new_hits, 0u);
+
+  // And the settled state still verifies end to end on a light node.
+  LightNode light(kConfig);
+  light.set_headers(live.headers());
+  for (std::size_t a = 0; a < requests.size(); ++a) {
+    auto [type, payload] = decode_envelope(as_span(new_replies[a]));
+    ASSERT_EQ(type, MsgType::kQueryResponse);
+    Reader pr(payload);
+    QueryResponse resp = QueryResponse::deserialize(pr, kConfig);
+    EXPECT_TRUE(
+        light.verify(setup().workload->profiles[a].address, resp).ok);
+  }
+}
+
+// ---- satellite (c): SIGHUP-style incremental reloads racing queries ----
+//
+// `lvqtool serve` handles SIGHUP by appending the reloaded tail to the
+// live node and rebinding the engine (refresh_from_file). This replays
+// that sequence four times, two blocks per reload, while chaos-routed
+// clients query throughout: every completed reply must be byte-exact for
+// one of the five published tips. Runs under TSan in CI.
+TEST(ChaosSoak, SighupStyleReloadRacesInFlightQueries) {
+  const auto& bodies = setup().workload->blocks;
+  constexpr std::size_t kBase = 24;
+  constexpr std::size_t kReloads = 4;
+  constexpr std::size_t kStep = 2;
+
+  std::vector<ExperimentSetup> stage_setups;
+  std::vector<std::unique_ptr<FullNode>> stage_refs;
+  for (std::size_t k = 0; k <= kReloads; ++k) {
+    std::vector<std::vector<Transaction>> blocks(
+        bodies.begin(), bodies.begin() + (kBase + k * kStep));
+    stage_setups.push_back(make_setup_from_blocks(std::move(blocks)));
+    stage_refs.push_back(std::make_unique<FullNode>(
+        stage_setups.back().workload, stage_setups.back().derived, kConfig));
+  }
+
+  std::vector<Bytes> requests;
+  // stage_replies[k][a]: the fault-free reply at stage k for address a.
+  std::vector<std::vector<Bytes>> stage_replies(kReloads + 1);
+  for (const AddressProfile& p : setup().workload->profiles) {
+    requests.push_back(make_query_request(p.address));
+  }
+  for (std::size_t k = 0; k <= kReloads; ++k) {
+    for (const Bytes& req : requests) {
+      stage_replies[k].push_back(
+          stage_refs[k]->handle_message(as_span(req)));
+    }
+  }
+
+  FullNode live(stage_setups[0].workload, stage_setups[0].derived, kConfig);
+  ServingEngineOptions eopts;
+  eopts.workers = 2;
+  ServingEngine engine(live, eopts);
+
+  ChaosPlan plan;
+  plan.stall_prob = 0.05;
+  plan.disconnect_prob = 0.1;
+  plan.busy_storm_prob = 0.05;
+  plan.stall_ms = 10;
+  plan.busy_storm_len = 2;
+  plan.seed = 77;
+  ChaosServer chaos([&](ByteSpan req) { return engine.handle(req); }, plan);
+
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::vector<SoakRecord> completed;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      TcpTransportOptions copts;
+      copts.io_timeout_ms = 2'000;
+      TcpTransport tcp(chaos.port(), copts);
+      RetryPolicy policy;
+      policy.max_attempts = 6;
+      policy.initial_backoff_ms = 1;
+      policy.max_backoff_ms = 10;
+      policy.total_budget_ms = 1'500;
+      policy.seed = 7 + static_cast<std::uint64_t>(c);
+      RetryTransport retrier(tcp, policy);
+      std::size_t i = static_cast<std::size_t>(c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t a = i++ % requests.size();
+        try {
+          Bytes reply = retrier.round_trip(as_span(requests[a]));
+          std::lock_guard<std::mutex> lock(mu);
+          completed.push_back({a, std::move(reply)});
+        } catch (const TransportError&) {
+        }
+      }
+    });
+  }
+
+  const std::uint32_t step_ms = std::max<std::uint32_t>(20, soak_ms() / 8);
+  for (std::size_t k = 1; k <= kReloads; ++k) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(step_ms));
+    // The refresh_from_file sequence: append the reloaded tail, rebind.
+    std::vector<std::vector<Transaction>> reload_tail(
+        bodies.begin() + (kBase + (k - 1) * kStep),
+        bodies.begin() + (kBase + k * kStep));
+    live.append_blocks(std::move(reload_tail));
+    engine.rebind();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(step_ms));
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  chaos.stop();
+
+  ASSERT_GT(completed.size(), 0u);
+  EXPECT_EQ(live.tip_height(), kBase + kReloads * kStep);
+  std::uint64_t mismatches = 0;
+  for (const SoakRecord& rec : completed) {
+    bool matched = false;
+    for (std::size_t k = 0; k <= kReloads; ++k) {
+      if (rec.reply == stage_replies[k][rec.addr_index]) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+  // Settled: the engine now serves the final stage's exact bytes.
+  for (std::size_t a = 0; a < requests.size(); ++a) {
+    EXPECT_EQ(engine.handle(as_span(requests[a])),
+              stage_replies[kReloads][a]);
+  }
+}
+
+}  // namespace
+}  // namespace lvq

@@ -9,7 +9,13 @@ Usage:
 The "bench" field of the baseline selects the comparison:
 
   server_throughput  Every (workers, cache) row's qps in the fresh run must
-                     be at least tolerance x the baseline row's qps.
+                     be at least tolerance x the baseline row's qps. The
+                     "overload" row (engine at ~4x capacity) is gated both
+                     ways: fresh served_qps must be at least tolerance x the
+                     baseline's, and fresh p99_us of the served requests must
+                     be at most baseline p99_us / tolerance — an overloaded
+                     server that stops shedding and lets latency blow up
+                     fails the build even if raw throughput looks fine.
   chain_build        The fresh extend_speedup must be at least tolerance x
                      the baseline's (the incremental-append win is the
                      quantity PR "ChainBuilder ingestion" exists for).
@@ -62,6 +68,30 @@ def check_server(baseline, fresh, tolerance):
             failures += 0 if ok else 1
         print(f"{key[0]:>8} {key[1]:>6} {row['qps']:>13.1f} "
               f"{qps:>10.1f} {floor:>9.1f}  {verdict}")
+
+    base_ov = baseline.get("overload")
+    if base_ov is not None:
+        fresh_ov = fresh.get("overload")
+        print(f"{'overload':>8} {'metric':>12} {'baseline':>10} "
+              f"{'fresh':>10} {'bound':>10}  verdict")
+        qps_floor = tolerance * base_ov["served_qps"]
+        # p99 is gated as a ceiling: under overload the served requests'
+        # tail must stay bounded (shedding is what keeps it so).
+        p99_ceiling = base_ov["p99_us"] / tolerance
+        checks = [
+            ("served_qps", base_ov["served_qps"],
+             None if fresh_ov is None else fresh_ov.get("served_qps"),
+             qps_floor, lambda v, b: v >= b),
+            ("p99_us", base_ov["p99_us"],
+             None if fresh_ov is None else fresh_ov.get("p99_us"),
+             p99_ceiling, lambda v, b: v <= b),
+        ]
+        for name, base, val, bound, ok_fn in checks:
+            ok = val is not None and ok_fn(val, bound)
+            failures += 0 if ok else 1
+            shown = float("nan") if val is None else val
+            print(f"{'':>8} {name:>12} {base:>10.1f} {shown:>10.1f} "
+                  f"{bound:>10.1f}  {'ok' if ok else 'FAIL'}")
     return failures
 
 

@@ -62,12 +62,15 @@ int usage() {
                "  gen    --out=FILE [--blocks=N --txs-per-block=N --seed=N]\n"
                "  info   --chain=FILE\n"
                "  query  --chain=FILE|--connect=PORT --address=ADDR\n"
-               "         [--peers=P1,P2,.. --timeout-ms=N --retries=N]\n"
+               "         [--peers=P1,P2,.. --timeout-ms=N --retries=N "
+               "--deadline-ms=N]\n"
                "  proof  --chain=FILE --address=ADDR --out=FILE\n"
                "  verify --chain=FILE --address=ADDR --proof=FILE\n"
                "  serve  --chain=FILE [--seconds=N --workers=N "
                "--queue-depth=N\n"
-               "         --cache-mb=N --max-conns=N]\n"
+               "         --cache-mb=N --max-conns=N --drain-grace-ms=N]\n"
+               "         (SIGTERM/SIGINT drains in-flight requests, then "
+               "exits)\n"
                "  stats  --connect=PORT\n"
                "  append --chain=FILE [--blocks=N --txs-per-block=N "
                "--seed=N]\n"
@@ -271,6 +274,11 @@ int cmd_query(const Flags& flags, bool save_proof) {
     RetryPolicy policy;
     policy.max_attempts =
         static_cast<std::uint32_t>(flags.get_u64("retries", 2)) + 1;
+    // One total budget across every attempt (and propagated to the server
+    // in a kDeadline envelope) instead of a fresh timeout per retry; 0
+    // keeps the per-attempt-only behaviour.
+    policy.total_budget_ms =
+        static_cast<std::uint32_t>(flags.get_u64("deadline-ms", 0));
 
     std::vector<std::unique_ptr<TcpTransport>> sockets;
     std::vector<std::unique_ptr<RetryTransport>> retriers;
@@ -342,6 +350,9 @@ double millis_since(std::chrono::steady_clock::time_point t0) {
 volatile std::sig_atomic_t g_sighup = 0;
 void on_sighup(int) { g_sighup = 1; }
 
+volatile std::sig_atomic_t g_shutdown = 0;
+void on_shutdown(int) { g_shutdown = 1; }
+
 /// SIGHUP refresh for `serve`: reloads the ledger file, verifies it is a
 /// strict extension of what is being served, extends the live context by
 /// the new tail (O(new blocks)), and rebinds the engine's caches.
@@ -406,6 +417,9 @@ int cmd_serve(const Flags& flags) {
   TcpServerOptions sopts;
   sopts.max_connections =
       static_cast<std::uint32_t>(flags.get_u64("max-conns", 0));
+  // Socket-layer incidents (slow-loris closes, drain completions) land in
+  // the same kStats snapshot as the engine's counters.
+  sopts.events = &engine.metrics();
   TcpServer server([&](ByteSpan req) { return engine.handle(req); }, sopts);
   std::printf("serving %llu blocks [%s] on 127.0.0.1:%u "
               "(%u workers, queue %u, cache %s; SIGHUP reloads %s)\n",
@@ -415,12 +429,17 @@ int cmd_serve(const Flags& flags) {
               path.c_str());
   std::fflush(stdout);
   std::signal(SIGHUP, on_sighup);
+  std::signal(SIGTERM, on_shutdown);
+  std::signal(SIGINT, on_shutdown);
 
   std::uint64_t seconds = flags.get_u64("seconds", 0);
+  const std::uint32_t drain_grace_ms =
+      static_cast<std::uint32_t>(flags.get_u64("drain-grace-ms", 5'000));
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
   for (;;) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (g_shutdown) break;
     if (g_sighup) {
       g_sighup = 0;
       try {
@@ -431,7 +450,17 @@ int cmd_serve(const Flags& flags) {
     }
     if (seconds != 0 && std::chrono::steady_clock::now() >= deadline) break;
   }
-  server.stop();
+  // Orderly exit on SIGTERM/SIGINT or deadline: stop accepting, let
+  // in-flight requests finish their frames within the grace period, then
+  // hard-stop whatever remains. No client ever sees a half-written reply
+  // from a graceful shutdown.
+  std::printf("draining (grace %u ms)...\n", drain_grace_ms);
+  std::fflush(stdout);
+  server.drain(drain_grace_ms);
+  MetricsSnapshot final_stats = engine.snapshot();
+  std::printf("drained: %llu requests completed during grace\n",
+              static_cast<unsigned long long>(final_stats.drain_completed));
+  engine.stop();
   return 0;
 }
 

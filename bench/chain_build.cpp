@@ -1,6 +1,6 @@
 // Ingestion benchmark: what the ChainBuilder redesign buys.
 //
-// Two comparisons, both on the kLvq design:
+// Three comparisons, all on the kLvq design:
 //
 //   cold  — full build of the whole chain, serial (--threads=1) vs the
 //           shared thread pool. The per-block derivation (txids, Merkle,
@@ -10,6 +10,12 @@
 //           (ChainContext::extend) vs rebuilding the whole chain from
 //           scratch. Extend touches only the new heights plus the open
 //           tail BMT segment, so the ratio grows with chain length.
+//   reopen — warm start from a DiskChainStore (src/store/) vs a cold
+//           rebuild of the same chain. Reopen is read + CRC + decode, no
+//           hashing, and the sealed-segment node-BF arrays stay on disk
+//           behind mmap views; the peak-RSS column (measured in a fork'd
+//           child so the parent's footprint cannot leak in) documents
+//           the lazy page-in win.
 //
 // Results go to stdout and BENCH_build.json (--out=...). Geometry is
 // picked so derivation dominates: smallish BFs, segment length 64, and an
@@ -18,18 +24,92 @@
 //
 // Acceptance thresholds (enforced here so CI tracks them):
 //   * extend of a small batch >= 10x faster than a cold rebuild — always.
+//   * store reopen >= 10x faster than a cold rebuild — always.
 //   * parallel cold build >= 3x faster than serial — only on machines
 //     with >= 8 hardware threads (meaningless on the 1-2 core case).
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "bench_common.hpp"
 #include "core/chain_builder.hpp"
+#include "store/disk_chain_store.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace lvq;
 using namespace lvq::bench;
 
+namespace {
+
+void remove_store_dir(const std::string& dir) {
+  static const char* kFiles[] = {"superblock", "blocks.col",   "derived.col",
+                                 "positions.col", "bmt.col",   "blockidx.col",
+                                 "segbf.col"};
+  for (const char* f : kFiles) ::unlink((dir + "/" + f).c_str());
+  ::rmdir(dir.c_str());
+}
+
+/// Child half of the RSS measurement: reopen the store and print this
+/// process's peak RSS. Runs in a fresh exec of the bench binary, so the
+/// parent's footprint (workload, three full builds) cannot leak into
+/// ru_maxrss the way it would under a plain fork (a forked child inherits
+/// the parent's resident set, COW or not). The store's own superblock
+/// supplies the ProtocolConfig, so no flags need forwarding.
+int rss_probe(const std::string& dir) {
+  DiskChainStore::Info info = DiskChainStore::peek(dir);
+  DiskChainStore::Options opts;
+  opts.read_only = true;
+  auto store = DiskChainStore::open(dir, info.config, opts);
+  auto ctx = store->load_context();
+  if (ctx == nullptr || ctx->tip_height() == 0) return 3;
+  struct rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  std::printf("%llu\n",
+              static_cast<unsigned long long>(ru.ru_maxrss) * 1024ULL);
+  return 0;
+}
+
+/// Parent half: re-exec ourselves with --rss-probe=DIR and read the
+/// child's answer off its stdout. 0 means the measurement failed.
+std::uint64_t reopen_peak_rss(const char* self, const std::string& dir) {
+  int fds[2];
+  if (::pipe(fds) != 0) return 0;
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[1]);
+    std::string flag = "--rss-probe=" + dir;
+    ::execl(self, self, flag.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  char buf[64] = {};
+  ssize_t n = ::read(fds[0], buf, sizeof(buf) - 1);
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (n <= 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) return 0;
+  return std::strtoull(buf, nullptr, 10);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  // Re-exec'd measurement child (see reopen_peak_rss); must run before
+  // Env builds the (large) synthetic workload.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rss-probe=", 0) == 0) {
+      return rss_probe(arg.substr(sizeof("--rss-probe=") - 1));
+    }
+  }
+
   Env env(argc, argv);
   print_title("Chain ingestion — parallel build and incremental append",
               "infrastructure; supplementary to §VII");
@@ -104,11 +184,54 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Warm-start comparison: persist the full chain into a disk store
+  // (write-through during the build), then time reopening it versus the
+  // cold rebuild measured above. SyncMode::kNone keeps fsync latency out
+  // of the build; reopen cost is unaffected by it.
+  char store_template[] = "/tmp/lvq_bench_store_XXXXXX";
+  const char* store_dir_c = ::mkdtemp(store_template);
+  LVQ_CHECK_MSG(store_dir_c != nullptr, "mkdtemp failed");
+  const std::string store_dir = store_dir_c;
+  ::rmdir(store_dir.c_str());  // open() wants to create it itself
+  {
+    DiskChainStore::Options wopts;
+    wopts.sync = SyncMode::kNone;
+    auto store = DiskChainStore::open(store_dir, config, wopts);
+    ChainBuildOptions bopts;
+    bopts.store = store.get();
+    auto stored = ChainBuilder::build(env.setup.workload, config, bopts);
+  }
+  Timer t_reopen;
+  double reopen_s = 0;
+  {
+    auto store = DiskChainStore::open(store_dir, config);
+    const double open_s = t_reopen.seconds();
+    auto reopened = store->load_context();
+    reopen_s = t_reopen.seconds();
+    std::printf("%-28s %12.3f   (recovery+CRC %.3f, decode %.3f)\n",
+                "store reopen", reopen_s, open_s, reopen_s - open_s);
+    if (reopened->chain().at_height(reopened->tip_height()).header.hash() !=
+        parallel_ctx->chain()
+            .at_height(parallel_ctx->tip_height())
+            .header.hash()) {
+      std::fprintf(stderr, "FAIL: store reopen diverges from cold build\n");
+      remove_store_dir(store_dir);
+      return 1;
+    }
+  }
+  const std::uint64_t reopen_rss = reopen_peak_rss(argv[0], store_dir);
+  std::printf("%-28s %12.1f   MB peak (fork-isolated)\n", "store reopen RSS",
+              static_cast<double>(reopen_rss) / (1024.0 * 1024.0));
+  remove_store_dir(store_dir);
+
   const double build_speedup =
       cold_parallel_s > 0 ? cold_serial_s / cold_parallel_s : 0;
   const double extend_speedup = extend_s > 0 ? rebuild_s / extend_s : 0;
+  const double reopen_speedup = reopen_s > 0 ? cold_parallel_s / reopen_s : 0;
   std::printf("\nparallel build speedup : %.2fx over serial\n", build_speedup);
   std::printf("incremental speedup    : %.2fx over rebuild\n", extend_speedup);
+  std::printf("reopen speedup         : %.2fx over cold rebuild\n",
+              reopen_speedup);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -126,7 +249,11 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"base_build_s\": %.4f,\n", base_build_s);
   std::fprintf(f, "  \"extend_s\": %.4f,\n", extend_s);
   std::fprintf(f, "  \"rebuild_s\": %.4f,\n", rebuild_s);
-  std::fprintf(f, "  \"extend_speedup\": %.2f\n}\n", extend_speedup);
+  std::fprintf(f, "  \"extend_speedup\": %.2f,\n", extend_speedup);
+  std::fprintf(f, "  \"reopen_s\": %.4f,\n", reopen_s);
+  std::fprintf(f, "  \"reopen_speedup\": %.2f,\n", reopen_speedup);
+  std::fprintf(f, "  \"reopen_peak_rss_bytes\": %llu\n}\n",
+               static_cast<unsigned long long>(reopen_rss));
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -135,6 +262,13 @@ int main(int argc, char** argv) {
                  "FAIL: incremental extend only %.1fx faster than rebuild "
                  "(need >= 10x)\n",
                  extend_speedup);
+    return 1;
+  }
+  if (reopen_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: store reopen only %.1fx faster than a cold rebuild "
+                 "(need >= 10x)\n",
+                 reopen_speedup);
     return 1;
   }
   if (hw >= 8 && build_speedup < 3.0) {

@@ -70,6 +70,30 @@ SegmentBmt::SegmentBmt(std::uint64_t first_height, std::uint32_t segment_length,
   }
 }
 
+SegmentBmt SegmentBmt::from_hashes(std::uint64_t first_height,
+                                   std::uint32_t segment_length,
+                                   BloomGeometry geom,
+                                   LeafPositionsFn leaf_positions,
+                                   std::vector<std::vector<Hash256>> hashes) {
+  LVQ_CHECK(is_power_of_two(segment_length));
+  SegmentBmt bmt;
+  bmt.first_height_ = first_height;
+  bmt.segment_length_ = segment_length;
+  bmt.available_ = segment_length;  // sealed segments only
+  bmt.geom_ = geom;
+  bmt.leaf_positions_ = std::move(leaf_positions);
+  bmt.depth_ = static_cast<std::uint32_t>(
+      std::countr_zero(std::uint64_t{segment_length}));
+  LVQ_CHECK_MSG(hashes.size() == bmt.depth_ + 1,
+                "stored BMT hash table has wrong depth");
+  for (std::uint32_t l = 0; l <= bmt.depth_; ++l) {
+    LVQ_CHECK_MSG(hashes[l].size() == (segment_length >> l),
+                  "stored BMT hash level has wrong width");
+  }
+  bmt.hashes_ = std::move(hashes);
+  return bmt;
+}
+
 BloomFilter SegmentBmt::build_subtree(std::uint32_t level, std::uint64_t j) {
   if (level == 0) {
     BloomFilter bf(geom_);

@@ -66,6 +66,17 @@ class SegmentBmt {
              std::uint64_t available, BloomGeometry geom,
              LeafPositionsFn leaf_positions);
 
+  /// Reconstructs a *sealed* segment (available == segment_length) from
+  /// node hashes persisted by a DiskChainStore, skipping the whole
+  /// build_subtree hashing pass. `hashes[level][j]` must have the exact
+  /// per-level shapes the building constructor produces; the supplier is
+  /// still required (node_bf materialization stays on-demand).
+  static SegmentBmt from_hashes(std::uint64_t first_height,
+                                std::uint32_t segment_length,
+                                BloomGeometry geom,
+                                LeafPositionsFn leaf_positions,
+                                std::vector<std::vector<Hash256>> hashes);
+
   std::uint64_t first_height() const { return first_height_; }
   std::uint32_t segment_length() const { return segment_length_; }
   std::uint64_t available() const { return available_; }
@@ -90,7 +101,15 @@ class SegmentBmt {
   static std::uint32_t level_for_block(std::uint64_t height,
                                        std::uint32_t segment_length);
 
+  /// The full node-hash table (hashes_[level][j]; incomplete slots are
+  /// zero) — what a DiskChainStore persists for sealed segments.
+  const std::vector<std::vector<Hash256>>& hash_levels() const {
+    return hashes_;
+  }
+
  private:
+  SegmentBmt() = default;  // for from_hashes
+
   BloomFilter build_subtree(std::uint32_t level, std::uint64_t j);
 
   std::uint64_t first_height_;

@@ -142,11 +142,16 @@ std::size_t BmtNodeProof::serialized_size() const {
 BmtNodeProof build_bmt_proof(const SegmentBmt& bmt, const BmtCheckMasks& masks,
                              std::uint32_t root_level, std::uint64_t root_j,
                              const SegmentProofIndex* index) {
-  // Endpoint BFs come from the precomputed array when one is present;
+  // Endpoint BFs come from the precomputed array when one is present
+  // (copying the raw bits works for owned and mmap-view indexes alike);
   // otherwise they are re-materialized from the leaf position lists. Both
-  // construct the same bits, so proofs are byte-identical either way.
+  // produce the same bits, so proofs are byte-identical either way.
   auto node_bf = [&](std::uint32_t level, std::uint64_t j) {
-    return index ? index->bf(level, j) : bmt.node_bf(level, j);
+    if (index == nullptr) return bmt.node_bf(level, j);
+    BloomFilter bf(bmt.geometry());
+    ByteSpan bits = index->bf_bits(level, j);
+    std::copy(bits.begin(), bits.end(), bf.mutable_data().begin());
+    return bf;
   };
   BmtNodeProof p;
   if (!masks.fails(root_level, root_j)) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/proof_index.hpp"
+#include "core/store_sink.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lvq {
@@ -116,6 +117,51 @@ void assemble_blocks(const ChainContext& ctx, ChainStore& chain,
   }
 }
 
+/// Streams a frozen build into a durable sink, column by column in
+/// pipeline order, ending at the commit point. Every put is idempotent —
+/// the sink skips records it already holds — so one full-range ascending
+/// pass serves cold builds, extends (prefix puts no-op), and builds
+/// resumed over a partially written store alike. The produced context is
+/// byte-identical with or without a sink; the sink only observes.
+void write_through(StoreSink& store, const ChainContext& ctx) {
+  const ProtocolConfig& config = ctx.config();
+  const std::uint64_t tip = ctx.tip_height();
+  for (std::uint64_t h = 1; h <= tip; ++h) {
+    store.put_derived(h, ctx.derived().at(h));
+  }
+  store.stage_flush("derived");
+  for (std::uint64_t h = 1; h <= tip; ++h) {
+    store.put_positions(h, ctx.positions().positions(h));
+  }
+  store.stage_flush("positions");
+  // Only sealed segments persist: the open tail is O(segment_length) to
+  // rebuild at reopen and its incomplete nodes would churn every commit.
+  for (std::size_t s = 0; s < ctx.bmts().size(); ++s) {
+    const SegmentBmt& bmt = *ctx.bmts()[s];
+    if (bmt.available() == config.segment_length) {
+      store.put_sealed_bmt(s, bmt);
+    }
+  }
+  store.stage_flush("bmt");
+  if (ctx.proof_index() != nullptr) {
+    for (std::uint64_t h = 1; h <= tip; ++h) {
+      store.put_block_index(h, ctx.proof_index()->block(h));
+    }
+    const auto& segs = ctx.proof_index()->segment_slices();
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      if (segs[s]->available() == config.segment_length) {
+        store.put_sealed_segment_index(s, *segs[s]);
+      }
+    }
+  }
+  store.stage_flush("proof-index");
+  for (std::uint64_t h = 1; h <= tip; ++h) {
+    store.put_block(h, ctx.chain().at_height(h));
+  }
+  store.stage_flush("blocks");
+  store.commit(tip, ctx.chain().at_height(tip).header.hash());
+}
+
 }  // namespace
 
 ChainBuilder::ChainBuilder(const ProtocolConfig& config,
@@ -212,6 +258,8 @@ ChainContext ChainBuilder::assemble(
 
   assemble_blocks(ctx, ctx.chain_, bodies, /*bodies_first_height=*/1,
                   /*first_new=*/0, tip, Hash256{}, pool);
+
+  if (options.store != nullptr) write_through(*options.store, ctx);
   return ctx;
 }
 
@@ -341,6 +389,8 @@ std::shared_ptr<const ChainContext> ChainBuilder::extend_impl(
                   /*bodies_first_height=*/old_tip + 1,
                   /*first_new=*/old_tip, tip,
                   base.chain_.at_height(old_tip).header.hash(), pool);
+
+  if (options.store != nullptr) write_through(*options.store, *ctx);
   return ctx;
 }
 

@@ -36,6 +36,8 @@ namespace lvq {
 class ThreadPool;
 class ChainBuilder;
 class ProofIndex;
+class StoreSink;
+class DiskChainStore;
 
 /// How a build (or extend) distributes per-block derivation work.
 struct ChainBuildOptions {
@@ -60,6 +62,11 @@ struct ChainBuildOptions {
   /// on-demand materialization. Default 512 MiB (~8.7k blocks of 30 KB
   /// filters).
   std::uint64_t proof_index_bf_budget = 512ull << 20;
+  /// Durable write-through sink (core/store_sink.hpp). When set, every
+  /// pipeline stage flushes its freshly derived records to the sink and
+  /// the build ends with one commit; produced bytes are unchanged (the
+  /// sink only observes). nullptr = in-RAM build, no persistence.
+  StoreSink* store = nullptr;
 };
 
 struct BlockDerived {
@@ -91,6 +98,7 @@ class WorkloadDerived {
 
  private:
   friend class ChainBuilder;
+  friend class DiskChainStore;  // reopen fills slices from column files
   WorkloadDerived() = default;
 
   std::vector<std::shared_ptr<const BlockDerived>> per_block_;
@@ -127,6 +135,7 @@ class BloomPositionTable {
 
  private:
   friend class ChainBuilder;
+  friend class DiskChainStore;  // reopen fills slices from column files
   explicit BloomPositionTable(BloomGeometry geom) : geom_(geom) {}
 
   /// One block's sorted unique BF bit positions for `geom`.
@@ -180,6 +189,7 @@ class ChainContext {
 
  private:
   friend class ChainBuilder;
+  friend class DiskChainStore;  // reopen assembles a context from columns
   ChainContext() = default;
 
   std::shared_ptr<const WorkloadDerived> derived_;

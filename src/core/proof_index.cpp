@@ -19,6 +19,31 @@ std::uint64_t leaf_lower_bound(const std::vector<SmtLeaf>& leaves,
   return static_cast<std::uint64_t>(it - leaves.begin());
 }
 
+void write_hash_level(Writer& w, const std::vector<Hash256>& level) {
+  w.varint(level.size());
+  for (const Hash256& h : level) w.raw(h.bytes);
+}
+
+/// Reads one hash level whose size must be exactly `expect` (the halving
+/// shape is fixed by the leaf count, so any other size is corruption).
+std::vector<Hash256> read_hash_level(Reader& r, std::uint64_t expect) {
+  std::uint64_t n = r.varint();
+  if (n != expect) throw SerializeError("proof-index level has wrong width");
+  std::vector<Hash256> level;
+  reserve_clamped(level, n);
+  for (std::uint64_t i = 0; i < n; ++i) level.push_back(Hash256{r.arr<32>()});
+  return level;
+}
+
+/// Per-level sizes of a build_levels table over n0 leaves: n0, (n0+1)/2,
+/// ... down to 1. Both MerkleTree and SortedMerkleTree halve this way
+/// (duplicate-last vs promote-last only changes hash values, not widths).
+std::vector<std::uint64_t> level_sizes(std::uint64_t n0) {
+  std::vector<std::uint64_t> sizes{n0};
+  while (sizes.back() > 1) sizes.push_back((sizes.back() + 1) / 2);
+  return sizes;
+}
+
 }  // namespace
 
 BlockProofIndex::BlockProofIndex(const std::vector<Transaction>& txs,
@@ -52,6 +77,90 @@ BlockProofIndex::BlockProofIndex(const std::vector<Transaction>& txs,
     smt_tables_ = true;
     smt_levels_ = SortedMerkleTree::build_levels(leaves);
   }
+}
+
+void BlockProofIndex::serialize(Writer& w) const {
+  std::uint8_t flags = 0;
+  if (tx_tables_) flags |= 1;
+  if (smt_tables_) flags |= 2;
+  w.u8(flags);
+  if (tx_tables_) {
+    // Level 0 is the txid list the derived column already persists;
+    // rewriting it here would double the record for zero information.
+    w.varint(tx_levels_.size() - 1);
+    for (std::size_t l = 1; l < tx_levels_.size(); ++l)
+      write_hash_level(w, tx_levels_[l]);
+    w.varint(tx_by_leaf_.size());
+    for (const std::vector<std::uint32_t>& txs : tx_by_leaf_) {
+      w.varint(txs.size());
+      for (std::uint32_t t : txs) w.varint(t);
+    }
+  }
+  if (smt_tables_) {
+    // Level 0 (the hashed leaves) IS stored: reopen skips all SMT hashing.
+    w.varint(smt_levels_.size());
+    for (const std::vector<Hash256>& level : smt_levels_)
+      write_hash_level(w, level);
+  }
+}
+
+BlockProofIndex BlockProofIndex::deserialize(
+    Reader& r, std::shared_ptr<const BlockDerived> derived) {
+  BlockProofIndex out;
+  out.derived_ = std::move(derived);
+  const std::vector<SmtLeaf>& leaves = out.derived_->smt_leaves;
+  std::uint8_t flags = r.u8();
+  if (flags & ~std::uint8_t{3})
+    throw SerializeError("unknown block-index flags");
+  if (flags & 1) {
+    out.tx_tables_ = true;
+    const std::vector<Hash256>& txids = out.derived_->txids;
+    if (txids.empty()) throw SerializeError("tx tables for an empty block");
+    std::vector<std::uint64_t> sizes = level_sizes(txids.size());
+    if (r.varint() != sizes.size() - 1)
+      throw SerializeError("tx level table has wrong depth");
+    out.tx_levels_.reserve(sizes.size());
+    out.tx_levels_.push_back(txids);
+    for (std::size_t l = 1; l < sizes.size(); ++l)
+      out.tx_levels_.push_back(read_hash_level(r, sizes[l]));
+    if (r.varint() != leaves.size())
+      throw SerializeError("tx_by_leaf rank count mismatch");
+    out.tx_by_leaf_.reserve(leaves.size());
+    for (std::uint64_t rank = 0; rank < leaves.size(); ++rank) {
+      std::uint64_t n = r.varint();
+      // Each list's length is pinned by the leaf's appearance count, and
+      // entries are strictly ascending valid tx indices — exactly what the
+      // building constructor produces, so accessors never re-validate.
+      if (n != leaves[rank].count)
+        throw SerializeError("tx_by_leaf entry count mismatch");
+      std::vector<std::uint32_t> txs;
+      reserve_clamped(txs, n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t t = r.varint();
+        if (t >= txids.size())
+          throw SerializeError("tx_by_leaf index out of range");
+        if (i > 0 && t <= txs.back())
+          throw SerializeError("tx_by_leaf indices not ascending");
+        txs.push_back(static_cast<std::uint32_t>(t));
+      }
+      out.tx_by_leaf_.push_back(std::move(txs));
+    }
+  }
+  if (flags & 2) {
+    out.smt_tables_ = true;
+    if (leaves.empty()) {
+      if (r.varint() != 0)
+        throw SerializeError("SMT level table for an empty leaf list");
+    } else {
+      std::vector<std::uint64_t> sizes = level_sizes(leaves.size());
+      if (r.varint() != sizes.size())
+        throw SerializeError("SMT level table has wrong depth");
+      out.smt_levels_.reserve(sizes.size());
+      for (std::uint64_t sz : sizes)
+        out.smt_levels_.push_back(read_hash_level(r, sz));
+    }
+  }
+  return out;
 }
 
 std::optional<std::uint64_t> BlockProofIndex::rank_of(
@@ -162,6 +271,67 @@ void SegmentProofIndex::build(
   bfs_[level][j] = std::move(bf);
 }
 
+std::shared_ptr<const SegmentProofIndex> SegmentProofIndex::from_blob(
+    std::uint64_t first_height, std::uint32_t segment_length,
+    std::uint64_t available, BloomGeometry geom, ByteSpan blob,
+    std::shared_ptr<const void> owner) {
+  // Parameters come from a decoded store record, so every invariant is a
+  // SerializeError (corruption), not an LVQ_CHECK (programming error).
+  if (segment_length == 0 || !is_power_of_two(segment_length))
+    throw SerializeError("segment index: segment length not a power of two");
+  if (available < 1 || available > segment_length)
+    throw SerializeError("segment index: bad available leaf count");
+  if (geom.size_bytes == 0 || geom.hash_count == 0 || geom.hash_count > 64)
+    throw SerializeError("segment index: bad Bloom geometry");
+  if (blob.size() != blob_bytes(available, segment_length, geom))
+    throw SerializeError("segment index: blob size mismatch");
+  std::shared_ptr<SegmentProofIndex> out(new SegmentProofIndex());
+  out->first_height_ = first_height;
+  out->segment_length_ = segment_length;
+  out->available_ = available;
+  out->geom_ = geom;
+  out->depth_ = static_cast<std::uint32_t>(
+      std::countr_zero(std::uint64_t{segment_length}));
+  out->level_offsets_.reserve(out->depth_ + 1);
+  std::uint64_t off = 0;
+  for (std::uint32_t l = 0; l <= out->depth_; ++l) {
+    out->level_offsets_.push_back(off);
+    off += (available >> l) * geom.size_bytes;
+  }
+  out->blob_ = blob;
+  out->owner_ = std::move(owner);
+  return out;
+}
+
+ByteSpan SegmentProofIndex::bf_bits(std::uint32_t level,
+                                    std::uint64_t j) const {
+  LVQ_CHECK_MSG(level <= depth_ && j < complete_at(level),
+                "BF bits requested for incomplete node");
+  if (is_view()) {
+    return blob_.subspan(level_offsets_[level] + j * geom_.size_bytes,
+                         geom_.size_bytes);
+  }
+  const Bytes& bits = bfs_[level][j].data();
+  return ByteSpan{bits.data(), bits.size()};
+}
+
+void SegmentProofIndex::append_blob(Writer& w) const {
+  for (std::uint32_t l = 0; l <= depth_; ++l) {
+    for (std::uint64_t j = 0; j < complete_at(l); ++j) w.raw(bf_bits(l, j));
+  }
+}
+
+std::uint64_t SegmentProofIndex::blob_bytes(std::uint64_t available,
+                                            std::uint32_t segment_length,
+                                            const BloomGeometry& geom) {
+  std::uint32_t depth = static_cast<std::uint32_t>(
+      std::countr_zero(std::uint64_t{segment_length}));
+  std::uint64_t total = 0;
+  for (std::uint32_t l = 0; l <= depth; ++l)
+    total += (available >> l) * geom.size_bytes;
+  return total;
+}
+
 BmtCheckMasks SegmentProofIndex::check_masks(
     const std::vector<std::uint64_t>& cbp) const {
   LVQ_CHECK(cbp.size() >= 1 && cbp.size() <= 64);
@@ -173,10 +343,13 @@ BmtCheckMasks SegmentProofIndex::check_masks(
     out.masks[l].assign(segment_length_ >> l, 0);
   }
   for (std::uint64_t leaf = 0; leaf < available_; ++leaf) {
-    const BloomFilter& leaf_bf = bfs_[0][leaf];
+    // bf_bits works in both modes; in view mode this is where a cold
+    // query first faults the segment's leaf-BF pages in.
+    ByteSpan bits = bf_bits(0, leaf);
     std::uint64_t mask = 0;
     for (std::size_t i = 0; i < cbp.size(); ++i) {
-      if (leaf_bf.bit(cbp[i])) mask |= std::uint64_t{1} << i;
+      if ((bits[cbp[i] >> 3] >> (cbp[i] & 7)) & 1)
+        mask |= std::uint64_t{1} << i;
     }
     out.masks[0][leaf] = mask;
   }
@@ -191,6 +364,7 @@ BmtCheckMasks SegmentProofIndex::check_masks(
 
 const BloomFilter& SegmentProofIndex::bf(std::uint32_t level,
                                          std::uint64_t j) const {
+  LVQ_CHECK_MSG(!is_view(), "owned BF requested from a view index");
   LVQ_CHECK(level <= depth_ && j < (segment_length_ >> level));
   const BloomFilter& out = bfs_[level][j];
   LVQ_CHECK_MSG(!out.empty_geometry(), "BF requested for incomplete node");

@@ -58,6 +58,18 @@ class BlockProofIndex {
                   std::shared_ptr<const BlockDerived> derived,
                   bool want_tx_tables, bool want_smt_tables);
 
+  /// Storage encoding of the tables (tx level 0 is omitted — it is the
+  /// txid list the derived column already holds). Used by DiskChainStore;
+  /// the bytes are covered by the store's per-record checksums.
+  void serialize(Writer& w) const;
+
+  /// Inverse of serialize. Validates every table shape against `derived`
+  /// and throws SerializeError on any mismatch, so a corrupt or
+  /// adversarial record can never construct an index whose accessors
+  /// would hit LVQ_CHECK failures later.
+  static BlockProofIndex deserialize(
+      Reader& r, std::shared_ptr<const BlockDerived> derived);
+
   bool has_tx_tables() const { return tx_tables_; }
   bool has_smt_tables() const { return smt_tables_; }
 
@@ -81,6 +93,8 @@ class BlockProofIndex {
   SmtAbsenceProof smt_absence(const Address& addr) const;
 
  private:
+  BlockProofIndex() = default;  // for deserialize
+
   std::shared_ptr<const BlockDerived> derived_;
   bool tx_tables_ = false;
   bool smt_tables_ = false;
@@ -102,10 +116,29 @@ class SegmentProofIndex {
       std::vector<std::shared_ptr<const std::vector<std::uint32_t>>>
           leaf_positions);
 
+  /// Lazily-paged view over a persisted BF array (see append_blob for the
+  /// layout). `blob` typically aliases an mmap'd store column, so node BFs
+  /// occupy no resident memory until a query first touches their pages;
+  /// `owner` keeps the mapping alive for the index's lifetime. Throws
+  /// SerializeError when blob's size does not match the layout.
+  static std::shared_ptr<const SegmentProofIndex> from_blob(
+      std::uint64_t first_height, std::uint32_t segment_length,
+      std::uint64_t available, BloomGeometry geom, ByteSpan blob,
+      std::shared_ptr<const void> owner);
+
   std::uint64_t first_height() const { return first_height_; }
   std::uint64_t available() const { return available_; }
 
-  /// BF of complete node (level, j); indices match SegmentBmt's.
+  /// True for a from_blob index (BF bytes borrowed, not owned).
+  bool is_view() const { return !blob_.empty(); }
+
+  /// Raw bit vector of complete node (level, j) — the span the prover
+  /// streams into proofs. Works in both modes; in view mode this is the
+  /// lazy page-in point (first touch faults the mmap'd pages in).
+  ByteSpan bf_bits(std::uint32_t level, std::uint64_t j) const;
+
+  /// BF of complete node (level, j); indices match SegmentBmt's. Owned
+  /// mode only (views hand out bf_bits spans instead).
   const BloomFilter& bf(std::uint32_t level, std::uint64_t j) const;
 
   /// Check masks for a query's CBPs — identical to SegmentBmt::check_masks
@@ -121,7 +154,20 @@ class SegmentProofIndex {
     return 2 * available * geom.size_bytes;
   }
 
+  /// Appends every complete node's raw bit vector, level-major (level 0
+  /// ascending j, then level 1, ...). from_blob reads exactly this layout:
+  /// fixed geometry stride makes every node's offset computable, which is
+  /// what lets a view serve bf_bits without any per-node bookkeeping.
+  void append_blob(Writer& w) const;
+
+  /// Exact append_blob size: one geometry-sized filter per complete node.
+  static std::uint64_t blob_bytes(std::uint64_t available,
+                                  std::uint32_t segment_length,
+                                  const BloomGeometry& geom);
+
  private:
+  SegmentProofIndex() = default;  // for from_blob
+
   /// Fills bfs_[level][j] and every slot beneath it (children first, so a
   /// parent is one copy + one OR of already-stored children).
   void build(std::uint32_t level, std::uint64_t j,
@@ -129,12 +175,20 @@ class SegmentProofIndex {
                  std::shared_ptr<const std::vector<std::uint32_t>>>&
                  leaf_positions);
 
-  std::uint64_t first_height_;
-  std::uint32_t segment_length_;
-  std::uint64_t available_;
-  std::uint32_t depth_;
+  /// Complete-node count at `level` (nodes j < this are complete).
+  std::uint64_t complete_at(std::uint32_t level) const {
+    return available_ >> level;
+  }
+
+  std::uint64_t first_height_ = 0;
+  std::uint32_t segment_length_ = 0;
+  std::uint64_t available_ = 0;
+  std::uint32_t depth_ = 0;
   BloomGeometry geom_;
-  std::vector<std::vector<BloomFilter>> bfs_;  // bfs_[level][j]
+  std::vector<std::vector<BloomFilter>> bfs_;  // owned mode: bfs_[level][j]
+  ByteSpan blob_;                           // view mode: level-major bits
+  std::vector<std::uint64_t> level_offsets_;  // view mode: byte offsets
+  std::shared_ptr<const void> owner_;       // view mode: pins the mapping
 };
 
 /// The whole sidecar: per-block tables plus (for BMT designs, budget
@@ -171,6 +225,7 @@ class ProofIndex {
 
  private:
   friend class ChainBuilder;
+  friend class DiskChainStore;  // reopen fills slices from column files
 
   std::uint32_t segment_length_ = 0;  // 0 = no segment part
   std::vector<std::shared_ptr<const BlockProofIndex>> per_block_;

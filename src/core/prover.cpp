@@ -81,7 +81,7 @@ void write_bmt_tree(Writer& w, const SegmentBmt& bmt,
                     std::uint32_t level, std::uint64_t j) {
   auto write_bf = [&](std::uint32_t l, std::uint64_t jj) {
     if (sidx != nullptr) {
-      sidx->bf(l, jj).serialize_bits(w);  // zero-copy from the index
+      w.raw(sidx->bf_bits(l, jj));  // zero-copy from the index (RAM or mmap)
     } else {
       bmt.node_bf(l, jj).serialize_bits(w);
     }

@@ -1,0 +1,81 @@
+// Write-through hook between the ChainBuilder pipeline and a durable
+// store (src/store/).
+//
+// The builder derives chain state stage by stage (derived caches, BF
+// position lists, segment BMT forest, proof-index sidecars, blocks); a
+// StoreSink attached via ChainBuildOptions::store receives each freshly
+// derived datum right after its stage completes, followed by a
+// stage_flush() barrier, and finally one commit() when the whole build is
+// assembled. The interface lives in core so lvq_core never links against
+// the store library — dependency points the other way (DiskChainStore
+// implements this and links lvq_core).
+//
+// Contract:
+//   * put_* calls are idempotent by index: a sink that already persists
+//     height h (or sealed segment s) ignores a repeated put for it, so
+//     builders may replay any prefix (a cold build over a partially
+//     persisted store is byte-identical by construction and degenerates
+//     into no-ops).
+//   * puts arrive in stage order but within a stage heights are written
+//     serially ascending; stage_flush() marks a durability boundary (the
+//     store flushes buffered records, and in paranoid sync mode fsyncs).
+//   * commit(tip, tip_hash) is the atomicity point: everything put since
+//     the previous commit becomes visible to a reopen only after commit
+//     returns. A crash anywhere before that — including mid-commit —
+//     reopens to the previous committed tip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash.hpp"
+
+namespace lvq {
+
+struct Block;
+struct BlockDerived;
+class BlockProofIndex;
+class SegmentBmt;
+class SegmentProofIndex;
+
+class StoreSink {
+ public:
+  virtual ~StoreSink() = default;
+
+  /// Stage 1: geometry-independent per-block caches.
+  virtual void put_derived(std::uint64_t height, const BlockDerived& d) = 0;
+
+  /// Stage 2: sorted BF bit positions for the build's geometry.
+  virtual void put_positions(std::uint64_t height,
+                             const std::vector<std::uint32_t>& positions) = 0;
+
+  /// Stage 3: one *sealed* (complete) segment tree's node hashes. Open
+  /// tail segments are never persisted — they are cheap to rebuild and
+  /// their incomplete nodes change on every extend.
+  virtual void put_sealed_bmt(std::uint64_t seg_index,
+                              const SegmentBmt& bmt) = 0;
+
+  /// Stage 4: per-block proof tables (`idx` may be null — designs whose
+  /// proofs ship whole blocks have none; the sink records the absence so
+  /// reopen reproduces it).
+  virtual void put_block_index(std::uint64_t height,
+                               const BlockProofIndex* idx) = 0;
+
+  /// Stage 4: one sealed segment's materialized node-BF array.
+  virtual void put_sealed_segment_index(std::uint64_t seg_index,
+                                        const SegmentProofIndex& idx) = 0;
+
+  /// Stage 5: the assembled block (header + body), ascending heights.
+  virtual void put_block(std::uint64_t height, const Block& block) = 0;
+
+  /// Durability barrier after each pipeline stage; `stage` names it for
+  /// diagnostics and deterministic kill-point injection.
+  virtual void stage_flush(const char* stage) = 0;
+
+  /// Atomically publishes everything put so far as the new committed
+  /// state. `tip_hash` is the header hash at `tip_height`, pinned in the
+  /// superblock so a reopen (and any later attach) can verify identity.
+  virtual void commit(std::uint64_t tip_height, const Hash256& tip_hash) = 0;
+};
+
+}  // namespace lvq

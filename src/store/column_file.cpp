@@ -1,0 +1,147 @@
+#include "store/column_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace lvq {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'V', 'Q', 'C', 'O', 'L', '0', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n,
+               const std::string& path) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) throw StoreError("write failed: " + path);
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+ColumnFile::ColumnFile(std::string path, std::uint32_t column_id,
+                       bool read_only)
+    : path_(std::move(path)), read_only_(read_only) {
+  int flags = read_only ? O_RDONLY : (O_RDWR | O_CREAT);
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) throw StoreError("cannot open column: " + path_);
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw StoreError("fstat failed: " + path_);
+  disk_size_ = static_cast<std::uint64_t>(st.st_size);
+  if (disk_size_ == 0) {
+    if (read_only) throw StoreError("empty column file: " + path_);
+    std::uint8_t header[kHeaderSize];
+    std::memcpy(header, kMagic, 8);
+    put_u32(header + 8, kFormatVersion);
+    put_u32(header + 12, column_id);
+    write_all(fd_, header, kHeaderSize, path_);
+    disk_size_ = kHeaderSize;
+    return;
+  }
+  if (disk_size_ < kHeaderSize)
+    throw StoreError("column shorter than its header: " + path_);
+  std::uint8_t header[kHeaderSize];
+  if (::pread(fd_, header, kHeaderSize, 0) !=
+      static_cast<ssize_t>(kHeaderSize))
+    throw StoreError("cannot read column header: " + path_);
+  if (std::memcmp(header, kMagic, 8) != 0)
+    throw StoreError("bad column magic: " + path_);
+  if (get_u32(header + 8) != kFormatVersion)
+    throw StoreError("unsupported column format version: " + path_);
+  if (get_u32(header + 12) != column_id)
+    throw StoreError("column id mismatch: " + path_);
+}
+
+ColumnFile::~ColumnFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ColumnFile::append_record(ByteSpan payload) {
+  LVQ_CHECK_MSG(!read_only_, "append to a read-only column");
+  if (payload.size() > 0xFFFFFFFFull)
+    throw StoreError("record too large: " + path_);
+  std::uint8_t frame[kRecordOverhead];
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame + 4, crc32c(payload));
+  pending_.insert(pending_.end(), frame, frame + kRecordOverhead);
+  pending_.insert(pending_.end(), payload.begin(), payload.end());
+}
+
+void ColumnFile::flush() {
+  if (pending_.empty()) return;
+  if (::lseek(fd_, static_cast<off_t>(disk_size_), SEEK_SET) < 0)
+    throw StoreError("seek failed: " + path_);
+  write_all(fd_, pending_.data(), pending_.size(), path_);
+  disk_size_ += pending_.size();
+  pending_.clear();
+}
+
+void ColumnFile::sync() {
+  if (::fsync(fd_) != 0) throw StoreError("fsync failed: " + path_);
+}
+
+void ColumnFile::truncate_to(std::uint64_t size) {
+  LVQ_CHECK_MSG(!read_only_, "truncate of a read-only column");
+  LVQ_CHECK(size >= kHeaderSize);
+  pending_.clear();
+  if (size > disk_size_)
+    throw StoreError("committed size exceeds file size: " + path_);
+  if (size == disk_size_) return;
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0)
+    throw StoreError("ftruncate failed: " + path_);
+  disk_size_ = size;
+}
+
+std::shared_ptr<const MmapFile> ColumnFile::map_prefix(std::uint64_t bytes) {
+  if (!read_only_) flush();
+  if (bytes <= kHeaderSize) return nullptr;
+  if (bytes > disk_size_)
+    throw StoreError("mapped prefix exceeds file size: " + path_);
+  return MmapFile::map(path_, bytes);
+}
+
+std::vector<ByteSpan> scan_records(ByteSpan file, bool verify_crc,
+                                   const char* what) {
+  std::vector<ByteSpan> out;
+  std::size_t off = ColumnFile::kHeaderSize;
+  if (file.size() < off)
+    throw StoreError(std::string(what) + ": column shorter than header");
+  while (off < file.size()) {
+    if (file.size() - off < ColumnFile::kRecordOverhead)
+      throw StoreError(std::string(what) + ": truncated record frame");
+    std::uint32_t len = 0, crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(file[off + i]) << (8 * i);
+      crc |= static_cast<std::uint32_t>(file[off + 4 + i]) << (8 * i);
+    }
+    off += ColumnFile::kRecordOverhead;
+    if (file.size() - off < len)
+      throw StoreError(std::string(what) + ": truncated record payload");
+    ByteSpan payload = file.subspan(off, len);
+    if (verify_crc && crc32c(payload) != crc)
+      throw StoreError(std::string(what) + ": record checksum mismatch");
+    out.push_back(payload);
+    off += len;
+  }
+  return out;
+}
+
+}  // namespace lvq

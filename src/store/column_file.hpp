@@ -1,0 +1,80 @@
+// One append-only column of the disk store.
+//
+// Layout:  [16-byte header] [record] [record] ...
+//   header:  "LVQCOL01" (8) | u32 format version (=1) | u32 column id
+//   record:  u32 payload length | u32 crc32c(payload) | payload bytes
+//
+// All integers little-endian. The file itself carries no record count and
+// no commit state — the superblock owns both. On reopen the store
+// ftruncates each column to the committed size recorded in the chosen
+// superblock slot, which is what makes torn final records (a crash mid
+// write) vanish without any scanning heuristics.
+//
+// Writes are buffered in memory and hit the fd only at flush() — one
+// write(2) per pipeline stage instead of three per record — so a crash
+// between flushes loses whole stages, never partial interleavings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "store/store_util.hpp"
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+class ColumnFile {
+ public:
+  static constexpr std::size_t kHeaderSize = 16;
+  static constexpr std::size_t kRecordOverhead = 8;  // len + crc
+
+  /// Opens (validating the header) or, in read-write mode, creates the
+  /// column file. Throws StoreError on magic/version/id mismatch.
+  ColumnFile(std::string path, std::uint32_t column_id, bool read_only);
+  ~ColumnFile();
+  ColumnFile(const ColumnFile&) = delete;
+  ColumnFile& operator=(const ColumnFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Logical size: bytes on disk plus bytes still buffered.
+  std::uint64_t size() const { return disk_size_ + pending_.size(); }
+  std::uint64_t disk_size() const { return disk_size_; }
+
+  /// Frames `payload` (length + crc32c) into the write buffer.
+  void append_record(ByteSpan payload);
+
+  /// Pushes the buffered bytes to the fd (no fsync).
+  void flush();
+
+  /// fsync; callers decide when per SyncMode.
+  void sync();
+
+  /// Drops any buffered bytes and cuts the file to `size` bytes — the
+  /// reopen path's torn-tail eraser. `size` must cover the header.
+  void truncate_to(std::uint64_t size);
+
+  /// Read-only mapping of the first `bytes` bytes (flushes first so the
+  /// mapping sees every appended record). nullptr when `bytes` covers
+  /// only the header. The prefix form is what read-only opens use: a
+  /// concurrent writer may have appended past the committed size and the
+  /// reader must not see those records.
+  std::shared_ptr<const MmapFile> map_prefix(std::uint64_t bytes);
+  std::shared_ptr<const MmapFile> map() { return map_prefix(disk_size_); }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool read_only_ = false;
+  std::uint64_t disk_size_ = 0;
+  Bytes pending_;
+};
+
+/// Walks `file` (a whole mapped column) validating framing and, when
+/// `verify_crc`, every payload checksum. Returns payload spans in record
+/// order. Throws StoreError naming `what` on any inconsistency.
+std::vector<ByteSpan> scan_records(ByteSpan file, bool verify_crc,
+                                   const char* what);
+
+}  // namespace lvq

@@ -1,0 +1,38 @@
+// CRC32C using the x86 SSE4.2 CRC32 instruction (Castagnoli polynomial
+// in hardware, 8 bytes per step).
+//
+// Compiled with -msse4.2 (see CMakeLists); only ever invoked after a
+// runtime CPUID check in store_util.cpp, so building with the ISA flag is
+// safe even for binaries that might run on pre-Nehalem machines.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <nmmintrin.h>
+
+namespace lvq::detail {
+
+std::uint32_t crc32c_sse42(std::uint32_t seed, const std::uint8_t* data,
+                           std::size_t len) {
+  std::uint64_t c = seed;
+  while (len >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, data, 8);
+    c = _mm_crc32_u64(c, v);
+    data += 8;
+    len -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  while (len > 0) {
+    c32 = _mm_crc32_u8(c32, *data);
+    ++data;
+    --len;
+  }
+  return c32;
+}
+
+}  // namespace lvq::detail
+
+#endif  // x86-64

@@ -1,0 +1,590 @@
+#include "store/disk_chain_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace lvq {
+
+namespace {
+
+constexpr const char* kSuperName = "superblock";
+
+std::string super_path(const std::string& dir) { return dir + "/" + kSuperName; }
+
+std::string col_path(const std::string& dir, std::uint32_t id) {
+  return dir + "/" + column_name(id) + ".col";
+}
+
+/// Shared slices of `count` consecutive position lists — what sealed and
+/// tail segment rebuilds capture so segments outlive any one context.
+std::vector<std::shared_ptr<const std::vector<std::uint32_t>>> collect_slices(
+    const BloomPositionTable& positions, std::uint64_t first_height,
+    std::uint64_t count) {
+  std::vector<std::shared_ptr<const std::vector<std::uint32_t>>> slices;
+  slices.reserve(count);
+  for (std::uint64_t h = first_height; h < first_height + count; ++h) {
+    slices.push_back(positions.slice(h));
+  }
+  return slices;
+}
+
+SegmentBmt::LeafPositionsFn make_supplier(
+    std::vector<std::shared_ptr<const std::vector<std::uint32_t>>> slices,
+    std::uint64_t first_height) {
+  return [slices = std::move(slices), first_height](std::uint64_t height)
+             -> const std::vector<std::uint32_t>& {
+    LVQ_CHECK(height >= first_height && height - first_height < slices.size());
+    return *slices[height - first_height];
+  };
+}
+
+bool same_config(const ProtocolConfig& a, const ProtocolConfig& b) {
+  return a.design == b.design && a.bloom == b.bloom &&
+         a.segment_length == b.segment_length;
+}
+
+}  // namespace
+
+std::unique_ptr<DiskChainStore> DiskChainStore::open(const std::string& dir,
+                                                     const ProtocolConfig& config,
+                                                     const Options& options) {
+  SyncMode sync = options.sync ? *options.sync : sync_mode_from_env();
+  std::unique_ptr<DiskChainStore> store(
+      new DiskChainStore(dir, options.read_only, sync));
+  struct stat st{};
+  if (::stat(super_path(dir).c_str(), &st) != 0) {
+    if (options.read_only) throw StoreError("no store at " + dir);
+    store->create_fresh(config);
+  } else {
+    store->open_existing(config);
+  }
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    store->pending_[c] = store->committed_.columns[c];
+  }
+  store->pending_tip_ = store->committed_.tip_height;
+  store->pending_tip_hash_ = store->committed_.tip_hash;
+  return store;
+}
+
+DiskChainStore::DiskChainStore(std::string dir, bool read_only, SyncMode sync)
+    : dir_(std::move(dir)), read_only_(read_only), sync_(sync) {
+  if (const char* v = std::getenv("LVQ_STORE_KILL_AT")) {
+    kill_at_ = std::atoll(v);
+  }
+}
+
+DiskChainStore::~DiskChainStore() {
+  if (super_fd_ >= 0) ::close(super_fd_);
+}
+
+void DiskChainStore::create_fresh(const ProtocolConfig& config) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw StoreError("cannot create store directory: " + dir_);
+  }
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    cols_[c] = std::make_unique<ColumnFile>(col_path(dir_, c), c, false);
+  }
+  super_fd_ = ::open(super_path(dir_).c_str(), O_RDWR | O_CREAT, 0644);
+  if (super_fd_ < 0) throw StoreError("cannot create superblock: " + dir_);
+  committed_ = Superblock{};
+  committed_.seqno = 1;
+  committed_.config = config;
+  for (ColumnState& c : committed_.columns) {
+    c.bytes = ColumnFile::kHeaderSize;
+    c.records = 0;
+  }
+  write_slot(committed_, 0);
+  Bytes zero(Superblock::kSlotSize, 0);
+  if (::pwrite(super_fd_, zero.data(), zero.size(),
+               static_cast<off_t>(Superblock::kSlotSize)) !=
+      static_cast<ssize_t>(zero.size())) {
+    throw StoreError("superblock write failed: " + dir_);
+  }
+  committed_slot_ = 0;
+  if (sync_ != SyncMode::kNone) {
+    for (std::uint32_t c = 0; c < kColumnCount; ++c) col(c).sync();
+    if (::fsync(super_fd_) != 0) throw StoreError("superblock fsync failed");
+    fsync_dir(dir_);
+  }
+}
+
+void DiskChainStore::open_existing(const ProtocolConfig& config) {
+  super_fd_ = ::open(super_path(dir_).c_str(), read_only_ ? O_RDONLY : O_RDWR);
+  if (super_fd_ < 0) throw StoreError("cannot open superblock: " + dir_);
+  Bytes raw(2 * Superblock::kSlotSize, 0);
+  // A short read leaves zeroed slots, which decode_slot rejects.
+  (void)!::pread(super_fd_, raw.data(), raw.size(), 0);
+  Superblock slots[2];
+  bool valid[2];
+  for (int s = 0; s < 2; ++s) {
+    valid[s] = Superblock::decode_slot(
+        ByteSpan{raw.data() + s * Superblock::kSlotSize, Superblock::kSlotSize},
+        &slots[s]);
+  }
+  if (!valid[0] && !valid[1]) {
+    throw StoreError("no valid superblock slot: " + dir_);
+  }
+  int newest = (valid[0] && valid[1]) ? (slots[0].seqno > slots[1].seqno ? 0 : 1)
+                                      : (valid[0] ? 0 : 1);
+  int older = newest ^ 1;
+  if (!same_config(slots[newest].config, config)) {
+    throw StoreError("store was created with a different protocol config: " +
+                     dir_);
+  }
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    cols_[c] = std::make_unique<ColumnFile>(col_path(dir_, c), c, read_only_);
+  }
+  try {
+    adopt_and_verify(slots[newest]);
+    committed_ = slots[newest];
+    committed_slot_ = newest;
+  } catch (const StoreError&) {
+    // The newest commit's data is damaged. Fall back exactly one commit:
+    // the older slot's extent was durable before the newest commit began,
+    // so if that fails verification too the store is genuinely corrupt.
+    if (!valid[older] || slots[older].seqno >= slots[newest].seqno) throw;
+    adopt_and_verify(slots[older]);
+    committed_ = slots[older];
+    committed_slot_ = older;
+  }
+}
+
+void DiskChainStore::adopt_and_verify(const Superblock& sb) {
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    std::uint64_t bytes = sb.columns[c].bytes;
+    if (bytes < ColumnFile::kHeaderSize) {
+      throw StoreError("superblock column size below header: " + dir_);
+    }
+    if (read_only_) {
+      if (bytes > col(c).disk_size()) {
+        throw StoreError("committed size exceeds file: " + col(c).path());
+      }
+    } else {
+      col(c).truncate_to(bytes);  // torn uncommitted tails vanish here
+    }
+  }
+  const ProtocolConfig& cfg = sb.config;
+  const std::uint64_t tip = sb.tip_height;
+  const std::uint64_t sealed =
+      cfg.has_bmt() ? tip / cfg.segment_length : 0;
+
+  for (std::uint32_t c : {kColBlocks, kColDerived, kColPositions, kColBmt,
+                          kColBlockIndex}) {
+    auto map = col(c).map_prefix(sb.columns[c].bytes);
+    std::uint64_t count =
+        map ? scan_records(map->span(), /*verify_crc=*/true, column_name(c))
+                  .size()
+            : 0;
+    if (count != sb.columns[c].records) {
+      throw StoreError(std::string(column_name(c)) +
+                       ": record count disagrees with superblock");
+    }
+  }
+  auto records = [&](std::uint32_t c) { return sb.columns[c].records; };
+  if (records(kColBlocks) != tip || records(kColDerived) != tip ||
+      records(kColPositions) != tip) {
+    throw StoreError("per-height column counts disagree with tip");
+  }
+  if (records(kColBlockIndex) != 0 && records(kColBlockIndex) != tip) {
+    throw StoreError("block-index column neither empty nor complete");
+  }
+  if (records(kColBmt) != sealed) {
+    throw StoreError("BMT column does not hold exactly the sealed segments");
+  }
+  if (records(kColSegBf) != 0 && records(kColSegBf) != sealed) {
+    throw StoreError("segment-BF column neither empty nor complete");
+  }
+  if (records(kColSegBf) > 0) {
+    // Framing-only validation: the fixed stride is what makes every
+    // record addressable without reading it; the CRC walk would fault
+    // every BF page in, so it is deferred to verify_checksums().
+    const std::uint64_t blob = SegmentProofIndex::blob_bytes(
+        cfg.segment_length, cfg.segment_length, cfg.bloom);
+    const std::uint64_t stride = ColumnFile::kRecordOverhead + blob;
+    if (sb.columns[kColSegBf].bytes !=
+        ColumnFile::kHeaderSize + records(kColSegBf) * stride) {
+      throw StoreError("segment-BF column size does not match its stride");
+    }
+    auto map = col(kColSegBf).map_prefix(sb.columns[kColSegBf].bytes);
+    ByteSpan span = map->span();
+    for (std::uint64_t s = 0; s < records(kColSegBf); ++s) {
+      std::size_t off = ColumnFile::kHeaderSize + s * stride;
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i) {
+        len |= static_cast<std::uint32_t>(span[off + i]) << (8 * i);
+      }
+      if (len != blob) {
+        throw StoreError("segment-BF record length does not match geometry");
+      }
+    }
+  }
+}
+
+void DiskChainStore::write_slot(const Superblock& sb, int slot) {
+  Bytes bytes = sb.encode_slot();
+  if (::pwrite(super_fd_, bytes.data(), bytes.size(),
+               static_cast<off_t>(slot) *
+                   static_cast<off_t>(Superblock::kSlotSize)) !=
+      static_cast<ssize_t>(bytes.size())) {
+    throw StoreError("superblock write failed: " + dir_);
+  }
+}
+
+namespace {
+
+DiskChainStore::Info info_from(const Superblock& sb) {
+  DiskChainStore::Info out;
+  out.version = Superblock::kVersion;
+  out.seqno = sb.seqno;
+  out.tip_height = sb.tip_height;
+  out.tip_hash = sb.tip_hash;
+  out.config = sb.config;
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    out.columns.push_back(DiskChainStore::ColumnInfo{
+        column_name(c), sb.columns[c].records, sb.columns[c].bytes});
+    out.total_bytes += sb.columns[c].bytes;
+  }
+  return out;
+}
+
+}  // namespace
+
+DiskChainStore::Info DiskChainStore::info() const {
+  return info_from(committed_);
+}
+
+DiskChainStore::Info DiskChainStore::peek(const std::string& dir) {
+  int fd = ::open(super_path(dir).c_str(), O_RDONLY);
+  if (fd < 0) throw StoreError("no store at " + dir);
+  Bytes raw(2 * Superblock::kSlotSize, 0);
+  (void)!::pread(fd, raw.data(), raw.size(), 0);
+  ::close(fd);
+  Superblock slots[2];
+  bool valid[2];
+  for (int s = 0; s < 2; ++s) {
+    valid[s] = Superblock::decode_slot(
+        ByteSpan{raw.data() + s * Superblock::kSlotSize, Superblock::kSlotSize},
+        &slots[s]);
+  }
+  if (!valid[0] && !valid[1]) {
+    throw StoreError("no valid superblock slot: " + dir);
+  }
+  int newest = (valid[0] && valid[1]) ? (slots[0].seqno > slots[1].seqno ? 0 : 1)
+                                      : (valid[0] ? 0 : 1);
+  return info_from(slots[newest]);
+}
+
+bool DiskChainStore::verify_checksums(std::string* error) {
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    try {
+      auto map = col(c).map_prefix(committed_.columns[c].bytes);
+      std::uint64_t count =
+          map ? scan_records(map->span(), /*verify_crc=*/true, column_name(c))
+                    .size()
+              : 0;
+      if (count != committed_.columns[c].records) {
+        throw StoreError(std::string(column_name(c)) +
+                         ": record count disagrees with superblock");
+      }
+    } catch (const StoreError& e) {
+      if (error != nullptr) *error = e.what();
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- StoreSink -------------------------------------------------------
+
+bool DiskChainStore::skip_or_claim(std::uint32_t column, std::uint64_t index,
+                                   const char* what) {
+  if (read_only_) throw StoreError("write to a read-only store");
+  if (index < pending_[column].records) return true;  // idempotent replay
+  if (index != pending_[column].records) {
+    throw StoreError(std::string(what) + " written out of order");
+  }
+  return false;
+}
+
+void DiskChainStore::append(std::uint32_t column, ByteSpan payload) {
+  col(column).append_record(payload);
+  pending_[column].records += 1;
+  pending_[column].bytes = col(column).size();
+}
+
+void DiskChainStore::put_derived(std::uint64_t height, const BlockDerived& d) {
+  if (skip_or_claim(kColDerived, height - 1, "derived record")) return;
+  Writer w;
+  encode_derived(w, d);
+  append(kColDerived, ByteSpan{w.data().data(), w.data().size()});
+}
+
+void DiskChainStore::put_positions(
+    std::uint64_t height, const std::vector<std::uint32_t>& positions) {
+  if (skip_or_claim(kColPositions, height - 1, "position record")) return;
+  Writer w;
+  encode_positions(w, positions);
+  append(kColPositions, ByteSpan{w.data().data(), w.data().size()});
+}
+
+void DiskChainStore::put_sealed_bmt(std::uint64_t seg_index,
+                                    const SegmentBmt& bmt) {
+  LVQ_CHECK_MSG(bmt.available() == bmt.segment_length(),
+                "only sealed segments are persisted");
+  LVQ_CHECK(bmt.segment_length() == committed_.config.segment_length);
+  if (skip_or_claim(kColBmt, seg_index, "BMT segment")) return;
+  Writer w;
+  encode_bmt_hashes(w, bmt);
+  append(kColBmt, ByteSpan{w.data().data(), w.data().size()});
+}
+
+void DiskChainStore::put_block_index(std::uint64_t height,
+                                     const BlockProofIndex* idx) {
+  if (skip_or_claim(kColBlockIndex, height - 1, "block index")) return;
+  Writer w;
+  encode_block_index(w, idx);
+  append(kColBlockIndex, ByteSpan{w.data().data(), w.data().size()});
+}
+
+void DiskChainStore::put_sealed_segment_index(std::uint64_t seg_index,
+                                              const SegmentProofIndex& idx) {
+  LVQ_CHECK_MSG(idx.available() == committed_.config.segment_length,
+                "only sealed segment indexes are persisted");
+  if (skip_or_claim(kColSegBf, seg_index, "segment-BF array")) return;
+  Writer w;
+  w.reserve(static_cast<std::size_t>(SegmentProofIndex::blob_bytes(
+      committed_.config.segment_length, committed_.config.segment_length,
+      committed_.config.bloom)));
+  idx.append_blob(w);
+  append(kColSegBf, ByteSpan{w.data().data(), w.data().size()});
+}
+
+void DiskChainStore::put_block(std::uint64_t height, const Block& block) {
+  if (skip_or_claim(kColBlocks, height - 1, "block")) return;
+  const Hash256 expect_prev = (height == 1) ? Hash256{} : pending_tip_hash_;
+  if (!(block.header.prev_hash == expect_prev)) {
+    throw StoreError("block does not extend the stored chain");
+  }
+  Writer w;
+  block.serialize(w);
+  append(kColBlocks, ByteSpan{w.data().data(), w.data().size()});
+  pending_tip_ = height;
+  pending_tip_hash_ = block.header.hash();
+}
+
+void DiskChainStore::flush_columns() {
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) col(c).flush();
+}
+
+void DiskChainStore::sync_columns() {
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) col(c).sync();
+}
+
+void DiskChainStore::kill_point() {
+  ++flush_count_;
+  if (kill_at_ >= 0 && flush_count_ == kill_at_) ::_exit(42);
+}
+
+void DiskChainStore::stage_flush(const char* stage) {
+  (void)stage;
+  if (read_only_) throw StoreError("write to a read-only store");
+  flush_columns();
+  if (sync_ == SyncMode::kParanoid) sync_columns();
+  kill_point();
+}
+
+void DiskChainStore::commit(std::uint64_t tip_height, const Hash256& tip_hash) {
+  if (read_only_) throw StoreError("write to a read-only store");
+  const ProtocolConfig& cfg = committed_.config;
+  if (tip_height < committed_.tip_height) {
+    throw StoreError("commit would move the tip backward");
+  }
+  const std::uint64_t sealed =
+      cfg.has_bmt() ? tip_height / cfg.segment_length : 0;
+  if (pending_[kColBlocks].records != tip_height ||
+      pending_[kColDerived].records != tip_height ||
+      pending_[kColPositions].records != tip_height) {
+    throw StoreError("commit with incomplete per-height columns");
+  }
+  if (pending_[kColBlockIndex].records != 0 &&
+      pending_[kColBlockIndex].records != tip_height) {
+    throw StoreError("commit with a partially written block-index column");
+  }
+  if (pending_[kColBmt].records != sealed) {
+    throw StoreError("commit with missing sealed BMT segments");
+  }
+  if (pending_[kColSegBf].records != 0 &&
+      pending_[kColSegBf].records != sealed) {
+    throw StoreError("commit with a partially written segment-BF column");
+  }
+  if (tip_height > 0 &&
+      (pending_tip_ != tip_height || !(pending_tip_hash_ == tip_hash))) {
+    throw StoreError("commit tip does not match the stored chain");
+  }
+  flush_columns();
+  if (sync_ != SyncMode::kNone) sync_columns();
+  kill_point();  // crash here: data durable, old superblock → old tip wins
+  Superblock sb = committed_;
+  sb.seqno += 1;
+  sb.tip_height = tip_height;
+  sb.tip_hash = tip_hash;
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    sb.columns[c].bytes = col(c).disk_size();
+    sb.columns[c].records = pending_[c].records;
+  }
+  int slot = committed_slot_ ^ 1;
+  write_slot(sb, slot);
+  if (sync_ != SyncMode::kNone && ::fsync(super_fd_) != 0) {
+    throw StoreError("superblock fsync failed: " + dir_);
+  }
+  kill_point();  // crash here: the new commit is already durable
+  committed_ = sb;
+  committed_slot_ = slot;
+}
+
+// ---- reopen ----------------------------------------------------------
+
+std::shared_ptr<const ChainContext> DiskChainStore::load_context(
+    const ChainBuildOptions& options) {
+  (void)options;  // decode is serial; parallel decode is future work
+  const Superblock& sb = committed_;
+  const ProtocolConfig& cfg = sb.config;
+  const std::uint64_t tip = sb.tip_height;
+  if (tip == 0) return nullptr;
+
+  std::shared_ptr<ChainContext> ctx(new ChainContext());
+  ctx->config_ = cfg;
+
+  // adopt_and_verify already CRC-checked the resident columns at open,
+  // so these scans validate framing only; decoders still validate every
+  // payload's structure.
+  auto scan_col = [&](std::uint32_t c, std::shared_ptr<const MmapFile>& map) {
+    map = col(c).map_prefix(sb.columns[c].bytes);
+    std::vector<ByteSpan> recs;
+    if (map) recs = scan_records(map->span(), false, column_name(c));
+    if (recs.size() != sb.columns[c].records) {
+      throw StoreError(std::string(column_name(c)) +
+                       ": record count disagrees with superblock");
+    }
+    return recs;
+  };
+
+  auto wd = std::shared_ptr<WorkloadDerived>(new WorkloadDerived());
+  {
+    std::shared_ptr<const MmapFile> map;
+    std::vector<ByteSpan> recs = scan_col(kColDerived, map);
+    wd->per_block_.reserve(tip);
+    for (ByteSpan p : recs) {
+      Reader r(p);
+      wd->per_block_.push_back(
+          std::make_shared<const BlockDerived>(decode_derived(r)));
+    }
+  }
+  ctx->derived_ = wd;
+
+  auto positions =
+      std::shared_ptr<BloomPositionTable>(new BloomPositionTable(cfg.bloom));
+  {
+    std::shared_ptr<const MmapFile> map;
+    std::vector<ByteSpan> recs = scan_col(kColPositions, map);
+    positions->per_block_.reserve(tip);
+    for (ByteSpan p : recs) {
+      Reader r(p);
+      positions->per_block_.push_back(
+          std::make_shared<const std::vector<std::uint32_t>>(
+              decode_positions(r, cfg.bloom)));
+    }
+  }
+  ctx->positions_ = positions;
+
+  {
+    std::shared_ptr<const MmapFile> map;
+    std::vector<ByteSpan> recs = scan_col(kColBlocks, map);
+    for (ByteSpan p : recs) {
+      Reader r(p);
+      Block b = Block::deserialize(r);
+      r.expect_done();
+      ctx->chain_.append(std::make_shared<const Block>(std::move(b)));
+    }
+    if (!(ctx->chain_.at_height(tip).header.hash() == sb.tip_hash)) {
+      throw StoreError("stored chain tip hash disagrees with superblock");
+    }
+  }
+
+  const std::uint64_t m = cfg.segment_length;
+  const std::uint64_t sealed = cfg.has_bmt() ? tip / m : 0;
+  if (cfg.has_bmt()) {
+    const std::uint64_t num_segments = (tip + m - 1) / m;
+    std::shared_ptr<const MmapFile> map;
+    std::vector<ByteSpan> recs = scan_col(kColBmt, map);
+    ctx->bmts_.resize(num_segments);
+    for (std::uint64_t s = 0; s < sealed; ++s) {
+      Reader r(recs[s]);
+      std::vector<std::vector<Hash256>> hashes =
+          decode_bmt_hashes(r, cfg.segment_length);
+      ctx->bmts_[s] = std::make_shared<const SegmentBmt>(SegmentBmt::from_hashes(
+          s * m + 1, cfg.segment_length, cfg.bloom,
+          make_supplier(collect_slices(*positions, s * m + 1, m), s * m + 1),
+          std::move(hashes)));
+    }
+    if (num_segments > sealed) {
+      // Open tail: < M blocks, rebuilt in RAM — never persisted because
+      // its incomplete nodes would churn on every extend.
+      const std::uint64_t first = sealed * m + 1;
+      const std::uint64_t avail = tip - sealed * m;
+      ctx->bmts_[sealed] = std::make_shared<const SegmentBmt>(
+          first, cfg.segment_length, avail, cfg.bloom,
+          make_supplier(collect_slices(*positions, first, avail), first));
+    }
+  }
+
+  if (sb.columns[kColBlockIndex].records == tip) {
+    auto pi = std::make_shared<ProofIndex>();
+    {
+      std::shared_ptr<const MmapFile> map;
+      std::vector<ByteSpan> recs = scan_col(kColBlockIndex, map);
+      pi->per_block_.reserve(tip);
+      for (std::uint64_t h = 0; h < tip; ++h) {
+        Reader r(recs[h]);
+        pi->per_block_.push_back(decode_block_index(r, wd->per_block_[h]));
+      }
+    }
+    if (sb.columns[kColSegBf].records > 0) {
+      // Sealed node-BF arrays stay on disk: each becomes a zero-copy view
+      // over one shared mapping, and a BF's pages fault in only when a
+      // query first streams or probes that node.
+      pi->segment_length_ = cfg.segment_length;
+      const std::uint64_t num_segments = (tip + m - 1) / m;
+      pi->per_segment_.resize(num_segments);
+      std::shared_ptr<const MmapFile> map =
+          col(kColSegBf).map_prefix(sb.columns[kColSegBf].bytes);
+      const std::uint64_t blob = SegmentProofIndex::blob_bytes(
+          cfg.segment_length, cfg.segment_length, cfg.bloom);
+      const std::uint64_t stride = ColumnFile::kRecordOverhead + blob;
+      for (std::uint64_t s = 0; s < sealed; ++s) {
+        ByteSpan payload = map->span().subspan(
+            ColumnFile::kHeaderSize + s * stride + ColumnFile::kRecordOverhead,
+            blob);
+        pi->per_segment_[s] = SegmentProofIndex::from_blob(
+            s * m + 1, cfg.segment_length, m, cfg.bloom, payload, map);
+      }
+      if (num_segments > sealed) {
+        const std::uint64_t first = sealed * m + 1;
+        const std::uint64_t avail = tip - sealed * m;
+        pi->per_segment_[sealed] = std::make_shared<const SegmentProofIndex>(
+            first, cfg.segment_length, avail, cfg.bloom,
+            collect_slices(*positions, first, avail));
+      }
+    }
+    ctx->proof_index_ = pi;
+  }
+  return ctx;
+}
+
+}  // namespace lvq

@@ -1,0 +1,164 @@
+// Durable columnar chain store — the persistence layer behind
+// `lvqtool --store` and the crash-recovery guarantees in docs/STORAGE.md.
+//
+// A store directory holds six append-only column files plus a superblock:
+//
+//   superblock     two alternating 512-byte commit slots (A/B)
+//   blocks.col     full blocks (header + body), one record per height
+//   derived.col    geometry-independent per-block caches (BlockDerived)
+//   positions.col  sorted BF bit positions, delta-coded, one per height
+//   bmt.col        node-hash tables of *sealed* BMT segments
+//   blockidx.col   per-block proof-index tables (presence-tagged)
+//   segbf.col      materialized node-BF blobs of sealed segments
+//
+// Commit protocol: records append (buffered, flushed per pipeline stage),
+// then commit() fsyncs the columns and writes the *alternate* superblock
+// slot with seqno+1 and the exact committed byte size and record count of
+// every column. Reopen picks the valid slot with the larger seqno,
+// ftruncates every column to that slot's sizes (torn tails vanish), and
+// CRC-verifies the five resident columns while decoding them. If
+// verification fails, reopen falls back one commit to the other slot; if
+// that also fails, the store is declared corrupt. segbf.col is exempt from
+// the reopen CRC walk by design — checksumming it would fault every page
+// in and defeat lazy page-in; `verify_checksums()` (store-info --verify)
+// covers it offline.
+//
+// Reopen (`load_context`) rebuilds a ChainContext that is byte-identical
+// to the all-RAM build: blocks, derived caches, position lists, and
+// per-block index tables are decoded resident; sealed-segment BMTs are
+// reconstructed from stored node hashes (no rehashing); sealed-segment
+// node-BF arrays become zero-copy mmap views that fault in on first
+// query; the open tail segment (< M blocks) is rebuilt in RAM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chain_context.hpp"
+#include "core/store_sink.hpp"
+#include "store/column_file.hpp"
+#include "store/record_codec.hpp"
+#include "store/store_util.hpp"
+
+namespace lvq {
+
+class DiskChainStore final : public StoreSink {
+ public:
+  struct Options {
+    /// Read-only opens never create, truncate, or recover-by-truncation;
+    /// they are what SIGHUP reloads and store-info use on a live store.
+    bool read_only = false;
+    /// Durability mode; unset → LVQ_STORE_SYNC env → kCommit.
+    std::optional<SyncMode> sync;
+  };
+
+  /// Opens an existing store (validating `config` against the superblock)
+  /// or creates a fresh one at `dir`. Runs recovery: truncates
+  /// uncommitted column tails, CRC-verifies the committed resident
+  /// columns, and falls back one commit if the newest slot's data is
+  /// corrupt. Throws StoreError when the store cannot be made consistent.
+  static std::unique_ptr<DiskChainStore> open(const std::string& dir,
+                                              const ProtocolConfig& config,
+                                              const Options& options);
+  static std::unique_ptr<DiskChainStore> open(const std::string& dir,
+                                              const ProtocolConfig& config) {
+    return open(dir, config, Options{});
+  }
+
+  ~DiskChainStore() override;
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t tip_height() const { return committed_.tip_height; }
+  const Hash256& tip_hash() const { return committed_.tip_hash; }
+  const ProtocolConfig& config() const { return committed_.config; }
+
+  struct ColumnInfo {
+    std::string name;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct Info {
+    std::uint32_t version = 0;
+    std::uint64_t seqno = 0;
+    std::uint64_t tip_height = 0;
+    Hash256 tip_hash;
+    ProtocolConfig config;
+    std::vector<ColumnInfo> columns;
+    std::uint64_t total_bytes = 0;
+  };
+  /// Committed-state summary (what `lvqtool store-info` prints).
+  Info info() const;
+
+  /// Reads a store's committed summary from the superblock alone — no
+  /// column opens, no config to match. This is how `lvqtool store-info`
+  /// learns the stored ProtocolConfig before deciding how to open it.
+  static Info peek(const std::string& dir);
+
+  /// Full CRC32C walk over every committed record of every column —
+  /// including segbf.col, which reopen deliberately skips. Returns true
+  /// when clean; otherwise false with a description in *error.
+  bool verify_checksums(std::string* error);
+
+  /// Rebuilds the committed chain as a ChainContext byte-identical to an
+  /// all-RAM build of the same blocks (tests/store_test.cpp pins this
+  /// across all five designs). Returns nullptr for an empty store
+  /// (tip 0). The returned context may outlive this store object: every
+  /// mmap view holds a shared_ptr to its mapping.
+  std::shared_ptr<const ChainContext> load_context(
+      const ChainBuildOptions& options = {});
+
+  // ---- StoreSink (write-through from the ChainBuilder pipeline) ----
+  void put_derived(std::uint64_t height, const BlockDerived& d) override;
+  void put_positions(std::uint64_t height,
+                     const std::vector<std::uint32_t>& positions) override;
+  void put_sealed_bmt(std::uint64_t seg_index, const SegmentBmt& bmt) override;
+  void put_block_index(std::uint64_t height,
+                       const BlockProofIndex* idx) override;
+  void put_sealed_segment_index(std::uint64_t seg_index,
+                                const SegmentProofIndex& idx) override;
+  void put_block(std::uint64_t height, const Block& block) override;
+  void stage_flush(const char* stage) override;
+  void commit(std::uint64_t tip_height, const Hash256& tip_hash) override;
+
+ private:
+  DiskChainStore(std::string dir, bool read_only, SyncMode sync);
+
+  ColumnFile& col(std::uint32_t id) { return *cols_[id]; }
+  const ColumnFile& col(std::uint32_t id) const { return *cols_[id]; }
+
+  void create_fresh(const ProtocolConfig& config);
+  void open_existing(const ProtocolConfig& config);
+  /// Truncates columns to `sb`'s sizes (read-write only) and CRC-verifies
+  /// the five resident columns plus segbf framing. Throws StoreError.
+  void adopt_and_verify(const Superblock& sb);
+  void write_slot(const Superblock& sb, int slot);
+
+  /// True when the record at `index` is already persisted (idempotent
+  /// replay); throws StoreError when `index` would leave a gap.
+  bool skip_or_claim(std::uint32_t column, std::uint64_t index,
+                     const char* what);
+  void append(std::uint32_t column, ByteSpan payload);
+  void flush_columns();
+  void sync_columns();
+  /// Deterministic crash injection: every durability point bumps a
+  /// counter; when it reaches LVQ_STORE_KILL_AT the process _exits.
+  void kill_point();
+
+  std::string dir_;
+  bool read_only_ = false;
+  SyncMode sync_ = SyncMode::kCommit;
+  int super_fd_ = -1;
+  int committed_slot_ = 0;  // slot committed_ was read from / written to
+  Superblock committed_;
+  ColumnState pending_[kColumnCount];  // includes uncommitted appends
+  std::uint64_t pending_tip_ = 0;
+  Hash256 pending_tip_hash_;
+  std::unique_ptr<ColumnFile> cols_[kColumnCount];
+  std::int64_t kill_at_ = -1;
+  std::int64_t flush_count_ = 0;
+};
+
+}  // namespace lvq

@@ -1,0 +1,213 @@
+#include "store/record_codec.hpp"
+
+#include <cstring>
+
+#include "store/store_util.hpp"
+
+namespace lvq {
+
+namespace {
+
+constexpr char kSuperMagic[8] = {'L', 'V', 'Q', 'S', 'T', 'O', 'R', '1'};
+
+}  // namespace
+
+void encode_derived(Writer& w, const BlockDerived& d) {
+  w.varint(d.txids.size());
+  for (const Hash256& h : d.txids) w.raw(h.bytes);
+  w.raw(d.merkle_root.bytes);
+  w.varint(d.smt_leaves.size());
+  for (const SmtLeaf& leaf : d.smt_leaves) leaf.serialize(w);
+  w.raw(d.smt_commitment.bytes);
+  for (const BloomKey& key : d.bloom_keys) {
+    w.u64(key.h1);
+    w.u64(key.h2);
+  }
+}
+
+BlockDerived decode_derived(Reader& r) {
+  BlockDerived d;
+  std::uint64_t n_txids = r.varint();
+  if (n_txids == 0) throw SerializeError("derived record with no txids");
+  reserve_clamped(d.txids, n_txids);
+  for (std::uint64_t i = 0; i < n_txids; ++i)
+    d.txids.push_back(Hash256{r.arr<32>()});
+  d.merkle_root.bytes = r.arr<32>();
+  std::uint64_t n_leaves = r.varint();
+  reserve_clamped(d.smt_leaves, n_leaves);
+  for (std::uint64_t i = 0; i < n_leaves; ++i) {
+    SmtLeaf leaf = SmtLeaf::deserialize(r);
+    if (leaf.count == 0) throw SerializeError("SMT leaf with zero count");
+    if (i > 0 && !(d.smt_leaves.back().address < leaf.address))
+      throw SerializeError("SMT leaves not strictly sorted");
+    d.smt_leaves.push_back(leaf);
+  }
+  d.smt_commitment.bytes = r.arr<32>();
+  // One Bloom key per leaf by construction (derive_block), so the count
+  // is implied rather than stored.
+  reserve_clamped(d.bloom_keys, n_leaves);
+  for (std::uint64_t i = 0; i < n_leaves; ++i) {
+    BloomKey key;
+    key.h1 = r.u64();
+    key.h2 = r.u64();
+    d.bloom_keys.push_back(key);
+  }
+  r.expect_done();
+  return d;
+}
+
+void encode_positions(Writer& w, const std::vector<std::uint32_t>& positions) {
+  w.varint(positions.size());
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    // Delta encoding: position lists are sorted and dense enough that
+    // most gaps fit one varint byte.
+    w.varint(i == 0 ? positions[0] : positions[i] - prev);
+    prev = positions[i];
+  }
+}
+
+std::vector<std::uint32_t> decode_positions(Reader& r,
+                                            const BloomGeometry& geom) {
+  std::uint64_t n = r.varint();
+  std::vector<std::uint32_t> out;
+  reserve_clamped(out, n);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t delta = r.varint();
+    std::uint64_t pos = (i == 0) ? delta : prev + delta;
+    if (i > 0 && delta == 0)
+      throw SerializeError("position list not strictly ascending");
+    if (pos >= geom.size_bits())
+      throw SerializeError("bit position outside filter geometry");
+    out.push_back(static_cast<std::uint32_t>(pos));
+    prev = pos;
+  }
+  r.expect_done();
+  return out;
+}
+
+void encode_bmt_hashes(Writer& w, const SegmentBmt& bmt) {
+  const std::vector<std::vector<Hash256>>& levels = bmt.hash_levels();
+  w.varint(levels.size());
+  for (const std::vector<Hash256>& level : levels) {
+    w.varint(level.size());
+    for (const Hash256& h : level) w.raw(h.bytes);
+  }
+}
+
+std::vector<std::vector<Hash256>> decode_bmt_hashes(
+    Reader& r, std::uint32_t segment_length) {
+  if (segment_length == 0 || (segment_length & (segment_length - 1)) != 0)
+    throw SerializeError("segment length not a power of two");
+  std::uint32_t depth = 0;
+  while ((1u << depth) < segment_length) ++depth;
+  if (r.varint() != depth + 1)
+    throw SerializeError("BMT hash table has wrong depth");
+  std::vector<std::vector<Hash256>> levels;
+  levels.reserve(depth + 1);
+  for (std::uint32_t l = 0; l <= depth; ++l) {
+    std::uint64_t expect = segment_length >> l;
+    if (r.varint() != expect)
+      throw SerializeError("BMT hash level has wrong width");
+    std::vector<Hash256> level;
+    reserve_clamped(level, expect);
+    for (std::uint64_t j = 0; j < expect; ++j)
+      level.push_back(Hash256{r.arr<32>()});
+    levels.push_back(std::move(level));
+  }
+  r.expect_done();
+  return levels;
+}
+
+void encode_block_index(Writer& w, const BlockProofIndex* idx) {
+  if (idx == nullptr) {
+    w.u8(0);
+    return;
+  }
+  w.u8(1);
+  idx->serialize(w);
+}
+
+std::shared_ptr<const BlockProofIndex> decode_block_index(
+    Reader& r, std::shared_ptr<const BlockDerived> derived) {
+  std::uint8_t present = r.u8();
+  if (present == 0) {
+    r.expect_done();
+    return nullptr;
+  }
+  if (present != 1) throw SerializeError("bad block-index presence byte");
+  auto idx = std::make_shared<BlockProofIndex>(
+      BlockProofIndex::deserialize(r, std::move(derived)));
+  r.expect_done();
+  return idx;
+}
+
+const char* column_name(std::uint32_t id) {
+  switch (id) {
+    case kColBlocks: return "blocks";
+    case kColDerived: return "derived";
+    case kColPositions: return "positions";
+    case kColBmt: return "bmt";
+    case kColBlockIndex: return "blockidx";
+    case kColSegBf: return "segbf";
+    default: return "?";
+  }
+}
+
+Bytes Superblock::encode_slot() const {
+  Writer w;
+  w.raw(ByteSpan{reinterpret_cast<const std::uint8_t*>(kSuperMagic), 8});
+  w.u32(kVersion);
+  w.u64(seqno);
+  w.u8(static_cast<std::uint8_t>(config.design));
+  w.u32(config.bloom.size_bytes);
+  w.u32(config.bloom.hash_count);
+  w.u32(config.segment_length);
+  w.u64(tip_height);
+  w.raw(tip_hash.bytes);
+  for (const ColumnState& c : columns) {
+    w.u64(c.bytes);
+    w.u64(c.records);
+  }
+  Bytes slot = w.take();
+  std::uint32_t crc = crc32c(ByteSpan{slot.data(), slot.size()});
+  Writer tail;
+  tail.u32(crc);
+  slot.insert(slot.end(), tail.data().begin(), tail.data().end());
+  LVQ_CHECK(slot.size() <= kSlotSize);
+  slot.resize(kSlotSize, 0);
+  return slot;
+}
+
+bool Superblock::decode_slot(ByteSpan slot, Superblock* out) {
+  if (slot.size() != kSlotSize) return false;
+  if (std::memcmp(slot.data(), kSuperMagic, 8) != 0) return false;
+  try {
+    Reader r(slot);
+    r.raw(8);
+    Superblock sb;
+    if (r.u32() != kVersion) return false;
+    sb.seqno = r.u64();
+    std::uint8_t design = r.u8();
+    if (design > static_cast<std::uint8_t>(Design::kLvq)) return false;
+    sb.config.design = static_cast<Design>(design);
+    sb.config.bloom.size_bytes = r.u32();
+    sb.config.bloom.hash_count = r.u32();
+    sb.config.segment_length = r.u32();
+    sb.tip_height = r.u64();
+    sb.tip_hash.bytes = r.arr<32>();
+    for (ColumnState& c : sb.columns) {
+      c.bytes = r.u64();
+      c.records = r.u64();
+    }
+    std::size_t body = r.pos();
+    if (crc32c(slot.subspan(0, body)) != r.u32()) return false;
+    *out = sb;
+    return true;
+  } catch (const SerializeError&) {
+    return false;
+  }
+}
+
+}  // namespace lvq

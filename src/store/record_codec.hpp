@@ -1,0 +1,90 @@
+// Payload codecs for the disk store's column records.
+//
+// These sit between the column framing (length + CRC32C, column_file.hpp)
+// and the in-RAM chain structures. Every decoder validates structure and
+// throws SerializeError on malformed input — the same contract as the wire
+// decoders, which lets tests/fuzz_decode_test.cpp drive them with random
+// bytes. Semantic integrity (do these txids really hash to that Merkle
+// root?) is NOT re-checked here: store records are locally produced and
+// checksum-framed, and re-deriving them would erase reopen's entire
+// advantage over a rebuild.
+//
+// The superblock codec also lives here. A superblock slot is a fixed
+// 512-byte block; two slots (A/B) alternate, so a crash while writing one
+// always leaves the other intact — the store's commit atomicity hinge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/chain_context.hpp"
+#include "core/proof_index.hpp"
+#include "util/serialize.hpp"
+
+namespace lvq {
+
+// ---- column payloads -------------------------------------------------
+
+void encode_derived(Writer& w, const BlockDerived& d);
+/// Validates: leaves strictly sorted by address, one Bloom key per leaf.
+BlockDerived decode_derived(Reader& r);
+
+void encode_positions(Writer& w, const std::vector<std::uint32_t>& positions);
+/// Validates: strictly ascending, all below the geometry's bit count.
+std::vector<std::uint32_t> decode_positions(Reader& r,
+                                            const BloomGeometry& geom);
+
+/// Node-hash table of one sealed segment, level-major.
+void encode_bmt_hashes(Writer& w, const SegmentBmt& bmt);
+/// Validates the exact (depth+1, segment_length >> level) shape so the
+/// result can feed SegmentBmt::from_hashes without tripping its checks.
+std::vector<std::vector<Hash256>> decode_bmt_hashes(
+    Reader& r, std::uint32_t segment_length);
+
+/// One per-block proof-index slot; `idx` may be null (designs whose
+/// proofs ship whole blocks) — the record stores the absence explicitly.
+void encode_block_index(Writer& w, const BlockProofIndex* idx);
+std::shared_ptr<const BlockProofIndex> decode_block_index(
+    Reader& r, std::shared_ptr<const BlockDerived> derived);
+
+// ---- superblock ------------------------------------------------------
+
+/// Column order is fixed; the superblock stores one (bytes, records) pair
+/// per entry and every file is named <name>.col in the store directory.
+enum ColumnId : std::uint32_t {
+  kColBlocks = 0,
+  kColDerived = 1,
+  kColPositions = 2,
+  kColBmt = 3,
+  kColBlockIndex = 4,
+  kColSegBf = 5,
+  kColumnCount = 6,
+};
+
+const char* column_name(std::uint32_t id);
+
+struct ColumnState {
+  std::uint64_t bytes = 0;    // committed file size, header included
+  std::uint64_t records = 0;  // committed record count
+};
+
+struct Superblock {
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::size_t kSlotSize = 512;
+
+  std::uint64_t seqno = 0;  // monotonically increasing commit number
+  ProtocolConfig config;
+  std::uint64_t tip_height = 0;
+  Hash256 tip_hash;
+  ColumnState columns[kColumnCount];
+
+  /// Encodes one fixed-size slot (magic, version, fields, CRC, zero pad).
+  Bytes encode_slot() const;
+
+  /// Decodes a slot; returns false (not throw) when the slot is invalid —
+  /// a torn slot write is an expected state, handled by slot selection.
+  static bool decode_slot(ByteSpan slot, Superblock* out);
+};
+
+}  // namespace lvq

@@ -1,0 +1,116 @@
+#include "store/store_util.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define LVQ_X86 1
+#include <cpuid.h>
+#endif
+
+namespace lvq {
+
+#ifdef LVQ_X86
+namespace detail {
+// Defined in crc32c_sse42.cpp (compiled with -msse4.2).
+std::uint32_t crc32c_sse42(std::uint32_t seed, const std::uint8_t* data,
+                           std::size_t len);
+}  // namespace detail
+#endif
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::uint32_t crc32c_portable(std::uint32_t seed, const std::uint8_t* data,
+                              std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc32c_table();
+  std::uint32_t c = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c;
+}
+
+#ifdef LVQ_X86
+bool cpu_has_sse42() {
+  unsigned int eax, ebx, ecx, edx;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  return (ecx & (1u << 20)) != 0;  // SSE4.2 (CRC32 instruction)
+}
+#endif
+
+using CrcFn = std::uint32_t (*)(std::uint32_t, const std::uint8_t*,
+                                std::size_t);
+
+CrcFn select_crc_backend() {
+#ifdef LVQ_X86
+  if (cpu_has_sse42()) return &detail::crc32c_sse42;
+#endif
+  return &crc32c_portable;
+}
+
+const CrcFn g_crc32c = select_crc_backend();
+
+}  // namespace
+
+std::uint32_t crc32c(ByteSpan data) {
+  return g_crc32c(0xFFFFFFFFu, data.data(), data.size()) ^ 0xFFFFFFFFu;
+}
+
+SyncMode sync_mode_from_env() {
+  const char* v = std::getenv("LVQ_STORE_SYNC");
+  if (v == nullptr || v[0] == '\0') return SyncMode::kCommit;
+  if (std::strcmp(v, "none") == 0) return SyncMode::kNone;
+  if (std::strcmp(v, "commit") == 0) return SyncMode::kCommit;
+  if (std::strcmp(v, "paranoid") == 0) return SyncMode::kParanoid;
+  throw StoreError(std::string("unrecognized LVQ_STORE_SYNC value: ") + v);
+}
+
+void fsync_dir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw StoreError("cannot open directory for fsync: " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw StoreError("fsync failed on directory: " + dir);
+}
+
+std::shared_ptr<const MmapFile> MmapFile::map(const std::string& path,
+                                              std::uint64_t length) {
+  if (length == 0) return nullptr;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw StoreError("cannot open for mmap: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<std::uint64_t>(st.st_size) < length) {
+    ::close(fd);
+    throw StoreError("file shorter than mapped length: " + path);
+  }
+  void* addr = ::mmap(nullptr, static_cast<std::size_t>(length), PROT_READ,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) throw StoreError("mmap failed: " + path);
+  return std::shared_ptr<const MmapFile>(
+      new MmapFile(addr, static_cast<std::size_t>(length)));
+}
+
+MmapFile::~MmapFile() { ::munmap(addr_, length_); }
+
+}  // namespace lvq

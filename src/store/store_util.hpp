@@ -1,0 +1,76 @@
+// Low-level plumbing for the on-disk chain store: error type, CRC32C,
+// fd RAII, read-only file mappings, and durability knobs.
+//
+// Everything here is POSIX-only (open/pwrite/fsync/mmap) — the store is a
+// full-node-side component and the repo's CI targets Linux. No third-party
+// dependencies: CRC32C uses the x86 SSE4.2 CRC32 instruction when the CPU
+// has it (reopen CRC-walks every committed resident byte, so checksum
+// throughput bounds warm-start latency) and falls back to the table-driven
+// Castagnoli implementation elsewhere; both produce identical values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+/// Environment/corruption failures of the disk store (bad magic, config
+/// mismatch, checksum failure in the committed region, I/O errors).
+/// Distinct from SerializeError: record *payload* decoders throw
+/// SerializeError (they also run under the fuzz harness); everything about
+/// files, framing, and commit state throws StoreError.
+class StoreError : public std::runtime_error {
+ public:
+  explicit StoreError(const std::string& what)
+      : std::runtime_error("store: " + what) {}
+};
+
+/// CRC32C (Castagnoli), reflected, init/xorout 0xFFFFFFFF — the framing
+/// checksum of every store record and of each superblock slot.
+std::uint32_t crc32c(ByteSpan data);
+
+/// When the store pushes bytes to the platters.
+enum class SyncMode : std::uint8_t {
+  kNone = 0,     // never fsync (tests, benches; crash-unsafe)
+  kCommit = 1,   // fsync columns + superblock at commit (default)
+  kParanoid = 2  // additionally fsync at every stage flush
+};
+
+/// Reads LVQ_STORE_SYNC (none|commit|paranoid); unset → kCommit.
+/// Throws StoreError on an unrecognized value.
+SyncMode sync_mode_from_env();
+
+/// fsyncs a directory so freshly created/renamed entries are durable.
+void fsync_dir(const std::string& dir);
+
+/// Shared read-only mapping of one file. Pages fault in lazily on first
+/// touch — the mechanism behind the store's lazy segment-BF page-in.
+/// Instances are handed out as shared_ptr and pinned by every view that
+/// aliases the mapping (SegmentProofIndex::from_blob owner).
+class MmapFile {
+ public:
+  /// Maps `length` bytes of `path` read-only; length must not exceed the
+  /// file size. Returns nullptr when length is 0 (nothing to map).
+  static std::shared_ptr<const MmapFile> map(const std::string& path,
+                                             std::uint64_t length);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  ByteSpan span() const {
+    return ByteSpan{static_cast<const std::uint8_t*>(addr_), length_};
+  }
+
+ private:
+  MmapFile(void* addr, std::size_t length) : addr_(addr), length_(length) {}
+
+  void* addr_;
+  std::size_t length_;
+};
+
+}  // namespace lvq

@@ -10,9 +10,13 @@
 #include "core/query.hpp"
 #include "core/range_query.hpp"
 #include "merkle/sorted_merkle_tree.hpp"
+#include "core/chain_builder.hpp"
+#include "core/proof_index.hpp"
 #include "net/frame.hpp"
 #include "net/message.hpp"
 #include "node/session.hpp"
+#include "store/column_file.hpp"
+#include "store/record_codec.hpp"
 #include "util/rng.hpp"
 #include "workload/workload.hpp"
 
@@ -78,6 +82,96 @@ TEST(FuzzDecode, RandomBytesAllDecoders) {
     expect_no_crash(data, [](const Bytes& d) {
       (void)decode_envelope(ByteSpan{d.data(), d.size()});
     });
+  }
+}
+
+// The disk store's record decoders share the wire decoders' contract:
+// SerializeError or success, never anything else. (The column framing
+// layer below them throws StoreError; it gets its own harness.)
+TEST(FuzzDecode, RandomBytesStoreRecordDecoders) {
+  WorkloadConfig c;
+  c.seed = 110;
+  c.num_blocks = 1;
+  c.background_txs_per_block = 4;
+  c.profiles = {{"p", 1, 1}};
+  ExperimentSetup setup = make_setup(c);
+  auto derived = std::make_shared<const BlockDerived>(setup.derived->at(1));
+
+  Rng rng(111);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes data = random_bytes(rng, 300);
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)decode_derived(r);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)decode_positions(r, kGeom);
+    });
+    expect_no_crash(data, [](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)decode_bmt_hashes(r, 8);
+    });
+    expect_no_crash(data, [&derived](const Bytes& d) {
+      Reader r(ByteSpan{d.data(), d.size()});
+      (void)decode_block_index(r, derived);
+    });
+    // decode_slot never throws: a torn superblock slot is an expected
+    // state, reported as false.
+    Bytes slot = data;
+    slot.resize(Superblock::kSlotSize, 0);
+    Superblock sb;
+    EXPECT_NO_THROW(
+        (void)Superblock::decode_slot(ByteSpan{slot.data(), slot.size()}, &sb));
+  }
+}
+
+TEST(FuzzDecode, MutatedRealStoreRecords) {
+  WorkloadConfig c;
+  c.seed = 112;
+  c.num_blocks = 8;
+  c.background_txs_per_block = 5;
+  c.profiles = {{"p", 3, 2}};
+  ExperimentSetup setup = make_setup(c);
+  auto ctx = ChainBuilder::build(setup.workload, kConfig);
+  auto derived = std::make_shared<const BlockDerived>(setup.derived->at(3));
+
+  Writer dw, pw, iw;
+  encode_derived(dw, setup.derived->at(3));
+  encode_positions(pw, ctx->positions().positions(3));
+  encode_block_index(iw, ctx->proof_index()->block(3));
+  const Bytes bases[] = {dw.take(), pw.take(), iw.take()};
+
+  Rng rng(113);
+  for (int trial = 0; trial < 1500; ++trial) {
+    for (int which = 0; which < 3; ++which) {
+      Bytes data = bases[which];
+      std::size_t pos = rng.below(data.size());
+      data[pos] ^= static_cast<std::uint8_t>(rng.next_u64() | 1);
+      if (rng.chance(0.3)) data.resize(rng.below(data.size() + 1));
+      expect_no_crash(data, [which, &derived](const Bytes& d) {
+        Reader r(ByteSpan{d.data(), d.size()});
+        switch (which) {
+          case 0: (void)decode_derived(r); break;
+          case 1: (void)decode_positions(r, kGeom); break;
+          case 2: (void)decode_block_index(r, derived); break;
+        }
+      });
+    }
+  }
+}
+
+TEST(FuzzDecode, RandomBytesColumnScanner) {
+  // Framing layer: StoreError or success; the claimed record length must
+  // never drive an allocation (payloads are subspans of the input).
+  Rng rng(114);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Bytes data = random_bytes(rng, 300);
+    try {
+      (void)scan_records(ByteSpan{data.data(), data.size()}, true, "fuzz");
+    } catch (const StoreError&) {
+      // expected for malformed input
+    }
   }
 }
 

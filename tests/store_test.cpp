@@ -1,0 +1,728 @@
+// DiskChainStore tests — the persistence contract behind `lvqtool --store`.
+//
+// The load-bearing properties, in order:
+//   1. Byte identity: a context reopened from disk serves exactly the
+//      bytes an all-RAM build of the same blocks serves — single, range,
+//      and multi/batch responses, for every design — and stays
+//      byte-identical after appending through the reopened store.
+//   2. Crash recovery: a process killed at ANY durability point leaves a
+//      store that reopens to the last committed tip and accepts the
+//      resumed append. No timing dependence — kill points are counted
+//      deterministically (LVQ_STORE_KILL_AT).
+//   3. Corruption handling: torn uncommitted tails vanish, a damaged
+//      newest commit falls back exactly one commit, damage beneath the
+//      last good commit is fatal, and segbf damage — exempt from the
+//      reopen CRC walk by the lazy page-in design — is caught offline by
+//      verify_checksums().
+//   4. Format stability: the golden fixture stores under
+//      tests/data/store_golden pin the on-disk layout per design; any
+//      unversioned layout change fails loudly here.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/chain_builder.hpp"
+#include "core/multi_query.hpp"
+#include "core/proof_index.hpp"
+#include "core/prover.hpp"
+#include "core/range_query.hpp"
+#include "node/session.hpp"
+#include "store/disk_chain_store.hpp"
+#include "workload/workload.hpp"
+
+namespace lvq {
+namespace {
+
+constexpr Design kAllDesigns[] = {Design::kStrawman, Design::kStrawmanVariant,
+                                  Design::kLvqNoBmt, Design::kLvqNoSmt,
+                                  Design::kLvq};
+
+ExperimentSetup test_setup(std::uint32_t blocks, std::uint64_t seed = 515) {
+  WorkloadConfig c;
+  c.seed = seed;
+  c.num_blocks = blocks;
+  c.background_txs_per_block = 6;
+  c.profiles = {{"busy", 9, 6}, {"rare", 2, 2}, {"ghost", 0, 0}};
+  return make_setup(c);
+}
+
+std::shared_ptr<Workload> prefix_workload(const Workload& all,
+                                          std::size_t blocks) {
+  auto w = std::make_shared<Workload>();
+  w->blocks.assign(all.blocks.begin(), all.blocks.begin() + blocks);
+  return w;
+}
+
+std::vector<std::vector<Transaction>> tail_blocks(const Workload& all,
+                                                  std::size_t from) {
+  return {all.blocks.begin() + from, all.blocks.end()};
+}
+
+std::vector<Address> query_addresses(const Workload& w) {
+  std::vector<Address> out;
+  for (const AddressProfile& p : w.profiles) out.push_back(p.address);
+  out.push_back(Address::derive(str_bytes("store-test-never-on-chain")));
+  return out;
+}
+
+Bytes query_bytes(const ChainContext& ctx, const Address& a) {
+  Writer w;
+  build_query_response(ctx, a).serialize(w);
+  return w.take();
+}
+
+Bytes range_bytes(const ChainContext& ctx, const Address& a,
+                  std::uint64_t from, std::uint64_t to) {
+  Writer w;
+  build_range_response(ctx, a, from, to).serialize(w);
+  return w.take();
+}
+
+Bytes multi_bytes(const ChainContext& ctx, const std::vector<Address>& as) {
+  Writer w;
+  build_multi_response(ctx, as).serialize(w);
+  return w.take();
+}
+
+Bytes header_bytes(const ChainContext& ctx) {
+  Writer w;
+  for (const BlockHeader& h : ctx.headers()) h.serialize(w);
+  return w.take();
+}
+
+/// Full response-byte identity: headers, every single query, a range, and
+/// one multi/batch response covering all addresses at once.
+void expect_same_bytes(const ChainContext& want, const ChainContext& got,
+                       const std::vector<Address>& addrs, const char* tag) {
+  ASSERT_EQ(want.tip_height(), got.tip_height()) << tag;
+  EXPECT_EQ(header_bytes(want), header_bytes(got)) << tag << " headers";
+  const std::uint64_t tip = want.tip_height();
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    EXPECT_EQ(query_bytes(want, addrs[i]), query_bytes(got, addrs[i]))
+        << tag << " query addr " << i;
+    EXPECT_EQ(range_bytes(want, addrs[i], 2, tip - 1),
+              range_bytes(got, addrs[i], 2, tip - 1))
+        << tag << " range addr " << i;
+  }
+  EXPECT_EQ(multi_bytes(want, addrs), multi_bytes(got, addrs))
+      << tag << " multi/batch";
+}
+
+void remove_store_dir(const std::string& dir) {
+  ::unlink((dir + "/superblock").c_str());
+  for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+    ::unlink((dir + "/" + column_name(c) + ".col").c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char buf[] = "/tmp/lvq_store_test_XXXXXX";
+    const char* p = ::mkdtemp(buf);
+    LVQ_CHECK_MSG(p != nullptr, "mkdtemp failed");
+    path = p;
+  }
+  ~TempDir() { remove_store_dir(path); }
+};
+
+std::string column_path(const std::string& dir, std::uint32_t id) {
+  return dir + "/" + std::string(column_name(id)) + ".col";
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+Bytes read_file(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return {};
+  Bytes out(file_size(path));
+  std::size_t off = 0;
+  while (off < out.size()) {
+    ssize_t r = ::read(fd, out.data() + off, out.size() - off);
+    if (r <= 0) break;
+    off += static_cast<std::size_t>(r);
+  }
+  ::close(fd);
+  return out;
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0) << path;
+  std::uint8_t b = 0;
+  ASSERT_EQ(::pread(fd, &b, 1, static_cast<off_t>(offset)), 1) << path;
+  b ^= 0x01;
+  ASSERT_EQ(::pwrite(fd, &b, 1, static_cast<off_t>(offset)), 1) << path;
+  ::close(fd);
+}
+
+void append_garbage(const std::string& path, std::size_t n) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  ASSERT_GE(fd, 0) << path;
+  Bytes junk(n, 0xAB);
+  ASSERT_EQ(::write(fd, junk.data(), junk.size()), static_cast<ssize_t>(n));
+  ::close(fd);
+}
+
+std::uint64_t column_records(const DiskChainStore::Info& info,
+                             const std::string& name) {
+  for (const auto& c : info.columns) {
+    if (c.name == name) return c.records;
+  }
+  return ~0ull;
+}
+
+// ---------------------------------------------------------------------
+// 1. Byte identity across every design, through reopen and append.
+// ---------------------------------------------------------------------
+
+TEST(StoreReopen, ByteIdenticalAcrossDesignsThroughReopenAndAppend) {
+  const ExperimentSetup setup = test_setup(27);
+  const std::vector<Address> addrs = query_addresses(*setup.workload);
+  auto base_workload = prefix_workload(*setup.workload, 22);
+
+  for (Design design : kAllDesigns) {
+    SCOPED_TRACE(design_name(design));
+    ProtocolConfig config{design, BloomGeometry{128, 4}, 4};
+    TempDir tmp;
+
+    Hash256 built_tip_hash;
+    {
+      auto store = DiskChainStore::open(tmp.path, config);
+      ChainBuildOptions with_store;
+      with_store.store = store.get();
+      auto ram = ChainBuilder::build(base_workload, config, with_store);
+      built_tip_hash = ram->chain().at_height(22).header.hash();
+      EXPECT_EQ(store->tip_height(), 22u);
+      EXPECT_EQ(store->tip_hash().hex(), built_tip_hash.hex());
+    }
+
+    // Reopen: the loaded context must serve exactly the all-RAM bytes.
+    auto store = DiskChainStore::open(tmp.path, config);
+    EXPECT_EQ(store->tip_height(), 22u);
+    auto loaded = store->load_context();
+    ASSERT_NE(loaded, nullptr);
+    auto ram22 = ChainBuilder::build(base_workload, config);
+    EXPECT_EQ(loaded->proof_index() != nullptr,
+              ram22->proof_index() != nullptr);
+    expect_same_bytes(*ram22, *loaded, addrs, "reopen");
+
+    // Append THROUGH the reopened store: persisted records are replayed
+    // idempotently, only the new heights land on disk.
+    ChainBuildOptions with_store;
+    with_store.store = store.get();
+    auto grown = loaded->extend(tail_blocks(*setup.workload, 22), with_store);
+    EXPECT_EQ(store->tip_height(), 27u);
+    auto ram27 = ChainBuilder::build(setup.workload, config);
+    expect_same_bytes(*ram27, *grown, addrs, "post-append");
+
+    // Second reopen sees the appended chain, still byte-identical, and
+    // every committed record checksums clean.
+    store.reset();
+    auto store2 = DiskChainStore::open(tmp.path, config);
+    EXPECT_EQ(store2->tip_height(), 27u);
+    auto loaded27 = store2->load_context();
+    ASSERT_NE(loaded27, nullptr);
+    expect_same_bytes(*ram27, *loaded27, addrs, "reopen-after-append");
+    std::string err;
+    EXPECT_TRUE(store2->verify_checksums(&err)) << err;
+
+    // The loaded context must outlive the store object (mmap views hold
+    // shared ownership of their mappings).
+    store2.reset();
+    EXPECT_EQ(query_bytes(*ram27, addrs[0]), query_bytes(*loaded27, addrs[0]));
+  }
+}
+
+TEST(StoreReopen, InfoReportsCommittedState) {
+  const ExperimentSetup setup = test_setup(8);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  TempDir tmp;
+  {
+    auto store = DiskChainStore::open(tmp.path, config);
+    ChainBuildOptions o;
+    o.store = store.get();
+    (void)ChainBuilder::build(setup.workload, config, o);
+  }
+  auto store = DiskChainStore::open(
+      tmp.path, config, DiskChainStore::Options{/*read_only=*/true, {}});
+  DiskChainStore::Info info = store->info();
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.seqno, 2u);  // fresh store is seqno 1, one commit later
+  EXPECT_EQ(info.tip_height, 8u);
+  EXPECT_EQ(info.config.design, Design::kLvq);
+  EXPECT_EQ(column_records(info, "blocks"), 8u);
+  EXPECT_EQ(column_records(info, "derived"), 8u);
+  EXPECT_EQ(column_records(info, "positions"), 8u);
+  EXPECT_EQ(column_records(info, "bmt"), 2u);      // 8 blocks / M=4
+  EXPECT_EQ(column_records(info, "blockidx"), 8u);
+  EXPECT_EQ(column_records(info, "segbf"), 2u);
+  EXPECT_GT(info.total_bytes, 0u);
+}
+
+TEST(StoreReopen, EmptyStoreLoadsNoContext) {
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  TempDir tmp;
+  auto store = DiskChainStore::open(tmp.path, config);
+  EXPECT_EQ(store->tip_height(), 0u);
+  EXPECT_EQ(store->load_context(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// 2. Crash recovery at every kill point.
+// ---------------------------------------------------------------------
+
+// Each build/extend passes 7 durability points: 5 stage flushes (derived,
+// positions, bmt, proof-index, blocks) and 2 inside commit (columns
+// synced / new superblock slot durable).
+constexpr int kKillPointsPerCommit = 7;
+
+TEST(StoreCrash, EveryKillPointRecoversToACommittedTip) {
+  const ExperimentSetup setup = test_setup(12, /*seed=*/77);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  auto base_workload = prefix_workload(*setup.workload, 8);
+  const std::vector<Address> addrs = query_addresses(*setup.workload);
+
+  auto ram8 = ChainBuilder::build(base_workload, config);
+  auto ram12 = ChainBuilder::build(setup.workload, config);
+
+  for (int kill = 1; kill <= kKillPointsPerCommit + 1; ++kill) {
+    SCOPED_TRACE("kill point " + std::to_string(kill));
+    TempDir tmp;
+    {
+      // Seed the store with a committed tip-8 chain (no kill injection —
+      // the env var is only set in the child).
+      auto store = DiskChainStore::open(tmp.path, config);
+      ChainBuildOptions o;
+      o.store = store.get();
+      o.threads = 1;
+      (void)ChainBuilder::build(base_workload, config, o);
+      ASSERT_EQ(store->tip_height(), 8u);
+    }
+
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: extend 8 -> 12 through the store and die at the injected
+      // point. Strictly serial — pool threads do not survive fork().
+      ::setenv("LVQ_STORE_KILL_AT", std::to_string(kill).c_str(), 1);
+      try {
+        auto store = DiskChainStore::open(tmp.path, config);
+        auto ctx = store->load_context();
+        if (ctx == nullptr || ctx->tip_height() != 8) ::_exit(3);
+        ChainBuildOptions o;
+        o.store = store.get();
+        o.threads = 1;
+        (void)ctx->extend(tail_blocks(*setup.workload, 8), o);
+        ::_exit(0);
+      } catch (...) {
+        ::_exit(4);
+      }
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    const int code = WEXITSTATUS(status);
+    // 42 = killed at the injected point; 0 = the extend outran the
+    // injection (kill > number of points). Anything else is a child bug.
+    ASSERT_TRUE(code == 42 || code == 0) << "child exited " << code;
+    EXPECT_EQ(code == 42, kill <= kKillPointsPerCommit);
+
+    // Recovery: every kill before the superblock write leaves tip 8;
+    // from the moment the new slot is durable the store owns tip 12.
+    auto store = DiskChainStore::open(tmp.path, config);
+    const std::uint64_t tip = store->tip_height();
+    EXPECT_EQ(tip, kill <= kKillPointsPerCommit - 1 ? 8u : 12u);
+    auto loaded = store->load_context();
+    ASSERT_NE(loaded, nullptr);
+    const ChainContext& want = (tip == 8) ? *ram8 : *ram12;
+    EXPECT_EQ(query_bytes(want, addrs[0]), query_bytes(*loaded, addrs[0]));
+    std::string err;
+    EXPECT_TRUE(store->verify_checksums(&err)) << err;
+
+    // The recovered store accepts the resumed append and converges on
+    // the same bytes as the uninterrupted chain.
+    if (tip == 8) {
+      ChainBuildOptions o;
+      o.store = store.get();
+      auto grown = loaded->extend(tail_blocks(*setup.workload, 8), o);
+      EXPECT_EQ(store->tip_height(), 12u);
+      expect_same_bytes(*ram12, *grown, addrs, "resumed append");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// 3. Torn tails, corrupt commits, config mismatches.
+// ---------------------------------------------------------------------
+
+TEST(StoreRecovery, TornUncommittedTailIsDiscarded) {
+  const ExperimentSetup setup = test_setup(8);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  const std::vector<Address> addrs = query_addresses(*setup.workload);
+  TempDir tmp;
+  {
+    auto store = DiskChainStore::open(tmp.path, config);
+    ChainBuildOptions o;
+    o.store = store.get();
+    (void)ChainBuilder::build(setup.workload, config, o);
+  }
+  DiskChainStore::Info committed;
+  {
+    auto store = DiskChainStore::open(tmp.path, config);
+    committed = store->info();
+  }
+
+  // Simulate a crash mid-append: flushed-but-uncommitted records plus a
+  // torn half-frame on two columns.
+  append_garbage(column_path(tmp.path, kColBlocks), 37);
+  append_garbage(column_path(tmp.path, kColDerived), 5);
+
+  // A read-only open serves the committed prefix without touching the
+  // files (recovery-by-truncation is a writer's job).
+  const std::uint64_t torn_size = file_size(column_path(tmp.path, kColBlocks));
+  {
+    auto ro = DiskChainStore::open(
+        tmp.path, config, DiskChainStore::Options{/*read_only=*/true, {}});
+    EXPECT_EQ(ro->tip_height(), 8u);
+    ASSERT_NE(ro->load_context(), nullptr);
+    EXPECT_EQ(file_size(column_path(tmp.path, kColBlocks)), torn_size);
+  }
+
+  // A read-write open truncates the tails back to the committed sizes.
+  auto store = DiskChainStore::open(tmp.path, config);
+  EXPECT_EQ(store->tip_height(), 8u);
+  for (const auto& c : committed.columns) {
+    std::string path = tmp.path + "/" + c.name + ".col";
+    EXPECT_EQ(file_size(path), c.bytes) << c.name;
+  }
+  std::string err;
+  EXPECT_TRUE(store->verify_checksums(&err)) << err;
+  auto loaded = store->load_context();
+  ASSERT_NE(loaded, nullptr);
+  auto ram = ChainBuilder::build(setup.workload, config);
+  EXPECT_EQ(query_bytes(*ram, addrs[0]), query_bytes(*loaded, addrs[0]));
+}
+
+TEST(StoreRecovery, CorruptNewestCommitFallsBackOneCommit) {
+  const ExperimentSetup setup = test_setup(8, /*seed=*/31);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  const std::vector<Address> addrs = query_addresses(*setup.workload);
+  auto base_workload = prefix_workload(*setup.workload, 4);
+  TempDir tmp;
+
+  std::uint64_t blocks_bytes_commit1 = 0;
+  {
+    auto store = DiskChainStore::open(tmp.path, config);
+    ChainBuildOptions o;
+    o.store = store.get();
+    (void)ChainBuilder::build(base_workload, config, o);
+    blocks_bytes_commit1 = store->info().columns[kColBlocks].bytes;
+  }
+  {
+    auto store = DiskChainStore::open(tmp.path, config);
+    auto ctx = store->load_context();
+    ASSERT_NE(ctx, nullptr);
+    ChainBuildOptions o;
+    o.store = store.get();
+    (void)ctx->extend(tail_blocks(*setup.workload, 4), o);
+    ASSERT_EQ(store->tip_height(), 8u);
+  }
+
+  // Damage a payload byte written by the SECOND commit.
+  flip_byte(column_path(tmp.path, kColBlocks), blocks_bytes_commit1 + 10);
+
+  // Reopen: the newest commit fails its CRC walk, recovery falls back
+  // exactly one commit, and the damaged extent is truncated away.
+  auto store = DiskChainStore::open(tmp.path, config);
+  EXPECT_EQ(store->tip_height(), 4u);
+  EXPECT_EQ(store->info().seqno, 2u);
+  auto loaded = store->load_context();
+  ASSERT_NE(loaded, nullptr);
+  auto ram4 = ChainBuilder::build(base_workload, config);
+  EXPECT_EQ(query_bytes(*ram4, addrs[0]), query_bytes(*loaded, addrs[0]));
+
+  // Re-appending over the rolled-back store heals it completely.
+  ChainBuildOptions o;
+  o.store = store.get();
+  auto grown = loaded->extend(tail_blocks(*setup.workload, 4), o);
+  EXPECT_EQ(store->tip_height(), 8u);
+  store.reset();
+  auto store2 = DiskChainStore::open(tmp.path, config);
+  EXPECT_EQ(store2->tip_height(), 8u);
+  std::string err;
+  EXPECT_TRUE(store2->verify_checksums(&err)) << err;
+  auto ram8 = ChainBuilder::build(setup.workload, config);
+  auto loaded8 = store2->load_context();
+  ASSERT_NE(loaded8, nullptr);
+  expect_same_bytes(*ram8, *loaded8, addrs, "healed");
+}
+
+TEST(StoreRecovery, CorruptionBeneathTheLastGoodCommitIsFatal) {
+  const ExperimentSetup setup = test_setup(8, /*seed=*/32);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  auto base_workload = prefix_workload(*setup.workload, 4);
+  TempDir tmp;
+  {
+    auto store = DiskChainStore::open(tmp.path, config);
+    ChainBuildOptions o;
+    o.store = store.get();
+    (void)ChainBuilder::build(base_workload, config, o);
+  }
+  {
+    auto store = DiskChainStore::open(tmp.path, config);
+    auto ctx = store->load_context();
+    ASSERT_NE(ctx, nullptr);
+    ChainBuildOptions o;
+    o.store = store.get();
+    (void)ctx->extend(tail_blocks(*setup.workload, 4), o);
+  }
+  // First record's payload of blocks.col: covered by BOTH commits, so
+  // neither superblock slot can validate — the store is genuinely dead.
+  flip_byte(column_path(tmp.path, kColBlocks),
+            ColumnFile::kHeaderSize + ColumnFile::kRecordOverhead + 2);
+  EXPECT_THROW((void)DiskChainStore::open(tmp.path, config), StoreError);
+}
+
+TEST(StoreRecovery, SegBfDamageIsCaughtOfflineNotAtOpen) {
+  const ExperimentSetup setup = test_setup(8, /*seed=*/33);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  TempDir tmp;
+  {
+    auto store = DiskChainStore::open(tmp.path, config);
+    ChainBuildOptions o;
+    o.store = store.get();
+    (void)ChainBuilder::build(setup.workload, config, o);
+    ASSERT_EQ(column_records(store->info(), "segbf"), 2u);
+  }
+  // Flip a BF payload bit. The reopen CRC walk deliberately skips
+  // segbf.col (checksumming it would fault every page in and defeat lazy
+  // page-in), so open must still succeed...
+  flip_byte(column_path(tmp.path, kColSegBf),
+            ColumnFile::kHeaderSize + ColumnFile::kRecordOverhead + 3);
+  auto store = DiskChainStore::open(tmp.path, config);
+  EXPECT_EQ(store->tip_height(), 8u);
+  // ...while the offline walk (store-info --verify) pins the damage.
+  std::string err;
+  EXPECT_FALSE(store->verify_checksums(&err));
+  EXPECT_NE(err.find("segbf"), std::string::npos) << err;
+}
+
+TEST(StoreOpen, RefusesConfigMismatchAndMissingStores) {
+  const ExperimentSetup setup = test_setup(8, /*seed=*/34);
+  ProtocolConfig config{Design::kLvq, BloomGeometry{128, 4}, 4};
+  TempDir tmp;
+  {
+    auto store = DiskChainStore::open(tmp.path, config);
+    ChainBuildOptions o;
+    o.store = store.get();
+    (void)ChainBuilder::build(setup.workload, config, o);
+  }
+  ProtocolConfig other_design{Design::kStrawman, BloomGeometry{128, 4}, 4};
+  EXPECT_THROW((void)DiskChainStore::open(tmp.path, other_design), StoreError);
+  ProtocolConfig other_geom{Design::kLvq, BloomGeometry{256, 4}, 4};
+  EXPECT_THROW((void)DiskChainStore::open(tmp.path, other_geom), StoreError);
+  EXPECT_THROW(
+      (void)DiskChainStore::open(
+          tmp.path + "/nowhere", config,
+          DiskChainStore::Options{/*read_only=*/true, {}}),
+      StoreError);
+
+  // Writes through a read-only handle are refused.
+  auto ro = DiskChainStore::open(
+      tmp.path, config, DiskChainStore::Options{/*read_only=*/true, {}});
+  EXPECT_THROW(ro->stage_flush("nope"), StoreError);
+  EXPECT_THROW(ro->commit(4, Hash256{}), StoreError);
+}
+
+// ---------------------------------------------------------------------
+// 4. Golden fixture stores: the on-disk format, pinned per design.
+// ---------------------------------------------------------------------
+
+const ExperimentSetup& golden_store_setup() {
+  static ExperimentSetup setup = [] {
+    WorkloadConfig c;
+    c.seed = 7;
+    c.num_blocks = 10;
+    c.background_txs_per_block = 3;
+    c.profiles = {{"p", 3, 2}, {"ghost", 0, 0}};
+    return make_setup(c);
+  }();
+  return setup;
+}
+
+/// Every fixture store under tests/data/store_golden/<design>/ was written
+/// by an earlier build of this code. Today's code must (a) still read it
+/// and serve byte-identical responses, and (b) still PRODUCE those exact
+/// files. If this test fails because you changed the on-disk layout on
+/// purpose: bump the format version, regenerate with
+/// LVQ_REGEN_STORE_GOLDEN=1, and say so in the commit message.
+TEST(StoreGolden, FixtureStoresStayReadableAndByteStable) {
+  const ExperimentSetup& setup = golden_store_setup();
+  const std::vector<Address> addrs = query_addresses(*setup.workload);
+  const bool regen = std::getenv("LVQ_REGEN_STORE_GOLDEN") != nullptr;
+  const std::string root = std::string(LVQ_TEST_DATA_DIR) + "/store_golden";
+  if (regen) {
+    ::mkdir(LVQ_TEST_DATA_DIR, 0755);
+    ::mkdir(root.c_str(), 0755);
+  }
+
+  for (Design design : kAllDesigns) {
+    SCOPED_TRACE(design_name(design));
+    ProtocolConfig config{design, BloomGeometry{64, 3}, 4};
+    const std::string dir = root + "/" + design_name(design);
+
+    if (regen) {
+      remove_store_dir(dir);
+      auto store = DiskChainStore::open(
+          dir, config, DiskChainStore::Options{false, SyncMode::kNone});
+      ChainBuildOptions o;
+      o.store = store.get();
+      (void)ChainBuilder::build(setup.workload, config, o);
+      ASSERT_EQ(store->tip_height(), 10u);
+      continue;
+    }
+
+    ASSERT_GT(file_size(dir + "/superblock"), 0u)
+        << "golden fixture store missing at " << dir
+        << " — regenerate with LVQ_REGEN_STORE_GOLDEN=1";
+
+    // (a) Reader compatibility: the fixture serves all-RAM bytes.
+    auto store = DiskChainStore::open(
+        dir, config, DiskChainStore::Options{/*read_only=*/true, {}});
+    EXPECT_EQ(store->info().version, 1u);
+    EXPECT_EQ(store->tip_height(), 10u);
+    auto loaded = store->load_context();
+    ASSERT_NE(loaded, nullptr);
+    auto ram = ChainBuilder::build(setup.workload, config);
+    expect_same_bytes(*ram, *loaded, addrs, "golden fixture");
+
+    // (b) Writer stability: a freshly written store is byte-for-byte the
+    // committed fixture — superblock and all six columns.
+    TempDir tmp;
+    {
+      auto fresh = DiskChainStore::open(
+          tmp.path, config, DiskChainStore::Options{false, SyncMode::kNone});
+      ChainBuildOptions o;
+      o.store = fresh.get();
+      (void)ChainBuilder::build(setup.workload, config, o);
+    }
+    EXPECT_EQ(read_file(tmp.path + "/superblock"), read_file(dir + "/superblock"))
+        << "superblock layout drifted — bump the version and regenerate";
+    for (std::uint32_t c = 0; c < kColumnCount; ++c) {
+      EXPECT_EQ(read_file(column_path(tmp.path, c)), read_file(column_path(dir, c)))
+          << column_name(c)
+          << ".col layout drifted — bump the version and regenerate";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// 5. Lazy page-in smoke (CI-scale; gated on LVQ_STORE_SMOKE_BLOCKS).
+// ---------------------------------------------------------------------
+
+/// Forks a child that reopens the store and reports its peak RSS (bytes).
+/// `touch_all` additionally CRC-walks every column, faulting in every
+/// segbf page — the eager baseline the lazy path must stay well under.
+long long reopened_peak_rss(const std::string& dir,
+                            const ProtocolConfig& config, const Address& addr,
+                            bool touch_all) {
+  int fds[2];
+  if (::pipe(fds) != 0) return -1;
+  pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::close(fds[0]);
+    long long rss = -1;
+    try {
+      auto store = DiskChainStore::open(
+          dir, config, DiskChainStore::Options{/*read_only=*/true, {}});
+      auto ctx = store->load_context();
+      if (ctx != nullptr) {
+        Writer w;
+        build_query_response(*ctx, addr).serialize(w);
+        if (touch_all) {
+          std::string err;
+          (void)store->verify_checksums(&err);
+        }
+        struct rusage ru{};
+        ::getrusage(RUSAGE_SELF, &ru);
+        rss = static_cast<long long>(ru.ru_maxrss) * 1024;  // KB on Linux
+      }
+    } catch (...) {
+      rss = -1;
+    }
+    (void)!::write(fds[1], &rss, sizeof(rss));
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  long long rss = -1;
+  (void)!::read(fds[0], &rss, sizeof(rss));
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return rss;
+}
+
+/// CI runs this at >= 20k blocks (see .github/workflows): reopening a big
+/// store must NOT fault the segment-BF arrays in — the lazy child's peak
+/// RSS stays at least half the segbf column below the eager child's.
+TEST(StoreSmoke, LazySegBfReopenKeepsRssBounded) {
+  const char* env = std::getenv("LVQ_STORE_SMOKE_BLOCKS");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set LVQ_STORE_SMOKE_BLOCKS=<n> to run the RSS smoke";
+  }
+  const std::uint32_t blocks = static_cast<std::uint32_t>(std::atoll(env));
+  ASSERT_GE(blocks, 512u);
+
+  // 4 KB filters, M=64: a 20k-block store carries ~160 MB of segment BFs.
+  ProtocolConfig config{Design::kLvq, BloomGeometry{4096, 6}, 64};
+  WorkloadConfig wc;
+  wc.seed = 909;
+  wc.num_blocks = blocks;
+  wc.background_txs_per_block = 1;
+  wc.profiles = {{"p", 3, 2}};
+
+  TempDir tmp;
+  Address addr;
+  std::uint64_t segbf_bytes = 0;
+  {
+    auto workload =
+        std::make_shared<const Workload>(generate_workload(wc));
+    addr = workload->profiles[0].address;
+    auto store = DiskChainStore::open(tmp.path, config);
+    ChainBuildOptions o;
+    o.store = store.get();
+    o.proof_index_bf_budget = ~0ull;  // never skip the segment arrays
+    (void)ChainBuilder::build(workload, config, o);
+    segbf_bytes = store->info().columns[kColSegBf].bytes;
+    // The in-RAM build (and its page dirtying) dies here; the children
+    // below inherit whatever RSS baseline is left, which cancels out in
+    // the lazy-vs-eager comparison.
+  }
+  ASSERT_GT(segbf_bytes, 8ull << 20) << "smoke store too small to measure";
+
+  long long lazy = reopened_peak_rss(tmp.path, config, addr, false);
+  long long eager = reopened_peak_rss(tmp.path, config, addr, true);
+  ASSERT_GT(lazy, 0);
+  ASSERT_GT(eager, 0);
+  EXPECT_LT(lazy + static_cast<long long>(segbf_bytes / 2), eager)
+      << "lazy reopen faulted the segment-BF column in (lazy=" << lazy
+      << " eager=" << eager << " segbf=" << segbf_bytes << ")";
+}
+
+}  // namespace
+}  // namespace lvq

@@ -19,6 +19,13 @@ The "bench" field of the baseline selects the comparison:
   chain_build        The fresh extend_speedup must be at least tolerance x
                      the baseline's (the incremental-append win is the
                      quantity PR "ChainBuilder ingestion" exists for).
+                     When the baseline carries a reopen_speedup row (the
+                     disk-store warm start), it is gated both ways: fresh
+                     reopen_speedup must be at least tolerance x the
+                     baseline's, and fresh reopen_peak_rss_bytes must be at
+                     most baseline / tolerance — a reopen that silently
+                     faults every lazy node-BF page in looks "fast enough"
+                     but blows the memory ceiling, and fails here.
   verify_throughput  Every design's single_speedup (owned/serial decode+verify
                      over the zero-copy view pipeline) must be at least
                      tolerance x the baseline's, and likewise the pool
@@ -96,15 +103,40 @@ def check_server(baseline, fresh, tolerance):
 
 
 def check_build(baseline, fresh, tolerance):
+    failures = 0
+    print(f"{'metric':>22} {'baseline':>12} {'fresh':>12} {'bound':>12}"
+          f"  verdict")
+
+    def gate(name, base, val, bound, ok_fn):
+        nonlocal failures
+        ok = val is not None and ok_fn(val, bound)
+        failures += 0 if ok else 1
+        shown = float("nan") if val is None else val
+        print(f"{name:>22} {base:>12.2f} {shown:>12.2f} {bound:>12.2f}"
+              f"  {'ok' if ok else 'FAIL'}")
+
     base = baseline["extend_speedup"]
-    got = fresh.get("extend_speedup")
-    floor = tolerance * base
-    ok = got is not None and got >= floor
-    print(f"{'metric':>16} {'baseline':>9} {'fresh':>8} {'floor':>8}  verdict")
-    shown = float("nan") if got is None else got
-    print(f"{'extend_speedup':>16} {base:>9.2f} {shown:>8.2f} "
-          f"{floor:>8.2f}  {'ok' if ok else 'FAIL'}")
-    return 0 if ok else 1
+    gate("extend_speedup", base, fresh.get("extend_speedup"),
+         tolerance * base, lambda v, b: v >= b)
+
+    # Disk-store warm start: speedup is a floor, peak RSS a ceiling (lazy
+    # page-in regressing to eager reads shows up as RSS, not time).
+    base_reopen = baseline.get("reopen_speedup")
+    if base_reopen is not None:
+        gate("reopen_speedup", base_reopen, fresh.get("reopen_speedup"),
+             tolerance * base_reopen, lambda v, b: v >= b)
+        base_rss = baseline.get("reopen_peak_rss_bytes")
+        fresh_rss = fresh.get("reopen_peak_rss_bytes")
+        if base_rss:
+            mb = 1024.0 * 1024.0
+            ceiling = base_rss / tolerance
+            ok = bool(fresh_rss) and fresh_rss <= ceiling
+            failures += 0 if ok else 1
+            shown = float("nan") if not fresh_rss else fresh_rss / mb
+            print(f"{'reopen_peak_rss_mb':>22} {base_rss / mb:>12.1f} "
+                  f"{shown:>12.1f} {ceiling / mb:>12.1f}"
+                  f"  {'ok' if ok else 'FAIL'}")
+    return failures
 
 
 def check_verify(baseline, fresh, tolerance):

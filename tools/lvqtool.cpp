@@ -30,6 +30,15 @@
 // picks the new blocks up on SIGHUP without restarting — it extends its
 // live context by the file's new tail and rebinds the engine's caches,
 // reporting the rebind latency.
+//
+// `serve` and `append` also take --store=DIR (src/store/): the durable
+// columnar store is opened or created, every build/extend writes through
+// to it, and a warm start reopens the persisted context instead of
+// rebuilding — O(read + decode), no re-hashing. With --store and no
+// --chain, SIGHUP re-reads the store's committed tip (another process may
+// have appended) and extends the live context from disk. `store-info`
+// prints a store's superblock summary and optionally CRC-verifies every
+// committed record (--verify).
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -42,7 +51,9 @@
 #include <vector>
 
 #include "chain/chain_io.hpp"
+#include "core/chain_builder.hpp"
 #include "net/failover_transport.hpp"
+#include "store/disk_chain_store.hpp"
 #include "net/retry_transport.hpp"
 #include "net/tcp_transport.hpp"
 #include "node/session.hpp"
@@ -58,7 +69,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: lvqtool <gen|info|query|proof|verify|serve|stats|"
-               "append> [--flags]\n"
+               "append|store-info> [--flags]\n"
                "  gen    --out=FILE [--blocks=N --txs-per-block=N --seed=N]\n"
                "  info   --chain=FILE\n"
                "  query  --chain=FILE|--connect=PORT --address=ADDR\n"
@@ -66,16 +77,24 @@ int usage() {
                "--deadline-ms=N]\n"
                "  proof  --chain=FILE --address=ADDR --out=FILE\n"
                "  verify --chain=FILE --address=ADDR --proof=FILE\n"
-               "  serve  --chain=FILE [--seconds=N --workers=N "
+               "  serve  --chain=FILE|--store=DIR [--seconds=N --workers=N "
                "--queue-depth=N\n"
                "         --cache-mb=N --max-conns=N --drain-grace-ms=N]\n"
-               "         (SIGTERM/SIGINT drains in-flight requests, then "
-               "exits)\n"
+               "         (--store persists the chain; a warm start reopens "
+               "it without\n"
+               "         rebuilding. SIGTERM/SIGINT drains in-flight "
+               "requests, then exits)\n"
                "  stats  --connect=PORT\n"
-               "  append --chain=FILE [--blocks=N --txs-per-block=N "
-               "--seed=N]\n"
+               "  append --chain=FILE|--store=DIR [--blocks=N "
+               "--txs-per-block=N --seed=N]\n"
                "         (SIGHUP a running serve to pick the new tail up)\n"
-               "design flags (gen/query/proof/verify): --design=lvq|"
+               "  store-info --store=DIR [--verify]\n"
+               "         (prints the committed superblock summary; --verify "
+               "CRC-checks\n"
+               "         every committed record, including lazy segbf "
+               "pages)\n"
+               "design flags (gen/query/proof/verify/serve/append): "
+               "--design=lvq|"
                "lvq-no-bmt|lvq-no-smt|strawman|strawman-variant\n"
                "  --bf-kb=K --bf-hashes=K --segment-length=M\n");
   return 2;
@@ -355,9 +374,11 @@ void on_shutdown(int) { g_shutdown = 1; }
 
 /// SIGHUP refresh for `serve`: reloads the ledger file, verifies it is a
 /// strict extension of what is being served, extends the live context by
-/// the new tail (O(new blocks)), and rebinds the engine's caches.
+/// the new tail (O(new blocks)), and rebinds the engine's caches. When a
+/// store is attached the extension writes through to it, so the new tail
+/// is durable before the engine starts serving it.
 void refresh_from_file(const std::string& path, FullNode& full,
-                       ServingEngine& engine) {
+                       ServingEngine& engine, DiskChainStore* store) {
   ChainStore reloaded = load_chain(path);
   const std::uint64_t tip = full.tip_height();
   if (reloaded.tip_height() < tip) {
@@ -388,7 +409,9 @@ void refresh_from_file(const std::string& path, FullNode& full,
     tail.push_back(reloaded.at_height(h).txs);
   }
   const auto t0 = std::chrono::steady_clock::now();
-  full.append_blocks(std::move(tail));
+  ChainBuildOptions bopts;
+  bopts.store = store;
+  full.append_blocks(std::move(tail), bopts);
   const double extend_ms = millis_since(t0);
   const auto t1 = std::chrono::steady_clock::now();
   engine.rebind();
@@ -400,12 +423,92 @@ void refresh_from_file(const std::string& path, FullNode& full,
   std::fflush(stdout);
 }
 
+/// SIGHUP refresh for a store-only `serve` (no --chain): re-reads the
+/// store's committed tip with a fresh read-only handle — another process
+/// (`lvqtool append --store`) may have appended — and extends the live
+/// context in RAM. No write-through: the blocks are already durable.
+void refresh_from_store(const std::string& dir, const ProtocolConfig& config,
+                        FullNode& full, ServingEngine& engine) {
+  DiskChainStore::Options ro_opts;
+  ro_opts.read_only = true;
+  auto ro = DiskChainStore::open(dir, config, ro_opts);
+  const std::uint64_t tip = full.tip_height();
+  if (ro->tip_height() < tip) {
+    std::fprintf(stderr, "refresh: store %s committed at %llu, serving %llu "
+                         "— not an extension, ignoring\n",
+                 dir.c_str(),
+                 static_cast<unsigned long long>(ro->tip_height()),
+                 static_cast<unsigned long long>(tip));
+    return;
+  }
+  if (ro->tip_height() == tip) {
+    std::printf("refresh: no new blocks in %s\n", dir.c_str());
+    std::fflush(stdout);
+    return;
+  }
+  auto fresh = ro->load_context();
+  if (fresh->chain().at_height(tip).header.merkle_root !=
+      full.context()->chain().at_height(tip).header.merkle_root) {
+    std::fprintf(stderr, "refresh: store %s diverges from the served chain "
+                         "at height %llu, ignoring\n",
+                 dir.c_str(), static_cast<unsigned long long>(tip));
+    return;
+  }
+  std::vector<std::vector<Transaction>> tail;
+  tail.reserve(fresh->tip_height() - tip);
+  for (std::uint64_t h = tip + 1; h <= fresh->tip_height(); ++h) {
+    tail.push_back(fresh->chain().at_height(h).txs);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  full.append_blocks(std::move(tail));
+  const double extend_ms = millis_since(t0);
+  const auto t1 = std::chrono::steady_clock::now();
+  engine.rebind();
+  std::printf("refresh: extended %llu -> %llu from store (extend %.2f ms, "
+              "rebind %.2f ms)\n",
+              static_cast<unsigned long long>(tip),
+              static_cast<unsigned long long>(full.tip_height()), extend_ms,
+              millis_since(t1));
+  std::fflush(stdout);
+}
+
 int cmd_serve(const Flags& flags) {
   std::string path = flags.get_str("chain", "");
-  if (path.empty()) return usage();
+  std::string store_dir = flags.get_str("store", "");
+  if (path.empty() && store_dir.empty()) return usage();
   ProtocolConfig config = config_from_flags(flags);
-  ExperimentSetup setup = load_setup(path);
-  FullNode full(setup.workload, setup.derived, config);
+
+  std::unique_ptr<DiskChainStore> store;
+  std::shared_ptr<const ChainContext> ctx;
+  if (!store_dir.empty()) {
+    store = DiskChainStore::open(store_dir, config);
+    if (store->tip_height() > 0) {
+      const auto t0 = std::chrono::steady_clock::now();
+      ctx = store->load_context();
+      std::printf("reopened %s: %llu blocks in %.2f ms (sealed node-BFs "
+                  "mmap-lazy, no rehashing)\n",
+                  store_dir.c_str(),
+                  static_cast<unsigned long long>(ctx->tip_height()),
+                  millis_since(t0));
+    }
+  }
+  if (!ctx) {
+    if (path.empty()) {
+      std::fprintf(stderr, "store %s is empty — pass --chain=FILE to seed "
+                           "it\n",
+                   store_dir.c_str());
+      return 2;
+    }
+    ExperimentSetup setup = load_setup(path);
+    ChainBuildOptions bopts;
+    bopts.store = store.get();
+    ctx = ChainBuilder::build(setup.workload, setup.derived, config, bopts);
+  }
+  // A store-only server never writes again; drop the read-write handle so
+  // `lvqtool append --store` in another process can become the writer, and
+  // SIGHUP can pick its commits up through fresh read-only opens.
+  if (path.empty()) store.reset();
+  FullNode full(ctx);
 
   ServingEngineOptions eopts;
   eopts.workers = static_cast<std::uint32_t>(flags.get_u64("workers", 4));
@@ -426,7 +529,7 @@ int cmd_serve(const Flags& flags) {
               static_cast<unsigned long long>(full.tip_height()),
               design_name(config.design), server.port(), eopts.workers,
               eopts.queue_depth, human_bytes(eopts.cache_bytes).c_str(),
-              path.c_str());
+              path.empty() ? store_dir.c_str() : path.c_str());
   std::fflush(stdout);
   std::signal(SIGHUP, on_sighup);
   std::signal(SIGTERM, on_shutdown);
@@ -443,7 +546,11 @@ int cmd_serve(const Flags& flags) {
     if (g_sighup) {
       g_sighup = 0;
       try {
-        refresh_from_file(path, full, engine);
+        if (!path.empty()) {
+          refresh_from_file(path, full, engine, store.get());
+        } else {
+          refresh_from_store(store_dir, config, full, engine);
+        }
       } catch (const std::runtime_error& e) {
         std::fprintf(stderr, "refresh failed: %s\n", e.what());
       }
@@ -466,13 +573,35 @@ int cmd_serve(const Flags& flags) {
 
 int cmd_append(const Flags& flags) {
   std::string path = flags.get_str("chain", "");
-  if (path.empty()) return usage();
+  std::string store_dir = flags.get_str("store", "");
+  if (path.empty() && store_dir.empty()) return usage();
   ProtocolConfig config = config_from_flags(flags);
 
   const auto t0 = std::chrono::steady_clock::now();
-  ExperimentSetup setup = load_setup(path);
-  FullNode full(setup.workload, setup.derived, config);
+  std::unique_ptr<DiskChainStore> store;
+  std::shared_ptr<const ChainContext> ctx;
+  bool warm = false;
+  if (!store_dir.empty()) {
+    store = DiskChainStore::open(store_dir, config);
+    if (store->tip_height() > 0) {
+      ctx = store->load_context();
+      warm = true;
+    }
+  }
+  if (!ctx) {
+    if (path.empty()) {
+      std::fprintf(stderr, "store %s is empty — pass --chain=FILE to seed "
+                           "it\n",
+                   store_dir.c_str());
+      return 2;
+    }
+    ExperimentSetup setup = load_setup(path);
+    ChainBuildOptions bopts;
+    bopts.store = store.get();
+    ctx = ChainBuilder::build(setup.workload, setup.derived, config, bopts);
+  }
   const double build_ms = millis_since(t0);
+  FullNode full(ctx);
   const std::uint64_t old_tip = full.tip_height();
 
   WorkloadConfig wc;
@@ -485,18 +614,21 @@ int cmd_append(const Flags& flags) {
   Workload extra = generate_workload(wc);
 
   const auto t1 = std::chrono::steady_clock::now();
-  full.append_blocks(std::move(extra.blocks));
+  ChainBuildOptions extend_opts;
+  extend_opts.store = store.get();
+  full.append_blocks(std::move(extra.blocks), extend_opts);
   const double extend_ms = millis_since(t1);
-  save_chain(full.context()->chain(), path);
+  if (!path.empty()) save_chain(full.context()->chain(), path);
 
   std::printf("appended %llu blocks: tip %llu -> %llu [%s]\n",
               static_cast<unsigned long long>(full.tip_height() - old_tip),
               static_cast<unsigned long long>(old_tip),
               static_cast<unsigned long long>(full.tip_height()),
               design_name(config.design));
-  std::printf("extend   : %.2f ms incremental (cold rebuild of the %llu-"
+  std::printf("extend   : %.2f ms incremental (%s of the %llu-"
               "block base took %.2f ms)\n",
-              extend_ms, static_cast<unsigned long long>(old_tip), build_ms);
+              extend_ms, warm ? "warm store reopen" : "cold rebuild",
+              static_cast<unsigned long long>(old_tip), build_ms);
   std::printf("tip hash : %s\n",
               full.context()
                   ->chain()
@@ -504,6 +636,46 @@ int cmd_append(const Flags& flags) {
                   .header.hash()
                   .hex()
                   .c_str());
+  if (store) {
+    std::printf("store    : committed tip %llu, %s on disk\n",
+                static_cast<unsigned long long>(store->tip_height()),
+                human_bytes(store->info().total_bytes).c_str());
+  }
+  return 0;
+}
+
+int cmd_store_info(const Flags& flags) {
+  std::string dir = flags.get_str("store", "");
+  if (dir.empty()) return usage();
+  // peek() reads the superblock alone, so store-info needs no design
+  // flags — the store says which ProtocolConfig it was built under.
+  DiskChainStore::Info info = DiskChainStore::peek(dir);
+  std::printf("store    : %s (format v%u, commit seq %llu)\n", dir.c_str(),
+              info.version, static_cast<unsigned long long>(info.seqno));
+  std::printf("design   : %s (bf %u KiB x %u hashes, segment length %u)\n",
+              design_name(info.config.design),
+              info.config.bloom.size_bytes / 1024,
+              info.config.bloom.hash_count, info.config.segment_length);
+  std::printf("tip      : height %llu, hash %s\n",
+              static_cast<unsigned long long>(info.tip_height),
+              info.tip_hash.hex().c_str());
+  for (const auto& c : info.columns) {
+    std::printf("  %-12s %8llu records  %10s\n", c.name.c_str(),
+                static_cast<unsigned long long>(c.records),
+                human_bytes(c.bytes).c_str());
+  }
+  std::printf("total    : %s on disk\n", human_bytes(info.total_bytes).c_str());
+  if (flags.get_bool("verify", false)) {
+    DiskChainStore::Options ro_opts;
+    ro_opts.read_only = true;
+    auto store = DiskChainStore::open(dir, info.config, ro_opts);
+    std::string err;
+    if (!store->verify_checksums(&err)) {
+      std::printf("checksums: FAILED — %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("checksums: OK (every committed record, all columns)\n");
+  }
   return 0;
 }
 
@@ -581,6 +753,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(flags);
     if (cmd == "stats") return cmd_stats(flags);
     if (cmd == "append") return cmd_append(flags);
+    if (cmd == "store-info") return cmd_store_info(flags);
   } catch (const std::runtime_error& e) {  // includes SerializeError
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -9,17 +9,40 @@
 //   warm  — caches enabled and pre-warmed: repeats are served from the
 //           response cache (with the BMT segment sub-cache underneath).
 //
+// A third regime exercises the C10k serving path end to end: a forked
+// client process opens 1k / 10k real loopback connections against a
+// ReactorServer and drives a fixed number of in-flight warm-cache
+// queries round-robin across every connection, so p99 at 10k conns
+// measures the event loop's per-connection overhead, not a change in
+// offered load. A churn soak (connect / one query / disconnect in a
+// tight loop) covers accept-path and teardown costs. The client forks
+// because 10k client fds + 10k server fds exceed a single process's fd
+// budget on the default rlimit.
+//
 // Results go to stdout and to BENCH_server.json (--out=...) so CI can
 // track the serving-path perf trajectory (tools/bench_check.py gates on
 // it). Extra knobs on top of the shared bench flags: --clients (8),
 // --measure-ms (400), --out, --proof-index (1; 0 rebuilds the tree-walk
-// cold path for comparison).
+// cold path for comparison), --scale-conns (comma list, default
+// "1000,10000"; empty disables the connection-scaling phase).
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "net/reactor_server.hpp"
 #include "server/serving_engine.hpp"
 
 using namespace lvq;
@@ -206,6 +229,339 @@ OverloadResult run_overload(const FullNode& full,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Connection-scaling phase: C10k against the ReactorServer.
+
+/// Wire-format result a client child writes back over its pipe. Plain
+/// PODs only — the struct crosses a process boundary.
+struct ScaleWire {
+  std::uint64_t conns = 0;
+  std::uint64_t requests = 0;
+  double elapsed_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+struct ChurnWire {
+  std::uint64_t cycles = 0;
+  std::uint64_t failures = 0;
+  double elapsed_s = 0;
+  double p99_us = 0;
+};
+
+struct ScaleCell {
+  std::uint64_t target_conns = 0;
+  ScaleWire w;
+  double qps() const { return w.elapsed_s > 0 ? w.requests / w.elapsed_s : 0; }
+};
+
+int connect_loopback(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Bytes frame_request(const Bytes& payload) {
+  Bytes wire;
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  wire.push_back(static_cast<std::uint8_t>(n & 0xff));
+  wire.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+  wire.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+  wire.push_back(static_cast<std::uint8_t>((n >> 24) & 0xff));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+/// Raise the soft fd limit to the hard one and return how many
+/// connections we can actually afford (with slack for epoll/pipes/std
+/// fds). Scales the target down LOUDLY rather than failing quietly.
+std::uint64_t clamp_conns_to_rlimit(std::uint64_t target) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return target;
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);  // best effort
+    ::getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  const std::uint64_t slack = 64;
+  const std::uint64_t afford =
+      rl.rlim_cur > slack ? static_cast<std::uint64_t>(rl.rlim_cur) - slack : 0;
+  if (afford < target) {
+    std::fprintf(stderr,
+                 "WARNING: fd limit %llu cannot hold %llu connections; "
+                 "scaling down to %llu\n",
+                 static_cast<unsigned long long>(rl.rlim_cur),
+                 static_cast<unsigned long long>(target),
+                 static_cast<unsigned long long>(afford));
+    return afford;
+  }
+  return target;
+}
+
+/// Client child for one scaling cell. Opens `target` connections, keeps
+/// a fixed number of requests in flight, and issues them round-robin
+/// across ALL connections so every one of the 10k sockets sees traffic
+/// and the server's full connection table stays hot. One request in
+/// flight per connection at most; replies are matched per connection.
+ScaleWire run_scale_client(std::uint16_t port, std::uint64_t target,
+                           const std::vector<Bytes>& requests,
+                           std::uint64_t measure_ms) {
+  ScaleWire out;
+  const std::uint64_t conns = clamp_conns_to_rlimit(target);
+  std::vector<Bytes> wires;
+  for (const Bytes& r : requests) wires.push_back(frame_request(r));
+
+  struct ConnState {
+    int fd = -1;
+    bool busy = false;
+    std::chrono::steady_clock::time_point sent;
+    Bytes rbuf;
+  };
+  std::vector<ConnState> cs(conns);
+  int ep = ::epoll_create1(0);
+  if (ep < 0) return out;
+  for (std::uint64_t i = 0; i < conns; ++i) {
+    cs[i].fd = connect_loopback(port);
+    if (cs[i].fd < 0) {
+      std::fprintf(stderr, "connect %llu/%llu failed: %s\n",
+                   static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(conns),
+                   std::strerror(errno));
+      out.conns = i;
+      return out;
+    }
+    ::fcntl(cs[i].fd, F_SETFL, O_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = i;
+    ::epoll_ctl(ep, EPOLL_CTL_ADD, cs[i].fd, &ev);
+  }
+  out.conns = conns;
+
+  const std::uint64_t inflight_cap = std::min<std::uint64_t>(64, conns);
+  std::uint64_t inflight = 0;
+  std::uint64_t rr = 0;       // round-robin connection cursor
+  std::uint64_t req_ix = 0;   // request-payload cursor
+  std::vector<double> lat_us;
+  lat_us.reserve(1 << 16);
+
+  auto issue_on = [&](ConnState& c) {
+    const Bytes& w = wires[req_ix++ % wires.size()];
+    std::size_t off = 0;
+    while (off < w.size()) {
+      ssize_t n = ::send(c.fd, w.data() + off, w.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        continue;  // tiny frame on a fresh socket; retry momentarily
+      } else {
+        return false;
+      }
+    }
+    c.busy = true;
+    c.sent = std::chrono::steady_clock::now();
+    inflight++;
+    return true;
+  };
+  auto issue_next = [&] {
+    for (std::uint64_t scan = 0; scan < conns; ++scan) {
+      ConnState& c = cs[rr++ % conns];
+      if (c.busy || c.fd < 0) continue;
+      return issue_on(c);
+    }
+    return false;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(measure_ms);
+  for (std::uint64_t i = 0; i < inflight_cap; ++i) issue_next();
+
+  std::vector<epoll_event> evs(256);
+  bool stopping = false;
+  auto drain_deadline = deadline + std::chrono::seconds(5);
+  while (inflight > 0 || !stopping) {
+    const auto now = std::chrono::steady_clock::now();
+    if (!stopping && now >= deadline) stopping = true;
+    if (stopping && now >= drain_deadline) break;
+    int n = ::epoll_wait(ep, evs.data(), static_cast<int>(evs.size()), 100);
+    for (int e = 0; e < n; ++e) {
+      ConnState& c = cs[evs[e].data.u64];
+      if (c.fd < 0) continue;
+      char buf[16 * 1024];
+      for (;;) {
+        ssize_t r = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (r > 0) {
+          c.rbuf.insert(c.rbuf.end(), buf, buf + r);
+          continue;
+        }
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        ::close(c.fd);  // EOF or error: connection is gone
+        c.fd = -1;
+        if (c.busy) inflight--;
+        break;
+      }
+      // One request in flight per connection, so at most one complete
+      // reply frame is pending in rbuf.
+      if (c.fd >= 0 && c.busy && c.rbuf.size() >= 4) {
+        const std::uint32_t len = static_cast<std::uint32_t>(c.rbuf[0]) |
+                                  (static_cast<std::uint32_t>(c.rbuf[1]) << 8) |
+                                  (static_cast<std::uint32_t>(c.rbuf[2]) << 16) |
+                                  (static_cast<std::uint32_t>(c.rbuf[3]) << 24);
+        if (c.rbuf.size() >= 4ull + len) {
+          lat_us.push_back(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - c.sent)
+                  .count());
+          c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + 4 + len);
+          c.busy = false;
+          inflight--;
+          out.requests++;
+          if (!stopping) issue_next();
+        }
+      }
+    }
+  }
+  out.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  std::sort(lat_us.begin(), lat_us.end());
+  out.p50_us = percentile(lat_us, 0.50);
+  out.p99_us = percentile(lat_us, 0.99);
+  ::close(ep);
+  for (ConnState& c : cs) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  return out;
+}
+
+/// Client child for the churn soak: a handful of threads each loop
+/// connect -> one query round trip -> close for the measure window.
+/// Exercises accept, registration, and teardown under sustained rate.
+ChurnWire run_churn_client(std::uint16_t port, const Bytes& request,
+                           std::uint64_t measure_ms) {
+  ChurnWire out;
+  const Bytes wire = frame_request(request);
+  constexpr int kChurners = 8;
+  std::atomic<std::uint64_t> cycles{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::vector<double>> lat(kChurners);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(measure_ms);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kChurners; ++t) {
+    threads.emplace_back([&, t] {
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto t0 = std::chrono::steady_clock::now();
+        int fd = connect_loopback(port);
+        if (fd < 0) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        bool ok = true;
+        std::size_t off = 0;
+        while (ok && off < wire.size()) {
+          ssize_t n = ::send(fd, wire.data() + off, wire.size() - off,
+                             MSG_NOSIGNAL);
+          if (n <= 0) ok = false;
+          else off += static_cast<std::size_t>(n);
+        }
+        Bytes rbuf;
+        while (ok) {  // blocking socket: read until one full frame
+          char buf[16 * 1024];
+          ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+          if (r <= 0) {
+            ok = false;
+            break;
+          }
+          rbuf.insert(rbuf.end(), buf, buf + r);
+          if (rbuf.size() >= 4) {
+            const std::uint32_t len =
+                static_cast<std::uint32_t>(rbuf[0]) |
+                (static_cast<std::uint32_t>(rbuf[1]) << 8) |
+                (static_cast<std::uint32_t>(rbuf[2]) << 16) |
+                (static_cast<std::uint32_t>(rbuf[3]) << 24);
+            if (rbuf.size() >= 4ull + len) break;
+          }
+        }
+        ::close(fd);
+        if (ok) {
+          cycles.fetch_add(1, std::memory_order_relaxed);
+          lat[t].push_back(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  out.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  out.cycles = cycles.load();
+  out.failures = failures.load();
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  out.p99_us = percentile(all, 0.99);
+  return out;
+}
+
+/// Forks a client child, runs `fn` in it, and reads its POD result back
+/// over a pipe. The child only touches sockets and its own memory — the
+/// same fork-without-exec discipline the store test suite relies on.
+template <typename Wire, typename Fn>
+bool run_in_child(Wire* out, Fn fn) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    Wire w = fn();
+    const char* p = reinterpret_cast<const char*>(&w);
+    std::size_t off = 0;
+    while (off < sizeof(w)) {
+      ssize_t n = ::write(fds[1], p + off, sizeof(w) - off);
+      if (n <= 0) _exit(2);
+      off += static_cast<std::size_t>(n);
+    }
+    _exit(0);
+  }
+  ::close(fds[1]);
+  char* p = reinterpret_cast<char*>(out);
+  std::size_t off = 0;
+  bool ok = true;
+  while (off < sizeof(*out)) {
+    ssize_t n = ::read(fds[0], p + off, sizeof(*out) - off);
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,6 +611,89 @@ int main(int argc, char** argv) {
               "-", ov.p50_us, ov.p99_us, ov.busy_rate * 100.0);
   std::fflush(stdout);
 
+  // Connection-scaling phase: warm-cache queries over real sockets at 1k
+  // and 10k concurrent connections, then a connection-churn soak. One
+  // ReactorServer instance serves every cell so the 10k row also proves
+  // the connection table survives the 1k cell's traffic.
+  std::vector<std::uint64_t> scale_targets;
+  {
+    std::string spec = env.flags.get_str("scale-conns", "1000,10000");
+    std::uint64_t cur = 0;
+    bool have = false;
+    for (char ch : spec + ",") {
+      if (ch >= '0' && ch <= '9') {
+        cur = cur * 10 + static_cast<std::uint64_t>(ch - '0');
+        have = true;
+      } else if (have) {
+        if (cur > 0) scale_targets.push_back(cur);
+        cur = 0;
+        have = false;
+      }
+    }
+  }
+  std::vector<ScaleCell> scale_cells;
+  ChurnWire churn;
+  bool churn_ok = false;
+  if (!scale_targets.empty()) {
+    std::vector<Bytes> requests;
+    for (const Address& a : addrs) {
+      Writer w;
+      QueryRequest{a}.serialize(w);
+      requests.push_back(encode_envelope(
+          MsgType::kQueryRequest, ByteSpan{w.data().data(), w.data().size()}));
+    }
+    ServingEngineOptions eopts;
+    eopts.workers = 4;
+    eopts.queue_depth = 256;
+    eopts.cache_bytes = cache_bytes;
+    ServingEngine engine(full, eopts);
+    for (const Bytes& r : requests) {  // pre-warm the response cache
+      engine.handle(ByteSpan{r.data(), r.size()});
+    }
+    ReactorServerOptions ropts;
+    ropts.io_threads = 1;
+    ReactorServer server(
+        [&engine](ConnId conn, ByteSpan req, ReactorServer::CompletionFn done) {
+          engine.submit(conn, req, std::move(done));
+        },
+        ropts);
+
+    std::printf("\n%12s %10s %10s %12s %10s %10s\n", "target-conns", "conns",
+                "requests", "qps", "p50-us", "p99-us");
+    for (std::uint64_t target : scale_targets) {
+      ScaleCell cell;
+      cell.target_conns = target;
+      if (!run_in_child(&cell.w, [&] {
+            return run_scale_client(server.port(), target, requests,
+                                    measure_ms);
+          })) {
+        std::fprintf(stderr, "FAIL: scale client child for %llu conns\n",
+                     static_cast<unsigned long long>(target));
+        return 1;
+      }
+      scale_cells.push_back(cell);
+      std::printf("%12llu %10llu %10llu %12.1f %10.1f %10.1f\n",
+                  static_cast<unsigned long long>(cell.target_conns),
+                  static_cast<unsigned long long>(cell.w.conns),
+                  static_cast<unsigned long long>(cell.w.requests),
+                  cell.qps(), cell.w.p50_us, cell.w.p99_us);
+      std::fflush(stdout);
+    }
+
+    churn_ok = run_in_child(&churn, [&] {
+      return run_churn_client(server.port(), requests[0], measure_ms);
+    });
+    if (!churn_ok) {
+      std::fprintf(stderr, "FAIL: churn client child\n");
+      return 1;
+    }
+    std::printf("%12s %10s %10llu %12.1f %10s %10.1f  (%llu failures)\n",
+                "churn", "-", static_cast<unsigned long long>(churn.cycles),
+                churn.elapsed_s > 0 ? churn.cycles / churn.elapsed_s : 0.0, "-",
+                churn.p99_us, static_cast<unsigned long long>(churn.failures));
+    std::fflush(stdout);
+  }
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -292,12 +731,36 @@ int main(int argc, char** argv) {
                "  \"overload\": {\"workers\": %u, \"queue_depth\": %u, "
                "\"clients\": %u, \"offered\": %llu, \"served\": %llu, "
                "\"busy\": %llu, \"served_qps\": %.1f, \"p50_us\": %.1f, "
-               "\"p99_us\": %.1f, \"busy_rate\": %.4f}\n",
+               "\"p99_us\": %.1f, \"busy_rate\": %.4f}%s\n",
                ov.workers, ov.queue_depth, ov.clients,
                static_cast<unsigned long long>(ov.offered),
                static_cast<unsigned long long>(ov.served),
                static_cast<unsigned long long>(ov.busy), ov.served_qps,
-               ov.p50_us, ov.p99_us, ov.busy_rate);
+               ov.p50_us, ov.p99_us, ov.busy_rate,
+               scale_cells.empty() ? "" : ",");
+  if (!scale_cells.empty()) {
+    std::fprintf(f, "  \"conn_scaling\": [\n");
+    for (std::size_t i = 0; i < scale_cells.size(); ++i) {
+      const ScaleCell& c = scale_cells[i];
+      std::fprintf(f,
+                   "    {\"target_conns\": %llu, \"conns\": %llu, "
+                   "\"requests\": %llu, \"qps\": %.1f, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f}%s\n",
+                   static_cast<unsigned long long>(c.target_conns),
+                   static_cast<unsigned long long>(c.w.conns),
+                   static_cast<unsigned long long>(c.w.requests), c.qps(),
+                   c.w.p50_us, c.w.p99_us,
+                   i + 1 < scale_cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"churn\": {\"cycles\": %llu, \"failures\": %llu, "
+                 "\"cycles_per_sec\": %.1f, \"p99_us\": %.1f}\n",
+                 static_cast<unsigned long long>(churn.cycles),
+                 static_cast<unsigned long long>(churn.failures),
+                 churn.elapsed_s > 0 ? churn.cycles / churn.elapsed_s : 0.0,
+                 churn.p99_us);
+  }
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
@@ -324,6 +787,32 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(ov.served),
                  static_cast<unsigned long long>(ov.busy));
     return 1;
+  }
+  // Scaling sanity: with offered load held fixed (same in-flight cap),
+  // p99 must stay monotone-or-flat as the connection count grows — a
+  // superlinear event-loop (per-event scan of the connection table, say)
+  // shows up here long before it shows up in averages. The bound is
+  // generous (3x or +5ms, whichever is looser) because CI runners are
+  // noisy; the gate is for collapses, not jitter.
+  if (scale_cells.size() >= 2) {
+    const ScaleCell& lo = scale_cells.front();
+    const ScaleCell& hi = scale_cells.back();
+    const double ceiling =
+        std::max(3.0 * lo.w.p99_us, lo.w.p99_us + 5000.0);
+    if (hi.w.p99_us > ceiling) {
+      std::fprintf(stderr,
+                   "FAIL: p99 not monotone-or-flat across connection counts "
+                   "(%llu conns: %.1f us, %llu conns: %.1f us, ceiling "
+                   "%.1f us)\n",
+                   static_cast<unsigned long long>(lo.w.conns), lo.w.p99_us,
+                   static_cast<unsigned long long>(hi.w.conns), hi.w.p99_us,
+                   ceiling);
+      return 1;
+    }
+    if (lo.w.requests == 0 || hi.w.requests == 0 || churn.cycles == 0) {
+      std::fprintf(stderr, "FAIL: connection-scaling cell served no traffic\n");
+      return 1;
+    }
   }
   return 0;
 }

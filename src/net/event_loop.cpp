@@ -1,0 +1,195 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "net/transport_error.hpp"
+
+namespace lvq::netio {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw TransportError(TransportError::kConnect,
+                         std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    int err = errno;
+    ::close(epoll_fd_);
+    throw TransportError(TransportError::kConnect,
+                         std::string("eventfd: ") + std::strerror(err));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // token 0 is reserved for the wake eventfd
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+EventLoop::FdToken EventLoop::add_fd(int fd, bool want_read, bool want_write,
+                                     FdCallback cb) {
+  FdToken token = next_token_++;
+  FdEntry& entry = fds_[token];
+  entry.fd = fd;
+  entry.events =
+      (want_read ? EPOLLIN | EPOLLRDHUP : 0u) | (want_write ? EPOLLOUT : 0u);
+  entry.cb = std::move(cb);
+  epoll_event ev{};
+  ev.events = entry.events;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    fds_.erase(token);
+    throw TransportError(TransportError::kConnect,
+                         std::string("epoll_ctl add: ") + std::strerror(errno));
+  }
+  return token;
+}
+
+void EventLoop::mod_fd(FdToken token, bool want_read, bool want_write) {
+  auto it = fds_.find(token);
+  if (it == fds_.end()) return;
+  std::uint32_t events =
+      (want_read ? EPOLLIN | EPOLLRDHUP : 0u) | (want_write ? EPOLLOUT : 0u);
+  if (events == it->second.events) return;
+  it->second.events = events;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = token;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, it->second.fd, &ev);
+}
+
+void EventLoop::del_fd(FdToken token) {
+  auto it = fds_.find(token);
+  if (it == fds_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  fds_.erase(it);
+}
+
+EventLoop::TimerId EventLoop::add_timer(Deadline when,
+                                        std::function<void()> cb) {
+  TimerId id = next_timer_++;
+  if (when == kNoDeadline) return id;  // valid handle that never fires
+  auto it = timers_.emplace(when, std::make_pair(id, std::move(cb)));
+  timer_index_.emplace(id, it);
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  auto it = timer_index_.find(id);
+  if (it == timer_index_.end()) return;
+  timers_.erase(it->second);
+  timer_index_.erase(it);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_tasks_) return;
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  if (!stop_.exchange(true)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      accepting_tasks_ = false;
+    }
+    wake();
+  }
+}
+
+int EventLoop::run_due_timers() {
+  for (;;) {
+    auto it = timers_.begin();
+    if (it == timers_.end()) return -1;
+    Deadline now = Clock::now();
+    if (it->first > now) {
+      auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    it->first - now)
+                    .count();
+      // Round up: waking one ms early busy-spins until the deadline lands.
+      return static_cast<int>(ms) + 1;
+    }
+    auto cb = std::move(it->second.second);
+    timer_index_.erase(it->second.first);
+    timers_.erase(it);
+    cb();  // may add/cancel timers; the loop re-reads begin() next round
+    if (stop_.load()) return -1;
+  }
+}
+
+void EventLoop::drain_tasks() {
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(tasks_);
+  }
+  for (auto& task : batch) {
+    if (stop_.load()) break;
+    task();
+  }
+}
+
+void EventLoop::run() {
+  loop_tid_.store(std::this_thread::get_id());
+  std::vector<epoll_event> events(256);
+  while (!stop_.load()) {
+    int timeout_ms = run_due_timers();
+    if (stop_.load()) break;
+    {
+      // A task posted after the last drain must cut the wait short.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!tasks_.empty()) timeout_ms = 0;
+    }
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself is broken; nothing sane left to do
+    }
+    for (int i = 0; i < n && !stop_.load(); ++i) {
+      const FdToken token = events[i].data.u64;
+      if (token == 0) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // A callback earlier in this batch may have del_fd()'d this token
+      // (and possibly closed + a new conn re-used the fd number): the
+      // token lookup, not the fd, decides whether the event still stands.
+      auto it = fds_.find(token);
+      if (it == fds_.end()) continue;
+      const std::uint32_t got = events[i].events;
+      // Copy the callback: it may del_fd() itself, invalidating `it`.
+      FdCallback cb = it->second.cb;
+      cb((got & (EPOLLIN | EPOLLRDHUP)) != 0, (got & EPOLLOUT) != 0,
+         (got & (EPOLLHUP | EPOLLERR)) != 0);
+    }
+    drain_tasks();
+    if (n == static_cast<int>(events.size()) && events.size() < 4096) {
+      events.resize(events.size() * 2);
+    }
+  }
+  loop_tid_.store(std::thread::id{});
+}
+
+}  // namespace lvq::netio

@@ -1,0 +1,118 @@
+// Epoll readiness event loop — the core the reactor server multiplexes on.
+//
+// One `EventLoop` owns one epoll instance and is driven by exactly one
+// thread calling run(). Everything it dispatches — fd readiness callbacks,
+// expired timers, cross-thread tasks — executes on that thread, so state
+// owned by a loop needs no locks of its own. The only thread-safe entry
+// points are post() (enqueue a task, wake the loop via eventfd) and stop().
+//
+// Registrations are token-addressed, not fd-addressed: the kernel can
+// recycle an fd number the instant it is closed, and a stale readiness
+// event must never be delivered to the connection that inherited the
+// number. del_fd() invalidates the token; events already harvested for it
+// are dropped at dispatch.
+//
+// Level-triggered on purpose: a callback that consumes only part of the
+// pending bytes is re-armed by the kernel on the next epoll_wait, which
+// keeps the per-event work bounded and the loop fair across thousands of
+// connections.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/frame.hpp"
+
+namespace lvq::netio {
+
+class EventLoop {
+ public:
+  /// Identifies one add_fd() registration. Never reused within a loop.
+  using FdToken = std::uint64_t;
+  using TimerId = std::uint64_t;
+  /// readable covers EPOLLIN and EPOLLRDHUP (a read-side hangup surfaces
+  /// as a pending EOF the callback recv()s); writable is EPOLLOUT; hangup
+  /// is EPOLLHUP/EPOLLERR — the fd is dead in both directions. EPOLLRDHUP
+  /// is subscribed only while want_read is set, so a connection that has
+  /// legitimately stopped reading is not busy-woken by a half-closed peer.
+  using FdCallback = std::function<void(bool readable, bool writable,
+                                        bool hangup)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // ---- loop-thread-only registration API ----
+  // (Also callable before run() starts, e.g. to register the listener.)
+
+  /// Registers `fd` (which must already be non-blocking) and returns its
+  /// token. The loop never closes the fd; the owner must del_fd() first,
+  /// then close it.
+  FdToken add_fd(int fd, bool want_read, bool want_write, FdCallback cb);
+  void mod_fd(FdToken token, bool want_read, bool want_write);
+  void del_fd(FdToken token);
+
+  /// One-shot timer at an absolute deadline. kNoDeadline never fires.
+  TimerId add_timer(Deadline when, std::function<void()> cb);
+  void cancel_timer(TimerId id);
+
+  // ---- thread-safe API ----
+
+  /// Enqueues `task` for execution on the loop thread and wakes the loop.
+  /// After stop() the task is silently dropped — a completion landing on a
+  /// dead loop must be a no-op, not a crash.
+  void post(std::function<void()> task);
+
+  /// Runs until stop(). Must be called by exactly one thread.
+  void run();
+
+  /// Signals run() to return after the current iteration. Thread-safe,
+  /// idempotent, callable from inside a callback.
+  void stop();
+
+  bool in_loop_thread() const {
+    return std::this_thread::get_id() == loop_tid_.load();
+  }
+
+ private:
+  struct FdEntry {
+    int fd = -1;
+    std::uint32_t events = 0;
+    FdCallback cb;
+  };
+
+  void wake();
+  /// Runs every timer whose deadline has passed; returns the epoll_wait
+  /// timeout (ms) until the next one, or -1 with no timers pending.
+  int run_due_timers();
+  void drain_tasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  // Loop-thread-only state.
+  std::unordered_map<FdToken, FdEntry> fds_;
+  FdToken next_token_ = 1;
+  TimerId next_timer_ = 1;
+  std::multimap<Deadline, std::pair<TimerId, std::function<void()>>> timers_;
+  std::unordered_map<TimerId, std::multimap<
+      Deadline, std::pair<TimerId, std::function<void()>>>::iterator>
+      timer_index_;
+
+  // Cross-thread state.
+  std::mutex mu_;  // guards tasks_ and accepting_tasks_
+  std::deque<std::function<void()>> tasks_;
+  bool accepting_tasks_ = true;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_tid_{};
+};
+
+}  // namespace lvq::netio

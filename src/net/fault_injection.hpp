@@ -24,7 +24,7 @@
 #include <thread>
 #include <vector>
 
-#include "net/tcp_transport.hpp"
+#include "net/reactor_server.hpp"
 #include "net/transport.hpp"
 #include "net/transport_error.hpp"
 #include "util/rng.hpp"

@@ -1,0 +1,334 @@
+// Epoll reactor server: C10k-class connection handling in front of an
+// asynchronous completion API.
+//
+// The thread-per-connection `TcpServer` capped this repo at dozens of
+// peers; LVQ's premise is one full node serving very large populations of
+// mostly-idle light wallets. `ReactorServer` holds every connection on a
+// small fixed set of I/O threads (one epoll `EventLoop` each), parses
+// length-prefixed frames incrementally per connection, and hands each
+// complete request to an `AsyncHandler` that completes *later*, from any
+// thread — the serving engine's worker pool plugs in via
+// `ServingEngine::submit`. Completions are marshalled back to the owning
+// loop through its eventfd-woken task queue and written with
+// scatter/gather (`sendmsg`/writev) directly from the streaming
+// serializers' exactly-sized reply buffers.
+//
+// Contract highlights (PROTOCOL.md §8):
+//  * Pipelining — a client may write any number of requests back to back;
+//    replies come back in request order per connection, even when the
+//    engine completes them out of order.
+//  * Backpressure is real, not accept-time — a connection whose pending
+//    reply bytes exceed `conn_write_buffer_cap`, or that arrives while the
+//    server-wide in-flight budget is exhausted, has its *request* answered
+//    kBusy (in order); the old `max_connections` accept-shed remains as a
+//    hard cap.
+//  * ConnIds, not fds — a completion for a connection that died in the
+//    meantime is dropped by id lookup; an fd number recycled to a new
+//    connection can never be written to (or closed) twice.
+//  * Resilience features ride loop timers: idle timeout, slow-loris frame
+//    deadline, write-stall deadline, and drain(grace_ms) that lets every
+//    in-flight request flush a byte-exact reply before the socket closes.
+//
+// `TcpServer` survives as a thin compatibility shim over the reactor for
+// synchronous handlers (tests, harnesses): each request runs on its own
+// short-lived thread, preserving the old blocking-handler semantics.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/server_events.hpp"
+#include "util/bytes.hpp"
+
+namespace lvq {
+
+/// Identifies one accepted connection for the lifetime of a server.
+/// Monotonic (never recycled, unlike fd numbers); the low bits address the
+/// owning I/O shard.
+using ConnId = std::uint64_t;
+
+struct ReactorServerOptions {
+  /// Largest frame accepted or produced; incoming claims above this close
+  /// the connection without allocating.
+  std::uint32_t max_frame_bytes = 1u << 30;
+  /// A connection with queued reply bytes must make *some* write progress
+  /// within this deadline or it is closed (the reply is torn — exactly the
+  /// old per-reply io_timeout_ms escape hatch). 0 = unlimited.
+  std::uint32_t write_stall_timeout_ms = 30'000;
+  /// How long a connection may sit idle between requests before the server
+  /// closes it. 0 = unlimited.
+  std::uint32_t idle_timeout_ms = 60'000;
+  /// Slow-loris guard: once the first byte of a frame has arrived, the
+  /// whole frame must complete within this deadline. 0 = unlimited.
+  std::uint32_t frame_read_timeout_ms = 10'000;
+  /// Deadline for flushing the best-effort kBusy frame on a connection
+  /// shed by the max_connections cap.
+  std::uint32_t shed_write_timeout_ms = 100;
+  /// Open-connection hard cap; 0 = unlimited. A connection accepted past
+  /// it gets one kBusy frame and is closed. With per-request backpressure
+  /// below this is a last-ditch bound, not the primary control.
+  std::uint32_t max_connections = 0;
+  /// Per-connection backpressure: while a connection's un-flushed reply
+  /// bytes exceed this cap, each further parsed request is answered kBusy
+  /// (in pipeline order) instead of reaching the handler — a slow reader
+  /// throttles itself, never the server. Past 4x the cap the connection is
+  /// dropped outright (the reader is not consuming even busy frames).
+  /// 0 = unlimited.
+  std::uint64_t conn_write_buffer_cap = 8ull << 20;
+  /// Global backpressure: total request bytes awaiting completion plus
+  /// reply bytes awaiting flush, across all connections. While above the
+  /// budget, new requests are answered kBusy. 0 = unlimited.
+  std::uint64_t inflight_budget_bytes = 256ull << 20;
+  /// I/O threads (epoll event loops). Connections are assigned
+  /// round-robin at accept. Clamped to [1, 16].
+  std::uint32_t io_threads = 1;
+  /// Optional sink for connection-level resilience events; must outlive
+  /// the server. May be null.
+  TcpServerEvents* events = nullptr;
+};
+
+class ReactorServer {
+ public:
+  /// Delivers the reply for one request. May be invoked from any thread,
+  /// including inline from the handler; invoking it after the connection
+  /// died (or the server stopped) is safe and drops the reply.
+  using CompletionFn = std::function<void(Bytes reply)>;
+  /// Called on the owning I/O thread once per complete request frame. The
+  /// `request` span is valid only for the duration of the call — a handler
+  /// that defers work must copy it. Must not block: hand off to a pool.
+  using AsyncHandler =
+      std::function<void(ConnId conn, ByteSpan request, CompletionFn done)>;
+
+  /// Binds 127.0.0.1 on an ephemeral port and starts the I/O threads.
+  /// Throws TransportError if the socket cannot be set up.
+  explicit ReactorServer(AsyncHandler handler,
+                         ReactorServerOptions options = {});
+  ~ReactorServer();
+
+  ReactorServer(const ReactorServer&) = delete;
+  ReactorServer& operator=(const ReactorServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Hard stop: closes the listener and every connection (pending replies
+  /// are abandoned), stops and joins the I/O threads. Completions still
+  /// held by handler threads become no-ops. Idempotent.
+  void stop();
+
+  /// Orderly shutdown: closes the listener, closes idle connections, and
+  /// gives connections with in-flight requests or un-flushed replies up to
+  /// `grace_ms` to complete and flush byte-exact frames (reported via
+  /// TcpServerEvents::on_drain_completed). A frame already started when
+  /// the drain begins may still complete and be served; nothing new is
+  /// read after that. `grace_ms` = 0 waits without limit. Ends in stop().
+  void drain(std::uint32_t grace_ms);
+
+  /// True once drain() or stop() has begun.
+  bool draining() const { return draining_.load() || stopping_.load(); }
+
+  /// Currently open (accepted, not yet closed) connections.
+  std::size_t open_connections() const { return open_conns_.load(); }
+
+  /// Connections shed by the max_connections accept cap.
+  std::uint64_t connections_shed() const { return shed_.load(); }
+
+  /// Requests answered kBusy by the write-buffer / in-flight budgets.
+  std::uint64_t backpressure_sheds() const { return backpressure_.load(); }
+
+  /// Request + reply bytes currently held (the inflight_budget_bytes
+  /// gauge). Exposed for tests and stats.
+  std::uint64_t inflight_bytes() const { return inflight_bytes_.load(); }
+
+ private:
+  struct OutBuf {
+    std::uint8_t header[4];
+    Bytes payload;
+    std::size_t off = 0;  // bytes of header+payload already written
+    bool is_reply = false;  // true for request replies (drain accounting)
+  };
+
+  struct Conn {
+    ConnId id = 0;
+    int fd = -1;
+    netio::EventLoop::FdToken token = 0;
+    bool want_read = false;
+    bool want_write = false;
+    bool shed = false;          // accept-shed: flush one busy frame, close
+    bool read_closed = false;   // EOF seen or reads disabled by drain
+    bool close_after_flush = false;
+    Bytes rbuf;                 // unparsed inbound bytes
+    std::size_t roff = 0;       // parsed prefix of rbuf
+    std::uint64_t next_seq = 0;        // next request sequence to assign
+    std::uint64_t next_write_seq = 0;  // next reply to enter the write queue
+    std::uint32_t in_flight = 0;       // dispatched, completion pending
+    std::map<std::uint64_t, Bytes> ready;  // out-of-order completions
+    std::unordered_map<std::uint64_t, std::uint64_t> req_bytes;
+    std::deque<OutBuf> wq;
+    std::uint64_t wq_bytes = 0;
+    netio::EventLoop::TimerId idle_timer = 0;
+    netio::EventLoop::TimerId frame_timer = 0;
+    netio::EventLoop::TimerId write_timer = 0;
+    bool idle_armed = false;
+    bool frame_armed = false;
+    bool write_armed = false;
+  };
+
+  struct Shard {
+    netio::EventLoop loop;
+    std::thread thread;
+    // Loop-thread-only (except in stop(), after the thread is joined).
+    std::unordered_map<ConnId, std::unique_ptr<Conn>> conns;
+  };
+
+  /// Late completions reach the server through this indirection: stop()
+  /// nulls `server` under the mutex *before* tearing the loops down, so a
+  /// handler thread mid-completion either gets in before the teardown or
+  /// sees null and drops the reply — never a dangling server.
+  struct Router {
+    std::mutex mu;
+    ReactorServer* server = nullptr;
+  };
+
+  static constexpr std::uint64_t kShardBits = 4;  // io_threads <= 16
+
+  Shard& shard_of(ConnId id) { return *shards_[id & ((1u << kShardBits) - 1)]; }
+  void close_listener();
+  void on_accept();
+  void register_conn(std::size_t shard_idx, ConnId id, int fd);
+  void shed_accept(int fd);
+  void on_event(std::size_t shard_idx, ConnId id, bool readable, bool writable,
+                bool hangup);
+  /// All of the following run on the conn's loop thread and return false
+  /// when they closed the connection.
+  bool handle_readable(Shard& sh, Conn* c);
+  bool parse_requests(Shard& sh, Conn* c);
+  bool dispatch_request(Shard& sh, Conn* c, ByteSpan payload);
+  bool deliver(Shard& sh, Conn* c, std::uint64_t seq, Bytes reply);
+  bool flush_ready(Shard& sh, Conn* c);
+  bool try_write(Shard& sh, Conn* c);
+  bool on_read_eof(Shard& sh, Conn* c);
+  /// Close once everything owed has been flushed; returns false if the
+  /// conn was closed now.
+  bool maybe_close_done(Shard& sh, Conn* c);
+  void close_conn(Shard& sh, Conn* c);
+  void update_timers(Shard& sh, Conn* c);
+  void begin_drain(std::size_t shard_idx);
+  /// Thread-safe completion entry (called under router_->mu).
+  void complete(ConnId id, std::uint64_t seq, Bytes reply);
+  void on_completion(std::size_t shard_idx, ConnId id, std::uint64_t seq,
+                     Bytes reply);
+
+  AsyncHandler handler_;
+  ReactorServerOptions options_;
+  std::shared_ptr<Router> router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int listen_fd_ = -1;
+  netio::EventLoop::FdToken listen_token_ = 0;
+  std::uint16_t port_ = 0;
+  std::uint64_t conn_counter_ = 0;  // accept-thread (shard 0 loop) only
+  std::size_t rr_next_ = 0;         // round-robin shard cursor, ditto
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> listener_closed_{false};
+  std::atomic<std::uint64_t> open_conns_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> backpressure_{0};
+  std::atomic<std::uint64_t> inflight_bytes_{0};
+  std::mutex stop_mu_;  // serializes stop() callers (drain vs destructor)
+  bool stopped_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Legacy synchronous-handler surface, kept for tests and harnesses.
+// ---------------------------------------------------------------------------
+
+/// Options for the legacy `TcpServer` shim (and the shape ChaosServer /
+/// FlakyServer still configure themselves with). Field-by-field mapping
+/// onto ReactorServerOptions is documented in PROTOCOL.md §8.4.
+struct TcpServerOptions {
+  /// Largest frame accepted or produced; incoming claims above this close
+  /// the connection without allocating.
+  std::uint32_t max_frame_bytes = 1u << 30;
+  /// Deadline for writing one reply (maps to write_stall_timeout_ms).
+  /// 0 = unlimited.
+  std::uint32_t io_timeout_ms = 30'000;
+  /// How long a connection may sit idle between requests before the server
+  /// closes it. 0 = unlimited.
+  std::uint32_t idle_timeout_ms = 60'000;
+  /// Slow-loris guard: once the first byte of a request has arrived, the
+  /// whole frame must complete within this deadline. 0 = fall back to
+  /// io_timeout_ms.
+  std::uint32_t frame_read_timeout_ms = 10'000;
+  /// Deadline for the best-effort kBusy frame written to a connection shed
+  /// by the max_connections cap.
+  std::uint32_t busy_write_timeout_ms = 100;
+  /// Open-connection cap; 0 = unlimited. A connection accepted past the
+  /// cap is shed with one best-effort kBusy frame.
+  std::uint32_t max_connections = 0;
+  /// Optional sink for connection-level resilience events; must outlive
+  /// the server. May be null.
+  TcpServerEvents* events = nullptr;
+};
+
+/// Compatibility shim: the old blocking-handler server API, now a thin
+/// wrapper over ReactorServer. Each request runs the synchronous handler
+/// on its own short-lived thread (the old design's thread-per-connection
+/// semantics, per request), so handlers may block freely; stop()/drain()
+/// still wait for them exactly as the old worker join did. New code should
+/// use ReactorServer + an async handler directly.
+class TcpServer {
+ public:
+  using Handler = std::function<Bytes(ByteSpan)>;
+
+  explicit TcpServer(Handler handler, TcpServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return reactor_->port(); }
+
+  /// Hard stop; waits for every in-flight handler thread. Idempotent.
+  void stop();
+
+  /// Orderly shutdown with the same observable behavior as the legacy
+  /// server: listener closed immediately, idle connections dropped, busy
+  /// ones get `grace_ms` to flush byte-exact replies (on_drain_completed).
+  void drain(std::uint32_t grace_ms);
+
+  bool draining() const { return reactor_->draining(); }
+
+  /// Open connections (the legacy name counted one worker thread per
+  /// connection; the reactor has no such threads, so this is simply the
+  /// open-connection count — still exactly "how many peers are attached").
+  std::size_t active_workers() { return reactor_->open_connections(); }
+
+  /// Connections shed by the max_connections cap.
+  std::uint64_t connections_shed() const {
+    return reactor_->connections_shed();
+  }
+
+ private:
+  struct HandlerPool {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t live = 0;
+  };
+
+  void wait_handlers();
+
+  std::shared_ptr<HandlerPool> pool_;
+  std::unique_ptr<ReactorServer> reactor_;
+};
+
+}  // namespace lvq

@@ -1,11 +1,12 @@
-// Connection-level resilience events emitted by TcpServer.
+// Connection-level resilience events emitted by the serving socket layer
+// (ReactorServer, and the legacy TcpServer shim over it).
 //
-// TcpServer lives in net/ and must not depend on server/, but the operator
+// The server lives in net/ and must not depend on server/, but the operator
 // wants socket-layer incidents (slow-loris closes, requests completed
-// during a drain) in the same kStats snapshot as the serving engine's
-// counters. This tiny sink interface breaks the cycle: server/metrics.hpp's
-// ServerMetrics implements it, and TcpServerOptions carries an optional
-// pointer to it.
+// during a drain, backpressure sheds) in the same kStats snapshot as the
+// serving engine's counters. This tiny sink interface breaks the cycle:
+// server/metrics.hpp's ServerMetrics implements it, and
+// ReactorServerOptions / TcpServerOptions carry an optional pointer to it.
 #pragma once
 
 namespace lvq {
@@ -21,6 +22,11 @@ class TcpServerEvents {
   /// A request was fully served — reply flushed to the socket — while the
   /// server was draining toward shutdown.
   virtual void on_drain_completed() = 0;
+
+  /// A request was answered kBusy by write-buffer / in-flight-byte
+  /// backpressure (ReactorServer only). Default no-op so existing sinks
+  /// compile unchanged.
+  virtual void on_backpressure_shed() {}
 };
 
 }  // namespace lvq

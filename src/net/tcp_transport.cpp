@@ -10,7 +10,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
-#include <thread>
 
 #include "net/frame.hpp"
 #include "net/message.hpp"
@@ -33,185 +32,6 @@ sockaddr_in loopback_addr(std::uint16_t port) {
 }
 
 }  // namespace
-
-TcpServer::TcpServer(Handler handler, TcpServerOptions options)
-    : handler_(std::move(handler)), options_(options) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) fail_connect("socket");
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr = loopback_addr(0);  // ephemeral
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
-    fail_connect("bind");
-  if (::listen(listen_fd_, 16) < 0) fail_connect("listen");
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
-    fail_connect("getsockname");
-  port_ = ntohs(addr.sin_port);
-  acceptor_ = std::thread([this] { accept_loop(); });
-}
-
-TcpServer::~TcpServer() { stop(); }
-
-void TcpServer::close_listener() {
-  bool expected = false;
-  if (listener_closed_.compare_exchange_strong(expected, true)) {
-    // Closing the listener unblocks accept().
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-  }
-}
-
-void TcpServer::stop() {
-  bool expected = false;
-  if (stopping_.compare_exchange_strong(expected, true)) {
-    close_listener();
-    // Unblock every worker parked in poll()/read() on a live connection.
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& w : workers_) {
-      if (w->fd >= 0) ::shutdown(w->fd, SHUT_RDWR);
-    }
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  // Drain under the lock, join outside it: workers take mu_ to close
-  // their fd on exit, so joining while holding it would deadlock.
-  std::list<std::unique_ptr<Worker>> drained;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    drained.swap(workers_);
-  }
-  for (auto& w : drained) {
-    if (w->thread.joinable()) w->thread.join();
-  }
-}
-
-void TcpServer::reap_finished_locked() {
-  for (auto it = workers_.begin(); it != workers_.end();) {
-    if ((*it)->done.load()) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = workers_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-std::size_t TcpServer::active_workers() {
-  std::lock_guard<std::mutex> lock(mu_);
-  reap_finished_locked();
-  return workers_.size();
-}
-
-void TcpServer::drain(std::uint32_t grace_ms) {
-  bool expected = false;
-  if (draining_.compare_exchange_strong(expected, true)) {
-    close_listener();
-    // Wake idle workers with a read-side shutdown only: their next
-    // wait_readable sees EOF and the connection winds down cleanly, while
-    // any reply another worker is mid-writing keeps its write half — no
-    // frame is ever abandoned partway.
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& w : workers_) {
-      if (w->fd >= 0 && !w->busy.load()) ::shutdown(w->fd, SHUT_RD);
-    }
-  }
-  netio::Deadline deadline = netio::deadline_after_ms(grace_ms);
-  while (active_workers() != 0) {
-    if (netio::Clock::now() >= deadline) break;  // grace exhausted
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  // Hard-stop stragglers (if any) and join everything. With all workers
-  // already gone this degenerates to closing the listener bookkeeping.
-  stop();
-}
-
-void TcpServer::accept_loop() {
-  while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_.load()) {
-      ::close(fd);
-      break;
-    }
-    // Reap connections that have since closed — without this the worker
-    // list grows with every connection ever accepted until stop().
-    reap_finished_locked();
-    if (options_.max_connections != 0 &&
-        workers_.size() >= options_.max_connections) {
-      // Shed: one best-effort kBusy frame under a short deadline (the
-      // 5-byte frame fits any socket buffer, so a healthy client gets it
-      // instantly; a hostile one cannot wedge the accept loop), then
-      // close without spawning a worker.
-      Bytes busy = encode_envelope(MsgType::kBusy, {});
-      netio::write_frame(fd, ByteSpan{busy.data(), busy.size()},
-                         options_.max_frame_bytes,
-                         netio::deadline_after_ms(options_.busy_write_timeout_ms));
-      ::close(fd);
-      shed_.fetch_add(1);
-      continue;
-    }
-    workers_.push_back(std::make_unique<Worker>());
-    Worker* w = workers_.back().get();
-    w->fd = fd;
-    w->thread = std::thread([this, w] { serve_connection(w); });
-  }
-}
-
-void TcpServer::serve_connection(Worker* worker) {
-  const int fd = worker->fd;
-  Bytes request;
-  for (;;) {
-    // Phase 1: wait (idle, not busy) for the next request to START under
-    // the generous idle deadline. A drain wakes this wait via SHUT_RD.
-    netio::FrameResult r = netio::wait_readable(
-        fd, netio::deadline_after_ms(options_.idle_timeout_ms));
-    if (r != netio::FrameResult::kOk) break;
-    if (draining()) break;  // bytes raced the drain sweep; close cleanly
-    worker->busy.store(true);
-    // Phase 2: the frame has started, so it must COMPLETE under the much
-    // tighter per-frame deadline — a peer trickling one byte at a time
-    // (slow loris) can no longer pin a worker for idle_timeout_ms.
-    std::uint32_t frame_ms = options_.frame_read_timeout_ms != 0
-                                 ? options_.frame_read_timeout_ms
-                                 : options_.io_timeout_ms;
-    r = netio::read_frame(fd, request, options_.max_frame_bytes,
-                          netio::deadline_after_ms(frame_ms));
-    if (r != netio::FrameResult::kOk) {
-      if (r == netio::FrameResult::kTimeout && options_.events != nullptr) {
-        options_.events->on_slow_loris_closed();
-      }
-      break;
-    }
-    Bytes response = handler_(ByteSpan{request.data(), request.size()});
-    netio::Deadline write_deadline =
-        netio::deadline_after_ms(options_.io_timeout_ms);
-    if (netio::write_frame(fd, ByteSpan{response.data(), response.size()},
-                           options_.max_frame_bytes,
-                           write_deadline) != netio::FrameResult::kOk) {
-      break;
-    }
-    worker->busy.store(false);
-    if (draining_.load()) {
-      // The reply above was flushed in full; exit instead of parking for
-      // another request the server will never accept.
-      if (options_.events != nullptr) options_.events->on_drain_completed();
-      break;
-    }
-    if (stopping_.load()) break;
-  }
-  worker->busy.store(false);
-  // Close under the lock so stop() never shutdown()s a recycled fd number.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ::close(fd);
-    worker->fd = -1;
-  }
-  worker->done.store(true);
-}
 
 TcpTransport::TcpTransport(std::uint16_t port, TcpTransportOptions options)
     : port_(port), options_(options) {

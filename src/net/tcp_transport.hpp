@@ -1,139 +1,27 @@
-// Real TCP transport over loopback.
+// Real TCP client transport over loopback.
 //
 // The paper ran the light node (RPC client) and full node (RPC server) on
-// separate machines; `LoopbackTransport` models only the byte counts. This
-// pair makes the split literal: a `TcpServer` accepts connections on
-// 127.0.0.1 and serves the same handler a full node exposes, and a
-// `TcpTransport` is a drop-in `Transport` speaking length-prefixed frames
-// over a persistent socket. Every test/bench works with either transport.
+// separate machines; `LoopbackTransport` models only the byte counts.
+// `TcpTransport` makes the split literal: a drop-in `Transport` speaking
+// length-prefixed frames over a persistent socket to a server on
+// 127.0.0.1. The serving side lives in net/reactor_server.hpp (epoll
+// event-loop `ReactorServer`, plus the legacy `TcpServer` shim).
 //
 // Framing per direction: u32 little-endian payload length, then payload
-// (see net/frame.hpp). Both ends are hardened against hostile or broken
+// (see net/frame.hpp). The client is hardened against hostile or broken
 // peers: every blocking socket operation is governed by a deadline, frame
 // sizes are capped, failures surface as typed `TransportError`s, and the
 // client transparently reconnects on the next round trip after a
 // disconnect.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <functional>
-#include <list>
-#include <memory>
-#include <mutex>
-#include <thread>
 
-#include "net/server_events.hpp"
 #include "net/transport.hpp"
 #include "net/transport_error.hpp"
 #include "util/bytes.hpp"
 
 namespace lvq {
-
-struct TcpServerOptions {
-  /// Largest frame accepted or produced; incoming claims above this close
-  /// the connection without allocating.
-  std::uint32_t max_frame_bytes = 1u << 30;
-  /// Deadline for writing one reply. 0 = unlimited.
-  std::uint32_t io_timeout_ms = 30'000;
-  /// How long a connection may sit idle between requests before the server
-  /// closes it. 0 = unlimited (stop() still unblocks workers).
-  std::uint32_t idle_timeout_ms = 60'000;
-  /// Slow-loris guard: once the first byte of a request has arrived, the
-  /// whole frame must complete within this deadline — far tighter than the
-  /// idle timeout a patient-but-legitimate client enjoys between requests.
-  /// A peer that trickles a frame past it is closed (and counted via
-  /// TcpServerEvents). 0 = fall back to io_timeout_ms.
-  std::uint32_t frame_read_timeout_ms = 10'000;
-  /// Deadline for the best-effort kBusy frame written to a connection shed
-  /// by the max_connections cap; bounds how long a hostile peer that never
-  /// reads can wedge the accept loop.
-  std::uint32_t busy_write_timeout_ms = 100;
-  /// Open-connection cap; 0 = unlimited. A connection accepted past the
-  /// cap is shed: the server best-effort writes one kBusy frame (so a
-  /// well-behaved client backs off instead of diagnosing a mystery
-  /// disconnect) and closes without spawning a worker — a connection
-  /// flood can no longer spawn threads without limit.
-  std::uint32_t max_connections = 0;
-  /// Optional sink for connection-level resilience events (slow-loris
-  /// closes, drain completions). server/metrics.hpp's ServerMetrics
-  /// implements it; must outlive the server. May be null.
-  TcpServerEvents* events = nullptr;
-};
-
-class TcpServer {
- public:
-  using Handler = std::function<Bytes(ByteSpan)>;
-
-  /// Binds 127.0.0.1 on an ephemeral port and starts the accept loop.
-  /// Throws TransportError if the socket cannot be set up.
-  explicit TcpServer(Handler handler, TcpServerOptions options = {});
-  ~TcpServer();
-
-  TcpServer(const TcpServer&) = delete;
-  TcpServer& operator=(const TcpServer&) = delete;
-
-  std::uint16_t port() const { return port_; }
-
-  /// Stops accepting, closes the listener, unblocks every in-flight
-  /// connection, and joins all workers. Idempotent; also called by the
-  /// destructor.
-  void stop();
-
-  /// Orderly shutdown: stops accepting immediately, wakes idle connections
-  /// with a read-side shutdown (their write half is untouched, so a reply
-  /// in flight is never cut short), and gives busy connections up to
-  /// `grace_ms` to finish the request they are serving and flush its
-  /// reply. Whatever is still running after the grace period is
-  /// hard-stopped exactly like stop(). Requests completed during the grace
-  /// window are reported via TcpServerEvents::on_drain_completed.
-  /// `grace_ms` = 0 waits without limit. Idempotent and safe to race with
-  /// stop().
-  void drain(std::uint32_t grace_ms);
-
-  /// True once drain() or stop() has begun — new requests on existing
-  /// connections will not start a fresh read cycle.
-  bool draining() const { return draining_.load() || stopping_.load(); }
-
-  /// Reaps finished connection threads and returns how many are still
-  /// live. The accept loop also reaps on every new connection, so the
-  /// worker list stays proportional to *open* connections, not to the
-  /// total ever accepted.
-  std::size_t active_workers();
-
-  /// Connections shed by the max_connections cap.
-  std::uint64_t connections_shed() const { return shed_.load(); }
-
- private:
-  struct Worker {
-    std::thread thread;
-    int fd = -1;
-    std::atomic<bool> done{false};
-    /// True while a request frame is being read, served, or its reply
-    /// written; false while parked waiting for the next request. drain()
-    /// wakes only idle workers — busy ones get their grace period.
-    std::atomic<bool> busy{false};
-  };
-
-  void accept_loop();
-  void serve_connection(Worker* worker);
-  void reap_finished_locked();
-  /// Shuts down + closes the listener exactly once (drain() and stop()
-  /// can both reach it, in either order).
-  void close_listener();
-
-  Handler handler_;
-  TcpServerOptions options_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> stopping_{false};
-  std::atomic<bool> draining_{false};
-  std::atomic<bool> listener_closed_{false};
-  std::atomic<std::uint64_t> shed_{0};
-  std::thread acceptor_;
-  std::mutex mu_;  // guards workers_ and each worker's fd lifetime
-  std::list<std::unique_ptr<Worker>> workers_;
-};
 
 struct TcpTransportOptions {
   /// Deadline for establishing (or re-establishing) the connection.

@@ -23,7 +23,7 @@
 #include <thread>
 #include <vector>
 
-#include "net/tcp_transport.hpp"
+#include "net/reactor_server.hpp"
 #include "util/rng.hpp"
 
 namespace lvq {

@@ -8,7 +8,7 @@ namespace lvq {
 
 namespace {
 
-constexpr std::uint8_t kSnapshotVersion = 2;
+constexpr std::uint8_t kSnapshotVersion = 3;
 
 const char* type_slot_name(std::size_t slot) {
   switch (slot) {
@@ -67,6 +67,15 @@ void ServerMetrics::fill(MetricsSnapshot& out) const {
   }
   out.latency_count = latency_count_.load(std::memory_order_relaxed);
   out.latency_total_us = latency_total_us_.load(std::memory_order_relaxed);
+  out.backpressure_shed = backpressure_shed_.load(std::memory_order_relaxed);
+  for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+    ClassLatency& cl = out.class_latency[c];
+    for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
+      cl.buckets[i] = class_buckets_[c][i].load(std::memory_order_relaxed);
+    }
+    cl.count = class_count_[c].load(std::memory_order_relaxed);
+    cl.total_us = class_total_us_[c].load(std::memory_order_relaxed);
+  }
 }
 
 void MetricsSnapshot::serialize(Writer& w) const {
@@ -103,6 +112,15 @@ void MetricsSnapshot::serialize(Writer& w) const {
   for (std::uint64_t v : latency_buckets) w.varint(v);
   w.varint(latency_count);
   w.varint(latency_total_us);
+  // v3 fields, appended after everything v2 carried.
+  w.varint(backpressure_shed);
+  w.varint(class_latency.size());
+  for (const ClassLatency& cl : class_latency) {
+    w.varint(cl.buckets.size());
+    for (std::uint64_t v : cl.buckets) w.varint(v);
+    w.varint(cl.count);
+    w.varint(cl.total_us);
+  }
 }
 
 MetricsSnapshot MetricsSnapshot::deserialize(Reader& r) {
@@ -148,22 +166,59 @@ MetricsSnapshot MetricsSnapshot::deserialize(Reader& r) {
   for (std::uint64_t& v : s.latency_buckets) v = r.varint();
   s.latency_count = r.varint();
   s.latency_total_us = r.varint();
+  s.backpressure_shed = r.varint();
+  n = r.varint();
+  if (n != s.class_latency.size()) {
+    throw SerializeError("bad latency class count");
+  }
+  for (ClassLatency& cl : s.class_latency) {
+    n = r.varint();
+    if (n != cl.buckets.size()) {
+      throw SerializeError("bad class latency bucket count");
+    }
+    for (std::uint64_t& v : cl.buckets) v = r.varint();
+    cl.count = r.varint();
+    cl.total_us = r.varint();
+  }
   return s;
 }
 
-double MetricsSnapshot::latency_quantile_us(double q) const {
-  if (latency_count == 0) return 0.0;
-  std::uint64_t target = static_cast<std::uint64_t>(
-      q * static_cast<double>(latency_count) + 0.5);
+namespace {
+
+double histogram_quantile_us(
+    const std::array<std::uint64_t, kLatencyBucketCount>& buckets,
+    std::uint64_t count, double q) {
+  if (count == 0) return 0.0;
+  std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5);
   if (target == 0) target = 1;
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < latency_buckets.size(); ++i) {
-    cumulative += latency_buckets[i];
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
     if (cumulative >= target) {
       return static_cast<double>(1ull << (i + 1));  // bucket upper edge
     }
   }
-  return static_cast<double>(1ull << latency_buckets.size());
+  return static_cast<double>(1ull << buckets.size());
+}
+
+}  // namespace
+
+const char* request_class_name(RequestClass c) {
+  switch (c) {
+    case RequestClass::kQuery: return "query";
+    case RequestClass::kBulk: return "bulk";
+    case RequestClass::kControl: return "control";
+  }
+  return "?";
+}
+
+double ClassLatency::quantile_us(double q) const {
+  return histogram_quantile_us(buckets, count, q);
+}
+
+double MetricsSnapshot::latency_quantile_us(double q) const {
+  return histogram_quantile_us(latency_buckets, latency_count, q);
 }
 
 std::string MetricsSnapshot::to_text() const {
@@ -172,8 +227,10 @@ std::string MetricsSnapshot::to_text() const {
                    " error replies, %" PRIu64 " shed busy",
               requests_total, responses_error, rejected_busy);
   append_line(out, "shedding : %" PRIu64 " degraded bulk, %" PRIu64
-                   " expired in queue, %" PRIu64 " deadline aborted",
-              rejected_degraded, expired_in_queue, deadline_aborted);
+                   " expired in queue, %" PRIu64 " deadline aborted, %" PRIu64
+                   " backpressure",
+              rejected_degraded, expired_in_queue, deadline_aborted,
+              backpressure_shed);
   append_line(out, "drain    : %" PRIu64 " completed in grace, %" PRIu64
                    " slow-loris closed",
               drain_completed, slow_loris_closed);
@@ -212,10 +269,25 @@ std::string MetricsSnapshot::to_text() const {
               workers, in_flight, queue_depth, queue_capacity);
   append_line(out, "epoch    : tip %" PRIu64 ", generation %" PRIu64,
               epoch_tip, epoch_generation);
-  append_line(out, "latency  : n=%" PRIu64 ", mean %s, p50 <= %s, p99 <= %s",
+  append_line(out,
+              "latency  : n=%" PRIu64 ", mean %s, p50 <= %s, p90 <= %s, "
+              "p99 <= %s",
               latency_count, human_us(mean_latency_us()).c_str(),
               human_us(latency_quantile_us(0.50)).c_str(),
+              human_us(latency_quantile_us(0.90)).c_str(),
               human_us(latency_quantile_us(0.99)).c_str());
+  for (std::size_t c = 0; c < class_latency.size(); ++c) {
+    const ClassLatency& cl = class_latency[c];
+    if (cl.count == 0) continue;
+    append_line(out,
+                " %-8s: n=%" PRIu64 ", mean %s, p50 <= %s, p90 <= %s, "
+                "p99 <= %s",
+                request_class_name(static_cast<RequestClass>(c)), cl.count,
+                human_us(cl.mean_us()).c_str(),
+                human_us(cl.quantile_us(0.50)).c_str(),
+                human_us(cl.quantile_us(0.90)).c_str(),
+                human_us(cl.quantile_us(0.99)).c_str());
+  }
   return out;
 }
 

@@ -27,6 +27,33 @@ constexpr std::size_t kLatencyBucketCount = 22;
 /// slot 0 counts requests too short to carry a type byte.
 constexpr std::size_t kMsgTypeSlots = 16;
 
+/// Coarse request classes for per-class latency histograms (snapshot v3).
+/// The buckets answer "is interactive traffic slow?" without a per-type
+/// histogram explosion: single-address proof queries, bulk sync/batch
+/// traffic, and everything else (stats, headers-since, unknown).
+enum class RequestClass : std::uint8_t { kQuery = 0, kBulk = 1, kControl = 2 };
+constexpr std::size_t kRequestClassCount = 3;
+
+const char* request_class_name(RequestClass c);
+
+/// One request class's latency histogram (same bucket layout as the
+/// global one: bucket i counts [2^i, 2^{i+1}) microseconds).
+struct ClassLatency {
+  std::array<std::uint64_t, kLatencyBucketCount> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+
+  bool operator==(const ClassLatency&) const = default;
+
+  double mean_us() const {
+    return count == 0
+               ? 0.0
+               : static_cast<double>(total_us) / static_cast<double>(count);
+  }
+  /// Upper-edge quantile estimate; 0 with no samples.
+  double quantile_us(double q) const;
+};
+
 /// Point-in-time copy of every counter plus the engine's gauges. This is
 /// the kStatsResponse payload; the wire format is documented in
 /// docs/PROTOCOL.md.
@@ -42,6 +69,10 @@ struct MetricsSnapshot {
   std::uint64_t deadline_aborted = 0;   // dropped: deadline hit mid-assembly
   std::uint64_t drain_completed = 0;    // requests finished during drain grace
   std::uint64_t slow_loris_closed = 0;  // connections closed mid-frame timeout
+
+  // Reactor backpressure (snapshot v3): requests answered kBusy by the
+  // per-connection write-buffer cap or the global in-flight byte budget.
+  std::uint64_t backpressure_shed = 0;
 
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
@@ -73,6 +104,9 @@ struct MetricsSnapshot {
   std::array<std::uint64_t, kLatencyBucketCount> latency_buckets{};
   std::uint64_t latency_count = 0;
   std::uint64_t latency_total_us = 0;
+
+  // Per-class latency histograms (snapshot v3), indexed by RequestClass.
+  std::array<ClassLatency, kRequestClassCount> class_latency{};
 
   bool operator==(const MetricsSnapshot&) const = default;
 
@@ -107,14 +141,18 @@ class ServerMetrics final : public TcpServerEvents {
         1, std::memory_order_relaxed);
   }
 
-  void on_reply(std::uint64_t reply_bytes, bool error_reply,
-                std::uint64_t latency_us) {
+  void on_reply(std::uint8_t type_slot, std::uint64_t reply_bytes,
+                bool error_reply, std::uint64_t latency_us) {
     bytes_out_.fetch_add(reply_bytes, std::memory_order_relaxed);
     if (error_reply) responses_error_.fetch_add(1, std::memory_order_relaxed);
-    latency_buckets_[bucket_for(latency_us)].fetch_add(
-        1, std::memory_order_relaxed);
+    const std::size_t b = bucket_for(latency_us);
+    latency_buckets_[b].fetch_add(1, std::memory_order_relaxed);
     latency_count_.fetch_add(1, std::memory_order_relaxed);
     latency_total_us_.fetch_add(latency_us, std::memory_order_relaxed);
+    const auto c = static_cast<std::size_t>(class_for(type_slot));
+    class_buckets_[c][b].fetch_add(1, std::memory_order_relaxed);
+    class_count_[c].fetch_add(1, std::memory_order_relaxed);
+    class_total_us_[c].fetch_add(latency_us, std::memory_order_relaxed);
   }
 
   /// A shed request: counted separately and kept out of the latency
@@ -157,6 +195,12 @@ class ServerMetrics final : public TcpServerEvents {
     slow_loris_closed_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// A request answered kBusy by the reactor's write-buffer cap or global
+  /// in-flight byte budget.
+  void on_backpressure_shed() override {
+    backpressure_shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Copies the counter/histogram half into `out` (the engine fills the
   /// gauges and cache stats).
   void fill(MetricsSnapshot& out) const;
@@ -168,6 +212,21 @@ class ServerMetrics final : public TcpServerEvents {
     return b < kLatencyBucketCount ? b : kLatencyBucketCount - 1;
   }
 
+  /// Maps a raw MsgType byte onto its latency class.
+  static RequestClass class_for(std::uint8_t type_slot) {
+    switch (type_slot) {
+      case 1:  // kQueryRequest
+        return RequestClass::kQuery;
+      case 3:   // kHeadersRequest (full sync)
+      case 7:   // kBatchQueryRequest
+      case 9:   // kRangeQueryRequest
+      case 11:  // kMultiQueryRequest
+        return RequestClass::kBulk;
+      default:
+        return RequestClass::kControl;
+    }
+  }
+
  private:
   std::atomic<std::uint64_t> requests_total_{0};
   std::atomic<std::uint64_t> responses_error_{0};
@@ -177,6 +236,7 @@ class ServerMetrics final : public TcpServerEvents {
   std::atomic<std::uint64_t> deadline_aborted_{0};
   std::atomic<std::uint64_t> drain_completed_{0};
   std::atomic<std::uint64_t> slow_loris_closed_{0};
+  std::atomic<std::uint64_t> backpressure_shed_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
   std::array<std::atomic<std::uint64_t>, kMsgTypeSlots> by_type_{};
@@ -184,6 +244,12 @@ class ServerMetrics final : public TcpServerEvents {
       latency_buckets_{};
   std::atomic<std::uint64_t> latency_count_{0};
   std::atomic<std::uint64_t> latency_total_us_{0};
+  std::array<std::array<std::atomic<std::uint64_t>, kLatencyBucketCount>,
+             kRequestClassCount>
+      class_buckets_{};
+  std::array<std::atomic<std::uint64_t>, kRequestClassCount> class_count_{};
+  std::array<std::atomic<std::uint64_t>, kRequestClassCount>
+      class_total_us_{};
 };
 
 }  // namespace lvq

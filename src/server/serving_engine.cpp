@@ -74,7 +74,7 @@ void ServingEngine::stop() {
     std::lock_guard<std::mutex> lock(mu_);
     leftover.swap(queue_);
   }
-  for (auto& job : leftover) job->promise.set_value(busy_reply());
+  for (auto& job : leftover) job->complete(busy_reply());
 }
 
 bool ServingEngine::cacheable_request(std::uint8_t type) {
@@ -118,6 +118,17 @@ bool ServingEngine::bulk_request(std::uint8_t type) {
 }
 
 Bytes ServingEngine::handle(ByteSpan request) {
+  // Blocking shim over the async entry point: park on a promise until the
+  // completion fires (inline for fast cases, from a worker otherwise).
+  std::promise<Bytes> promise;
+  std::future<Bytes> result = promise.get_future();
+  submit(0, request,
+         [&promise](Bytes reply) { promise.set_value(std::move(reply)); });
+  return result.get();
+}
+
+void ServingEngine::submit(ConnId /*conn_id*/, ByteSpan request,
+                           CompletionFn done) {
   const auto t0 = std::chrono::steady_clock::now();
 
   // Peel an optional kDeadline wrapper FIRST: everything downstream —
@@ -129,10 +140,13 @@ Bytes ServingEngine::handle(ByteSpan request) {
   try {
     inner = peel_deadline_envelope(request, &budget_ms);
   } catch (const SerializeError&) {
-    metrics_.on_request(request.empty() ? 0 : request[0], request.size());
+    const std::uint8_t raw_type = request.empty() ? 0 : request[0];
+    metrics_.on_request(raw_type, request.size());
     Bytes err = encode_envelope(MsgType::kError, {});
-    metrics_.on_reply(err.size(), /*error_reply=*/true, micros_since(t0));
-    return err;
+    metrics_.on_reply(raw_type, err.size(), /*error_reply=*/true,
+                      micros_since(t0));
+    done(std::move(err));
+    return;
   }
   const netio::Deadline deadline = netio::deadline_after_ms(
       static_cast<std::uint32_t>(std::min<std::uint64_t>(budget_ms, 0xffffffffu)));
@@ -140,29 +154,38 @@ Bytes ServingEngine::handle(ByteSpan request) {
   const std::uint8_t type = inner.empty() ? 0 : inner[0];
   metrics_.on_request(type, request.size());
 
-  auto finish = [&](Bytes reply) {
+  // Finishes metrics for a served reply; jobs carry it into the worker
+  // pool so the latency histogram covers queue wait + execution, exactly
+  // as the blocking path always measured it. Expired replies are counted
+  // at their drop site (expired_in_queue / deadline_aborted) and kept out
+  // of the served-latency histogram.
+  auto finish_metrics = [this, t0, type](const Bytes& reply) {
+    if (is_expired_envelope(ByteSpan{reply.data(), reply.size()})) return;
     const bool error =
         !reply.empty() && reply[0] == static_cast<std::uint8_t>(MsgType::kError);
-    metrics_.on_reply(reply.size(), error, micros_since(t0));
-    return reply;
+    metrics_.on_reply(type, reply.size(), error, micros_since(t0));
   };
 
   if (type == static_cast<std::uint8_t>(MsgType::kStatsRequest)) {
     Writer w;
     snapshot().serialize(w);
-    return finish(encode_envelope(
-        MsgType::kStatsResponse, ByteSpan{w.data().data(), w.data().size()}));
+    Bytes reply = encode_envelope(MsgType::kStatsResponse,
+                                  ByteSpan{w.data().data(), w.data().size()});
+    finish_metrics(reply);
+    done(std::move(reply));
+    return;
   }
 
   if (response_cache_.enabled() && cacheable_request(type)) {
     Bytes key = response_cache_key(inner);
     Bytes hit;
     if (response_cache_.get(ByteSpan{key.data(), key.size()}, &hit)) {
-      return finish(std::move(hit));
+      finish_metrics(hit);
+      done(std::move(hit));
+      return;
     }
   }
 
-  std::future<Bytes> result;
   {
     std::unique_lock<std::mutex> lock(mu_);
     bool shed = stopping_ ||
@@ -185,22 +208,21 @@ Bytes ServingEngine::handle(ByteSpan request) {
       } else {
         metrics_.on_busy(busy.size());
       }
-      return busy;
+      // Sheds are counted above and stay out of the latency histogram.
+      done(std::move(busy));
+      return;
     }
     auto job = std::make_unique<Job>();
     job->request.assign(inner.begin(), inner.end());
     job->deadline = deadline;
-    result = job->promise.get_future();
+    job->complete = [finish_metrics,
+                     done = std::move(done)](Bytes reply) mutable {
+      finish_metrics(reply);
+      done(std::move(reply));
+    };
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
-  Bytes reply = result.get();
-  if (is_expired_envelope(ByteSpan{reply.data(), reply.size()})) {
-    // Counted at the drop site (expired_in_queue / deadline_aborted), and
-    // kept out of the served-latency histogram.
-    return reply;
-  }
-  return finish(std::move(reply));
 }
 
 void ServingEngine::worker_loop() {
@@ -221,7 +243,7 @@ void ServingEngine::worker_loop() {
       // burning a worker on proof assembly nobody will read.
       Bytes expired = expired_reply();
       metrics_.on_expired_in_queue(expired.size());
-      job->promise.set_value(std::move(expired));
+      job->complete(std::move(expired));
       continue;
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
@@ -236,7 +258,7 @@ void ServingEngine::worker_loop() {
       reply = encode_envelope(MsgType::kError, {});
     }
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    job->promise.set_value(std::move(reply));
+    job->complete(std::move(reply));
   }
 }
 

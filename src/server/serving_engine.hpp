@@ -1,5 +1,5 @@
-// Query-serving engine: the layer between a TcpServer (or any transport
-// front end) and a FullNode.
+// Query-serving engine: the layer between a ReactorServer (or any
+// transport front end) and a FullNode.
 //
 // Three concerns, each missing from the bare thread-per-connection server:
 //
@@ -75,9 +75,18 @@ struct ServingEngineOptions {
   double bulk_shed_fraction = 0.5;
 };
 
+/// Identifies the connection a request arrived on (same alias as in
+/// net/reactor_server.hpp; redeclared so this header stays independent of
+/// the socket layer). The engine itself treats it as opaque.
+using ConnId = std::uint64_t;
+
 class ServingEngine {
  public:
   using Handler = std::function<Bytes(ByteSpan)>;
+  /// Delivers the reply for one submitted request. Always invoked exactly
+  /// once — inline (stats, cache hits, sheds), from a worker thread, or
+  /// with kBusy during stop() for jobs that never reached a worker.
+  using CompletionFn = std::function<void(Bytes reply)>;
 
   /// Serves `node` (non-owning; must outlive the engine or be swapped out
   /// via rebind before destruction). Enables the BMT segment fast path.
@@ -93,8 +102,8 @@ class ServingEngine {
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
 
-  /// RPC entry point, safe to call from any number of threads (TcpServer
-  /// connection workers, loopback transports). kStats requests and
+  /// Blocking RPC entry point, safe to call from any number of threads
+  /// (loopback transports, tests). kStats requests and
   /// response-cache hits are answered inline; everything else runs on the
   /// worker pool, or comes back as a kBusy envelope when the queue is
   /// full. After stop(), every request is answered kBusy.
@@ -106,6 +115,16 @@ class ServingEngine {
   /// dropped with kExpired, and a cold assembly checks it between segment
   /// stages.
   Bytes handle(ByteSpan request);
+
+  /// Non-blocking entry point for the reactor server: everything handle()
+  /// does, but the reply is delivered through `done` instead of a blocking
+  /// future. Fast cases (kStats, response-cache hits, sheds, malformed
+  /// deadline envelopes) invoke `done` inline before returning; queued
+  /// work invokes it later from a worker thread. `done` is called exactly
+  /// once in every path, including stop(). `request` is only read during
+  /// the call — the caller's buffer can be reused immediately. `conn_id`
+  /// is carried opaquely (reserved for per-conn accounting).
+  void submit(ConnId conn_id, ByteSpan request, CompletionFn done);
 
   /// Points the engine at a new chain state (tip advanced, reorg, or an
   /// entirely different node). Waits for in-flight requests to drain,
@@ -129,8 +148,9 @@ class ServingEngine {
   MetricsSnapshot snapshot() const;
 
   /// The live registry — also a TcpServerEvents sink, so a fronting
-  /// TcpServer can report slow-loris closes and drain completions into the
-  /// same snapshot (wire it via TcpServerOptions::events).
+  /// ReactorServer can report slow-loris closes, drain completions, and
+  /// backpressure sheds into the same snapshot (wire it via
+  /// ReactorServerOptions::events).
   ServerMetrics& metrics() { return metrics_; }
 
   /// Stops workers and unblocks queued callers with kBusy. Idempotent;
@@ -143,7 +163,10 @@ class ServingEngine {
   struct Job {
     Bytes request;  // inner request, deadline wrapper already peeled
     netio::Deadline deadline = netio::kNoDeadline;
-    std::promise<Bytes> promise;
+    /// Finishes metrics for the request and hands the reply to the
+    /// submitter. Invoked exactly once: by a worker, or by stop() with
+    /// kBusy for jobs that never reached one.
+    CompletionFn complete;
   };
 
   void start_workers();

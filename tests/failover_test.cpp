@@ -11,6 +11,7 @@
 #include "net/failover_transport.hpp"
 #include "net/fault_injection.hpp"
 #include "net/retry_transport.hpp"
+#include "net/reactor_server.hpp"
 #include "net/tcp_transport.hpp"
 #include "node/attack.hpp"
 #include "node/session.hpp"

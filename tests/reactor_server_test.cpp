@@ -1,0 +1,530 @@
+// Tests for the epoll reactor server's async-completion contract: pipelined
+// in-order replies, write-buffer/global-budget backpressure, drain with no
+// torn frames, and connections that die while a completion is in flight.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/reactor_server.hpp"
+#include "net/tcp_transport.hpp"
+#include "server/serving_engine.hpp"
+
+namespace lvq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Raw blocking client: pipelining needs control over exactly which bytes go
+// into which syscall, which TcpTransport's round-trip API deliberately hides.
+// ---------------------------------------------------------------------------
+
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  int fd() const { return fd_; }
+
+  void close_now() {
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// Close that emits RST instead of FIN: the connection dies in both
+  /// directions at once, as a crashed client's would.
+  void abort_now() {
+    linger lg{1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    close_now();
+  }
+
+  /// Sends every frame in one buffer — ideally one syscall, and in any
+  /// case the server sees them back to back in its read buffer.
+  void send_frames(const std::vector<Bytes>& payloads) {
+    Bytes wire;
+    for (const Bytes& p : payloads) {
+      const std::uint32_t n = static_cast<std::uint32_t>(p.size());
+      wire.push_back(static_cast<std::uint8_t>(n & 0xff));
+      wire.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+      wire.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+      wire.push_back(static_cast<std::uint8_t>((n >> 24) & 0xff));
+      wire.insert(wire.end(), p.begin(), p.end());
+    }
+    send_all(wire);
+  }
+
+  void send_all(const Bytes& wire) {
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                         MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Like send_frames for a single frame, but reports failure instead of
+  /// failing the test — for tests where the server is expected to drop
+  /// the connection at some point during the send loop.
+  bool try_send_frame(const Bytes& payload) {
+    Bytes wire;
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    wire.push_back(static_cast<std::uint8_t>(n & 0xff));
+    wire.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+    wire.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+    wire.push_back(static_cast<std::uint8_t>((n >> 24) & 0xff));
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      ssize_t sent = ::send(fd_, wire.data() + off, wire.size() - off,
+                            MSG_NOSIGNAL);
+      if (sent <= 0) return false;
+      off += static_cast<std::size_t>(sent);
+    }
+    return true;
+  }
+
+  /// Reads one length-prefixed frame under a deadline; fails the test on
+  /// timeout or EOF.
+  Bytes read_frame(int timeout_ms = 5000) {
+    Bytes header = read_exact(4, timeout_ms);
+    if (header.size() != 4) return {};
+    const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                              (static_cast<std::uint32_t>(header[1]) << 8) |
+                              (static_cast<std::uint32_t>(header[2]) << 16) |
+                              (static_cast<std::uint32_t>(header[3]) << 24);
+    return read_exact(len, timeout_ms);
+  }
+
+  /// True if the peer half is closed (EOF) within the deadline.
+  bool read_eof(int timeout_ms = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      pollfd p{fd_, POLLIN, 0};
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) return false;
+      if (::poll(&p, 1, static_cast<int>(left)) <= 0) continue;
+      std::uint8_t b;
+      ssize_t n = ::recv(fd_, &b, 1, 0);
+      if (n == 0) return true;
+      if (n < 0) return true;  // RST counts as closed too
+    }
+  }
+
+ private:
+  Bytes read_exact(std::size_t want, int timeout_ms) {
+    Bytes out;
+    out.reserve(want);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (out.size() < want) {
+      pollfd p{fd_, POLLIN, 0};
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) {
+        ADD_FAILURE() << "read_exact timed out with " << out.size() << "/"
+                      << want << " bytes";
+        return out;
+      }
+      int rc = ::poll(&p, 1, static_cast<int>(left));
+      if (rc <= 0) continue;
+      std::uint8_t buf[4096];
+      ssize_t n = ::recv(fd_, buf, std::min(sizeof(buf), want - out.size()), 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed mid-frame ("
+                      << (n == 0 ? "EOF" : std::strerror(errno)) << ")";
+        return out;
+      }
+      out.insert(out.end(), buf, buf + n);
+    }
+    return out;
+  }
+
+  int fd_ = -1;
+};
+
+Bytes make_payload(std::uint8_t tag, std::size_t len) {
+  Bytes p(len, tag);
+  if (!p.empty()) p[0] = tag;
+  return p;
+}
+
+/// Event sink that counts everything, for assertions.
+struct CountingEvents final : TcpServerEvents {
+  std::atomic<int> slow_loris{0};
+  std::atomic<int> drained{0};
+  std::atomic<int> backpressure{0};
+  void on_slow_loris_closed() override { slow_loris.fetch_add(1); }
+  void on_drain_completed() override { drained.fetch_add(1); }
+  void on_backpressure_shed() override { backpressure.fetch_add(1); }
+};
+
+// ---------------------------------------------------------------------------
+// Pipelining
+// ---------------------------------------------------------------------------
+
+TEST(ReactorServer, PipelinedRequestsAnsweredInOrderDespiteReversedCompletion) {
+  constexpr int kRequests = 16;
+  // The handler parks every completion; once all requests of the pipeline
+  // have arrived it completes them in REVERSE order — the hardest case for
+  // the ordering guarantee.
+  std::mutex mu;
+  std::vector<std::pair<Bytes, ReactorServer::CompletionFn>> parked;
+  ReactorServer server(
+      [&](ConnId, ByteSpan req, ReactorServer::CompletionFn done) {
+        std::vector<std::pair<Bytes, ReactorServer::CompletionFn>> release;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          parked.emplace_back(Bytes(req.begin(), req.end()), std::move(done));
+          if (parked.size() == kRequests) release.swap(parked);
+        }
+        for (auto it = release.rbegin(); it != release.rend(); ++it) {
+          it->second(std::move(it->first));  // echo, reversed
+        }
+      });
+
+  std::vector<Bytes> requests;
+  for (int i = 0; i < kRequests; ++i) {
+    requests.push_back(
+        make_payload(static_cast<std::uint8_t>(i + 1), 64 + 17 * i));
+  }
+  RawClient client(server.port());
+  client.send_frames(requests);  // all N requests in one write
+  for (int i = 0; i < kRequests; ++i) {
+    Bytes reply = client.read_frame();
+    EXPECT_EQ(reply, requests[i]) << "reply " << i << " out of order";
+  }
+}
+
+TEST(ReactorServer, PipelinedRepliesByteIdenticalToSequentialRoundTrips) {
+  auto echo_stamp = [](ConnId, ByteSpan req,
+                       ReactorServer::CompletionFn done) {
+    Bytes out(req.begin(), req.end());
+    out.push_back(0xEE);
+    done(std::move(out));
+  };
+  ReactorServer pipelined(echo_stamp);
+  ReactorServer sequential(echo_stamp);
+
+  std::vector<Bytes> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(make_payload(static_cast<std::uint8_t>(i), 10 + i));
+  }
+
+  std::vector<Bytes> want;
+  {
+    TcpTransport one_at_a_time(sequential.port());
+    for (const Bytes& r : requests) {
+      want.push_back(one_at_a_time.round_trip(ByteSpan{r.data(), r.size()}));
+    }
+  }
+  RawClient client(pipelined.port());
+  client.send_frames(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(client.read_frame(), want[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure
+// ---------------------------------------------------------------------------
+
+TEST(ReactorServer, SlowReaderShedsOnWriteCapWithoutStallingOthers) {
+  constexpr std::size_t kReplyBytes = 16 * 1024;
+  CountingEvents events;
+  ReactorServerOptions opts;
+  opts.conn_write_buffer_cap = 256 * 1024;
+  opts.events = &events;
+  ReactorServer server(
+      [&](ConnId, ByteSpan req, ReactorServer::CompletionFn done) {
+        done(make_payload(req.empty() ? 0 : req[0], kReplyBytes));
+      },
+      opts);
+
+  // The slow reader requests 16 KiB replies one at a time and reads
+  // NOTHING. Kernel socket buffers absorb the first few megabytes; once
+  // they are full the un-flushed write queue crosses the 256 KiB cap and
+  // further requests are shed with kBusy. The reply size is small
+  // relative to the cap so the queue grows in fine steps through the
+  // shed band even when a slow (sanitized) loop thread parses several
+  // requests per batch. If the reader keeps pushing past 4x the cap the
+  // server drops the connection — tolerate that with try_send_frame.
+  RawClient slow(server.port());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (server.backpressure_sheds() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (!slow.try_send_frame(make_payload(1, 8))) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(server.backpressure_sheds(), 0u);
+  EXPECT_GT(events.backpressure.load(), 0);
+
+  // Meanwhile a well-behaved client on the same server gets full replies
+  // promptly — the slow reader throttled itself, not the event loop.
+  TcpTransport healthy(server.port());
+  for (int i = 0; i < 3; ++i) {
+    Bytes req = make_payload(7, 8);
+    Bytes reply = healthy.round_trip(ByteSpan{req.data(), req.size()});
+    ASSERT_EQ(reply.size(), kReplyBytes);
+    EXPECT_EQ(reply[0], 7);
+  }
+}
+
+TEST(ReactorServer, GlobalBudgetShedsBusyInPipelineOrder) {
+  // Budget of one byte: the first request (parked in the handler) pins the
+  // in-flight gauge above it, so the second pipelined request must come
+  // back kBusy — but only AFTER the first reply, preserving order.
+  std::mutex mu;
+  std::condition_variable cv;
+  ReactorServer::CompletionFn parked;
+  ReactorServerOptions opts;
+  opts.inflight_budget_bytes = 1;
+  ReactorServer server(
+      [&](ConnId, ByteSpan, ReactorServer::CompletionFn done) {
+        std::lock_guard<std::mutex> lock(mu);
+        parked = std::move(done);
+        cv.notify_all();
+      },
+      opts);
+
+  RawClient client(server.port());
+  client.send_frames({make_payload(1, 100), make_payload(2, 100)});
+  {
+    // Wait until the first request reached the handler; the second is then
+    // guaranteed to be over budget at dispatch.
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return static_cast<bool>(parked); }));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ReactorServer::CompletionFn release;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = std::move(parked);
+  }
+  release(make_payload(0xAA, 3));
+
+  Bytes first = client.read_frame();
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0], 0xAA);
+  Bytes second = client.read_frame();
+  EXPECT_TRUE(is_busy_envelope(ByteSpan{second.data(), second.size()}));
+  EXPECT_GE(server.backpressure_sheds(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Drain: no torn frames on SIGTERM-style shutdown
+// ---------------------------------------------------------------------------
+
+TEST(ReactorServer, DrainFlushesInFlightReplyExactlyThenCloses) {
+  constexpr std::size_t kReplyBytes = 1 << 20;
+  CountingEvents events;
+  std::mutex mu;
+  std::condition_variable cv;
+  ReactorServer::CompletionFn parked;
+  ReactorServerOptions opts;
+  opts.events = &events;
+  ReactorServer server(
+      [&](ConnId, ByteSpan, ReactorServer::CompletionFn done) {
+        std::lock_guard<std::mutex> lock(mu);
+        parked = std::move(done);
+        cv.notify_all();
+      },
+      opts);
+
+  RawClient client(server.port());
+  client.send_frames({make_payload(5, 32)});
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return static_cast<bool>(parked); }));
+  }
+
+  // Drain begins while the request is in flight; the completion lands
+  // mid-drain from another thread. The client must still receive the
+  // byte-exact 1 MiB reply, then EOF — never a torn frame.
+  std::thread completer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ReactorServer::CompletionFn done;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = std::move(parked);
+    }
+    done(make_payload(9, kReplyBytes));
+  });
+  std::thread drainer([&] { server.drain(/*grace_ms=*/5000); });
+
+  Bytes reply = client.read_frame(10'000);
+  ASSERT_EQ(reply.size(), kReplyBytes);
+  EXPECT_EQ(reply, make_payload(9, kReplyBytes));
+  EXPECT_TRUE(client.read_eof());
+
+  completer.join();
+  drainer.join();
+  EXPECT_EQ(events.drained.load(), 1);
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Connection death mid-completion
+// ---------------------------------------------------------------------------
+
+TEST(ReactorServer, ConnAbortMidCompletionDropsReplyWithoutDoubleClose) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<ReactorServer::CompletionFn> parked;
+  ReactorServer server(
+      [&](ConnId, ByteSpan, ReactorServer::CompletionFn done) {
+        std::lock_guard<std::mutex> lock(mu);
+        parked.push_back(std::move(done));
+        cv.notify_all();
+      });
+
+  {
+    RawClient doomed(server.port());
+    doomed.send_frames({make_payload(1, 16)});
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                              [&] { return parked.size() == 1; }));
+    }
+    doomed.abort_now();  // RST: dead both ways while the request is in flight
+  }
+  // Give the loop time to see the hangup and close the conn (recycling the
+  // fd number for the next client is exactly the hazard under test).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.open_connections() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.open_connections(), 0u);
+
+  // A new client connects — very likely onto the recycled fd number — and
+  // THEN the stale completion fires. It must be dropped by ConnId lookup,
+  // never written to (or close) the new connection.
+  RawClient fresh(server.port());
+  fresh.send_frames({make_payload(2, 16)});
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return parked.size() == 2; }));
+  }
+  std::vector<ReactorServer::CompletionFn> release;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release.swap(parked);
+  }
+  release[0](make_payload(0xDD, 8));  // stale: for the aborted conn
+  release[1](make_payload(0xFF, 8));  // live: for the fresh conn
+  Bytes reply = fresh.read_frame();
+  ASSERT_EQ(reply.size(), 8u);
+  EXPECT_EQ(reply[0], 0xFF) << "stale completion leaked onto a recycled fd";
+}
+
+TEST(ReactorServer, HalfCloseStillDeliversPendingReplies) {
+  std::mutex mu;
+  std::condition_variable cv;
+  ReactorServer::CompletionFn parked;
+  ReactorServer server(
+      [&](ConnId, ByteSpan, ReactorServer::CompletionFn done) {
+        std::lock_guard<std::mutex> lock(mu);
+        parked = std::move(done);
+        cv.notify_all();
+      });
+
+  RawClient client(server.port());
+  client.send_frames({make_payload(3, 16)});
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return static_cast<bool>(parked); }));
+  }
+  // FIN the write side: the server sees EOF but still owes one reply.
+  ::shutdown(client.fd(), SHUT_WR);
+  ReactorServer::CompletionFn done;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = std::move(parked);
+  }
+  done(make_payload(0x42, 24));
+  Bytes reply = client.read_frame();
+  ASSERT_EQ(reply.size(), 24u);
+  EXPECT_EQ(reply[0], 0x42);
+  EXPECT_TRUE(client.read_eof());
+}
+
+// ---------------------------------------------------------------------------
+// ServingEngine::submit end to end
+// ---------------------------------------------------------------------------
+
+TEST(ReactorServer, EngineSubmitServesQueriesAndStats) {
+  ServingEngineOptions eopts;
+  eopts.workers = 2;
+  ServingEngine engine(
+      [](ByteSpan req) {
+        Bytes out(req.begin(), req.end());
+        out.push_back(0x77);
+        return out;
+      },
+      eopts);
+  ReactorServerOptions opts;
+  opts.events = &engine.metrics();
+  ReactorServer server(
+      [&](ConnId conn, ByteSpan req, ReactorServer::CompletionFn done) {
+        engine.submit(conn, req, std::move(done));
+      },
+      opts);
+
+  TcpTransport client(server.port());
+  Bytes req = make_payload(0x21, 12);
+  Bytes reply = client.round_trip(ByteSpan{req.data(), req.size()});
+  ASSERT_EQ(reply.size(), 13u);
+  EXPECT_EQ(reply.back(), 0x77);
+
+  // kStats is answered inline on the I/O thread and decodes as snapshot v3
+  // with the request counted.
+  Bytes stats_req = encode_envelope(MsgType::kStatsRequest, {});
+  Bytes stats = client.round_trip(ByteSpan{stats_req.data(), stats_req.size()});
+  ASSERT_FALSE(stats.empty());
+  ASSERT_EQ(stats[0], static_cast<std::uint8_t>(MsgType::kStatsResponse));
+  Reader r(ByteSpan{stats.data() + 1, stats.size() - 1});
+  MetricsSnapshot snap = MetricsSnapshot::deserialize(r);
+  EXPECT_GE(snap.requests_total, 2u);
+  EXPECT_EQ(snap.latency_count,
+            snap.class_latency[0].count + snap.class_latency[1].count +
+                snap.class_latency[2].count);
+  engine.stop();
+}
+
+}  // namespace
+}  // namespace lvq

@@ -16,6 +16,7 @@
 
 #include "net/message.hpp"
 #include "net/retry_transport.hpp"
+#include "net/reactor_server.hpp"
 #include "net/tcp_transport.hpp"
 #include "node/session.hpp"
 #include "server/metrics.hpp"

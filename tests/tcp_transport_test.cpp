@@ -6,6 +6,7 @@
 #include <memory>
 #include <thread>
 
+#include "net/reactor_server.hpp"
 #include "net/tcp_transport.hpp"
 #include "net/transport_error.hpp"
 #include "node/session.hpp"

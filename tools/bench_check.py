@@ -16,6 +16,14 @@ The "bench" field of the baseline selects the comparison:
                      be at most baseline p99_us / tolerance — an overloaded
                      server that stops shedding and lets latency blow up
                      fails the build even if raw throughput looks fine.
+                     When the baseline carries "conn_scaling" rows (real
+                     sockets at 1k/10k concurrent connections against the
+                     reactor), each row is gated both ways too: qps as a
+                     floor, p99_us as a ceiling — the event loop regressing
+                     to per-connection scans shows up as p99 at 10k conns,
+                     not as average throughput. Likewise the "churn" row
+                     (connect/query/disconnect soak): cycles_per_sec floor,
+                     p99_us ceiling.
   chain_build        The fresh extend_speedup must be at least tolerance x
                      the baseline's (the incremental-append win is the
                      quantity PR "ChainBuilder ingestion" exists for).
@@ -92,6 +100,52 @@ def check_server(baseline, fresh, tolerance):
             ("p99_us", base_ov["p99_us"],
              None if fresh_ov is None else fresh_ov.get("p99_us"),
              p99_ceiling, lambda v, b: v <= b),
+        ]
+        for name, base, val, bound, ok_fn in checks:
+            ok = val is not None and ok_fn(val, bound)
+            failures += 0 if ok else 1
+            shown = float("nan") if val is None else val
+            print(f"{'':>8} {name:>12} {base:>10.1f} {shown:>10.1f} "
+                  f"{bound:>10.1f}  {'ok' if ok else 'FAIL'}")
+
+    base_scaling = baseline.get("conn_scaling", [])
+    if base_scaling:
+        fresh_scaling = {
+            r["target_conns"]: r for r in fresh.get("conn_scaling", [])
+        }
+        print(f"{'conns':>8} {'metric':>12} {'baseline':>10} "
+              f"{'fresh':>10} {'bound':>10}  verdict")
+        for row in base_scaling:
+            got = fresh_scaling.get(row["target_conns"])
+            checks = [
+                ("qps", row["qps"],
+                 None if got is None else got.get("qps"),
+                 tolerance * row["qps"], lambda v, b: v >= b),
+                ("p99_us", row["p99_us"],
+                 None if got is None else got.get("p99_us"),
+                 row["p99_us"] / tolerance, lambda v, b: v <= b),
+            ]
+            for name, base, val, bound, ok_fn in checks:
+                ok = val is not None and ok_fn(val, bound)
+                failures += 0 if ok else 1
+                shown = float("nan") if val is None else val
+                print(f"{row['target_conns']:>8} {name:>12} {base:>10.1f} "
+                      f"{shown:>10.1f} {bound:>10.1f}  "
+                      f"{'ok' if ok else 'FAIL'}")
+
+    base_churn = baseline.get("churn")
+    if base_churn is not None:
+        fresh_churn = fresh.get("churn")
+        print(f"{'churn':>8} {'metric':>12} {'baseline':>10} "
+              f"{'fresh':>10} {'bound':>10}  verdict")
+        checks = [
+            ("cycles/s", base_churn["cycles_per_sec"],
+             None if fresh_churn is None
+             else fresh_churn.get("cycles_per_sec"),
+             tolerance * base_churn["cycles_per_sec"], lambda v, b: v >= b),
+            ("p99_us", base_churn["p99_us"],
+             None if fresh_churn is None else fresh_churn.get("p99_us"),
+             base_churn["p99_us"] / tolerance, lambda v, b: v <= b),
         ]
         for name, base, val, bound, ok_fn in checks:
             ok = val is not None and ok_fn(val, bound)

@@ -54,6 +54,7 @@
 #include "core/chain_builder.hpp"
 #include "net/failover_transport.hpp"
 #include "store/disk_chain_store.hpp"
+#include "net/reactor_server.hpp"
 #include "net/retry_transport.hpp"
 #include "net/tcp_transport.hpp"
 #include "node/session.hpp"
@@ -79,7 +80,8 @@ int usage() {
                "  verify --chain=FILE --address=ADDR --proof=FILE\n"
                "  serve  --chain=FILE|--store=DIR [--seconds=N --workers=N "
                "--queue-depth=N\n"
-               "         --cache-mb=N --max-conns=N --drain-grace-ms=N]\n"
+               "         --cache-mb=N --max-conns=N --io-threads=N "
+               "--drain-grace-ms=N]\n"
                "         (--store persists the chain; a warm start reopens "
                "it without\n"
                "         rebuilding. SIGTERM/SIGINT drains in-flight "
@@ -517,18 +519,30 @@ int cmd_serve(const Flags& flags) {
   eopts.cache_bytes = flags.get_u64("cache-mb", 64) << 20;
   ServingEngine engine(full, eopts);
 
-  TcpServerOptions sopts;
+  ReactorServerOptions sopts;
   sopts.max_connections =
       static_cast<std::uint32_t>(flags.get_u64("max-conns", 0));
-  // Socket-layer incidents (slow-loris closes, drain completions) land in
-  // the same kStats snapshot as the engine's counters.
+  sopts.io_threads =
+      static_cast<std::uint32_t>(flags.get_u64("io-threads", 1));
+  // Socket-layer incidents (slow-loris closes, drain completions,
+  // backpressure sheds) land in the same kStats snapshot as the engine's
+  // counters.
   sopts.events = &engine.metrics();
-  TcpServer server([&](ByteSpan req) { return engine.handle(req); }, sopts);
+  // The async path end to end: the epoll loop parses a frame, submit()
+  // queues it on the worker pool, and the completion marshals the reply
+  // back to the owning loop — no thread ever blocks per connection.
+  ReactorServer server(
+      [&engine](ConnId conn, ByteSpan req, ReactorServer::CompletionFn done) {
+        engine.submit(conn, req, std::move(done));
+      },
+      sopts);
   std::printf("serving %llu blocks [%s] on 127.0.0.1:%u "
-              "(%u workers, queue %u, cache %s; SIGHUP reloads %s)\n",
+              "(%u workers, queue %u, cache %s, %u io threads; "
+              "SIGHUP reloads %s)\n",
               static_cast<unsigned long long>(full.tip_height()),
               design_name(config.design), server.port(), eopts.workers,
               eopts.queue_depth, human_bytes(eopts.cache_bytes).c_str(),
+              sopts.io_threads,
               path.empty() ? store_dir.c_str() : path.c_str());
   std::fflush(stdout);
   std::signal(SIGHUP, on_sighup);

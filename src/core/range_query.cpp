@@ -203,6 +203,35 @@ std::size_t RangeQueryResponse::serialized_size() const {
   return n;
 }
 
+AnchoredTreeProof build_anchored_piece(const ChainContext& ctx,
+                                       const Address& address,
+                                       const std::vector<std::uint64_t>& cbp,
+                                       const RangePiece& piece) {
+  const SegmentBmt& bmt = ctx.bmt_for_height(piece.seg_first_height);
+  BmtCheckMasks masks = bmt.check_masks(cbp);
+
+  AnchoredTreeProof p;
+  p.tree = build_bmt_proof(bmt, masks, piece.level, piece.j);
+  std::uint32_t level = piece.level;
+  std::uint64_t j = piece.j;
+  while (level < piece.anchor_level) {
+    std::uint64_t sib = j ^ 1;
+    p.path.push_back(
+        BmtPathStep{bmt.node_hash(level, sib), bmt.node_bf(level, sib)});
+    j >>= 1;
+    level++;
+  }
+  // Per-block proofs for failed leaves inside the piece, ascending.
+  std::uint64_t leaves = std::uint64_t{1} << piece.level;
+  for (std::uint64_t off = 0; off < leaves; ++off) {
+    std::uint64_t local = (piece.j << piece.level) + off;
+    if (!masks.fails(0, local)) continue;
+    std::uint64_t height = piece.seg_first_height + local;
+    p.block_proofs.emplace_back(height, build_block_proof(ctx, height, address));
+  }
+  return p;
+}
+
 RangeQueryResponse build_range_response(const ChainContext& ctx,
                                         const Address& address,
                                         std::uint64_t from, std::uint64_t to) {
@@ -220,30 +249,7 @@ RangeQueryResponse build_range_response(const ChainContext& ctx,
   if (config.has_bmt()) {
     for (const RangePiece& piece :
          range_cover(from, to, resp.tip_height, config.segment_length)) {
-      const SegmentBmt& bmt = ctx.bmt_for_height(piece.seg_first_height);
-      BmtCheckMasks masks = bmt.check_masks(cbp);
-
-      AnchoredTreeProof p;
-      p.tree = build_bmt_proof(bmt, masks, piece.level, piece.j);
-      std::uint32_t level = piece.level;
-      std::uint64_t j = piece.j;
-      while (level < piece.anchor_level) {
-        std::uint64_t sib = j ^ 1;
-        p.path.push_back(BmtPathStep{bmt.node_hash(level, sib),
-                                     bmt.node_bf(level, sib)});
-        j >>= 1;
-        level++;
-      }
-      // Per-block proofs for failed leaves inside the piece, ascending.
-      std::uint64_t leaves = std::uint64_t{1} << piece.level;
-      for (std::uint64_t off = 0; off < leaves; ++off) {
-        std::uint64_t local = (piece.j << piece.level) + off;
-        if (!masks.fails(0, local)) continue;
-        std::uint64_t height = piece.seg_first_height + local;
-        p.block_proofs.emplace_back(height,
-                                    build_block_proof(ctx, height, address));
-      }
-      resp.pieces.push_back(std::move(p));
+      resp.pieces.push_back(build_anchored_piece(ctx, address, cbp, piece));
     }
     return resp;
   }

@@ -104,6 +104,17 @@ RangeQueryResponse build_range_response(const ChainContext& ctx,
                                         const Address& address,
                                         std::uint64_t from, std::uint64_t to);
 
+/// Builds one cover piece's anchored proof (BMT designs only; `cbp` is the
+/// address's bloom check positions). build_range_response composes these
+/// in cover order; the serving engine's range fast path calls it directly
+/// for pieces it cannot splice from the segment cache. A piece whose range
+/// is a whole query-forest segment has an empty anchor path and serializes
+/// byte-identically to that segment's SegmentQueryProof.
+AnchoredTreeProof build_anchored_piece(const ChainContext& ctx,
+                                       const Address& address,
+                                       const std::vector<std::uint64_t>& cbp,
+                                       const RangePiece& piece);
+
 /// Light-node side: verifies against local headers. On success, the
 /// history covers exactly the requested range (correct and, for designs
 /// with SMT, complete within it).

@@ -8,7 +8,7 @@ namespace lvq {
 
 namespace {
 
-constexpr std::uint8_t kSnapshotVersion = 3;
+constexpr std::uint8_t kSnapshotVersion = 4;
 
 const char* type_slot_name(std::size_t slot) {
   switch (slot) {
@@ -76,6 +76,8 @@ void ServerMetrics::fill(MetricsSnapshot& out) const {
     cl.count = class_count_[c].load(std::memory_order_relaxed);
     cl.total_us = class_total_us_[c].load(std::memory_order_relaxed);
   }
+  out.cache_admitted = cache_admitted_.load(std::memory_order_relaxed);
+  out.cache_bypassed = cache_bypassed_.load(std::memory_order_relaxed);
 }
 
 void MetricsSnapshot::serialize(Writer& w) const {
@@ -121,6 +123,9 @@ void MetricsSnapshot::serialize(Writer& w) const {
     w.varint(cl.count);
     w.varint(cl.total_us);
   }
+  // v4 fields: cost-aware cache admission counters.
+  w.varint(cache_admitted);
+  w.varint(cache_bypassed);
 }
 
 MetricsSnapshot MetricsSnapshot::deserialize(Reader& r) {
@@ -180,6 +185,8 @@ MetricsSnapshot MetricsSnapshot::deserialize(Reader& r) {
     cl.count = r.varint();
     cl.total_us = r.varint();
   }
+  s.cache_admitted = r.varint();
+  s.cache_bypassed = r.varint();
   return s;
 }
 
@@ -255,6 +262,9 @@ std::string MetricsSnapshot::to_text() const {
                            : 100.0 * static_cast<double>(cache_hits) /
                                  static_cast<double>(lookups),
               cache_entries, cache_bytes, cache_evictions);
+  append_line(out, "admission: %" PRIu64 " admitted, %" PRIu64
+                   " bypassed (assembly under threshold)",
+              cache_admitted, cache_bypassed);
   const std::uint64_t seg_lookups = segment_hits + segment_misses;
   append_line(out, "segments : %" PRIu64 " hits / %" PRIu64
                    " misses (%.1f%%), %" PRIu64 " entries, %" PRIu64

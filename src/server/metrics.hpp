@@ -108,6 +108,12 @@ struct MetricsSnapshot {
   // Per-class latency histograms (snapshot v3), indexed by RequestClass.
   std::array<ClassLatency, kRequestClassCount> class_latency{};
 
+  // Cost-aware cache admission (snapshot v4): served cacheable responses
+  // stored into the response cache vs. skipped because their measured
+  // assembly time was under the engine's cache_admit_min_us threshold.
+  std::uint64_t cache_admitted = 0;
+  std::uint64_t cache_bypassed = 0;
+
   bool operator==(const MetricsSnapshot&) const = default;
 
   void serialize(Writer& w) const;
@@ -201,6 +207,18 @@ class ServerMetrics final : public TcpServerEvents {
     backpressure_shed_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// A served cacheable response admitted to the response cache (its
+  /// assembly time cleared the admission threshold).
+  void on_cache_admitted() {
+    cache_admitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A served cacheable response NOT cached: assembly was cheaper than the
+  /// admission threshold, so caching it would only pollute the budget.
+  void on_cache_bypassed() {
+    cache_bypassed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Copies the counter/histogram half into `out` (the engine fills the
   /// gauges and cache stats).
   void fill(MetricsSnapshot& out) const;
@@ -237,6 +255,8 @@ class ServerMetrics final : public TcpServerEvents {
   std::atomic<std::uint64_t> drain_completed_{0};
   std::atomic<std::uint64_t> slow_loris_closed_{0};
   std::atomic<std::uint64_t> backpressure_shed_{0};
+  std::atomic<std::uint64_t> cache_admitted_{0};
+  std::atomic<std::uint64_t> cache_bypassed_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
   std::array<std::atomic<std::uint64_t>, kMsgTypeSlots> by_type_{};

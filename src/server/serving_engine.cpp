@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/prover.hpp"
+#include "core/range_query.hpp"
 #include "core/segments.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,7 +35,7 @@ ServingEngine::ServingEngine(const FullNode& node, ServingEngineOptions options)
                       options.cache_shards),
       segment_cache_(options.cache_bytes / 4, options.cache_shards) {
   backend_ = [this](ByteSpan req) { return node_->handle_message(req); };
-  epoch_tip_ = node.tip_height();
+  epoch_tip_.store(node.tip_height(), std::memory_order_relaxed);
   start_workers();
 }
 
@@ -91,18 +92,21 @@ bool ServingEngine::cacheable_request(std::uint8_t type) {
   }
 }
 
-Bytes ServingEngine::response_cache_key_locked(ByteSpan request) const {
+Bytes ServingEngine::response_cache_key(ByteSpan request) const {
+  // Lock-free on purpose: this runs on the submit() warm path for every
+  // cacheable request. The generation is bumped before the tip is updated
+  // only inside epoch_mu_-exclusive sections, and entries are only stored
+  // by process() (which runs under the shared lock, so it sees a settled
+  // pair). A reader interleaving with a rebind can therefore at worst
+  // combine a generation and tip no entry was ever stored under —
+  // generations never repeat — which misses and falls through to the
+  // worker path. Never a stale hit.
   Writer w;
   w.u8('R');
-  w.varint(epoch_generation_);
-  w.varint(epoch_tip_);
+  w.varint(epoch_generation_.load(std::memory_order_acquire));
+  w.varint(epoch_tip_.load(std::memory_order_acquire));
   w.raw(request);
   return w.take();
-}
-
-Bytes ServingEngine::response_cache_key(ByteSpan request) const {
-  std::shared_lock<std::shared_mutex> lock(epoch_mu_);
-  return response_cache_key_locked(request);
 }
 
 bool ServingEngine::bulk_request(std::uint8_t type) {
@@ -267,25 +271,50 @@ Bytes ServingEngine::process(ByteSpan request, netio::Deadline deadline) {
   // under a request that is mid-proof.
   std::shared_lock<std::shared_mutex> epoch_lock(epoch_mu_);
   const std::uint8_t type = request.empty() ? 0 : request[0];
+  const auto t0 = std::chrono::steady_clock::now();
 
-  // The fast path no longer requires the caches: with them disabled it is
-  // a pure parallel per-segment assembly (every segment a "miss").
-  if (node_ != nullptr &&
-      type == static_cast<std::uint8_t>(MsgType::kQueryRequest) &&
-      node_->config().has_bmt()) {
-    if (std::optional<Bytes> fast = fast_query(request, deadline)) {
-      return std::move(*fast);
+  Bytes reply;
+  bool served_fast = false;
+  // The fast paths no longer require the caches: with them disabled they
+  // are pure parallel per-segment assemblies (every segment a "miss").
+  if (node_ != nullptr && node_->config().has_bmt()) {
+    std::optional<Bytes> fast;
+    switch (static_cast<MsgType>(type)) {
+      case MsgType::kQueryRequest:
+        fast = fast_query(request, deadline);
+        break;
+      case MsgType::kBatchQueryRequest:
+        fast = fast_batch(request, deadline);
+        break;
+      case MsgType::kRangeQueryRequest:
+        fast = fast_range(request, deadline);
+        break;
+      default:
+        break;
+    }
+    if (fast) {
+      reply = std::move(*fast);
+      served_fast = true;
     }
   }
+  if (!served_fast) reply = backend_(request);
 
-  Bytes reply = backend_(request);
+  // Cost-aware admission, decided in one place for fast and backend paths
+  // alike: a reply is cached only when rebuilding it cost at least
+  // cache_admit_min_us — cheaper replies would spend cache budget (and
+  // evict amortizing entries) to save less than a cache probe costs.
   if (response_cache_.enabled() && cacheable_request(type) && !reply.empty() &&
       reply[0] != static_cast<std::uint8_t>(MsgType::kError) &&
       reply[0] != static_cast<std::uint8_t>(MsgType::kBusy) &&
       reply[0] != static_cast<std::uint8_t>(MsgType::kExpired)) {
-    Bytes key = response_cache_key_locked(request);
-    response_cache_.put(ByteSpan{key.data(), key.size()},
-                        ByteSpan{reply.data(), reply.size()});
+    if (micros_since(t0) >= options_.cache_admit_min_us) {
+      Bytes key = response_cache_key(request);
+      response_cache_.put(ByteSpan{key.data(), key.size()},
+                          ByteSpan{reply.data(), reply.size()});
+      metrics_.on_cache_admitted();
+    } else {
+      metrics_.on_cache_bypassed();
+    }
   }
   return reply;
 }
@@ -346,33 +375,61 @@ std::optional<Bytes> ServingEngine::fast_query(ByteSpan request,
       }
       serialize_segment_proof(w, ctx, address, cbp, range);
     }
-    Bytes reply = w.take();
-    if (response_cache_.enabled()) {
-      Bytes rkey = response_cache_key_locked(request);
-      response_cache_.put(ByteSpan{rkey.data(), rkey.size()},
-                          ByteSpan{reply.data(), reply.size()});
-    }
-    return reply;
+    return w.take();
   }
 
-  std::vector<Bytes> keys(forest.size());
-  std::vector<Bytes> seg_bytes(forest.size());
+  std::vector<SegUnit> units;
+  units.reserve(forest.size());
+  for (const SubSegment& range : forest) {
+    units.push_back(SegUnit{&address, &cbp, range});
+  }
+  std::vector<Bytes> seg_bytes;
+  if (!assemble_segment_units(ctx, units, deadline, &seg_bytes)) {
+    Bytes expired = expired_reply();
+    metrics_.on_deadline_aborted(expired.size());
+    return expired;
+  }
+
+  // Envelope type byte written inline: the reply is assembled once, sized
+  // up front, instead of built and then copied by encode_envelope.
+  std::size_t total = 0;
+  for (const Bytes& s : seg_bytes) total += s.size();
+  Writer w;
+  w.reserve(2 + varint_size(tip) + varint_size(forest.size()) + total);
+  w.u8(static_cast<std::uint8_t>(MsgType::kQueryResponse));
+  w.u8(static_cast<std::uint8_t>(config.design));
+  w.varint(tip);
+  w.varint(forest.size());
+  for (const Bytes& s : seg_bytes) w.raw(ByteSpan{s.data(), s.size()});
+  return w.take();
+}
+
+bool ServingEngine::assemble_segment_units(const ChainContext& ctx,
+                                           const std::vector<SegUnit>& units,
+                                           netio::Deadline deadline,
+                                           std::vector<Bytes>* out) {
+  out->assign(units.size(), Bytes{});
+  const bool seg_cache = segment_cache_.enabled();
+  std::vector<Bytes> keys(units.size());
   std::vector<std::size_t> misses;
-  for (std::size_t i = 0; i < forest.size(); ++i) {
-    const SubSegment& range = forest[i];
-    // The last-header hash commits to every block in the range (and the
-    // whole prefix chain), so a reorged chain can never hit a stale entry
-    // while an appended chain keeps hitting the segments it kept.
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const SegUnit& u = units[i];
+    // Shape-normalized key: address + range + last-header hash, nothing
+    // about which query type wants the bytes — a point query's fill is a
+    // batch entry's (or a whole-segment range piece's) hit. The hash
+    // commits to every block in the range and the whole prefix chain, so
+    // a reorged chain can never hit a stale entry while an appended chain
+    // keeps hitting the segments it kept.
     Writer kw;
     kw.u8('S');
-    kw.raw(address.span());
-    kw.varint(range.first);
-    kw.varint(range.last);
-    kw.raw(ctx.chain().at_height(range.last).header.hash().bytes);
+    kw.raw(u.address->span());
+    kw.varint(u.range.first);
+    kw.varint(u.range.last);
+    kw.raw(ctx.chain().at_height(u.range.last).header.hash().bytes);
     keys[i] = kw.take();
     if (!seg_cache ||
         !segment_cache_.get(ByteSpan{keys[i].data(), keys[i].size()},
-                            &seg_bytes[i])) {
+                            &(*out)[i])) {
       misses.push_back(i);
     }
   }
@@ -391,11 +448,12 @@ std::optional<Bytes> ServingEngine::fast_query(ByteSpan request,
       return;
     }
     const std::size_t i = misses[m];
+    const SegUnit& u = units[i];
     Writer sw;
     sw.reserve(static_cast<std::size_t>(
-        segment_proof_wire_size(ctx, address, cbp, forest[i])));
-    serialize_segment_proof(sw, ctx, address, cbp, forest[i]);
-    seg_bytes[i] = sw.take();
+        segment_proof_wire_size(ctx, *u.address, *u.cbp, u.range)));
+    serialize_segment_proof(sw, ctx, *u.address, *u.cbp, u.range);
+    (*out)[i] = sw.take();
   };
   if (options_.parallel_assembly && misses.size() > 1) {
     ThreadPool::shared().parallel_for(misses.size(), assemble);
@@ -405,44 +463,165 @@ std::optional<Bytes> ServingEngine::fast_query(ByteSpan request,
   if (aborted.load(std::memory_order_relaxed)) {
     // Partially assembled segments are discarded uncached: a cache must
     // only ever hold complete, correct proof bytes.
-    Bytes expired = expired_reply();
-    metrics_.on_deadline_aborted(expired.size());
-    return expired;
+    return false;
   }
   if (seg_cache) {
     for (std::size_t i : misses) {
       segment_cache_.put(ByteSpan{keys[i].data(), keys[i].size()},
-                         ByteSpan{seg_bytes[i].data(), seg_bytes[i].size()});
+                         ByteSpan{(*out)[i].data(), (*out)[i].size()});
     }
   }
+  return true;
+}
 
-  // Envelope type byte written inline: the reply is assembled once, sized
-  // up front, instead of built and then copied by encode_envelope.
+std::optional<Bytes> ServingEngine::fast_batch(ByteSpan request,
+                                               netio::Deadline deadline) {
+  std::vector<Address> addresses;
+  try {
+    Reader r(request.subspan(1));
+    const std::uint64_t n = r.varint();
+    if (n > 1000) return std::nullopt;  // backend produces the kError reply
+    addresses.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      addresses.push_back(Address::deserialize(r));
+    }
+    r.expect_done();
+  } catch (const SerializeError&) {
+    return std::nullopt;
+  }
+
+  const std::shared_ptr<const ChainContext> snapshot = node_->context();
+  const ChainContext& ctx = *snapshot;
+  const ProtocolConfig& config = ctx.config();
+  const std::uint64_t tip = ctx.tip_height();
+  if (tip == 0) return std::nullopt;
+
+  const std::vector<SubSegment> forest =
+      query_forest(tip, config.segment_length);
+  std::vector<std::vector<std::uint64_t>> cbps;
+  cbps.reserve(addresses.size());
+  for (const Address& a : addresses) {
+    cbps.push_back(config.bloom.positions(BloomKey::from_bytes(a.span())));
+  }
+  std::vector<SegUnit> units;
+  units.reserve(addresses.size() * forest.size());
+  for (std::size_t a = 0; a < addresses.size(); ++a) {
+    for (const SubSegment& range : forest) {
+      units.push_back(SegUnit{&addresses[a], &cbps[a], range});
+    }
+  }
+  std::vector<Bytes> seg_bytes;
+  if (!assemble_segment_units(ctx, units, deadline, &seg_bytes)) {
+    Bytes expired = expired_reply();
+    metrics_.on_deadline_aborted(expired.size());
+    return expired;
+  }
+
+  // Byte-identical reassembly of FullNode's kBatchQueryResponse: the body
+  // is varint(n) then each address's kQuery body (design, tip, forest
+  // count, concatenated segment proofs) back to back.
   std::size_t total = 0;
   for (const Bytes& s : seg_bytes) total += s.size();
   Writer w;
-  w.reserve(2 + varint_size(tip) + varint_size(forest.size()) + total);
-  w.u8(static_cast<std::uint8_t>(MsgType::kQueryResponse));
+  w.reserve(1 + varint_size(addresses.size()) +
+            addresses.size() *
+                (1 + varint_size(tip) + varint_size(forest.size())) +
+            total);
+  w.u8(static_cast<std::uint8_t>(MsgType::kBatchQueryResponse));
+  w.varint(addresses.size());
+  std::size_t unit = 0;
+  for (std::size_t a = 0; a < addresses.size(); ++a) {
+    w.u8(static_cast<std::uint8_t>(config.design));
+    w.varint(tip);
+    w.varint(forest.size());
+    for (std::size_t s = 0; s < forest.size(); ++s, ++unit) {
+      w.raw(ByteSpan{seg_bytes[unit].data(), seg_bytes[unit].size()});
+    }
+  }
+  return w.take();
+}
+
+std::optional<Bytes> ServingEngine::fast_range(ByteSpan request,
+                                               netio::Deadline deadline) {
+  RangeQueryRequest req;
+  try {
+    Reader r(request.subspan(1));
+    req = RangeQueryRequest::deserialize(r);
+    r.expect_done();
+  } catch (const SerializeError&) {
+    return std::nullopt;
+  }
+
+  const std::shared_ptr<const ChainContext> snapshot = node_->context();
+  const ChainContext& ctx = *snapshot;
+  const ProtocolConfig& config = ctx.config();
+  const std::uint64_t tip = ctx.tip_height();
+  // An out-of-range request is answered kError by the backend, exactly as
+  // FullNode's own dispatch does.
+  if (tip == 0 || req.to > tip) return std::nullopt;
+
+  const std::vector<std::uint64_t> cbp =
+      config.bloom.positions(BloomKey::from_bytes(req.address.span()));
+  const std::vector<RangePiece> cover =
+      range_cover(req.from, req.to, tip, config.segment_length);
+
+  // Pieces that are whole query-forest segments (empty anchor path over
+  // exactly a forest range) serialize byte-identically to the
+  // SegmentQueryProof bytes the point/batch paths cache, so they splice
+  // from the same shape-normalized entries. Anything else — a sub-piece
+  // anchored below its segment root — is built directly.
+  const std::vector<SubSegment> forest =
+      query_forest(tip, config.segment_length);
+  std::vector<SegUnit> units;
+  std::vector<std::ptrdiff_t> unit_of(cover.size(), -1);
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    const RangePiece& piece = cover[i];
+    if (piece.path_length() != 0) continue;
+    const SubSegment range{piece.first_height(), piece.last_height()};
+    if (!std::binary_search(forest.begin(), forest.end(), range)) continue;
+    unit_of[i] = static_cast<std::ptrdiff_t>(units.size());
+    units.push_back(SegUnit{&req.address, &cbp, range});
+  }
+  std::vector<Bytes> seg_bytes;
+  if (!assemble_segment_units(ctx, units, deadline, &seg_bytes)) {
+    Bytes expired = expired_reply();
+    metrics_.on_deadline_aborted(expired.size());
+    return expired;
+  }
+
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRangeQueryResponse));
   w.u8(static_cast<std::uint8_t>(config.design));
   w.varint(tip);
-  w.varint(forest.size());
-  for (const Bytes& s : seg_bytes) w.raw(ByteSpan{s.data(), s.size()});
-
-  Bytes reply = w.take();
-  if (response_cache_.enabled()) {
-    Bytes rkey = response_cache_key_locked(request);
-    response_cache_.put(ByteSpan{rkey.data(), rkey.size()},
-                        ByteSpan{reply.data(), reply.size()});
+  w.varint(req.from);
+  w.varint(req.to);
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    if (unit_of[i] >= 0) {
+      const Bytes& s = seg_bytes[static_cast<std::size_t>(unit_of[i])];
+      w.raw(ByteSpan{s.data(), s.size()});
+      continue;
+    }
+    if (past(deadline)) {
+      Bytes expired = expired_reply();
+      metrics_.on_deadline_aborted(expired.size());
+      return expired;
+    }
+    build_anchored_piece(ctx, req.address, cbp, cover[i]).serialize(w);
   }
-  return reply;
+  return w.take();
 }
 
 void ServingEngine::rebind(const FullNode& node) {
   {
+    // The unique lock is the drain barrier: no request holds the shared
+    // lock past here, so no store into the old epoch's keys can race the
+    // bump. The generation is bumped before the tip moves — a warm-path
+    // key built from a torn pair mixes the new generation with the old
+    // tip, which no entry was ever stored under.
     std::unique_lock<std::shared_mutex> lock(epoch_mu_);
     node_ = &node;
-    epoch_tip_ = node.tip_height();
-    ++epoch_generation_;
+    epoch_generation_.fetch_add(1, std::memory_order_release);
+    epoch_tip_.store(node.tip_height(), std::memory_order_release);
   }
   // Stale keys are unreachable after the epoch bump; clearing just
   // returns their memory immediately instead of waiting for LRU churn.
@@ -453,8 +632,8 @@ void ServingEngine::rebind() {
   LVQ_CHECK_MSG(node_ != nullptr, "rebind() without a node requires FullNode mode");
   {
     std::unique_lock<std::shared_mutex> lock(epoch_mu_);
-    epoch_tip_ = node_->tip_height();
-    ++epoch_generation_;
+    epoch_generation_.fetch_add(1, std::memory_order_release);
+    epoch_tip_.store(node_->tip_height(), std::memory_order_release);
   }
   response_cache_.clear();
 }
@@ -462,7 +641,7 @@ void ServingEngine::rebind() {
 void ServingEngine::invalidate() {
   {
     std::unique_lock<std::shared_mutex> lock(epoch_mu_);
-    ++epoch_generation_;
+    epoch_generation_.fetch_add(1, std::memory_order_release);
   }
   response_cache_.clear();
 }
@@ -489,11 +668,8 @@ MetricsSnapshot ServingEngine::snapshot() const {
   s.queue_capacity = options_.queue_depth;
   s.workers = threads_.size();
   s.in_flight = in_flight_.load(std::memory_order_relaxed);
-  {
-    std::shared_lock<std::shared_mutex> lock(epoch_mu_);
-    s.epoch_tip = epoch_tip_;
-    s.epoch_generation = epoch_generation_;
-  }
+  s.epoch_tip = epoch_tip_.load(std::memory_order_acquire);
+  s.epoch_generation = epoch_generation_.load(std::memory_order_acquire);
   return s;
 }
 

@@ -10,13 +10,19 @@
 //    clients back off and come back.
 //
 //  * Proof reuse — proofs are immutable for a fixed (address, tip,
-//    config), so the engine keeps a sharded LRU of whole encoded replies
-//    keyed by (epoch, request bytes), plus a sub-cache of merged BMT
-//    segment proofs keyed by (address, range, last-header hash). The
-//    segment keys commit to chain content through the header hash, so a
-//    reorg can never resurface a stale proof, and segments that ended
-//    before the tip stay valid as the chain grows — the LVQ forest
-//    structure is exactly what makes that reuse legal.
+//    config), so the engine keeps a sharded lock-free-read cache of whole
+//    encoded replies keyed by (epoch, request bytes), plus a sub-cache of
+//    merged BMT segment proofs keyed by (address, range, last-header
+//    hash). The segment keys commit to chain content through the header
+//    hash, so a reorg can never resurface a stale proof, and segments that
+//    ended before the tip stay valid as the chain grows — the LVQ forest
+//    structure is exactly what makes that reuse legal. The segment keys
+//    are query-shape-normalized: one cached segment proof serves point
+//    queries, batch entries, and whole-segment range pieces that overlap
+//    it (INTERNALS.md §12). Response-cache admission is cost-aware — only
+//    responses whose measured assembly time cleared
+//    `cache_admit_min_us` are stored, so sub-threshold indexed cold
+//    builds do not evict entries that actually amortize work.
 //
 //  * Observability — every request feeds a ServerMetrics registry
 //    (counters + latency histogram) served inline via the kStats RPC and
@@ -41,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/segments.hpp"
 #include "net/frame.hpp"
 #include "net/message.hpp"
 #include "node/full_node.hpp"
@@ -73,6 +80,15 @@ struct ServingEngineOptions {
   /// overload the cheap latency-sensitive requests survive longest.
   /// >= 1.0 disables the early shedding.
   double bulk_shed_fraction = 0.5;
+  /// Cost-aware response-cache admission: a served cacheable reply is
+  /// stored only when its measured assembly time (queue wait excluded —
+  /// the clock starts when a worker picks the request up) is at least this
+  /// many microseconds. The default keeps sub-millisecond indexed cold
+  /// builds out of the cache — recomputing them costs less than the
+  /// eviction pressure they exert — while anything slow enough to matter
+  /// is admitted. 0 admits everything; the segment sub-cache always
+  /// admits (it is the amortization substrate the fast paths splice from).
+  std::uint64_t cache_admit_min_us = 1000;
 };
 
 /// Identifies the connection a request arrived on (same alias as in
@@ -169,21 +185,52 @@ class ServingEngine {
     CompletionFn complete;
   };
 
+  /// One segment proof to materialize: which address, its bloom check
+  /// positions, and the (sub)segment range. The shape-normalized segment
+  /// cache key is derived from exactly these plus the range's last header
+  /// hash, so point, batch, and range fast paths share entries.
+  struct SegUnit {
+    const Address* address;
+    const std::vector<std::uint64_t>* cbp;
+    SubSegment range;
+  };
+
   void start_workers();
   void worker_loop();
-  /// Executes one request on a worker: fast path, backend, cache fill.
-  /// Returns a kExpired envelope if `deadline` passes mid-assembly.
+  /// Executes one request on a worker: fast path or backend, then the
+  /// cost-aware response-cache admission decision. Returns a kExpired
+  /// envelope if `deadline` passes mid-assembly.
   Bytes process(ByteSpan request, netio::Deadline deadline);
   /// BMT segment-splicing fast path (with caches enabled, misses fill the
   /// segment cache; without, it is a pure parallel assembly); nullopt
   /// falls back to the backend; a kExpired envelope when the deadline hit
   /// between segment stages. Caller holds epoch_mu_ (shared).
   std::optional<Bytes> fast_query(ByteSpan request, netio::Deadline deadline);
+  /// Batch fast path: a kBatchQueryResponse is a flat concatenation of
+  /// per-address kQuery bodies, each itself a flat concatenation of
+  /// segment proofs — all spliced from / filled into the same
+  /// shape-normalized segment entries the point path uses.
+  std::optional<Bytes> fast_batch(ByteSpan request, netio::Deadline deadline);
+  /// Range fast path: cover pieces that are whole query-forest segments
+  /// (empty anchor path) serialize byte-identically to SegmentQueryProof,
+  /// so they splice from the shared segment entries; the remaining
+  /// anchored pieces are built via build_anchored_piece().
+  std::optional<Bytes> fast_range(ByteSpan request, netio::Deadline deadline);
+  /// Fills out->at(i) with the segment-proof wire bytes for units[i]:
+  /// cache hits splice stored bytes, misses assemble (fanned across the
+  /// shared pool) and fill the segment cache. Returns false when
+  /// `deadline` expired mid-assembly (out is unusable; callers answer
+  /// kExpired).
+  bool assemble_segment_units(const ChainContext& ctx,
+                              const std::vector<SegUnit>& units,
+                              netio::Deadline deadline,
+                              std::vector<Bytes>* out);
   static bool bulk_request(std::uint8_t type);
-  /// Response-cache key: epoch prefix + raw request bytes. The `_locked`
-  /// variant requires epoch_mu_ held (shared or unique).
+  /// Response-cache key: epoch prefix + raw request bytes. Lock-free —
+  /// the epoch pair is read from atomics; a torn (generation, tip) read
+  /// during a rebind can only build a key nothing was ever stored under
+  /// (generations never repeat), i.e. a spurious miss, never a stale hit.
   Bytes response_cache_key(ByteSpan request) const;
-  Bytes response_cache_key_locked(ByteSpan request) const;
   static bool cacheable_request(std::uint8_t type);
 
   Handler backend_;
@@ -193,11 +240,13 @@ class ServingEngine {
   ShardedByteCache segment_cache_;
   ServerMetrics metrics_;
 
-  /// Guards node_ and the cache epoch. Shared-held for the duration of
-  /// request execution, so rebind() (unique) doubles as a drain barrier.
+  /// Guards node_ and serializes epoch transitions. Shared-held for the
+  /// duration of request execution, so rebind() (unique) doubles as a
+  /// drain barrier. The warm path does NOT take it: the epoch pair itself
+  /// lives in atomics so cache-hit readers stay lock-free.
   mutable std::shared_mutex epoch_mu_;
-  std::uint64_t epoch_tip_ = 0;
-  std::uint64_t epoch_generation_ = 0;
+  std::atomic<std::uint64_t> epoch_tip_{0};
+  std::atomic<std::uint64_t> epoch_generation_{0};
 
   mutable std::mutex mu_;  // guards queue_, idle_workers_, stopping_
   std::condition_variable cv_;

@@ -1,0 +1,166 @@
+#include "util/epoch.hpp"
+
+#include <thread>
+
+namespace lvq {
+
+namespace {
+/// Retires accumulate up to this many entries before an automatic collect.
+/// Small enough that a churning writer bounds garbage to a few nodes, big
+/// enough that the slot scan amortizes.
+constexpr std::size_t kCollectBatch = 32;
+}  // namespace
+
+struct EpochDomain::Slot {
+  /// Epoch the owning thread is pinned at; 0 when quiescent.
+  std::atomic<std::uint64_t> pinned{0};
+  /// Claimed by a live thread. Cleared at thread exit so the slot is
+  /// recycled instead of growing the registry forever.
+  std::atomic<bool> owned{true};
+  /// Outermost-guard tracking; only ever touched by the owning thread.
+  std::uint32_t depth = 0;
+  /// Intrusive registry link; immutable once published.
+  Slot* next = nullptr;
+};
+
+EpochDomain& EpochDomain::instance() {
+  // Leaky singleton: never destroyed, so thread-exit slot release and
+  // late-destructed caches can never touch a dead domain, and everything
+  // still registered stays reachable for leak checkers.
+  static EpochDomain* domain = new EpochDomain();
+  return *domain;
+}
+
+EpochDomain::Slot* EpochDomain::acquire_slot() {
+  // Recycle a slot some exited thread released; CAS claims ownership.
+  for (Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    bool free = false;
+    if (!s->owned.load(std::memory_order_relaxed) &&
+        s->owned.compare_exchange_strong(free, true,
+                                         std::memory_order_acq_rel)) {
+      return s;
+    }
+  }
+  Slot* fresh = new Slot();
+  Slot* head = slots_.load(std::memory_order_relaxed);
+  do {
+    fresh->next = head;
+  } while (!slots_.compare_exchange_weak(head, fresh,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  return fresh;
+}
+
+EpochDomain::Slot* EpochDomain::local_slot() {
+  // The lease releases the slot when the thread exits. It only stores to
+  // the slot's owned flag, and slots are never freed, so this is safe in
+  // any teardown order.
+  struct Lease {
+    Slot* slot = nullptr;
+    ~Lease() {
+      if (slot != nullptr) {
+        slot->pinned.store(0, std::memory_order_release);
+        slot->owned.store(false, std::memory_order_release);
+      }
+    }
+  };
+  thread_local Lease lease;
+  if (lease.slot == nullptr) {
+    lease.slot = instance().acquire_slot();
+  }
+  return lease.slot;
+}
+
+EpochDomain::Guard::Guard() : slot_(local_slot()) {
+  if (slot_->depth++ > 0) {
+    return;  // already pinned by an enclosing guard on this thread
+  }
+  EpochDomain& domain = instance();
+  std::uint64_t observed = domain.epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot_->pinned.store(observed, std::memory_order_seq_cst);
+    const std::uint64_t now = domain.epoch_.load(std::memory_order_seq_cst);
+    if (now == observed) {
+      return;
+    }
+    // The epoch advanced between the load and our publish: a collector may
+    // have scanned past this slot before the store landed. Re-publish at
+    // the newer epoch until the pair agrees.
+    observed = now;
+  }
+}
+
+EpochDomain::Guard::~Guard() {
+  if (--slot_->depth > 0) {
+    return;
+  }
+  slot_->pinned.store(0, std::memory_order_release);
+}
+
+void EpochDomain::retire(void* ptr, Deleter deleter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Stamp with the pre-bump epoch: readers pinned at <= stamp may still
+  // hold the node; anyone pinning after this fetch_add sees the unlink.
+  const std::uint64_t stamp =
+      epoch_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.push_back(Retired{ptr, deleter, stamp});
+  if (retired_.size() >= kCollectBatch) {
+    collect_locked();
+  }
+}
+
+void EpochDomain::collect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  collect_locked();
+}
+
+void EpochDomain::collect_locked() {
+  std::uint64_t min_pinned = epoch_.load(std::memory_order_seq_cst);
+  for (Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    const std::uint64_t pinned = s->pinned.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < min_pinned) {
+      min_pinned = pinned;
+    }
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < retired_.size(); ++i) {
+    if (retired_[i].stamp < min_pinned) {
+      retired_[i].deleter(retired_[i].ptr);
+    } else {
+      retired_[kept++] = retired_[i];
+    }
+  }
+  retired_.resize(kept);
+}
+
+void EpochDomain::synchronize() {
+  // Only wait for nodes retired before this call: a concurrent writer
+  // retiring fresh nodes must not extend the wait forever.
+  const std::uint64_t horizon = epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      collect_locked();
+      bool pending = false;
+      for (const Retired& r : retired_) {
+        if (r.stamp < horizon) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending) {
+        return;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+std::size_t EpochDomain::retired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+}  // namespace lvq

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace lvq {
+
+/// Epoch-based memory reclamation for read-mostly lock-free structures.
+///
+/// Readers wrap each traversal in an EpochDomain::Guard: pin (publish the
+/// current global epoch into a per-thread slot), walk the structure through
+/// atomic pointers, copy out what they need, unpin. Writers unlink nodes
+/// from the structure first, then retire() them: the node is stamped with
+/// the pre-bump epoch and the global epoch advances, so a reader pinned at
+/// or below the stamp may still hold the node, while any reader that pins
+/// after the bump re-reads the structure and can no longer reach it.
+/// collect() frees every retired node whose stamp is below the minimum
+/// epoch any thread currently has pinned.
+///
+/// The pin protocol is the classic seq_cst two-step: store the observed
+/// epoch into the slot, re-read the global epoch, repeat until they agree.
+/// Combined with seq_cst unlink stores on the writer side and the seq_cst
+/// epoch increment inside retire(), the standard argument holds: a reader
+/// the collector's scan missed must have completed its pin after the
+/// increment in the single total order, so its re-check republished a newer
+/// epoch — and its subsequent loads of the structure observe the unlink and
+/// never reach the retired node. The release unpin paired with the
+/// collector's acquire scan orders the reader's last access before the
+/// free.
+///
+/// One process-wide domain is intentional: retire traffic is tiny (cache
+/// nodes displaced by writes), and sharing slots across every cache keeps
+/// the per-thread footprint at one slot. The singleton is never destroyed,
+/// so thread-exit slot release can never race a domain teardown; slots and
+/// any unreclaimed nodes stay reachable from the domain at process exit
+/// (leak-checker clean).
+class EpochDomain {
+  struct Slot;  // per-thread pin record, defined in epoch.cpp
+
+ public:
+  using Deleter = void (*)(void*) noexcept;
+
+  static EpochDomain& instance();
+
+  /// RAII pin of the current epoch for the calling thread. Guards nest:
+  /// only the outermost pin publishes and only the outermost unpin clears,
+  /// so an inner guard cannot drop the outer one's protection.
+  class Guard {
+   public:
+    Guard();
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  /// Hands an unlinked node to the domain. The caller must have already
+  /// made the node unreachable from the shared structure (with seq_cst
+  /// stores). The node is freed by a later collect()/synchronize() once no
+  /// pinned reader can still hold it.
+  void retire(void* ptr, Deleter deleter);
+
+  /// Frees every retired node no pinned reader can still reach. Called
+  /// automatically every few retires; exposed for tests and teardown.
+  void collect();
+
+  /// Blocks until every node retired before this call has been freed
+  /// (i.e. all readers pinned at those epochs have unpinned). Callers use
+  /// this in destructors so node memory does not outlive its cache.
+  void synchronize();
+
+  /// Count of retired-but-not-yet-freed nodes (tests only; racy).
+  std::size_t retired_count() const;
+
+ private:
+  friend class Guard;
+
+  EpochDomain() = default;
+  ~EpochDomain() = delete;  // leaky singleton by design, see class comment
+
+  static Slot* local_slot();
+  Slot* acquire_slot();
+  void collect_locked();
+
+  struct Retired {
+    void* ptr;
+    Deleter deleter;
+    std::uint64_t stamp;
+  };
+
+  /// Global epoch; starts at 1 so a pinned value of 0 means "quiescent".
+  std::atomic<std::uint64_t> epoch_{1};
+  /// Intrusive list of all slots ever created; slots are recycled across
+  /// exited threads (owned flag), never freed.
+  std::atomic<Slot*> slots_{nullptr};
+  mutable std::mutex mu_;
+  std::vector<Retired> retired_;
+};
+
+}  // namespace lvq

@@ -190,6 +190,7 @@ TEST(Deadline, WrappedAndBareRequestsAreByteIdenticalAndShareCache) {
   FullNode full(setup().workload, setup().derived, kConfig);
   ServingEngineOptions opts;
   opts.workers = 2;
+  opts.cache_admit_min_us = 0;  // tiny chain: admit everything
   ServingEngine engine(full, opts);
 
   const Address& addr = setup().workload->profiles[0].address;

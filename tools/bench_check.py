@@ -49,6 +49,23 @@ workloads (see .github/workflows/ci.yml). The gate exists to catch
 order-of-magnitude regressions — a fast path silently falling back to a
 tree walk, an accidental O(n^2) — not a few percent of noise.
 
+server_throughput additionally enforces latency SLOs on the FRESH run
+alone (no baseline involved, so runner speed cancels out — these are
+shape invariants of the engine, not absolute numbers):
+
+  * warm p90 <= cold p90 at every worker count — a cache hit is a memcpy
+    and must never be slower than rebuilding the proof;
+  * warm qps >= --warm-ratio-floor x cold qps (default 5.0) at every
+    worker count — the lock-free hit path must actually pay for itself;
+  * per cache regime, qps must be monotone-or-flat in workers:
+    qps(more workers) >= --monotone-tolerance x qps(fewer workers)
+    (default 0.65, loose enough for the known single-digit-core dip) —
+    a shared lock on the hit path shows up here as warm qps *falling*
+    with workers;
+  * overload p99_us <= --overload-p99-slo-us (default 60000; 0 disables)
+    — shedding must keep the served tail bounded in absolute terms, not
+    just relative to a baseline that might itself be degraded.
+
 Exits 0 when every check passes, 1 otherwise. Stdlib only.
 """
 
@@ -60,6 +77,52 @@ import sys
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def check_server_slo(fresh, args):
+    """Fresh-run-only latency/throughput shape invariants (see module
+    docstring). Returns the number of failed checks."""
+    failures = 0
+    rows = {(r["workers"], r["cache"]): r for r in fresh.get("results", [])}
+    workers = sorted({w for (w, _) in rows})
+
+    print(f"{'slo':>8} {'check':>24} {'value':>10} {'bound':>10}  verdict")
+
+    def gate(label, check, value, bound, ok):
+        nonlocal failures
+        failures += 0 if ok else 1
+        print(f"{label:>8} {check:>24} {value:>10.1f} {bound:>10.1f}  "
+              f"{'ok' if ok else 'FAIL'}")
+
+    for w in workers:
+        cold = rows.get((w, "cold"))
+        warm = rows.get((w, "warm"))
+        if cold is None or warm is None:
+            print(f"{w:>8} {'cold/warm pair':>24} {'':>10} {'':>10}  MISSING")
+            failures += 1
+            continue
+        gate(f"w={w}", "warm_p90<=cold_p90", warm["p90_us"], cold["p90_us"],
+             warm["p90_us"] <= cold["p90_us"])
+        ratio = warm["qps"] / cold["qps"] if cold["qps"] > 0 else 0.0
+        gate(f"w={w}", "warm/cold qps ratio", ratio, args.warm_ratio_floor,
+             ratio >= args.warm_ratio_floor)
+
+    for regime in ("cold", "warm"):
+        for prev, nxt in zip(workers, workers[1:]):
+            a = rows.get((prev, regime))
+            b = rows.get((nxt, regime))
+            if a is None or b is None:
+                continue
+            floor = args.monotone_tolerance * a["qps"]
+            gate(regime, f"qps w{prev}->w{nxt} monotone", b["qps"], floor,
+                 b["qps"] >= floor)
+
+    ov = fresh.get("overload")
+    if args.overload_p99_slo_us > 0 and ov is not None:
+        gate("overload", "p99_us<=slo", ov["p99_us"],
+             args.overload_p99_slo_us,
+             ov["p99_us"] <= args.overload_p99_slo_us)
+    return failures
 
 
 def check_server(baseline, fresh, tolerance):
@@ -241,6 +304,18 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="fresh metric must be >= tolerance x baseline "
                          "(default 0.25)")
+    ap.add_argument("--warm-ratio-floor", type=float, default=5.0,
+                    help="server SLO: fresh warm qps must be >= this "
+                         "multiple of fresh cold qps at every worker "
+                         "count (default 5.0)")
+    ap.add_argument("--monotone-tolerance", type=float, default=0.65,
+                    help="server SLO: per cache regime, fresh qps at the "
+                         "next worker count must be >= this fraction of "
+                         "the previous one (default 0.65)")
+    ap.add_argument("--overload-p99-slo-us", type=float, default=60000,
+                    help="server SLO: fresh overload p99_us absolute "
+                         "ceiling in microseconds (default 60000; 0 "
+                         "disables)")
     args = ap.parse_args()
 
     baseline = load(args.baseline)
@@ -258,9 +333,11 @@ def main():
     print(f"== bench_check: {kind} "
           f"(tolerance {args.tolerance:g}) ==")
     failures = checker(baseline, fresh, args.tolerance)
+    if kind == "server_throughput":
+        failures += check_server_slo(fresh, args)
     if failures:
-        print(f"{failures} check(s) below the regression floor",
-              file=sys.stderr)
+        print(f"{failures} check(s) failed (regression floor or "
+              f"latency SLO)", file=sys.stderr)
         sys.exit(1)
     print("all checks passed")
 

@@ -80,8 +80,9 @@ int usage() {
                "  verify --chain=FILE --address=ADDR --proof=FILE\n"
                "  serve  --chain=FILE|--store=DIR [--seconds=N --workers=N "
                "--queue-depth=N\n"
-               "         --cache-mb=N --max-conns=N --io-threads=N "
-               "--drain-grace-ms=N]\n"
+               "         --cache-mb=N --cache-admit-min-us=N --max-conns=N "
+               "--io-threads=N\n"
+               "         --drain-grace-ms=N]\n"
                "         (--store persists the chain; a warm start reopens "
                "it without\n"
                "         rebuilding. SIGTERM/SIGINT drains in-flight "
@@ -517,6 +518,9 @@ int cmd_serve(const Flags& flags) {
   eopts.queue_depth =
       static_cast<std::uint32_t>(flags.get_u64("queue-depth", 64));
   eopts.cache_bytes = flags.get_u64("cache-mb", 64) << 20;
+  // Cost-aware admission threshold; 0 caches every cacheable reply.
+  eopts.cache_admit_min_us =
+      flags.get_u64("cache-admit-min-us", eopts.cache_admit_min_us);
   ServingEngine engine(full, eopts);
 
   ReactorServerOptions sopts;
